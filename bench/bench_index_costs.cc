@@ -1,0 +1,68 @@
+// Reproduces Figure 5 (index size / construction time vs dataset size n on
+// the Gowalla-like dataset) and Table 2 (index costs on the skewed
+// USPS-like dataset) — see DESIGN.md §4.
+//
+// Paper shapes to verify:
+//  * Constant smallest and fastest; Logarithmic-BRC/URC add a log m factor;
+//  * Logarithmic-SRC ≈ 2x Logarithmic-BRC/URC (TDAG injected nodes);
+//  * Logarithmic-SRC-i ≈ 2x SRC on Gowalla (95% distinct values) but only
+//    marginally above SRC on USPS (5% distinct);
+//  * PB's construction time is far above every scheme.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+namespace rsse::bench {
+namespace {
+
+constexpr char kUsage[] =
+    "bench_index_costs: Figure 5 / Table 2 — index size and construction "
+    "time.\n"
+    "  --dataset=gowalla|usps|uniform (default gowalla)\n"
+    "  --n=<max dataset size>         (default 20000)\n"
+    "  --points=<sweep points>        (default 4; usps uses 1)\n"
+    "  --domain=<domain size>         (default per dataset)\n";
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, kUsage);
+  const std::string dataset_name = flags.GetString("dataset", "gowalla");
+  const uint64_t max_n = flags.GetUint("n", 20000);
+  const uint64_t points =
+      dataset_name == "usps" ? 1 : flags.GetUint("points", 4);
+  const uint64_t domain = flags.GetUint("domain", DefaultDomainFor(dataset_name));
+
+  std::printf("== Index costs (%s, domain=%llu) — Fig 5 / Table 2 ==\n",
+              dataset_name.c_str(), static_cast<unsigned long long>(domain));
+  PrintRow({"scheme", "n", "index size", "construction time"});
+
+  for (uint64_t p = 1; p <= points; ++p) {
+    const uint64_t n = max_n * p / points;
+    Dataset data = MakeEvalDataset(dataset_name, n, domain, /*seed=*/n);
+    for (SchemeId id : EvalSchemes()) {
+      auto scheme = MakeAnyScheme(id, /*seed=*/7);
+      WallTimer timer;
+      Status built = scheme->Build(data);
+      double seconds = timer.ElapsedSeconds();
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s: %s\n", SchemeName(id),
+                     built.ToString().c_str());
+        return 1;
+      }
+      char n_buf[32];
+      std::snprintf(n_buf, sizeof(n_buf), "%llu",
+                    static_cast<unsigned long long>(n));
+      char t_buf[32];
+      std::snprintf(t_buf, sizeof(t_buf), "%.3f s", seconds);
+      PrintRow({SchemeName(id), n_buf, FormatMb(scheme->IndexSizeBytes()),
+                t_buf});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rsse::bench
+
+int main(int argc, char** argv) { return rsse::bench::Run(argc, argv); }

@@ -1,0 +1,151 @@
+// Micro benchmarks (google-benchmark) for the crypto and range-covering
+// substrates: the per-operation costs that dominate the macro results of
+// Figures 5-8 (PRF/DPRF evaluations per retrieved tuple, GGM expansions,
+// cover computations).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cover/brc.h"
+#include "cover/tdag.h"
+#include "cover/urc.h"
+#include "crypto/aes.h"
+#include "crypto/hmac_prf.h"
+#include "crypto/prg.h"
+#include "crypto/random.h"
+#include "crypto/sha.h"
+#include "dprf/ggm_dprf.h"
+#include "sse/encrypted_multimap.h"
+#include "sse/packed_multimap.h"
+
+namespace rsse {
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  Bytes data(64, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Sha1(data));
+}
+BENCHMARK(BM_Sha1);
+
+void BM_HmacSha512OneShot(benchmark::State& state) {
+  Bytes key = crypto::GenerateKey();
+  Bytes data(32, 0xcd);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::HmacSha512(key, data));
+}
+BENCHMARK(BM_HmacSha512OneShot);
+
+void BM_PrfEvalPrekeyed(benchmark::State& state) {
+  crypto::Prf prf(crypto::GenerateKey());
+  Bytes data(32, 0xcd);
+  for (auto _ : state) benchmark::DoNotOptimize(prf.Eval(data));
+}
+BENCHMARK(BM_PrfEvalPrekeyed);
+
+void BM_GgmExpandOneLevel(benchmark::State& state) {
+  Bytes seed = crypto::GenerateKey();
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::GgmPrg::Expand(seed));
+}
+BENCHMARK(BM_GgmExpandOneLevel);
+
+void BM_AesEncrypt(benchmark::State& state) {
+  Bytes key = crypto::GenerateKey();
+  Bytes plaintext(static_cast<size_t>(state.range(0)), 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Aes128Cbc::Encrypt(key, plaintext));
+  }
+}
+BENCHMARK(BM_AesEncrypt)->Arg(9)->Arg(64)->Arg(1024);
+
+void BM_AesDecrypt(benchmark::State& state) {
+  Bytes key = crypto::GenerateKey();
+  Bytes ct = crypto::Aes128Cbc::Encrypt(key, Bytes(64, 0x11)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Aes128Cbc::Decrypt(key, ct));
+  }
+}
+BENCHMARK(BM_AesDecrypt);
+
+void BM_BrcCover(benchmark::State& state) {
+  const int bits = 27;
+  Rng rng(1);
+  uint64_t lo = rng.Uniform(0, (uint64_t{1} << bits) - state.range(0) - 1);
+  Range r{lo, lo + static_cast<uint64_t>(state.range(0)) - 1};
+  for (auto _ : state) benchmark::DoNotOptimize(BestRangeCover(r, bits));
+}
+BENCHMARK(BM_BrcCover)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_UrcCover(benchmark::State& state) {
+  const int bits = 27;
+  Rng rng(1);
+  uint64_t lo = rng.Uniform(0, (uint64_t{1} << bits) - state.range(0) - 1);
+  Range r{lo, lo + static_cast<uint64_t>(state.range(0)) - 1};
+  for (auto _ : state) benchmark::DoNotOptimize(UniformRangeCover(r, bits));
+}
+BENCHMARK(BM_UrcCover)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_TdagSingleRangeCover(benchmark::State& state) {
+  Tdag tdag(27);
+  Range r{123456, 123456 + 99999};
+  for (auto _ : state) benchmark::DoNotOptimize(tdag.SingleRangeCover(r));
+}
+BENCHMARK(BM_TdagSingleRangeCover);
+
+void BM_TdagCoverValue(benchmark::State& state) {
+  Tdag tdag(27);
+  for (auto _ : state) benchmark::DoNotOptimize(tdag.Cover(998877));
+}
+BENCHMARK(BM_TdagCoverValue);
+
+void BM_DprfDelegate(benchmark::State& state) {
+  GgmDprf dprf(crypto::GenerateKey(), 27);
+  Rng rng(3);
+  Range r{5000, 5000 + static_cast<uint64_t>(state.range(0)) - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dprf.Delegate(r, CoverTechnique::kBrc, rng));
+  }
+}
+BENCHMARK(BM_DprfDelegate)->Arg(100)->Arg(10000);
+
+void BM_DprfExpandSubtree(benchmark::State& state) {
+  GgmDprf dprf(crypto::GenerateKey(), 27);
+  GgmDprf::Token token{dprf.NodeSeed(DyadicNode{
+                           static_cast<int>(state.range(0)), 3}),
+                       static_cast<int>(state.range(0))};
+  for (auto _ : state) benchmark::DoNotOptimize(GgmDprf::Expand(token));
+  state.SetItemsProcessed(state.iterations() * (int64_t{1} << state.range(0)));
+}
+BENCHMARK(BM_DprfExpandSubtree)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_EmmSearch(benchmark::State& state) {
+  sse::PlainMultimap postings;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    postings[ToBytes("w")].push_back(sse::EncodeIdPayload(i));
+  }
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  auto emm = sse::EncryptedMultimap::Build(postings, deriver);
+  sse::KeywordKeys token = deriver.Derive(ToBytes("w"));
+  for (auto _ : state) benchmark::DoNotOptimize(emm->Search(token));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EmmSearch)->Arg(10)->Arg(1000)->Arg(10000);
+
+void BM_PackedSearch(benchmark::State& state) {
+  // Ablation: the paper's space-efficient packed SSE backend (TSet-style,
+  // S/K parameters) vs the flat dictionary of BM_EmmSearch.
+  std::vector<std::pair<Bytes, std::vector<uint64_t>>> postings(1);
+  postings[0].first = ToBytes("w");
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    postings[0].second.push_back(static_cast<uint64_t>(i));
+  }
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  auto packed = sse::PackedMultimap::Build(postings, deriver);
+  sse::KeywordKeys token = deriver.Derive(ToBytes("w"));
+  for (auto _ : state) benchmark::DoNotOptimize(packed->Search(token));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackedSearch)->Arg(10)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace rsse
+
+BENCHMARK_MAIN();

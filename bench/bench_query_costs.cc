@@ -1,0 +1,87 @@
+// Reproduces Figure 8 (Appendix A): owner-side query size in bytes (8a)
+// and trapdoor generation time (8b) for range sizes 1..100 over the domain
+// A = {0..2^20}, averaged over random query positions.
+//
+// Paper shapes to verify:
+//  * SRC (one token) and SRC-i (two tokens) are flat and smallest;
+//  * BRC/URC grow logarithmically with the range size; URC oscillates in a
+//    saw-like pattern (worst-case decomposition) and sits at or above BRC;
+//  * these costs are dataset-independent (only the range position over the
+//    domain's binary tree matters).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "data/workload.h"
+
+namespace rsse::bench {
+namespace {
+
+constexpr char kUsage[] =
+    "bench_query_costs: Figure 8 — query size and trapdoor time vs range "
+    "size.\n"
+    "  --n=<dataset size>     (default 2000; costs are data-independent)\n"
+    "  --queries=<per point>  (default 200)\n"
+    "  --domain_bits=<bits>   (default 20, the Appendix A domain)\n";
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, kUsage);
+  const uint64_t n = flags.GetUint("n", 20000);
+  const size_t queries = flags.GetUint("queries", 200);
+  const uint64_t domain = uint64_t{1} << flags.GetUint("domain_bits", 20);
+
+  Dataset data = MakeEvalDataset("uniform", n, domain, /*seed=*/3);
+  std::vector<std::pair<SchemeId, std::unique_ptr<RangeScheme>>> schemes;
+  // Ablation: the naive per-value strawman whose O(R) query size motivates
+  // the DPRF-based Constant schemes (Section 5).
+  std::vector<SchemeId> ids = EvalSchemes();
+  ids.push_back(SchemeId::kNaivePerValue);
+  for (SchemeId id : ids) {
+    auto scheme = MakeAnyScheme(id, 7);
+    if (!scheme->Build(data).ok()) {
+      std::fprintf(stderr, "build failed for %s\n", SchemeName(id));
+      return 1;
+    }
+    schemes.emplace_back(id, std::move(scheme));
+  }
+
+  for (const char* metric : {"query size (bytes)", "trapdoor time (us)"}) {
+    std::printf("== %s over A={0..2^20} — Fig 8 ==\n", metric);
+    std::vector<std::string> header = {"range size"};
+    for (const auto& [id, scheme] : schemes) header.push_back(SchemeName(id));
+    PrintRow(header);
+    const bool size_metric = std::string(metric).rfind("query", 0) == 0;
+    Rng qrng(17);
+    for (uint64_t range_size : {1, 2, 5, 10, 20, 40, 60, 80, 100}) {
+      std::vector<Range> workload =
+          RandomRangesOfSize(Domain{domain}, range_size, queries, qrng);
+      std::vector<std::string> row;
+      char size_buf[16];
+      std::snprintf(size_buf, sizeof(size_buf), "%llu",
+                    static_cast<unsigned long long>(range_size));
+      row.push_back(size_buf);
+      for (const auto& [id, scheme] : schemes) {
+        StatsAccumulator acc;
+        for (const Range& r : workload) {
+          Result<QueryResult> q = scheme->Query(r);
+          if (!q.ok()) continue;
+          acc.Add(size_metric ? static_cast<double>(q->token_bytes)
+                              : static_cast<double>(q->trapdoor_nanos) / 1e3);
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), size_metric ? "%.0f" : "%.2f",
+                      acc.mean());
+        row.push_back(buf);
+      }
+      PrintRow(row);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rsse::bench
+
+int main(int argc, char** argv) { return rsse::bench::Run(argc, argv); }

@@ -1,0 +1,118 @@
+// Empirically validates Table 1: for every scheme, measures how storage
+// scales with n, how query size and search time scale with R, and whether
+// false positives occur — and prints the measured growth next to the
+// paper's asymptotic claim.
+//
+// Quadratic is included here (tiny domain), unlike the Section 8
+// experiments, because Table 1 covers it.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "data/workload.h"
+#include "rsse/factory.h"
+
+namespace rsse::bench {
+namespace {
+
+constexpr char kUsage[] =
+    "bench_table1_asymptotics: Table 1 — measured cost scaling per scheme.\n"
+    "  --n=<base dataset size> (default 4000)\n";
+
+struct SchemeRow {
+  SchemeId id;
+  const char* storage_claim;
+  const char* query_claim;
+  const char* search_claim;
+  const char* fp_claim;
+};
+
+const SchemeRow kRows[] = {
+    {SchemeId::kQuadratic, "O(n m^2)", "O(1)", "O(r)", "none"},
+    {SchemeId::kConstantBrc, "O(n)", "O(log R)", "O(R + r)", "none"},
+    {SchemeId::kConstantUrc, "O(n)", "O(log R)", "O(R + r)", "none"},
+    {SchemeId::kLogarithmicBrc, "O(n log m)", "O(log R)", "O(log R + r)",
+     "none"},
+    {SchemeId::kLogarithmicUrc, "O(n log m)", "O(log R)", "O(log R + r)",
+     "none"},
+    {SchemeId::kLogarithmicSrc, "O(n log m)", "O(1)", "O(n)", "O(n)"},
+    {SchemeId::kLogarithmicSrcI, "O(n log m)", "O(1)", "O(R + r)", "O(R + r)"},
+    {SchemeId::kPb, "O(n log n log m)", "O(log R)", "Om(log n log R + r)",
+     "O(r)"},
+};
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, kUsage);
+  const uint64_t base_n = flags.GetUint("n", 4000);
+  const uint64_t domain = 1 << 12;
+  // Quadratic materializes O(m^2) keywords; measure it on a tiny domain.
+  const uint64_t quad_domain = 64;
+
+  std::printf("== Table 1: measured cost scaling ==\n");
+  PrintRow({"scheme", "storage(2n)/storage(n)", "tokens R=16 -> R=256",
+            "fp observed", "claims (storage|query|fp)"});
+
+  for (const SchemeRow& row : kRows) {
+    const uint64_t m = row.id == SchemeId::kQuadratic ? quad_domain : domain;
+    const uint64_t n = row.id == SchemeId::kQuadratic ? 500 : base_n;
+    Dataset small = MakeEvalDataset("uniform", n, m, 1);
+    Dataset large = MakeEvalDataset("uniform", 2 * n, m, 2);
+
+    auto s1 = MakeAnyScheme(row.id, 7);
+    auto s2 = MakeAnyScheme(row.id, 7);
+    if (!s1->Build(small).ok() || !s2->Build(large).ok()) {
+      std::fprintf(stderr, "build failed for %s\n", SchemeName(row.id));
+      return 1;
+    }
+    double storage_ratio = static_cast<double>(s2->IndexSizeBytes()) /
+                           static_cast<double>(s1->IndexSizeBytes());
+
+    Rng qrng(5);
+    auto mean_tokens = [&](uint64_t range_size) {
+      StatsAccumulator acc;
+      for (const Range& r :
+           RandomRangesOfSize(Domain{m}, range_size, 20, qrng)) {
+        Result<QueryResult> q = s2->Query(r);
+        if (q.ok()) acc.Add(static_cast<double>(q->token_count));
+      }
+      return acc.mean();
+    };
+    double tokens_small = mean_tokens(row.id == SchemeId::kQuadratic ? 4 : 16);
+    double tokens_large = mean_tokens(row.id == SchemeId::kQuadratic ? 32 : 256);
+
+    // False positives on a mildly skewed dataset.
+    Dataset skew = MakeEvalDataset("usps", n, m, 3);
+    auto s3 = MakeAnyScheme(row.id, 7);
+    size_t fp = 0;
+    if (s3->Build(skew).ok()) {
+      for (const Range& r : RandomRangesOfSize(Domain{m}, m / 8, 20, qrng)) {
+        Result<QueryResult> q = s3->Query(r);
+        if (!q.ok()) continue;
+        fp += q->ids.size() - FilterIdsToRange(skew, q->ids, r).size();
+      }
+    }
+
+    char ratio_buf[32];
+    std::snprintf(ratio_buf, sizeof(ratio_buf), "%.2fx", storage_ratio);
+    char tok_buf[48];
+    std::snprintf(tok_buf, sizeof(tok_buf), "%.1f -> %.1f", tokens_small,
+                  tokens_large);
+    char fp_buf[32];
+    std::snprintf(fp_buf, sizeof(fp_buf), "%zu", fp);
+    char claims[96];
+    std::snprintf(claims, sizeof(claims), "%s | %s | %s", row.storage_claim,
+                  row.query_claim, row.fp_claim);
+    PrintRow({SchemeName(row.id), ratio_buf, tok_buf, fp_buf, claims});
+  }
+  std::printf(
+      "\nExpectations: storage ratio ~2x for all; token growth flat for "
+      "Quadratic/SRC/SRC-i,\nlogarithmic for BRC/URC/PB; fp > 0 only for "
+      "SRC, SRC-i and PB.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rsse::bench
+
+int main(int argc, char** argv) { return rsse::bench::Run(argc, argv); }

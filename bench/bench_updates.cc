@@ -1,0 +1,94 @@
+// Section 7 ablation (no figure in the paper): batched updates over static
+// instances with hierarchical s-ary consolidation. Measures, as batches
+// stream in, the number of active instances, total outsourced bytes,
+// cumulative consolidation work, and per-query fan-out cost — for several
+// consolidation steps s.
+//
+// Expected behaviour: active instances stay O(s log_s b) (vs b without
+// consolidation); query token count scales with the active instances;
+// smaller s trades more owner-side merge work for cheaper queries.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "update/batched_store.h"
+
+namespace rsse::bench {
+namespace {
+
+constexpr char kUsage[] =
+    "bench_updates: Section 7 — batched updates + consolidation.\n"
+    "  --batches=<count>      (default 27)\n"
+    "  --batch_size=<tuples>  (default 500)\n"
+    "  --deletes=<per batch>  (default 25)\n";
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, kUsage);
+  const uint64_t batches = flags.GetUint("batches", 27);
+  const uint64_t batch_size = flags.GetUint("batch_size", 500);
+  const uint64_t deletes = flags.GetUint("deletes", 25);
+  const Domain domain{uint64_t{1} << 20};
+
+  for (size_t step : {size_t{2}, size_t{4}, size_t{8}}) {
+    update::BatchedStore store(SchemeId::kLogarithmicBrc, domain, step,
+                               /*rng_seed=*/7);
+    Rng rng(41);
+    uint64_t next_id = 0;
+    std::vector<uint64_t> live;
+
+    std::printf("== Updates with consolidation step s=%zu ==\n", step);
+    PrintRow({"batch", "instances", "consolidations", "store size",
+              "query tokens", "apply time"});
+    for (uint64_t b = 1; b <= batches; ++b) {
+      std::vector<update::UpdateOp> batch;
+      for (uint64_t i = 0; i < batch_size; ++i) {
+        uint64_t id = next_id++;
+        batch.push_back({update::UpdateOp::Type::kInsert,
+                         Record{id, rng.Uniform(0, domain.size - 1)}, 0});
+        live.push_back(id);
+      }
+      for (uint64_t d = 0; d < deletes && !live.empty(); ++d) {
+        size_t pick = rng.Uniform(0, live.size() - 1);
+        batch.push_back({update::UpdateOp::Type::kDelete,
+                         Record{live[pick], 0}, 0});
+        live.erase(live.begin() + static_cast<long>(pick));
+      }
+      WallTimer timer;
+      if (!store.ApplyBatch(batch).ok()) {
+        std::fprintf(stderr, "ApplyBatch failed\n");
+        return 1;
+      }
+      double apply_s = timer.ElapsedSeconds();
+      Result<QueryResult> q =
+          store.Query(Range{0, domain.size / 10});
+      if (!q.ok()) return 1;
+
+      if (b % 3 == 0 || b == batches) {
+        char b_buf[16];
+        char i_buf[16];
+        char c_buf[16];
+        char t_buf[16];
+        char a_buf[32];
+        std::snprintf(b_buf, sizeof(b_buf), "%llu",
+                      static_cast<unsigned long long>(b));
+        std::snprintf(i_buf, sizeof(i_buf), "%zu",
+                      store.ActiveInstanceCount());
+        std::snprintf(c_buf, sizeof(c_buf), "%zu",
+                      store.ConsolidationCount());
+        std::snprintf(t_buf, sizeof(t_buf), "%zu", q->token_count);
+        std::snprintf(a_buf, sizeof(a_buf), "%.3f s", apply_s);
+        PrintRow({b_buf, i_buf, c_buf, FormatMb(store.TotalIndexSizeBytes()),
+                  t_buf, a_buf});
+      }
+    }
+    std::printf("live tuples: %zu\n\n", store.LiveTupleCount());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rsse::bench
+
+int main(int argc, char** argv) { return rsse::bench::Run(argc, argv); }

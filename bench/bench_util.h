@@ -1,0 +1,57 @@
+#ifndef RSSE_BENCH_BENCH_UTIL_H_
+#define RSSE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rsse/scheme.h"
+
+namespace rsse::bench {
+
+/// Minimal --key=value flag parser shared by the figure drivers. Unknown
+/// flags abort with a usage message; every driver documents its flags via
+/// `usage`.
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::string& usage);
+
+  uint64_t GetUint(const std::string& key, uint64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Named dataset used throughout the evaluation section.
+/// "gowalla": near-uniform, ~95% distinct (Fig 5/6a/7a);
+/// "usps":    heavily skewed, ~5% distinct (Table 2, Fig 6b/7b).
+Dataset MakeEvalDataset(const std::string& name, uint64_t n,
+                        uint64_t domain_size, uint64_t seed);
+
+/// Default domain sizes mirroring the paper (scaled): Gowalla timestamps
+/// over ~103M values, USPS salaries over 276841 values.
+uint64_t DefaultDomainFor(const std::string& dataset);
+
+/// Builds a scheme (including the PB baseline) behind the uniform facade.
+std::unique_ptr<RangeScheme> MakeAnyScheme(SchemeId id, uint64_t seed);
+
+/// The scheme set of the paper's Section 8 experiments (Quadratic excluded
+/// for its prohibitive storage, exactly as in the paper).
+std::vector<SchemeId> EvalSchemes();
+
+/// Prints a row of fixed-width columns; with RSSE_BENCH_CSV=1 in the
+/// environment, emits comma-separated values instead (for plotting).
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Formats bytes as MB with two decimals.
+std::string FormatMb(size_t bytes);
+
+}  // namespace rsse::bench
+
+#endif  // RSSE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Check-in analytics (the paper's Gowalla motivation): a location service
+// outsources time-stamped check-ins and runs time-window queries over the
+// encrypted data. Near-uniform timestamps make Logarithmic-SRC shine:
+// single-token queries, no result-partitioning leakage, and Lemma 1 keeps
+// the false positives at O(R).
+//
+//   $ ./checkin_analytics [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "rsse/log_src.h"
+#include "rsse/logarithmic.h"
+#include "rsse/scheme.h"
+
+int main(int argc, char** argv) {
+  using namespace rsse;
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const uint64_t domain = uint64_t{1} << 24;  // seconds over ~6 months
+
+  Rng rng(2009);
+  Dataset checkins = GenerateGowallaLike(n, domain, rng);
+  std::printf("check-ins: %llu, distinct timestamps: %llu (%.0f%%)\n",
+              static_cast<unsigned long long>(checkins.size()),
+              static_cast<unsigned long long>(checkins.DistinctValueCount()),
+              100.0 * static_cast<double>(checkins.DistinctValueCount()) /
+                  static_cast<double>(checkins.size()));
+
+  LogarithmicSrcScheme src(/*rng_seed=*/1);
+  LogarithmicScheme urc(CoverTechnique::kUrc, /*rng_seed=*/1);
+  if (!src.Build(checkins).ok() || !urc.Build(checkins).ok()) {
+    std::fprintf(stderr, "index construction failed\n");
+    return 1;
+  }
+  std::printf("Logarithmic-SRC index: %.1f MB | Logarithmic-URC index: %.1f MB\n",
+              src.IndexSizeBytes() / 1048576.0, urc.IndexSizeBytes() / 1048576.0);
+
+  // "How many users checked in during each of these windows?"
+  Rng qrng(7);
+  for (const Range& window :
+       RandomRangesOfFraction(checkins.domain(), 0.02, 5, qrng)) {
+    Result<QueryResult> a = src.Query(window);
+    Result<QueryResult> b = urc.Query(window);
+    if (!a.ok() || !b.ok()) return 1;
+    size_t exact = FilterIdsToRange(checkins, a->ids, window).size();
+    std::printf(
+        "window [%llu,%llu]: %zu check-ins | SRC sent %zu B, returned %zu "
+        "(%.0f%% fp) | URC sent %zu B in %zu tokens, exact\n",
+        static_cast<unsigned long long>(window.lo),
+        static_cast<unsigned long long>(window.hi), exact, a->token_bytes,
+        a->ids.size(),
+        a->ids.empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(a->ids.size() - exact) /
+                  static_cast<double>(a->ids.size()),
+        b->token_bytes, b->token_count);
+  }
+  return 0;
+}

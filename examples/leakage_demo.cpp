@@ -1,0 +1,75 @@
+// The adversary's view: what the server actually learns from each scheme's
+// trapdoors and results, computed with the leakage profilers that make the
+// paper's L2 formulations concrete (Sections 5-6).
+//
+//   $ ./leakage_demo
+
+#include <cstdio>
+
+#include "cover/urc.h"
+#include "data/dataset.h"
+#include "dprf/ggm_dprf.h"
+#include "rsse/leakage.h"
+
+namespace {
+
+void PrintProfile(const char* label, const std::vector<int>& levels) {
+  std::printf("%-28s levels {", label);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    std::printf("%s%d", i == 0 ? "" : ",", levels[i]);
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace rsse;
+  const int bits = 4;  // domain {0..15}
+
+  std::printf("— Trapdoor shape: what token counts/levels reveal —\n");
+  // Two ranges of the same size 6 at different positions.
+  PrintProfile("BRC  [2,7]:", leakage::CoverLevelProfile(
+                                  Range{2, 7}, CoverTechnique::kBrc, bits));
+  PrintProfile("BRC  [1,6]:", leakage::CoverLevelProfile(
+                                  Range{1, 6}, CoverTechnique::kBrc, bits));
+  std::printf("  -> BRC shapes differ: the adversary can rule out positions.\n");
+  PrintProfile("URC  [2,7]:", leakage::CoverLevelProfile(
+                                  Range{2, 7}, CoverTechnique::kUrc, bits));
+  PrintProfile("URC  [1,6]:", leakage::CoverLevelProfile(
+                                  Range{1, 6}, CoverTechnique::kUrc, bits));
+  std::printf("  -> URC shapes match any range of size 6: only R leaks.\n\n");
+
+  // A small dataset: ids 1..5 at values 1, 2, 5, 6, 6.
+  Dataset data(Domain{16}, {{1, 1}, {2, 2}, {3, 5}, {4, 6}, {5, 6}});
+  const Range query{1, 6};
+
+  std::printf("— Logarithmic-BRC/URC: result partitioning (Section 6.1) —\n");
+  for (const auto& group : leakage::ResultPartitioning(
+           data, query, CoverTechnique::kBrc, bits)) {
+    std::printf("  cover node at level %d -> %zu id(s):", group.level,
+                group.ids.size());
+    for (uint64_t id : group.ids) std::printf(" %llu",
+                                              static_cast<unsigned long long>(id));
+    std::printf("\n");
+  }
+  std::printf("  -> group sizes (not positions) are visible per query.\n\n");
+
+  std::printf("— Constant-BRC/URC: in-subtree mapping (Section 5) —\n");
+  for (const auto& mapping : leakage::ConstantStructuralLeakage(
+           data, query, CoverTechnique::kBrc, bits)) {
+    std::printf("  subtree at level %d:", mapping.level);
+    for (const auto& [offset, id] : mapping.offset_to_id) {
+      std::printf(" (leaf+%llu -> id %llu)",
+                  static_cast<unsigned long long>(offset),
+                  static_cast<unsigned long long>(id));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "  -> the DPRF expansion reveals each result's exact leaf offset,\n"
+      "     i.e. relative order inside every cover subtree — strictly more\n"
+      "     than the Logarithmic schemes leak. Logarithmic-SRC leaks neither\n"
+      "     (single keyword, randomly permuted postings).\n");
+  return 0;
+}

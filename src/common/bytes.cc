@@ -1,0 +1,101 @@
+#include "common/bytes.h"
+
+namespace rsse {
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Bytes ToBytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string ToHex(const Bytes& data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void Append(Bytes& dst, const Bytes& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void AppendByte(Bytes& dst, uint8_t b) { dst.push_back(b); }
+
+Bytes Concat(std::initializer_list<const Bytes*> parts) {
+  size_t total = 0;
+  for (const Bytes* p : parts) total += p->size();
+  Bytes out;
+  out.reserve(total);
+  for (const Bytes* p : parts) Append(out, *p);
+  return out;
+}
+
+void AppendUint64(Bytes& dst, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst.push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void AppendUint32(Bytes& dst, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    dst.push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+uint64_t ReadUint64(const Bytes& data, size_t offset) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | data[offset + i];
+  }
+  return v;
+}
+
+uint32_t ReadUint32(const Bytes& data, size_t offset) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v = (v << 8) | data[offset + i];
+  }
+  return v;
+}
+
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+uint64_t Fnv1a64(const Bytes& data) {
+  uint64_t h = 14695981039346656037ull;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace rsse

@@ -1,0 +1,66 @@
+#ifndef RSSE_COMMON_BYTES_H_
+#define RSSE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsse {
+
+/// Raw byte buffer used throughout the library for keys, labels, tokens and
+/// ciphertexts. A plain vector keeps the dependency surface minimal and makes
+/// serialization trivial.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts an ASCII string to bytes (no terminator).
+Bytes ToBytes(std::string_view s);
+
+/// Hex-encodes `data` (lowercase, two chars per byte).
+std::string ToHex(const Bytes& data);
+
+/// Decodes a lowercase/uppercase hex string. Returns an empty buffer when
+/// `hex` has odd length or contains a non-hex character.
+Bytes FromHex(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+
+/// Appends a single byte to `dst`.
+void AppendByte(Bytes& dst, uint8_t b);
+
+/// Concatenates any number of buffers.
+Bytes Concat(std::initializer_list<const Bytes*> parts);
+
+/// Serializes `v` big-endian into 8 bytes appended to `dst`.
+void AppendUint64(Bytes& dst, uint64_t v);
+
+/// Serializes `v` big-endian into 4 bytes appended to `dst`.
+void AppendUint32(Bytes& dst, uint32_t v);
+
+/// Reads a big-endian uint64 from `data` at `offset`. The caller must
+/// guarantee `offset + 8 <= data.size()`.
+uint64_t ReadUint64(const Bytes& data, size_t offset);
+
+/// Reads a big-endian uint32 from `data` at `offset`. The caller must
+/// guarantee `offset + 4 <= data.size()`.
+uint32_t ReadUint32(const Bytes& data, size_t offset);
+
+/// Constant-time equality check; returns false on length mismatch without
+/// early exit on content.
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+/// Deterministic 64-bit FNV-1a hash of a byte buffer. Not cryptographic;
+/// used for hash-table bucketing of already-pseudorandom labels.
+uint64_t Fnv1a64(const Bytes& data);
+
+/// Hash functor so `Bytes` can key unordered containers.
+struct BytesHash {
+  size_t operator()(const Bytes& b) const {
+    return static_cast<size_t>(Fnv1a64(b));
+  }
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_BYTES_H_

@@ -1,0 +1,17 @@
+#include "common/rng.h"
+
+namespace rsse {
+
+uint64_t Rng::Uniform(uint64_t lo, uint64_t hi) {
+  std::uniform_int_distribution<uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Flip(double p) { return UniformReal() < p; }
+
+}  // namespace rsse

@@ -1,0 +1,44 @@
+#ifndef RSSE_COMMON_RNG_H_
+#define RSSE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rsse {
+
+/// Deterministic pseudo-random generator for simulations, dataset synthesis
+/// and benchmark workloads. NOT for cryptographic material — key generation
+/// uses `crypto::SecureRandom` (OS entropy via OpenSSL).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformReal();
+
+  /// Bernoulli trial with success probability `p`.
+  bool Flip(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, i - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_RNG_H_

@@ -1,0 +1,66 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace rsse {
+
+void StatsAccumulator::Add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double StatsAccumulator::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double StatsAccumulator::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double StatsAccumulator::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double StatsAccumulator::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+namespace {
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+WallTimer::WallTimer() : start_ns_(NowNanos()) {}
+
+void WallTimer::Reset() { start_ns_ = NowNanos(); }
+
+uint64_t WallTimer::ElapsedNanos() const { return NowNanos() - start_ns_; }
+
+double WallTimer::ElapsedMillis() const {
+  return static_cast<double>(ElapsedNanos()) / 1e6;
+}
+
+double WallTimer::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedNanos()) / 1e9;
+}
+
+}  // namespace rsse

@@ -1,0 +1,47 @@
+#ifndef RSSE_COMMON_STATS_H_
+#define RSSE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rsse {
+
+/// Streaming accumulator for benchmark/experiment statistics: count, mean,
+/// min, max, and exact percentiles (values are retained).
+class StatsAccumulator {
+ public:
+  void Add(double v);
+
+  size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  /// Exact percentile by nearest-rank; `p` in [0, 100].
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+};
+
+/// Wall-clock timer in nanoseconds (steady clock).
+class WallTimer {
+ public:
+  WallTimer();
+  /// Restarts the timer.
+  void Reset();
+  /// Elapsed nanoseconds since construction / last Reset().
+  uint64_t ElapsedNanos() const;
+  double ElapsedMillis() const;
+  double ElapsedSeconds() const;
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_STATS_H_

@@ -1,0 +1,99 @@
+#ifndef RSSE_COMMON_STATUS_H_
+#define RSSE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rsse {
+
+/// Error category for `Status`. Kept deliberately small; the library avoids
+/// exceptions (Google style) and reports recoverable failures through
+/// `Status` / `Result<T>` return values.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object carrying a code plus context message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message" for logging.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error return type. Mirrors the shape of absl::StatusOr without
+/// the dependency: either holds a `T` (status OK) or an error `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status: `return Status::InvalidArgument(...);`
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; valid only when `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define RSSE_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::rsse::Status rsse_status_tmp_ = (expr);   \
+    if (!rsse_status_tmp_.ok()) return rsse_status_tmp_; \
+  } while (false)
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_STATUS_H_

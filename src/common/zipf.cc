@@ -1,0 +1,25 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsse {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n_; ++i) cdf_[i] /= total;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformReal();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace rsse

@@ -1,0 +1,37 @@
+#ifndef RSSE_COMMON_ZIPF_H_
+#define RSSE_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rsse {
+
+/// Zipf-distributed sampler over ranks {0, ..., n-1} with exponent `theta`.
+/// Rank 0 is the most frequent. Used to synthesize skewed attribute
+/// distributions (the paper's USPS salary data is heavily skewed: only 5% of
+/// the domain values are distinct).
+///
+/// Implementation: inverse-CDF over precomputed cumulative weights, O(log n)
+/// per sample after O(n) setup.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `theta` > 0 (1.0 is classic Zipf).
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_ZIPF_H_

@@ -1,0 +1,30 @@
+#include "cover/brc.h"
+
+namespace rsse {
+
+std::vector<DyadicNode> BestRangeCover(const Range& r, int bits) {
+  std::vector<DyadicNode> cover;
+  uint64_t lo = r.lo;
+  const uint64_t hi = r.hi;
+  // Greedy left-to-right: at each step take the largest dyadic node that
+  // starts exactly at `lo` and does not overshoot `hi`. This is the
+  // canonical minimal decomposition.
+  while (lo <= hi) {
+    int level = 0;
+    // Grow while the node stays aligned at `lo` and inside [lo, hi].
+    while (level < bits) {
+      int next = level + 1;
+      uint64_t size = uint64_t{1} << next;
+      if ((lo & (size - 1)) != 0) break;           // alignment
+      if (lo + size - 1 > hi) break;               // overshoot
+      level = next;
+    }
+    cover.push_back(DyadicNode{level, lo >> level});
+    uint64_t covered = uint64_t{1} << level;
+    if (lo + covered - 1 == hi) break;  // avoid overflow at domain edge
+    lo += covered;
+  }
+  return cover;
+}
+
+}  // namespace rsse

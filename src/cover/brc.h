@@ -1,0 +1,22 @@
+#ifndef RSSE_COVER_BRC_H_
+#define RSSE_COVER_BRC_H_
+
+#include <vector>
+
+#include "cover/dyadic.h"
+#include "data/dataset.h"
+
+namespace rsse {
+
+/// Best Range Cover: the unique minimal set of dyadic nodes whose subtrees
+/// cover exactly the range [r.lo, r.hi] (the "minimum dyadic intervals").
+/// |BRC| = O(log R): at most two nodes per level. Nodes are returned in
+/// left-to-right order of the sub-ranges they cover.
+///
+/// `bits` is the height of the tree (domain padded to 2^bits); r must lie
+/// within [0, 2^bits - 1].
+std::vector<DyadicNode> BestRangeCover(const Range& r, int bits);
+
+}  // namespace rsse
+
+#endif  // RSSE_COVER_BRC_H_

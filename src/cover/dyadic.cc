@@ -1,0 +1,27 @@
+#include "cover/dyadic.h"
+
+namespace rsse {
+
+Bytes DyadicNode::EncodeKeyword() const {
+  Bytes out;
+  out.reserve(1 + 1 + 8);
+  AppendByte(out, /*tag=*/0x01);  // dyadic-tree keyword namespace
+  AppendByte(out, static_cast<uint8_t>(level));
+  AppendUint64(out, index);
+  return out;
+}
+
+DyadicNode DyadicAncestor(uint64_t value, int level) {
+  return DyadicNode{level, value >> level};
+}
+
+std::vector<DyadicNode> PathToRoot(uint64_t value, int bits) {
+  std::vector<DyadicNode> path;
+  path.reserve(static_cast<size_t>(bits) + 1);
+  for (int level = 0; level <= bits; ++level) {
+    path.push_back(DyadicAncestor(value, level));
+  }
+  return path;
+}
+
+}  // namespace rsse

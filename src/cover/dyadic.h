@@ -1,0 +1,50 @@
+#ifndef RSSE_COVER_DYADIC_H_
+#define RSSE_COVER_DYADIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "data/dataset.h"
+
+namespace rsse {
+
+/// A node of the full binary tree over the (power-of-two padded) domain:
+/// level 0 are leaves (single values), the root of a `bits`-bit domain is at
+/// level `bits`. The node at (level, index) covers the dyadic range
+/// [index * 2^level, (index+1) * 2^level - 1].
+struct DyadicNode {
+  int level = 0;
+  uint64_t index = 0;
+
+  uint64_t Lo() const { return index << level; }
+  uint64_t Hi() const { return ((index + 1) << level) - 1; }
+  uint64_t Size() const { return uint64_t{1} << level; }
+  Range ToRange() const { return Range{Lo(), Hi()}; }
+  bool Contains(uint64_t v) const { return v >= Lo() && v <= Hi(); }
+  bool IsLeaf() const { return level == 0; }
+
+  DyadicNode Parent() const { return DyadicNode{level + 1, index >> 1}; }
+  DyadicNode LeftChild() const { return DyadicNode{level - 1, index << 1}; }
+  DyadicNode RightChild() const {
+    return DyadicNode{level - 1, (index << 1) | 1};
+  }
+
+  /// Stable byte encoding used as the SSE keyword for this node.
+  Bytes EncodeKeyword() const;
+
+  friend bool operator==(const DyadicNode&, const DyadicNode&) = default;
+  friend auto operator<=>(const DyadicNode&, const DyadicNode&) = default;
+};
+
+/// The dyadic node containing `value` at `level`.
+DyadicNode DyadicAncestor(uint64_t value, int level);
+
+/// All `bits + 1` nodes on the root-to-leaf path of `value` (leaf first,
+/// root last). These are the keywords a tuple receives in the Logarithmic
+/// schemes and the DR(d) set of the PB baseline.
+std::vector<DyadicNode> PathToRoot(uint64_t value, int bits);
+
+}  // namespace rsse
+
+#endif  // RSSE_COVER_DYADIC_H_

@@ -1,0 +1,65 @@
+#include "cover/tdag.h"
+
+namespace rsse {
+
+Bytes TdagNode::EncodeKeyword() const {
+  Bytes out;
+  out.reserve(1 + 1 + 8);
+  AppendByte(out, /*tag=*/0x02);  // TDAG keyword namespace
+  AppendByte(out, static_cast<uint8_t>(level));
+  AppendUint64(out, start);
+  return out;
+}
+
+Tdag::Tdag(int bits) : bits_(bits) {}
+
+std::optional<TdagNode> Tdag::InjectedNodeAt(uint64_t value, int level) const {
+  if (level < 1 || level >= bits_) return std::nullopt;
+  const uint64_t size = uint64_t{1} << level;
+  const uint64_t half = size >> 1;
+  if (value < half) return std::nullopt;  // no injected window starts before half
+  const uint64_t k = (value - half) >> level;
+  const uint64_t start = k * size + half;
+  if (start + size > leaf_count()) return std::nullopt;  // falls off the edge
+  return TdagNode{level, start};
+}
+
+std::vector<TdagNode> Tdag::Cover(uint64_t value) const {
+  std::vector<TdagNode> nodes;
+  nodes.reserve(2 * static_cast<size_t>(bits_) + 1);
+  for (int level = 0; level <= bits_; ++level) {
+    nodes.push_back(TdagNode{level, (value >> level) << level});
+    if (auto injected = InjectedNodeAt(value, level); injected.has_value()) {
+      nodes.push_back(*injected);
+    }
+  }
+  return nodes;
+}
+
+TdagNode Tdag::SingleRangeCover(const Range& r) const {
+  for (int level = 0; level <= bits_; ++level) {
+    // Regular (aligned) node first.
+    if ((r.lo >> level) == (r.hi >> level)) {
+      return TdagNode{level, (r.lo >> level) << level};
+    }
+    // Injected node at the same level.
+    if (auto injected = InjectedNodeAt(r.lo, level);
+        injected.has_value() && injected->CoversRange(r)) {
+      return *injected;
+    }
+  }
+  // The root always covers (r is within the padded domain).
+  return TdagNode{bits_, 0};
+}
+
+uint64_t Tdag::NodeCount() const {
+  uint64_t total = 0;
+  for (int level = 0; level <= bits_; ++level) {
+    const uint64_t regular = leaf_count() >> level;
+    total += regular;
+    if (level >= 1 && regular >= 2) total += regular - 1;  // injected
+  }
+  return total;
+}
+
+}  // namespace rsse

@@ -1,0 +1,71 @@
+#ifndef RSSE_COVER_TDAG_H_
+#define RSSE_COVER_TDAG_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "data/dataset.h"
+
+namespace rsse {
+
+/// A node of the TDAG (tree-like directed acyclic graph) of Section 6.2:
+/// the full binary tree over the padded domain plus, at every level, one
+/// *injected* node between each pair of horizontally adjacent nodes, linked
+/// to the two "cousin" children below it. A node is identified by its level
+/// and the first leaf it covers; injected nodes are exactly those whose
+/// start is not aligned to their size (offset by half a node).
+struct TdagNode {
+  int level = 0;      // subtree height; covers 2^level leaves
+  uint64_t start = 0; // first leaf covered
+
+  uint64_t Size() const { return uint64_t{1} << level; }
+  uint64_t Lo() const { return start; }
+  uint64_t Hi() const { return start + Size() - 1; }
+  Range ToRange() const { return Range{Lo(), Hi()}; }
+  bool Contains(uint64_t v) const { return v >= Lo() && v <= Hi(); }
+  bool CoversRange(const Range& r) const { return Lo() <= r.lo && r.hi <= Hi(); }
+  bool IsInjected() const { return level > 0 && (start & (Size() - 1)) != 0; }
+
+  /// Stable byte encoding used as the SSE keyword for this node.
+  Bytes EncodeKeyword() const;
+
+  friend bool operator==(const TdagNode&, const TdagNode&) = default;
+  friend auto operator<=>(const TdagNode&, const TdagNode&) = default;
+};
+
+/// The TDAG over a `bits`-bit padded domain (2^bits leaves).
+class Tdag {
+ public:
+  explicit Tdag(int bits);
+
+  int bits() const { return bits_; }
+  uint64_t leaf_count() const { return uint64_t{1} << bits_; }
+
+  /// All TDAG nodes whose subtree contains `value`: the binary-tree
+  /// root-to-leaf path plus at most one injected node per level —
+  /// O(log m) keywords per tuple (Section 6.2).
+  std::vector<TdagNode> Cover(uint64_t value) const;
+
+  /// Single Range Cover: the unique lowest TDAG node that completely covers
+  /// `r` (ties at the same level broken toward the aligned/regular node).
+  /// By Lemma 1 its subtree has at most 4·|r| leaves.
+  TdagNode SingleRangeCover(const Range& r) const;
+
+  /// The injected node at `level` containing `value`, if one exists.
+  /// Injected nodes exist for 1 <= level < bits and only where the shifted
+  /// window lies fully inside the domain.
+  std::optional<TdagNode> InjectedNodeAt(uint64_t value, int level) const;
+
+  /// Total number of nodes in the TDAG (regular + injected); used for
+  /// storage accounting.
+  uint64_t NodeCount() const;
+
+ private:
+  int bits_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_COVER_TDAG_H_

@@ -1,0 +1,73 @@
+#include "cover/urc.h"
+
+#include <algorithm>
+
+#include "cover/brc.h"
+
+namespace rsse {
+
+namespace {
+
+/// Smallest level in [0, max_level) with no node in `cover`, or -1 when all
+/// levels below the maximum are populated.
+int SmallestMissingLevel(const std::vector<DyadicNode>& cover) {
+  int max_level = 0;
+  for (const DyadicNode& n : cover) max_level = std::max(max_level, n.level);
+  for (int level = 0; level < max_level; ++level) {
+    bool present = false;
+    for (const DyadicNode& n : cover) {
+      if (n.level == level) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) return level;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<DyadicNode> UniformRangeCover(const Range& r, int bits) {
+  std::vector<DyadicNode> cover = BestRangeCover(r, bits);
+  for (;;) {
+    int missing = SmallestMissingLevel(cover);
+    if (missing < 0) break;
+    // Split the leftmost node of the lowest level above `missing`.
+    size_t pick = cover.size();
+    for (size_t i = 0; i < cover.size(); ++i) {
+      if (cover[i].level <= missing) continue;
+      if (pick == cover.size() || cover[i].level < cover[pick].level ||
+          (cover[i].level == cover[pick].level &&
+           cover[i].Lo() < cover[pick].Lo())) {
+        pick = i;
+      }
+    }
+    DyadicNode node = cover[pick];
+    cover[pick] = node.LeftChild();
+    cover.insert(cover.begin() + static_cast<long>(pick) + 1,
+                 node.RightChild());
+  }
+  // Keep the left-to-right invariant of BestRangeCover (the trapdoor layer
+  // is responsible for random permutation before anything leaves the owner).
+  std::sort(cover.begin(), cover.end(),
+            [](const DyadicNode& a, const DyadicNode& b) {
+              return a.Lo() < b.Lo();
+            });
+  return cover;
+}
+
+std::vector<int> UrcLevelProfile(uint64_t range_size, int bits) {
+  // The profile is position-independent (property-tested exhaustively), so
+  // computing it for the left-aligned range of the given size suffices.
+  if (range_size == 0) return {};
+  std::vector<DyadicNode> cover =
+      UniformRangeCover(Range{0, range_size - 1}, bits);
+  std::vector<int> levels;
+  levels.reserve(cover.size());
+  for (const DyadicNode& n : cover) levels.push_back(n.level);
+  std::sort(levels.begin(), levels.end());
+  return levels;
+}
+
+}  // namespace rsse

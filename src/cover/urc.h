@@ -1,0 +1,29 @@
+#ifndef RSSE_COVER_URC_H_
+#define RSSE_COVER_URC_H_
+
+#include <vector>
+
+#include "cover/dyadic.h"
+#include "data/dataset.h"
+
+namespace rsse {
+
+/// Uniform Range Cover (Kiayias et al., CCS'13): starts from the BRC and
+/// repeatedly splits nodes into their children until every level
+/// 0..max_level is populated, where max_level is the highest level present
+/// in the current cover. The split rule is deterministic (leftmost node of
+/// the lowest level above the smallest missing level), which makes the
+/// resulting *multiset of node levels depend only on the range size R* —
+/// the worst-case decomposition — so an adversary observing the per-level
+/// token counts learns R but nothing about the range's position. Still
+/// O(log R) nodes.
+std::vector<DyadicNode> UniformRangeCover(const Range& r, int bits);
+
+/// The canonical URC level multiset for range size `R` (ascending). Exposed
+/// for leakage analysis and property tests: UniformRangeCover of *any* range
+/// of size R yields exactly this multiset of levels.
+std::vector<int> UrcLevelProfile(uint64_t range_size, int bits);
+
+}  // namespace rsse
+
+#endif  // RSSE_COVER_URC_H_

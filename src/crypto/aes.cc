@@ -1,0 +1,82 @@
+#include "crypto/aes.h"
+
+#include <openssl/evp.h>
+
+#include "crypto/random.h"
+
+namespace rsse::crypto {
+
+namespace {
+
+/// Per-thread cipher context, allocated once and re-initialized per call.
+/// Index construction encrypts millions of entries; avoiding a context
+/// allocation per entry is a significant win and is thread-safe.
+EVP_CIPHER_CTX* ThreadCipherContext() {
+  thread_local EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
+  return ctx;
+}
+
+}  // namespace
+
+Result<Bytes> Aes128Cbc::EncryptWithIv(const Bytes& key, const Bytes& iv,
+                                       const Bytes& plaintext) {
+  if (key.size() != kKeyBytes) {
+    return Status::InvalidArgument("AES-128 key must be 16 bytes");
+  }
+  if (iv.size() != kBlockBytes) {
+    return Status::InvalidArgument("AES-CBC IV must be 16 bytes");
+  }
+  EVP_CIPHER_CTX* ctx = ThreadCipherContext();
+  if (ctx == nullptr) return Status::Internal("EVP_CIPHER_CTX_new failed");
+  Bytes out = iv;
+  out.resize(iv.size() + plaintext.size() + kBlockBytes);
+  int len1 = 0;
+  int len2 = 0;
+  bool ok =
+      EVP_EncryptInit_ex(ctx, EVP_aes_128_cbc(), nullptr, key.data(),
+                         iv.data()) == 1 &&
+      EVP_EncryptUpdate(ctx, out.data() + iv.size(), &len1, plaintext.data(),
+                        static_cast<int>(plaintext.size())) == 1 &&
+      EVP_EncryptFinal_ex(ctx, out.data() + iv.size() + len1, &len2) == 1;
+  EVP_CIPHER_CTX_reset(ctx);
+  if (!ok) return Status::Internal("AES-CBC encryption failed");
+  out.resize(iv.size() + static_cast<size_t>(len1 + len2));
+  return out;
+}
+
+Result<Bytes> Aes128Cbc::Encrypt(const Bytes& key, const Bytes& plaintext) {
+  return EncryptWithIv(key, SecureRandom(kBlockBytes), plaintext);
+}
+
+Result<Bytes> Aes128Cbc::Decrypt(const Bytes& key, const Bytes& ciphertext) {
+  if (key.size() != kKeyBytes) {
+    return Status::InvalidArgument("AES-128 key must be 16 bytes");
+  }
+  if (ciphertext.size() < 2 * kBlockBytes ||
+      (ciphertext.size() - kBlockBytes) % kBlockBytes != 0) {
+    return Status::InvalidArgument("malformed AES-CBC ciphertext");
+  }
+  EVP_CIPHER_CTX* ctx = ThreadCipherContext();
+  if (ctx == nullptr) return Status::Internal("EVP_CIPHER_CTX_new failed");
+  const uint8_t* iv = ciphertext.data();
+  const uint8_t* body = ciphertext.data() + kBlockBytes;
+  const size_t body_len = ciphertext.size() - kBlockBytes;
+  Bytes out(body_len);
+  int len1 = 0;
+  int len2 = 0;
+  bool ok = EVP_DecryptInit_ex(ctx, EVP_aes_128_cbc(), nullptr, key.data(),
+                               iv) == 1 &&
+            EVP_DecryptUpdate(ctx, out.data(), &len1, body,
+                              static_cast<int>(body_len)) == 1 &&
+            EVP_DecryptFinal_ex(ctx, out.data() + len1, &len2) == 1;
+  EVP_CIPHER_CTX_reset(ctx);
+  if (!ok) return Status::InvalidArgument("AES-CBC decryption failed (bad key or padding)");
+  out.resize(static_cast<size_t>(len1 + len2));
+  return out;
+}
+
+size_t Aes128Cbc::CiphertextSize(size_t plaintext_len) {
+  return kBlockBytes + (plaintext_len / kBlockBytes + 1) * kBlockBytes;
+}
+
+}  // namespace rsse::crypto

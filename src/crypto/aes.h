@@ -1,0 +1,37 @@
+#ifndef RSSE_CRYPTO_AES_H_
+#define RSSE_CRYPTO_AES_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rsse::crypto {
+
+/// AES-128-CBC with PKCS#7 padding and a fresh random IV per encryption —
+/// the paper's semantically secure symmetric encryption for tuple ids and
+/// index values. Ciphertext layout: IV (16 bytes) || CBC ciphertext.
+class Aes128Cbc {
+ public:
+  static constexpr size_t kKeyBytes = 16;
+  static constexpr size_t kBlockBytes = 16;
+
+  /// Encrypts `plaintext` under `key` (must be 16 bytes) with a fresh
+  /// random IV.
+  static Result<Bytes> Encrypt(const Bytes& key, const Bytes& plaintext);
+
+  /// Deterministic variant with caller-provided IV (tests / reproducible
+  /// fixtures only).
+  static Result<Bytes> EncryptWithIv(const Bytes& key, const Bytes& iv,
+                                     const Bytes& plaintext);
+
+  /// Decrypts `ciphertext` (IV || body) under `key`. Fails on malformed
+  /// input or padding.
+  static Result<Bytes> Decrypt(const Bytes& key, const Bytes& ciphertext);
+
+  /// Size of the ciphertext produced for `plaintext_len` bytes of input
+  /// (IV + padded body).
+  static size_t CiphertextSize(size_t plaintext_len);
+};
+
+}  // namespace rsse::crypto
+
+#endif  // RSSE_CRYPTO_AES_H_

@@ -1,0 +1,87 @@
+#include "crypto/hmac_prf.h"
+
+#include <openssl/core_names.h>
+#include <openssl/evp.h>
+
+#include <cstring>
+
+namespace rsse::crypto {
+
+namespace {
+
+EVP_MAC* HmacAlgorithm() {
+  // Fetched once and intentionally never freed (trivial-destruction rule
+  // for process-lifetime singletons).
+  static EVP_MAC* mac = EVP_MAC_fetch(nullptr, "HMAC", nullptr);
+  return mac;
+}
+
+/// Creates a keyed HMAC context for `digest_name`.
+EVP_MAC_CTX* NewKeyedContext(const Bytes& key, const char* digest_name) {
+  EVP_MAC_CTX* ctx = EVP_MAC_CTX_new(HmacAlgorithm());
+  OSSL_PARAM params[] = {
+      OSSL_PARAM_construct_utf8_string(OSSL_MAC_PARAM_DIGEST,
+                                       const_cast<char*>(digest_name), 0),
+      OSSL_PARAM_construct_end(),
+  };
+  EVP_MAC_init(ctx, key.data(), key.size(), params);
+  return ctx;
+}
+
+Bytes OneShot(const Bytes& key, const Bytes& data, const char* digest_name,
+              size_t mac_len) {
+  EVP_MAC_CTX* ctx = NewKeyedContext(key, digest_name);
+  Bytes out(mac_len);
+  size_t out_len = 0;
+  EVP_MAC_update(ctx, data.data(), data.size());
+  EVP_MAC_final(ctx, out.data(), &out_len, out.size());
+  out.resize(out_len);
+  EVP_MAC_CTX_free(ctx);
+  return out;
+}
+
+}  // namespace
+
+Bytes HmacSha512(const Bytes& key, const Bytes& data) {
+  return OneShot(key, data, "SHA512", 64);
+}
+
+Bytes HmacSha256(const Bytes& key, const Bytes& data) {
+  return OneShot(key, data, "SHA256", 32);
+}
+
+struct Prf::Impl {
+  EVP_MAC_CTX* template_ctx = nullptr;
+};
+
+Prf::Prf(const Bytes& key) : impl_(std::make_unique<Impl>()) {
+  impl_->template_ctx = NewKeyedContext(key, "SHA512");
+}
+
+Prf::~Prf() {
+  if (impl_ != nullptr && impl_->template_ctx != nullptr) {
+    EVP_MAC_CTX_free(impl_->template_ctx);
+  }
+}
+
+Prf::Prf(Prf&&) noexcept = default;
+Prf& Prf::operator=(Prf&&) noexcept = default;
+
+Bytes Prf::Eval(const Bytes& input) const {
+  EVP_MAC_CTX* ctx = EVP_MAC_CTX_dup(impl_->template_ctx);
+  Bytes out(64);
+  size_t out_len = 0;
+  EVP_MAC_update(ctx, input.data(), input.size());
+  EVP_MAC_final(ctx, out.data(), &out_len, out.size());
+  out.resize(out_len);
+  EVP_MAC_CTX_free(ctx);
+  return out;
+}
+
+Bytes Prf::EvalTrunc(const Bytes& input, size_t out_len) const {
+  Bytes out = Eval(input);
+  if (out_len < out.size()) out.resize(out_len);
+  return out;
+}
+
+}  // namespace rsse::crypto

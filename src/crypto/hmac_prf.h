@@ -1,0 +1,50 @@
+#ifndef RSSE_CRYPTO_HMAC_PRF_H_
+#define RSSE_CRYPTO_HMAC_PRF_H_
+
+#include <memory>
+
+#include "common/bytes.h"
+
+namespace rsse::crypto {
+
+/// Security parameter in bytes: 128-bit keys/seeds, matching the paper's
+/// AES-128 data encryption and typical SSE instantiations.
+inline constexpr size_t kLambdaBytes = 16;
+
+/// One-shot HMAC-SHA-512 (the paper's PRF instantiation). Returns the full
+/// 64-byte MAC.
+Bytes HmacSha512(const Bytes& key, const Bytes& data);
+
+/// One-shot HMAC-SHA-256 (32 bytes); used where shorter outputs suffice.
+Bytes HmacSha256(const Bytes& key, const Bytes& data);
+
+/// Keyed PRF `F_k : {0,1}* -> {0,1}^512` backed by HMAC-SHA-512 with a
+/// pre-initialized context (the key schedule is computed once, then each
+/// evaluation duplicates the context — significantly faster than one-shot
+/// HMAC when the same key evaluates many inputs, which is the hot path of
+/// index construction and token generation).
+class Prf {
+ public:
+  /// Creates a PRF under `key`. Any key length is accepted (HMAC pads).
+  explicit Prf(const Bytes& key);
+  ~Prf();
+
+  Prf(const Prf&) = delete;
+  Prf& operator=(const Prf&) = delete;
+  Prf(Prf&&) noexcept;
+  Prf& operator=(Prf&&) noexcept;
+
+  /// Full 64-byte PRF output on `input`.
+  Bytes Eval(const Bytes& input) const;
+
+  /// PRF output truncated to `out_len` bytes (out_len <= 64).
+  Bytes EvalTrunc(const Bytes& input, size_t out_len) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rsse::crypto
+
+#endif  // RSSE_CRYPTO_HMAC_PRF_H_

@@ -1,0 +1,33 @@
+#ifndef RSSE_CRYPTO_PRG_H_
+#define RSSE_CRYPTO_PRG_H_
+
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace rsse::crypto {
+
+/// GGM length-doubling pseudorandom generator `G : {0,1}^λ -> {0,1}^2λ`
+/// (Goldreich-Goldwasser-Micali), the building block of the delegatable PRF
+/// of Kiayias et al. used by the Constant schemes. Following the paper we
+/// instantiate G with HMAC-SHA-512: the 64-byte MAC of the seed under a
+/// fixed public key is split into G0 (left) and G1 (right) halves of λ=16
+/// bytes each (the remaining bytes are discarded).
+class GgmPrg {
+ public:
+  /// Left output G0(seed): λ bytes.
+  static Bytes G0(const Bytes& seed);
+
+  /// Right output G1(seed): λ bytes.
+  static Bytes G1(const Bytes& seed);
+
+  /// Both halves with a single MAC evaluation.
+  static std::pair<Bytes, Bytes> Expand(const Bytes& seed);
+
+  /// G_b(seed) for bit b in {0,1}.
+  static Bytes Gb(const Bytes& seed, int bit);
+};
+
+}  // namespace rsse::crypto
+
+#endif  // RSSE_CRYPTO_PRG_H_

@@ -1,0 +1,17 @@
+#include "crypto/random.h"
+
+#include <openssl/rand.h>
+
+#include "crypto/hmac_prf.h"
+
+namespace rsse::crypto {
+
+Bytes SecureRandom(size_t n) {
+  Bytes out(n);
+  if (n > 0) RAND_bytes(out.data(), static_cast<int>(n));
+  return out;
+}
+
+Bytes GenerateKey() { return SecureRandom(kLambdaBytes); }
+
+}  // namespace rsse::crypto

@@ -1,0 +1,17 @@
+#ifndef RSSE_CRYPTO_RANDOM_H_
+#define RSSE_CRYPTO_RANDOM_H_
+
+#include "common/bytes.h"
+
+namespace rsse::crypto {
+
+/// `n` cryptographically secure random bytes (OpenSSL RAND_bytes, OS
+/// entropy). Used for all key material and IVs.
+Bytes SecureRandom(size_t n);
+
+/// Fresh λ-byte (128-bit) symmetric key.
+Bytes GenerateKey();
+
+}  // namespace rsse::crypto
+
+#endif  // RSSE_CRYPTO_RANDOM_H_

@@ -1,0 +1,25 @@
+#include "crypto/sha.h"
+
+#include <openssl/evp.h>
+
+namespace rsse::crypto {
+
+namespace {
+
+Bytes Digest(const EVP_MD* md, const Bytes& data) {
+  Bytes out(EVP_MD_get_size(md));
+  unsigned int out_len = 0;
+  EVP_Digest(data.data(), data.size(), out.data(), &out_len, md, nullptr);
+  out.resize(out_len);
+  return out;
+}
+
+}  // namespace
+
+Bytes Sha1(const Bytes& data) { return Digest(EVP_sha1(), data); }
+
+Bytes Sha256(const Bytes& data) { return Digest(EVP_sha256(), data); }
+
+Bytes Sha512(const Bytes& data) { return Digest(EVP_sha512(), data); }
+
+}  // namespace rsse::crypto

@@ -1,0 +1,23 @@
+#ifndef RSSE_CRYPTO_SHA_H_
+#define RSSE_CRYPTO_SHA_H_
+
+#include "common/bytes.h"
+
+namespace rsse::crypto {
+
+/// One-shot hash functions (OpenSSL EVP). The paper uses SHA-1 for hash
+/// computations (Bloom filters in the PB baseline) and SHA-512 inside the
+/// HMAC PRF/GGM evaluations.
+
+/// SHA-1 digest (20 bytes).
+Bytes Sha1(const Bytes& data);
+
+/// SHA-256 digest (32 bytes).
+Bytes Sha256(const Bytes& data);
+
+/// SHA-512 digest (64 bytes).
+Bytes Sha512(const Bytes& data);
+
+}  // namespace rsse::crypto
+
+#endif  // RSSE_CRYPTO_SHA_H_

@@ -1,0 +1,95 @@
+#include "data/csv_loader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rsse {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, delimiter)) cells.push_back(cell);
+  return cells;
+}
+
+bool ParseUint(const std::string& s, uint64_t& out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsvDataset(std::istream& in, const CsvOptions& options) {
+  if (options.attr_column < 0) {
+    return Status::InvalidArgument("attr_column must be >= 0");
+  }
+  std::vector<Record> records;
+  std::string line;
+  size_t line_no = 0;
+  uint64_t max_attr = 0;
+  uint64_t next_id = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1 && options.has_header) continue;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> cells = SplitLine(line, options.delimiter);
+    size_t needed = static_cast<size_t>(
+        std::max(options.attr_column, options.id_column) + 1);
+    if (cells.size() < needed) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected at least " +
+                                     std::to_string(needed) + " columns");
+    }
+    uint64_t attr = 0;
+    if (!ParseUint(cells[static_cast<size_t>(options.attr_column)], attr)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": non-numeric attribute '" +
+                                     cells[static_cast<size_t>(options.attr_column)] +
+                                     "'");
+    }
+    uint64_t id = next_id;
+    if (options.id_column >= 0) {
+      if (!ParseUint(cells[static_cast<size_t>(options.id_column)], id)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": non-numeric id");
+      }
+    }
+    ++next_id;
+    max_attr = std::max(max_attr, attr);
+    records.push_back(Record{id, attr});
+  }
+  uint64_t domain_size =
+      options.domain_size > 0 ? options.domain_size : max_attr + 1;
+  if (records.empty() && options.domain_size == 0) domain_size = 1;
+  for (const Record& r : records) {
+    if (r.attr >= domain_size) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(r.attr) + " outside domain of size " +
+          std::to_string(domain_size));
+    }
+  }
+  return Dataset(Domain{domain_size}, std::move(records));
+}
+
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  return ParseCsvDataset(file, options);
+}
+
+}  // namespace rsse

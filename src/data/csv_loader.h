@@ -1,0 +1,37 @@
+#ifndef RSSE_DATA_CSV_LOADER_H_
+#define RSSE_DATA_CSV_LOADER_H_
+
+#include <istream>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rsse {
+
+/// CSV ingestion so the benchmarks can run against real data (e.g. the
+/// original Gowalla check-in export) when the user has it: the synthetic
+/// generators are only stand-ins for the non-redistributable datasets.
+struct CsvOptions {
+  /// 0-based column index of the tuple id; -1 assigns sequential ids.
+  int id_column = -1;
+  /// 0-based column index of the query attribute (required).
+  int attr_column = 0;
+  /// Skip the first line.
+  bool has_header = false;
+  /// Domain size; 0 infers max(attr)+1 from the data.
+  uint64_t domain_size = 0;
+  char delimiter = ',';
+};
+
+/// Parses records from a stream. Malformed rows (missing column,
+/// non-numeric attribute) fail with INVALID_ARGUMENT naming the line.
+Result<Dataset> ParseCsvDataset(std::istream& in, const CsvOptions& options);
+
+/// Loads a CSV file; NOT_FOUND if the file cannot be opened.
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvOptions& options);
+
+}  // namespace rsse
+
+#endif  // RSSE_DATA_CSV_LOADER_H_

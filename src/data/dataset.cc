@@ -1,0 +1,43 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rsse {
+
+int Domain::Bits() const {
+  if (size <= 2) return 1;
+  int bits = 0;
+  uint64_t v = size - 1;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+std::vector<uint64_t> Dataset::IdsInRange(const Range& q) const {
+  std::vector<uint64_t> out;
+  for (const Record& r : records_) {
+    if (q.Contains(r.attr)) out.push_back(r.id);
+  }
+  return out;
+}
+
+uint64_t Dataset::DistinctValueCount() const {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(records_.size());
+  for (const Record& r : records_) seen.insert(r.attr);
+  return seen.size();
+}
+
+std::vector<Record> Dataset::SortedByAttr() const {
+  std::vector<Record> sorted = records_;
+  std::sort(sorted.begin(), sorted.end(), [](const Record& a, const Record& b) {
+    if (a.attr != b.attr) return a.attr < b.attr;
+    return a.id < b.id;
+  });
+  return sorted;
+}
+
+}  // namespace rsse

@@ -1,0 +1,81 @@
+#ifndef RSSE_DATA_DATASET_H_
+#define RSSE_DATA_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rsse {
+
+/// One outsourced tuple: a unique identifier plus its value on the single
+/// query attribute A (the paper's pair (id, a)). The payload itself is
+/// encrypted independently of the index and is out of scope here, exactly as
+/// in the paper's model (Section 3).
+struct Record {
+  uint64_t id = 0;
+  uint64_t attr = 0;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// The query attribute domain A = {0, ..., size-1}. RSSE indexes operate on
+/// the full binary tree over the domain, so `bits` is the tree height
+/// (domain padded up to the next power of two).
+struct Domain {
+  uint64_t size = 0;
+
+  /// Number of bits needed to address a value, i.e. ceil(log2(size)),
+  /// with a minimum of 1.
+  int Bits() const;
+
+  /// Domain size padded to the next power of two (tree leaf count).
+  uint64_t PaddedSize() const { return uint64_t{1} << Bits(); }
+
+  /// True when `v` is a valid domain value.
+  bool Contains(uint64_t v) const { return v < size; }
+};
+
+/// An inclusive range [lo, hi] over the domain.
+struct Range {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  uint64_t Size() const { return hi - lo + 1; }
+  bool Contains(uint64_t v) const { return v >= lo && v <= hi; }
+  bool Intersects(const Range& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// A dataset bound to its domain.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Domain domain, std::vector<Record> records)
+      : domain_(domain), records_(std::move(records)) {}
+
+  const Domain& domain() const { return domain_; }
+  const std::vector<Record>& records() const { return records_; }
+  std::vector<Record>& mutable_records() { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Ground-truth result: ids of records with attr in [q.lo, q.hi].
+  /// Linear scan; used by tests and false-positive accounting.
+  std::vector<uint64_t> IdsInRange(const Range& q) const;
+
+  /// Number of distinct attribute values present.
+  uint64_t DistinctValueCount() const;
+
+  /// Records sorted by (attr, id); the stable total order used by
+  /// Logarithmic-SRC-i's TDAG2 and by the PB baseline's analysis.
+  std::vector<Record> SortedByAttr() const;
+
+ private:
+  Domain domain_;
+  std::vector<Record> records_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_DATA_DATASET_H_

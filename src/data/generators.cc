@@ -1,0 +1,105 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/zipf.h"
+
+namespace rsse {
+
+namespace {
+
+Dataset MakeDataset(uint64_t domain_size, std::vector<uint64_t> attrs) {
+  std::vector<Record> records;
+  records.reserve(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    records.push_back(Record{/*id=*/i, /*attr=*/attrs[i]});
+  }
+  return Dataset(Domain{domain_size}, std::move(records));
+}
+
+/// Cheap invertible mixing of a value within [0, domain_size) used to spread
+/// cluster centers pseudo-randomly but deterministically over the domain.
+uint64_t MixIntoDomain(uint64_t v, uint64_t domain_size) {
+  uint64_t x = v * 0x9e3779b97f4a7c15ull;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 32;
+  return x % domain_size;
+}
+
+}  // namespace
+
+Dataset GenerateUniform(uint64_t n, uint64_t domain_size, Rng& rng) {
+  std::vector<uint64_t> attrs(n);
+  for (auto& a : attrs) a = rng.Uniform(0, domain_size - 1);
+  return MakeDataset(domain_size, std::move(attrs));
+}
+
+Dataset GenerateGowallaLike(uint64_t n, uint64_t domain_size, Rng& rng) {
+  // Mostly uniform draws; a small fraction of records repeat a recently
+  // drawn value (co-located check-ins), matching Gowalla's ~95% distinct
+  // ratio without changing the near-uniform global shape.
+  constexpr double kRepeatProbability = 0.05;
+  std::vector<uint64_t> attrs;
+  attrs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!attrs.empty() && rng.Flip(kRepeatProbability)) {
+      attrs.push_back(attrs[rng.Uniform(0, attrs.size() - 1)]);
+    } else {
+      attrs.push_back(rng.Uniform(0, domain_size - 1));
+    }
+  }
+  return MakeDataset(domain_size, std::move(attrs));
+}
+
+Dataset GenerateUspsLike(uint64_t n, uint64_t domain_size, Rng& rng) {
+  // Salaries concentrate on a small set of pay grades. We draw a grade from
+  // a Zipf over `num_grades` centers and add small jitter, yielding ~5%
+  // distinct values for the default sizes used in the benchmarks.
+  const uint64_t num_grades = std::max<uint64_t>(1, n / 40);
+  ZipfSampler grade_sampler(num_grades, /*theta=*/1.05);
+  std::vector<uint64_t> attrs;
+  attrs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t grade = grade_sampler.Sample(rng);
+    uint64_t center = MixIntoDomain(grade, domain_size);
+    // Jitter of a few units models step increments within a grade.
+    uint64_t jitter = rng.Uniform(0, 3);
+    attrs.push_back(std::min(domain_size - 1, center + jitter));
+  }
+  return MakeDataset(domain_size, std::move(attrs));
+}
+
+Dataset GenerateZipf(uint64_t n, uint64_t domain_size, double theta,
+                     Rng& rng) {
+  // Sample ranks over a truncated support to keep setup linear in n rather
+  // than in the (possibly huge) domain, then spread ranks over the domain.
+  const uint64_t support = std::min<uint64_t>(domain_size, std::max<uint64_t>(n, 2));
+  ZipfSampler sampler(support, theta);
+  std::vector<uint64_t> attrs;
+  attrs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    attrs.push_back(MixIntoDomain(sampler.Sample(rng), domain_size));
+  }
+  return MakeDataset(domain_size, std::move(attrs));
+}
+
+Dataset GenerateSingleValueWithOutliers(uint64_t n, uint64_t domain_size,
+                                        uint64_t hot_value, uint64_t outliers,
+                                        Rng& rng) {
+  std::vector<uint64_t> attrs;
+  attrs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i < outliers) {
+      attrs.push_back(rng.Uniform(0, domain_size - 1));
+    } else {
+      attrs.push_back(hot_value);
+    }
+  }
+  rng.Shuffle(attrs);
+  return MakeDataset(domain_size, std::move(attrs));
+}
+
+}  // namespace rsse

@@ -1,0 +1,46 @@
+#include "data/workload.h"
+
+#include <algorithm>
+
+namespace rsse {
+
+std::vector<Range> RandomRangesOfSize(const Domain& domain,
+                                      uint64_t range_size, size_t count,
+                                      Rng& rng) {
+  std::vector<Range> out;
+  out.reserve(count);
+  const uint64_t size = std::min(std::max<uint64_t>(range_size, 1), domain.size);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t lo = rng.Uniform(0, domain.size - size);
+    out.push_back(Range{lo, lo + size - 1});
+  }
+  return out;
+}
+
+std::vector<Range> RandomRangesOfFraction(const Domain& domain,
+                                          double fraction, size_t count,
+                                          Rng& rng) {
+  auto size = static_cast<uint64_t>(fraction * static_cast<double>(domain.size));
+  return RandomRangesOfSize(domain, size, count, rng);
+}
+
+std::vector<Range> NonIntersectingRanges(const Domain& domain,
+                                         uint64_t range_size, size_t count,
+                                         Rng& rng) {
+  const uint64_t size = std::min(std::max<uint64_t>(range_size, 1), domain.size);
+  const uint64_t slots = domain.size / size;
+  std::vector<Range> out;
+  if (slots == 0) return out;
+  std::vector<uint64_t> slot_ids(slots);
+  for (uint64_t i = 0; i < slots; ++i) slot_ids[i] = i;
+  rng.Shuffle(slot_ids);
+  const size_t take = std::min<size_t>(count, slot_ids.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    uint64_t lo = slot_ids[i] * size;
+    out.push_back(Range{lo, lo + size - 1});
+  }
+  return out;
+}
+
+}  // namespace rsse

@@ -1,0 +1,57 @@
+#include "dprf/ggm_dprf.h"
+
+#include "cover/brc.h"
+#include "cover/urc.h"
+#include "crypto/prg.h"
+
+namespace rsse {
+
+GgmDprf::GgmDprf(Bytes key, int bits) : key_(std::move(key)), bits_(bits) {}
+
+Bytes GgmDprf::NodeSeed(const DyadicNode& node) const {
+  // Walk the path bits of `node.index` MSB-first, starting from the root
+  // seed (the key). A node at `level` has bits_ - level path bits.
+  Bytes seed = key_;
+  const int path_bits = bits_ - node.level;
+  for (int i = path_bits - 1; i >= 0; --i) {
+    const int bit = static_cast<int>((node.index >> i) & 1);
+    seed = crypto::GgmPrg::Gb(seed, bit);
+  }
+  return seed;
+}
+
+Bytes GgmDprf::Eval(uint64_t value) const {
+  return NodeSeed(DyadicNode{0, value});
+}
+
+std::vector<GgmDprf::Token> GgmDprf::Delegate(const Range& r,
+                                              CoverTechnique technique,
+                                              Rng& rng) const {
+  std::vector<DyadicNode> cover = technique == CoverTechnique::kBrc
+                                      ? BestRangeCover(r, bits_)
+                                      : UniformRangeCover(r, bits_);
+  std::vector<Token> tokens;
+  tokens.reserve(cover.size());
+  for (const DyadicNode& node : cover) {
+    tokens.push_back(Token{NodeSeed(node), node.level});
+  }
+  rng.Shuffle(tokens);
+  return tokens;
+}
+
+std::vector<Bytes> GgmDprf::Expand(const Token& token) {
+  std::vector<Bytes> frontier = {token.seed};
+  for (int level = token.level; level > 0; --level) {
+    std::vector<Bytes> next;
+    next.reserve(frontier.size() * 2);
+    for (const Bytes& seed : frontier) {
+      auto [left, right] = crypto::GgmPrg::Expand(seed);
+      next.push_back(std::move(left));
+      next.push_back(std::move(right));
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+}  // namespace rsse

@@ -1,0 +1,64 @@
+#ifndef RSSE_DPRF_GGM_DPRF_H_
+#define RSSE_DPRF_GGM_DPRF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "cover/dyadic.h"
+#include "data/dataset.h"
+
+namespace rsse {
+
+/// Range covering technique used when delegating (Section 2.2).
+enum class CoverTechnique {
+  kBrc,  // best range cover: minimal dyadic intervals
+  kUrc,  // uniform range cover: worst-case canonical decomposition
+};
+
+/// Delegatable PRF of Kiayias et al. (CCS'13) over a `bits`-bit domain,
+/// realized with the GGM tree: the secret key seeds the root; the value of
+/// leaf a = a_{l-1}..a_0 is G_{a_0}(...(G_{a_{l-1}}(key))). Knowing the seed
+/// of an inner node lets anyone derive the DPRF values of all leaves below
+/// it — the delegation mechanism of the Constant schemes.
+class GgmDprf {
+ public:
+  /// A delegation token: the GGM seed of one covering node plus its level.
+  /// The node *position* is deliberately absent — the receiver can expand
+  /// the subtree but learns nothing about where it sits in the domain.
+  struct Token {
+    Bytes seed;
+    int level = 0;
+  };
+
+  /// `key` is the λ-byte DPRF secret; `bits` the domain bit-width.
+  GgmDprf(Bytes key, int bits);
+
+  int bits() const { return bits_; }
+
+  /// Full evaluation of the DPRF at `value` (owner-side; requires the key).
+  Bytes Eval(uint64_t value) const;
+
+  /// GGM seed of an arbitrary tree node (owner-side).
+  Bytes NodeSeed(const DyadicNode& node) const;
+
+  /// Delegation: the token-generation function T of the DPRF. Covers `r`
+  /// with BRC or URC and emits one token per covering node, randomly
+  /// permuted (the paper's Trpdr randomly permutes the GGM values).
+  std::vector<Token> Delegate(const Range& r, CoverTechnique technique,
+                              Rng& rng) const;
+
+  /// Public expansion: the C function of the DPRF. Derives the 2^level leaf
+  /// DPRF values under a token, in left-to-right subtree order. Requires no
+  /// secret material.
+  static std::vector<Bytes> Expand(const Token& token);
+
+ private:
+  Bytes key_;
+  int bits_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_DPRF_GGM_DPRF_H_

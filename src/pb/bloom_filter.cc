@@ -1,0 +1,74 @@
+#include "pb/bloom_filter.h"
+
+#include <cmath>
+
+namespace rsse::pb {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+/// splitmix64 finalizer: strong 64-bit mixing of already-pseudorandom input.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int BloomFilter::HashCountFor(double fp_rate) {
+  double bits_per_element = -std::log(fp_rate) / (kLn2 * kLn2);
+  int k = static_cast<int>(std::lround(bits_per_element * kLn2));
+  return k < 1 ? 1 : k;
+}
+
+BloomFilter::BloomFilter(uint64_t expected_elements, double fp_rate,
+                         uint64_t node_salt)
+    : node_salt_(node_salt) {
+  if (expected_elements == 0) expected_elements = 1;
+  double bits = -static_cast<double>(expected_elements) * std::log(fp_rate) /
+                (kLn2 * kLn2);
+  num_bits_ = static_cast<uint64_t>(std::ceil(bits));
+  if (num_bits_ < 64) num_bits_ = 64;
+  num_hashes_ = HashCountFor(fp_rate);
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::BaseHashes(const Bytes& trapdoor, uint64_t& h1,
+                             uint64_t& h2) const {
+  // The trapdoor is HMAC output (pseudorandom); mixing its halves with the
+  // node salt yields independent per-node probe sequences.
+  uint64_t a = trapdoor.size() >= 8 ? ReadUint64(trapdoor, 0) : 0;
+  uint64_t b = trapdoor.size() >= 16 ? ReadUint64(trapdoor, 8) : a;
+  h1 = Mix(a ^ node_salt_);
+  h2 = Mix(b + 0x517cc1b727220a95ull * node_salt_) | 1;  // odd stride
+}
+
+uint64_t BloomFilter::Position(uint64_t h1, uint64_t h2, int i) const {
+  return (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+}
+
+void BloomFilter::Insert(const Bytes& trapdoor) {
+  uint64_t h1 = 0;
+  uint64_t h2 = 0;
+  BaseHashes(trapdoor, h1, h2);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t pos = Position(h1, h2, i);
+    bits_[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+}
+
+bool BloomFilter::MayContain(const Bytes& trapdoor) const {
+  uint64_t h1 = 0;
+  uint64_t h2 = 0;
+  BaseHashes(trapdoor, h1, h2);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t pos = Position(h1, h2, i);
+    if ((bits_[pos >> 6] & (uint64_t{1} << (pos & 63))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rsse::pb

@@ -1,0 +1,56 @@
+#ifndef RSSE_PB_BLOOM_FILTER_H_
+#define RSSE_PB_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rsse::pb {
+
+/// Keyed Bloom filter used by the Li et al. baseline. Membership is tested
+/// with *trapdoors* rather than raw elements: the owner derives one
+/// HMAC-based trapdoor per element; the filter's probe positions are
+/// derived from the trapdoor, the filter's per-node salt, and the probe
+/// index via Kirsch-Mitzenmacher double hashing. Distinct tree nodes probe
+/// different positions for the same element, and the server cannot test
+/// elements it holds no trapdoor for.
+///
+/// (Li et al. evaluate h independent keyed hash functions per element; the
+/// double-hashing derivation is the standard drop-in with the same
+/// false-positive behaviour — see DESIGN.md for the substitution note.)
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_elements` at `fp_rate` using the
+  /// standard optimum (bits = -n ln p / ln^2 2, hashes = (bits/n) ln 2).
+  BloomFilter(uint64_t expected_elements, double fp_rate, uint64_t node_salt);
+
+  /// Inserts an element given its trapdoor.
+  void Insert(const Bytes& trapdoor);
+
+  /// Tests membership of the element behind `trapdoor`.
+  bool MayContain(const Bytes& trapdoor) const;
+
+  int num_hashes() const { return num_hashes_; }
+  uint64_t num_bits() const { return num_bits_; }
+  size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// Number of hash functions the sizing rule picks for `fp_rate`.
+  static int HashCountFor(double fp_rate);
+
+ private:
+  /// The i-th probe position for a trapdoor.
+  uint64_t Position(uint64_t h1, uint64_t h2, int i) const;
+
+  /// Derives the double-hashing pair (h1, h2) from trapdoor and salt.
+  void BaseHashes(const Bytes& trapdoor, uint64_t& h1, uint64_t& h2) const;
+
+  uint64_t num_bits_;
+  int num_hashes_;
+  uint64_t node_salt_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace rsse::pb
+
+#endif  // RSSE_PB_BLOOM_FILTER_H_

@@ -1,0 +1,105 @@
+#include "rsse/constant.h"
+
+#include "common/stats.h"
+#include "crypto/random.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse {
+
+namespace {
+
+/// Keyword for domain value `a`: its 8-byte big-endian encoding.
+Bytes ValueKeyword(uint64_t a) {
+  Bytes out;
+  AppendUint64(out, a);
+  return out;
+}
+
+/// Index-build deriver: per-keyword SSE keys come from the DPRF leaf value
+/// of the keyword's domain value, so that delegated GGM seeds unlock exactly
+/// the covered values ("use a DPRF instead of a PRF", Section 5).
+class DprfKeyDeriver : public sse::KeywordKeyDeriver {
+ public:
+  explicit DprfKeyDeriver(const GgmDprf& dprf) : dprf_(dprf) {}
+
+  sse::KeywordKeys Derive(const Bytes& w) const override {
+    return sse::KeysFromSharedSecret(dprf_.Eval(ReadUint64(w, 0)));
+  }
+
+ private:
+  const GgmDprf& dprf_;
+};
+
+}  // namespace
+
+ConstantScheme::ConstantScheme(CoverTechnique technique, uint64_t rng_seed)
+    : technique_(technique), rng_(rng_seed) {}
+
+Status ConstantScheme::Build(const Dataset& dataset) {
+  domain_ = dataset.domain();
+  if (domain_.size == 0) return Status::InvalidArgument("empty domain");
+  bits_ = domain_.Bits();
+  dprf_ = std::make_unique<GgmDprf>(crypto::GenerateKey(), bits_);
+
+  sse::PlainMultimap postings;
+  for (const Record& rec : dataset.records()) {
+    postings[ValueKeyword(rec.attr)].push_back(sse::EncodeIdPayload(rec.id));
+  }
+  for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
+
+  DprfKeyDeriver deriver(*dprf_);
+  Result<sse::EncryptedMultimap> index =
+      sse::EncryptedMultimap::Build(postings, deriver);
+  if (!index.ok()) return index.status();
+  index_ = std::move(index).value();
+  built_ = true;
+  return Status::Ok();
+}
+
+std::vector<GgmDprf::Token> ConstantScheme::Delegate(const Range& r) {
+  return dprf_->Delegate(r, technique_, rng_);
+}
+
+Result<QueryResult> ConstantScheme::Query(const Range& query) {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  Range r = query;
+  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
+  if (guard_enabled_) {
+    for (const Range& past : history_) {
+      if (r.Intersects(past)) {
+        return Status::FailedPrecondition(
+            "Constant schemes forbid intersecting queries (Section 5)");
+      }
+    }
+    history_.push_back(r);
+  }
+
+  QueryResult result;
+
+  // Owner: delegate the GGM seeds for the BRC/URC cover of r.
+  WallTimer trapdoor_timer;
+  std::vector<GgmDprf::Token> tokens = Delegate(r);
+  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
+  result.token_count = tokens.size();
+  for (const GgmDprf::Token& t : tokens) {
+    result.token_bytes += t.seed.size() + 1;  // seed + level byte
+  }
+
+  // Server: expand each token to the leaf DPRF values and run SSE search
+  // per derived per-value token.
+  WallTimer search_timer;
+  for (const GgmDprf::Token& token : tokens) {
+    for (const Bytes& leaf : GgmDprf::Expand(token)) {
+      sse::KeywordKeys keys = sse::KeysFromSharedSecret(leaf);
+      for (const Bytes& payload : index_.Search(keys)) {
+        if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
+          result.ids.push_back(*id);
+        }
+      }
+    }
+  }
+  result.search_nanos = search_timer.ElapsedNanos();
+  return result;
+}
+
+}  // namespace rsse

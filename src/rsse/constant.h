@@ -1,0 +1,59 @@
+#ifndef RSSE_RSSE_CONSTANT_H_
+#define RSSE_RSSE_CONSTANT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "dprf/ggm_dprf.h"
+#include "rsse/scheme.h"
+#include "sse/encrypted_multimap.h"
+
+namespace rsse {
+
+/// Constant-BRC / Constant-URC (Section 5): one keyword per domain value —
+/// O(n) storage — with the per-keyword SSE keys derived from a *delegatable*
+/// PRF. A query of size R ships the O(log R) GGM seeds of its BRC/URC cover;
+/// the server expands them into the R leaf DPRF values and uses each as the
+/// SSE token for one domain value. Search is O(R + r); no false positives.
+///
+/// The schemes are secure only for non-intersecting queries (an inherent
+/// DPRF limitation, Section 5); `EnableIntersectionGuard` turns on the
+/// application-level history check the paper suggests.
+class ConstantScheme : public RangeScheme {
+ public:
+  ConstantScheme(CoverTechnique technique, uint64_t rng_seed = 1);
+
+  SchemeId id() const override {
+    return technique_ == CoverTechnique::kBrc ? SchemeId::kConstantBrc
+                                              : SchemeId::kConstantUrc;
+  }
+  Status Build(const Dataset& dataset) override;
+  size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
+  Result<QueryResult> Query(const Range& r) override;
+
+  /// Enforce the paper's non-intersecting-query constraint: a query that
+  /// intersects any previously issued one fails with FAILED_PRECONDITION.
+  void EnableIntersectionGuard() { guard_enabled_ = true; }
+
+  /// Owner-side delegation only (exposed for tests/benches that need the
+  /// raw tokens).
+  std::vector<GgmDprf::Token> Delegate(const Range& r);
+
+ private:
+  CoverTechnique technique_;
+  Rng rng_;
+  Domain domain_;
+  int bits_ = 0;
+  std::unique_ptr<GgmDprf> dprf_;
+  sse::EncryptedMultimap index_;
+  bool built_ = false;
+  bool guard_enabled_ = false;
+  std::vector<Range> history_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_CONSTANT_H_

@@ -1,0 +1,90 @@
+#include "rsse/constant_cache.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rsse {
+
+CachedConstantClient::CachedConstantClient(ConstantScheme& scheme,
+                                           const Dataset& dataset)
+    : scheme_(scheme), dataset_(dataset) {}
+
+bool CachedConstantClient::CacheCovers(const Range& r) const {
+  // Sweep [r.lo, r.hi] through the cached ranges (interval union check).
+  uint64_t cursor = r.lo;
+  for (;;) {
+    bool advanced = false;
+    for (const CachedRange& cached : history_) {
+      if (cached.range.lo <= cursor && cursor <= cached.range.hi) {
+        if (cached.range.hi >= r.hi) return true;
+        // Move past this cached range; beware hi+1 overflow is impossible
+        // since cached.range.hi < r.hi <= domain max.
+        if (cached.range.hi + 1 > cursor) {
+          cursor = cached.range.hi + 1;
+          advanced = true;
+        }
+      }
+    }
+    if (!advanced) return false;
+  }
+}
+
+Result<CachedConstantClient::Answer> CachedConstantClient::Query(
+    const Range& query) {
+  Range r = query;
+  if (!ClipRangeToDomain(dataset_.domain(), r)) return Answer{};
+
+  bool intersects = false;
+  for (const CachedRange& cached : history_) {
+    if (r.Intersects(cached.range)) {
+      intersects = true;
+      break;
+    }
+  }
+
+  if (!intersects) {
+    // Fresh territory: query the server and cache the decrypted results.
+    Result<QueryResult> q = scheme_.Query(r);
+    if (!q.ok()) return q.status();
+    CachedRange entry;
+    entry.range = r;
+    std::unordered_map<uint64_t, uint64_t> attr_by_id;
+    for (const Record& rec : dataset_.records()) {
+      attr_by_id[rec.id] = rec.attr;
+    }
+    for (uint64_t id : q->ids) {
+      auto it = attr_by_id.find(id);
+      if (it != attr_by_id.end()) {
+        entry.results.push_back(Record{id, it->second});
+      }
+    }
+    Answer answer;
+    answer.ids = q->ids;
+    answer.token_count = q->token_count;
+    answer.token_bytes = q->token_bytes;
+    history_.push_back(std::move(entry));
+    return answer;
+  }
+
+  if (!CacheCovers(r)) {
+    return Status::FailedPrecondition(
+        "query intersects history and is not covered by cached answers "
+        "(Constant schemes forbid intersecting server queries)");
+  }
+
+  // Answer locally from the cache.
+  Answer answer;
+  answer.served_from_cache = true;
+  std::vector<uint64_t> ids;
+  for (const CachedRange& cached : history_) {
+    for (const Record& rec : cached.results) {
+      if (r.Contains(rec.attr)) ids.push_back(rec.id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  answer.ids = std::move(ids);
+  return answer;
+}
+
+}  // namespace rsse

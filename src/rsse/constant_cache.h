@@ -1,0 +1,65 @@
+#ifndef RSSE_RSSE_CONSTANT_CACHE_H_
+#define RSSE_RSSE_CONSTANT_CACHE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "rsse/constant.h"
+#include "rsse/scheme.h"
+
+namespace rsse {
+
+/// Owner-side query manager implementing Section 5's application-level
+/// workaround for the Constant schemes' non-intersecting-query constraint:
+/// "the owner's program may maintain the history of queries and abort when
+/// an intersecting query is seen, or may try to answer the query from
+/// cached answers of previous queries that collectively encompass the new
+/// query range."
+///
+/// The cache stores, per answered range, the decrypted (id, attr) results —
+/// information the owner legitimately holds after result decryption. A new
+/// query is served:
+///  * from the server, when it intersects no previous query (the fresh
+///    range and its results are then cached);
+///  * from the cache, when previously answered ranges collectively cover
+///    it (no tokens leave the owner at all);
+///  * otherwise it is refused with FAILED_PRECONDITION, since issuing it
+///    would break the DPRF security argument.
+class CachedConstantClient {
+ public:
+  struct Answer {
+    std::vector<uint64_t> ids;
+    /// True when answered locally with zero server interaction.
+    bool served_from_cache = false;
+    /// Protocol costs (zero when served from cache).
+    size_t token_count = 0;
+    size_t token_bytes = 0;
+  };
+
+  /// `scheme` must outlive the client and already be built over `dataset`
+  /// (the dataset stands in for the owner's ability to decrypt results).
+  CachedConstantClient(ConstantScheme& scheme, const Dataset& dataset);
+
+  /// Answers `r` per the policy above.
+  Result<Answer> Query(const Range& r);
+
+  /// Number of ranges answered by the server so far.
+  size_t HistorySize() const { return history_.size(); }
+
+ private:
+  struct CachedRange {
+    Range range;
+    std::vector<Record> results;  // decrypted (id, attr) pairs
+  };
+
+  /// True when the union of cached ranges covers `r` completely.
+  bool CacheCovers(const Range& r) const;
+
+  ConstantScheme& scheme_;
+  const Dataset& dataset_;
+  std::vector<CachedRange> history_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_CONSTANT_CACHE_H_

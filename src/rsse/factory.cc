@@ -1,0 +1,47 @@
+#include "rsse/factory.h"
+
+#include "rsse/constant.h"
+#include "rsse/log_src.h"
+#include "rsse/naive_value.h"
+#include "rsse/log_src_i.h"
+#include "rsse/logarithmic.h"
+#include "rsse/quadratic.h"
+
+namespace rsse {
+
+std::unique_ptr<RangeScheme> MakeScheme(SchemeId id, uint64_t rng_seed) {
+  switch (id) {
+    case SchemeId::kQuadratic:
+      return std::make_unique<QuadraticScheme>(rng_seed);
+    case SchemeId::kConstantBrc:
+      return std::make_unique<ConstantScheme>(CoverTechnique::kBrc, rng_seed);
+    case SchemeId::kConstantUrc:
+      return std::make_unique<ConstantScheme>(CoverTechnique::kUrc, rng_seed);
+    case SchemeId::kLogarithmicBrc:
+      return std::make_unique<LogarithmicScheme>(CoverTechnique::kBrc,
+                                                 rng_seed);
+    case SchemeId::kLogarithmicUrc:
+      return std::make_unique<LogarithmicScheme>(CoverTechnique::kUrc,
+                                                 rng_seed);
+    case SchemeId::kLogarithmicSrc:
+      return std::make_unique<LogarithmicSrcScheme>(rng_seed);
+    case SchemeId::kLogarithmicSrcI:
+      return std::make_unique<LogarithmicSrcIScheme>(rng_seed);
+    case SchemeId::kPb:
+      return nullptr;  // lives in src/pb; see pb::MakePbScheme
+    case SchemeId::kNaivePerValue:
+      return std::make_unique<NaiveValueScheme>(rng_seed);
+  }
+  return nullptr;
+}
+
+std::vector<SchemeId> AllSchemeIds() {
+  return {
+      SchemeId::kQuadratic,      SchemeId::kConstantBrc,
+      SchemeId::kConstantUrc,    SchemeId::kLogarithmicBrc,
+      SchemeId::kLogarithmicUrc, SchemeId::kLogarithmicSrc,
+      SchemeId::kLogarithmicSrcI,
+  };
+}
+
+}  // namespace rsse

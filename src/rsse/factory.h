@@ -1,0 +1,20 @@
+#ifndef RSSE_RSSE_FACTORY_H_
+#define RSSE_RSSE_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "rsse/scheme.h"
+
+namespace rsse {
+
+/// Instantiates any of the paper's schemes behind the uniform interface.
+/// `rng_seed` controls the scheme-internal permutations (reproducible runs).
+std::unique_ptr<RangeScheme> MakeScheme(SchemeId id, uint64_t rng_seed = 1);
+
+/// All scheme ids, in Table 1 order.
+std::vector<SchemeId> AllSchemeIds();
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_FACTORY_H_

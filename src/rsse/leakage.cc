@@ -1,0 +1,88 @@
+#include "rsse/leakage.h"
+
+#include <algorithm>
+
+#include "cover/brc.h"
+#include "cover/urc.h"
+
+namespace rsse::leakage {
+
+namespace {
+
+std::vector<DyadicNode> CoverFor(const Range& r, CoverTechnique technique,
+                                 int bits) {
+  return technique == CoverTechnique::kBrc ? BestRangeCover(r, bits)
+                                           : UniformRangeCover(r, bits);
+}
+
+}  // namespace
+
+std::vector<int> CoverLevelProfile(const Range& r, CoverTechnique technique,
+                                   int bits) {
+  std::vector<int> levels;
+  for (const DyadicNode& n : CoverFor(r, technique, bits)) {
+    levels.push_back(n.level);
+  }
+  std::sort(levels.begin(), levels.end());
+  return levels;
+}
+
+std::vector<ResultGroup> ResultPartitioning(const Dataset& dataset,
+                                            const Range& r,
+                                            CoverTechnique technique,
+                                            int bits) {
+  std::vector<ResultGroup> groups;
+  for (const DyadicNode& node : CoverFor(r, technique, bits)) {
+    ResultGroup group;
+    group.level = node.level;
+    for (const Record& rec : dataset.records()) {
+      if (node.Contains(rec.attr)) group.ids.push_back(rec.id);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<SubtreeMapping> ConstantStructuralLeakage(
+    const Dataset& dataset, const Range& r, CoverTechnique technique,
+    int bits) {
+  std::vector<SubtreeMapping> mappings;
+  for (const DyadicNode& node : CoverFor(r, technique, bits)) {
+    SubtreeMapping mapping;
+    mapping.level = node.level;
+    for (const Record& rec : dataset.records()) {
+      if (node.Contains(rec.attr)) {
+        mapping.offset_to_id.emplace_back(rec.attr - node.Lo(), rec.id);
+      }
+    }
+    std::sort(mapping.offset_to_id.begin(), mapping.offset_to_id.end());
+    mappings.push_back(std::move(mapping));
+  }
+  return mappings;
+}
+
+void SearchPatternTracker::Observe(size_t query_index,
+                                   const std::vector<Bytes>& tokens) {
+  for (const Bytes& t : tokens) observations_.emplace_back(query_index, t);
+}
+
+std::vector<std::pair<size_t, size_t>> SearchPatternTracker::MatchingPairs()
+    const {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t a = 0; a < observations_.size(); ++a) {
+    for (size_t b = a + 1; b < observations_.size(); ++b) {
+      const auto& [qa, ta] = observations_[a];
+      const auto& [qb, tb] = observations_[b];
+      if (qa == qb || ta != tb) continue;
+      auto p = std::minmax(qa, qb);
+      if (std::find(pairs.begin(), pairs.end(),
+                    std::make_pair(p.first, p.second)) == pairs.end()) {
+        pairs.emplace_back(p.first, p.second);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace rsse::leakage

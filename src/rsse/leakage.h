@@ -1,0 +1,78 @@
+#ifndef RSSE_RSSE_LEAKAGE_H_
+#define RSSE_RSSE_LEAKAGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "data/dataset.h"
+#include "dprf/ggm_dprf.h"
+
+namespace rsse::leakage {
+
+/// Analysis helpers that make the paper's leakage functions (Sections 5-6)
+/// concrete and testable. These compute, from plaintext data, exactly what
+/// the formal L1/L2 definitions say an adversary learns — so the tests can
+/// verify e.g. that URC's trapdoor shape is position-independent while
+/// BRC's is not, and that the Constant schemes reveal strictly more
+/// structure than the Logarithmic ones.
+
+/// L1 leakage common to the tree-based schemes: 〈m, n〉.
+struct SetupLeakage {
+  uint64_t domain_size = 0;
+  uint64_t dataset_size = 0;
+
+  friend bool operator==(const SetupLeakage&, const SetupLeakage&) = default;
+};
+
+/// Per-query cover-node level profile: the sorted multiset of levels of the
+/// BRC/URC cover — observable by the adversary from the number and shape of
+/// tokens. URC's profile is a function of the range size alone.
+std::vector<int> CoverLevelProfile(const Range& r, CoverTechnique technique,
+                                   int bits);
+
+/// One per-cover-node result group of Logarithmic-BRC/URC's L2 leakage:
+/// the node alias carries only its level; ids are the tuples under it.
+struct ResultGroup {
+  int level = 0;
+  std::vector<uint64_t> ids;
+};
+
+/// The "result partitioning" structural leakage of Logarithmic-BRC/URC
+/// (Section 6.1): the result ids split into per-cover-node groups.
+std::vector<ResultGroup> ResultPartitioning(const Dataset& dataset,
+                                            const Range& r,
+                                            CoverTechnique technique,
+                                            int bits);
+
+/// The richer structural leakage of Constant-BRC/URC (Section 5): per cover
+/// node, the *exact mapping* of result ids to leaf offsets inside the
+/// node's subtree — this reveals relative order, which the Logarithmic
+/// schemes hide.
+struct SubtreeMapping {
+  int level = 0;
+  /// (leaf offset within the subtree, tuple id) pairs.
+  std::vector<std::pair<uint64_t, uint64_t>> offset_to_id;
+};
+std::vector<SubtreeMapping> ConstantStructuralLeakage(const Dataset& dataset,
+                                                      const Range& r,
+                                                      CoverTechnique technique,
+                                                      int bits);
+
+/// Search-pattern observer σ(W): records opaque token material per query
+/// and reports which query pairs visibly repeat a token.
+class SearchPatternTracker {
+ public:
+  void Observe(size_t query_index, const std::vector<Bytes>& tokens);
+
+  /// All (i, j) with i < j sharing at least one identical token.
+  std::vector<std::pair<size_t, size_t>> MatchingPairs() const;
+
+ private:
+  std::vector<std::pair<size_t, Bytes>> observations_;
+};
+
+}  // namespace rsse::leakage
+
+#endif  // RSSE_RSSE_LEAKAGE_H_

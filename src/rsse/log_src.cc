@@ -1,0 +1,64 @@
+#include "rsse/log_src.h"
+
+#include "common/stats.h"
+#include "crypto/random.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse {
+
+LogarithmicSrcScheme::LogarithmicSrcScheme(uint64_t rng_seed,
+                                           uint64_t pad_quantum)
+    : rng_(rng_seed), pad_quantum_(pad_quantum) {}
+
+Status LogarithmicSrcScheme::Build(const Dataset& dataset) {
+  domain_ = dataset.domain();
+  if (domain_.size == 0) return Status::InvalidArgument("empty domain");
+  tdag_ = std::make_unique<Tdag>(domain_.Bits());
+  master_key_ = crypto::GenerateKey();
+
+  sse::PlainMultimap postings;
+  for (const Record& rec : dataset.records()) {
+    for (const TdagNode& node : tdag_->Cover(rec.attr)) {
+      postings[node.EncodeKeyword()].push_back(sse::EncodeIdPayload(rec.id));
+    }
+  }
+  // Tuples under the same keyword are randomly permuted so the single
+  // returned list carries no ordering information (Section 6.2).
+  for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
+
+  sse::PrfKeyDeriver deriver(master_key_);
+  sse::PaddingPolicy padding{pad_quantum_};
+  Result<sse::EncryptedMultimap> index =
+      sse::EncryptedMultimap::Build(postings, deriver, padding);
+  if (!index.ok()) return index.status();
+  index_ = std::move(index).value();
+  built_ = true;
+  return Status::Ok();
+}
+
+Result<QueryResult> LogarithmicSrcScheme::Query(const Range& query) {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  Range r = query;
+  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
+
+  QueryResult result;
+
+  WallTimer trapdoor_timer;
+  sse::PrfKeyDeriver deriver(master_key_);
+  const TdagNode node = tdag_->SingleRangeCover(r);
+  sse::KeywordKeys token = deriver.Derive(node.EncodeKeyword());
+  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
+  result.token_count = 1;
+  result.token_bytes = token.label_key.size() + token.value_key.size();
+
+  WallTimer search_timer;
+  for (const Bytes& payload : index_.Search(token)) {
+    if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
+      result.ids.push_back(*id);
+    }
+  }
+  result.search_nanos = search_timer.ElapsedNanos();
+  return result;
+}
+
+}  // namespace rsse

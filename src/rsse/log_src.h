@@ -1,0 +1,51 @@
+#ifndef RSSE_RSSE_LOG_SRC_H_
+#define RSSE_RSSE_LOG_SRC_H_
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "cover/tdag.h"
+#include "data/dataset.h"
+#include "rsse/scheme.h"
+#include "sse/encrypted_multimap.h"
+
+namespace rsse {
+
+/// Logarithmic-SRC (Section 6.2): tuples are replicated under the TDAG
+/// nodes covering their value; a query is covered by the *single* lowest
+/// TDAG node containing it (SRC), so it degenerates to one single-keyword
+/// SSE search — constant query size and no result-partitioning or ordering
+/// leakage. The price is false positives: O(R) on uniform data (Lemma 1)
+/// but up to O(n) under heavy skew, which motivates Logarithmic-SRC-i.
+class LogarithmicSrcScheme : public RangeScheme {
+ public:
+  /// `pad_quantum` > 0 enables the padding the paper's security argument
+  /// assumes ("the scheme degenerates to SSE, inheriting its security —
+  /// assuming the padding technique discussed in Quadratic"): every TDAG
+  /// node's posting list is padded to a multiple of the quantum, so list
+  /// shapes leak less about the distribution over A.
+  explicit LogarithmicSrcScheme(uint64_t rng_seed = 1,
+                                uint64_t pad_quantum = 0);
+
+  SchemeId id() const override { return SchemeId::kLogarithmicSrc; }
+  Status Build(const Dataset& dataset) override;
+  size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
+  Result<QueryResult> Query(const Range& r) override;
+
+  /// The single TDAG cover node for `r` (exposed for tests).
+  TdagNode CoverNode(const Range& r) const { return tdag_->SingleRangeCover(r); }
+
+ private:
+  Rng rng_;
+  uint64_t pad_quantum_;
+  Domain domain_;
+  std::unique_ptr<Tdag> tdag_;
+  Bytes master_key_;
+  sse::EncryptedMultimap index_;
+  bool built_ = false;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_LOG_SRC_H_

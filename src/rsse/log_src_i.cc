@@ -1,0 +1,176 @@
+#include "rsse/log_src_i.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "crypto/random.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse {
+
+namespace {
+
+/// I1 document: (domain value, [first, last] position range), 24 bytes.
+Bytes EncodeValueRange(uint64_t value, uint64_t first, uint64_t last) {
+  Bytes out;
+  out.reserve(24);
+  AppendUint64(out, value);
+  AppendUint64(out, first);
+  AppendUint64(out, last);
+  return out;
+}
+
+struct ValueRange {
+  uint64_t value = 0;
+  uint64_t first = 0;
+  uint64_t last = 0;
+};
+
+bool DecodeValueRange(const Bytes& payload, ValueRange& out) {
+  if (payload.size() != 24) return false;
+  out.value = ReadUint64(payload, 0);
+  out.first = ReadUint64(payload, 8);
+  out.last = ReadUint64(payload, 16);
+  return true;
+}
+
+int BitsForCount(uint64_t n) {
+  int bits = 1;
+  while ((uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+LogarithmicSrcIScheme::LogarithmicSrcIScheme(uint64_t rng_seed)
+    : rng_(rng_seed) {}
+
+Status LogarithmicSrcIScheme::Build(const Dataset& dataset) {
+  domain_ = dataset.domain();
+  if (domain_.size == 0) return Status::InvalidArgument("empty domain");
+  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
+  n_ = dataset.size();
+  key1_ = crypto::GenerateKey();
+  key2_ = crypto::GenerateKey();
+  tdag1_ = std::make_unique<Tdag>(domain_.Bits());
+  tdag2_ = std::make_unique<Tdag>(BitsForCount(n_));
+
+  // Sort tuples on A with random tie order ("prior to constructing TDAG2,
+  // we randomly shuffle the documents corresponding to the same keyword").
+  std::vector<Record> sorted = dataset.records();
+  rng_.Shuffle(sorted);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.attr < b.attr;
+                   });
+
+  // I1: one (value, position-range) document per distinct value, indexed
+  // under the TDAG1 nodes covering the value.
+  sse::PlainMultimap postings1;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1].attr == sorted[i].attr) ++j;
+    const Bytes doc = EncodeValueRange(sorted[i].attr, i, j);
+    for (const TdagNode& node : tdag1_->Cover(sorted[i].attr)) {
+      postings1[node.EncodeKeyword()].push_back(doc);
+    }
+    i = j + 1;
+  }
+  for (auto& [keyword, payloads] : postings1) rng_.Shuffle(payloads);
+
+  // I2: tuple ids indexed under the TDAG2 nodes covering their sorted
+  // position.
+  sse::PlainMultimap postings2;
+  for (size_t p = 0; p < sorted.size(); ++p) {
+    for (const TdagNode& node : tdag2_->Cover(p)) {
+      postings2[node.EncodeKeyword()].push_back(
+          sse::EncodeIdPayload(sorted[p].id));
+    }
+  }
+  for (auto& [keyword, payloads] : postings2) rng_.Shuffle(payloads);
+
+  sse::PrfKeyDeriver deriver1(key1_);
+  Result<sse::EncryptedMultimap> i1 =
+      sse::EncryptedMultimap::Build(postings1, deriver1);
+  if (!i1.ok()) return i1.status();
+  i1_ = std::move(i1).value();
+
+  sse::PrfKeyDeriver deriver2(key2_);
+  Result<sse::EncryptedMultimap> i2 =
+      sse::EncryptedMultimap::Build(postings2, deriver2);
+  if (!i2.ok()) return i2.status();
+  i2_ = std::move(i2).value();
+
+  built_ = true;
+  return Status::Ok();
+}
+
+Result<QueryResult> LogarithmicSrcIScheme::Query(const Range& query) {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  Range r = query;
+  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
+
+  QueryResult result;
+
+  // Round 1 — owner: SRC token on TDAG1 for the query range.
+  WallTimer trapdoor_timer;
+  sse::PrfKeyDeriver deriver1(key1_);
+  sse::KeywordKeys token1 =
+      deriver1.Derive(tdag1_->SingleRangeCover(r).EncodeKeyword());
+  result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
+  result.token_count = 1;
+  result.token_bytes = token1.label_key.size() + token1.value_key.size();
+  result.rounds = 1;
+
+  // Round 1 — server: search I1.
+  WallTimer search_timer;
+  std::vector<Bytes> round1 = i1_.Search(token1);
+  result.search_nanos += search_timer.ElapsedNanos();
+
+  // Owner: keep qualifying (value, position-range) pairs and merge them
+  // into the single contiguous position range w'.
+  trapdoor_timer.Reset();
+  bool any = false;
+  uint64_t first = 0;
+  uint64_t last = 0;
+  for (const Bytes& payload : round1) {
+    ValueRange vr;
+    if (!DecodeValueRange(payload, vr)) continue;
+    if (!r.Contains(vr.value)) continue;
+    if (!any) {
+      first = vr.first;
+      last = vr.last;
+      any = true;
+    } else {
+      first = std::min(first, vr.first);
+      last = std::max(last, vr.last);
+    }
+  }
+  if (!any) {
+    // No distinct value of the dataset falls in the range: done after one
+    // round with an empty (exact) result.
+    result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
+    return result;
+  }
+
+  // Round 2 — owner: SRC token on TDAG2 for the merged position range.
+  sse::PrfKeyDeriver deriver2(key2_);
+  sse::KeywordKeys token2 =
+      deriver2.Derive(tdag2_->SingleRangeCover(Range{first, last}).EncodeKeyword());
+  result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
+  result.token_count += 1;
+  result.token_bytes += token2.label_key.size() + token2.value_key.size();
+  result.rounds = 2;
+
+  // Round 2 — server: search I2 for the tuple ids.
+  search_timer.Reset();
+  for (const Bytes& payload : i2_.Search(token2)) {
+    if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
+      result.ids.push_back(*id);
+    }
+  }
+  result.search_nanos += search_timer.ElapsedNanos();
+  return result;
+}
+
+}  // namespace rsse

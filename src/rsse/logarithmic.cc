@@ -1,0 +1,79 @@
+#include "rsse/logarithmic.h"
+
+#include "common/stats.h"
+#include "cover/brc.h"
+#include "cover/urc.h"
+#include "crypto/random.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse {
+
+LogarithmicScheme::LogarithmicScheme(CoverTechnique technique,
+                                     uint64_t rng_seed)
+    : technique_(technique), rng_(rng_seed) {}
+
+Status LogarithmicScheme::Build(const Dataset& dataset) {
+  domain_ = dataset.domain();
+  if (domain_.size == 0) return Status::InvalidArgument("empty domain");
+  bits_ = domain_.Bits();
+  master_key_ = crypto::GenerateKey();
+
+  // D' of Section 6.1: replicate each tuple under every dyadic node on the
+  // path from the root to its value.
+  sse::PlainMultimap postings;
+  for (const Record& rec : dataset.records()) {
+    for (const DyadicNode& node : PathToRoot(rec.attr, bits_)) {
+      postings[node.EncodeKeyword()].push_back(sse::EncodeIdPayload(rec.id));
+    }
+  }
+  for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
+
+  sse::PrfKeyDeriver deriver(master_key_);
+  Result<sse::EncryptedMultimap> index =
+      sse::EncryptedMultimap::Build(postings, deriver);
+  if (!index.ok()) return index.status();
+  index_ = std::move(index).value();
+  built_ = true;
+  return Status::Ok();
+}
+
+std::vector<DyadicNode> LogarithmicScheme::Cover(const Range& r) const {
+  return technique_ == CoverTechnique::kBrc ? BestRangeCover(r, bits_)
+                                            : UniformRangeCover(r, bits_);
+}
+
+Result<QueryResult> LogarithmicScheme::Query(const Range& query) {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  Range r = query;
+  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
+
+  QueryResult result;
+
+  // Owner: one SSE token per cover node, randomly permuted before leaving.
+  WallTimer trapdoor_timer;
+  sse::PrfKeyDeriver deriver(master_key_);
+  std::vector<sse::KeywordKeys> tokens;
+  for (const DyadicNode& node : Cover(r)) {
+    tokens.push_back(deriver.Derive(node.EncodeKeyword()));
+  }
+  rng_.Shuffle(tokens);
+  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
+  result.token_count = tokens.size();
+  for (const sse::KeywordKeys& t : tokens) {
+    result.token_bytes += t.label_key.size() + t.value_key.size();
+  }
+
+  // Server: standard SSE search per token; union of results.
+  WallTimer search_timer;
+  for (const sse::KeywordKeys& token : tokens) {
+    for (const Bytes& payload : index_.Search(token)) {
+      if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
+        result.ids.push_back(*id);
+      }
+    }
+  }
+  result.search_nanos = search_timer.ElapsedNanos();
+  return result;
+}
+
+}  // namespace rsse

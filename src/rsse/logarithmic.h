@@ -1,0 +1,50 @@
+#ifndef RSSE_RSSE_LOGARITHMIC_H_
+#define RSSE_RSSE_LOGARITHMIC_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "cover/dyadic.h"
+#include "data/dataset.h"
+#include "dprf/ggm_dprf.h"
+#include "rsse/scheme.h"
+#include "sse/encrypted_multimap.h"
+
+namespace rsse {
+
+/// Logarithmic-BRC / Logarithmic-URC (Section 6.1): every tuple is
+/// replicated under the O(log m) dyadic-node keywords on its root-to-leaf
+/// path; a query issues one standard SSE token per BRC/URC cover node.
+/// Storage O(n log m), query O(log R), search O(log R + r), no false
+/// positives, and — unlike the Constant schemes — no DPRF, so the only
+/// structural leakage is the partitioning of the result ids into
+/// per-cover-node groups.
+class LogarithmicScheme : public RangeScheme {
+ public:
+  LogarithmicScheme(CoverTechnique technique, uint64_t rng_seed = 1);
+
+  SchemeId id() const override {
+    return technique_ == CoverTechnique::kBrc ? SchemeId::kLogarithmicBrc
+                                              : SchemeId::kLogarithmicUrc;
+  }
+  Status Build(const Dataset& dataset) override;
+  size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
+  Result<QueryResult> Query(const Range& r) override;
+
+  /// The cover this scheme would use for `r` (exposed for leakage tests).
+  std::vector<DyadicNode> Cover(const Range& r) const;
+
+ private:
+  CoverTechnique technique_;
+  Rng rng_;
+  Domain domain_;
+  int bits_ = 0;
+  Bytes master_key_;
+  sse::EncryptedMultimap index_;
+  bool built_ = false;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_LOGARITHMIC_H_

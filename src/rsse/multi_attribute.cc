@@ -1,0 +1,85 @@
+#include "rsse/multi_attribute.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rsse/factory.h"
+
+namespace rsse {
+
+TwoAttributeScheme::TwoAttributeScheme(SchemeId scheme, uint64_t rng_seed)
+    : scheme_id_(scheme), rng_seed_(rng_seed) {}
+
+Status TwoAttributeScheme::Build(const Domain& domain_x,
+                                 const Domain& domain_y,
+                                 const std::vector<Record2D>& records) {
+  std::vector<Record> records_x;
+  std::vector<Record> records_y;
+  records_x.reserve(records.size());
+  records_y.reserve(records.size());
+  for (const Record2D& r : records) {
+    records_x.push_back(Record{r.id, r.x});
+    records_y.push_back(Record{r.id, r.y});
+  }
+  index_x_ = MakeScheme(scheme_id_, rng_seed_);
+  index_y_ = MakeScheme(scheme_id_, rng_seed_ + 1);
+  if (index_x_ == nullptr || index_y_ == nullptr) {
+    return Status::InvalidArgument("unsupported sub-scheme");
+  }
+  RSSE_RETURN_IF_ERROR(
+      index_x_->Build(Dataset(domain_x, std::move(records_x))));
+  RSSE_RETURN_IF_ERROR(
+      index_y_->Build(Dataset(domain_y, std::move(records_y))));
+  built_ = true;
+  return Status::Ok();
+}
+
+Result<TwoAttributeScheme::RectResult> TwoAttributeScheme::Query(
+    const Range& rx, const Range& ry) {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  Result<QueryResult> qx = index_x_->Query(rx);
+  if (!qx.ok()) return qx.status();
+  Result<QueryResult> qy = index_y_->Query(ry);
+  if (!qy.ok()) return qy.status();
+
+  RectResult result;
+  result.token_count = qx->token_count + qy->token_count;
+  result.token_bytes = qx->token_bytes + qy->token_bytes;
+  result.rounds = std::max(qx->rounds, qy->rounds);
+
+  // Owner-side intersection; duplicates within one list collapse.
+  std::unordered_set<uint64_t> from_x(qx->ids.begin(), qx->ids.end());
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t id : qy->ids) {
+    if (from_x.count(id) && seen.insert(id).second) {
+      result.ids.push_back(id);
+    }
+  }
+  std::sort(result.ids.begin(), result.ids.end());
+  return result;
+}
+
+size_t TwoAttributeScheme::IndexSizeBytes() const {
+  if (!built_) return 0;
+  return index_x_->IndexSizeBytes() + index_y_->IndexSizeBytes();
+}
+
+std::vector<uint64_t> TwoAttributeScheme::FilterToRect(
+    const std::vector<Record2D>& records, const std::vector<uint64_t>& ids,
+    const Range& rx, const Range& ry) {
+  std::unordered_map<uint64_t, const Record2D*> by_id;
+  by_id.reserve(records.size());
+  for (const Record2D& r : records) by_id[r.id] = &r;
+  std::vector<uint64_t> out;
+  for (uint64_t id : ids) {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) continue;
+    if (rx.Contains(it->second->x) && ry.Contains(it->second->y)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace rsse

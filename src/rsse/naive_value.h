@@ -1,0 +1,37 @@
+#ifndef RSSE_RSSE_NAIVE_VALUE_H_
+#define RSSE_RSSE_NAIVE_VALUE_H_
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "rsse/scheme.h"
+#include "sse/encrypted_multimap.h"
+
+namespace rsse {
+
+/// The naive variant opening Section 5: one keyword per domain value with
+/// *standard PRF* key derivation, and a query of size R simply maps to R
+/// per-value SSE tokens. Storage O(n), search O(R + r), no false positives —
+/// but query size O(R), which is exactly the drawback the DPRF-based
+/// Constant schemes remove (they ship O(log R) GGM seeds instead).
+/// Kept as an ablation baseline for the query-cost experiments.
+class NaiveValueScheme : public RangeScheme {
+ public:
+  explicit NaiveValueScheme(uint64_t rng_seed = 1);
+
+  SchemeId id() const override { return SchemeId::kNaivePerValue; }
+  Status Build(const Dataset& dataset) override;
+  size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
+  Result<QueryResult> Query(const Range& r) override;
+
+ private:
+  Rng rng_;
+  Domain domain_;
+  Bytes master_key_;
+  sse::EncryptedMultimap index_;
+  bool built_ = false;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_NAIVE_VALUE_H_

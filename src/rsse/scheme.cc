@@ -1,0 +1,53 @@
+#include "rsse/scheme.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rsse {
+
+const char* SchemeName(SchemeId id) {
+  switch (id) {
+    case SchemeId::kQuadratic:
+      return "Quadratic";
+    case SchemeId::kConstantBrc:
+      return "Constant-BRC";
+    case SchemeId::kConstantUrc:
+      return "Constant-URC";
+    case SchemeId::kLogarithmicBrc:
+      return "Logarithmic-BRC";
+    case SchemeId::kLogarithmicUrc:
+      return "Logarithmic-URC";
+    case SchemeId::kLogarithmicSrc:
+      return "Logarithmic-SRC";
+    case SchemeId::kLogarithmicSrcI:
+      return "Logarithmic-SRC-i";
+    case SchemeId::kPb:
+      return "PB (Li et al.)";
+    case SchemeId::kNaivePerValue:
+      return "Naive-PerValue";
+  }
+  return "Unknown";
+}
+
+std::vector<uint64_t> FilterIdsToRange(const Dataset& dataset,
+                                       const std::vector<uint64_t>& ids,
+                                       const Range& r) {
+  std::unordered_map<uint64_t, uint64_t> attr_by_id;
+  attr_by_id.reserve(dataset.size());
+  for (const Record& rec : dataset.records()) attr_by_id[rec.id] = rec.attr;
+  std::vector<uint64_t> out;
+  out.reserve(ids.size());
+  for (uint64_t id : ids) {
+    auto it = attr_by_id.find(id);
+    if (it != attr_by_id.end() && r.Contains(it->second)) out.push_back(id);
+  }
+  return out;
+}
+
+bool ClipRangeToDomain(const Domain& domain, Range& r) {
+  if (domain.size == 0 || r.lo >= domain.size || r.hi < r.lo) return false;
+  r.hi = std::min(r.hi, domain.size - 1);
+  return true;
+}
+
+}  // namespace rsse

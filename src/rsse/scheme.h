@@ -1,0 +1,91 @@
+#ifndef RSSE_RSSE_SCHEME_H_
+#define RSSE_RSSE_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rsse {
+
+/// The RSSE constructions of the paper (Table 1).
+enum class SchemeId {
+  kQuadratic,
+  kConstantBrc,
+  kConstantUrc,
+  kLogarithmicBrc,
+  kLogarithmicUrc,
+  kLogarithmicSrc,
+  kLogarithmicSrcI,
+  /// The Li et al. (PVLDB'14) baseline, implemented in src/pb. Not produced
+  /// by `MakeScheme` (module layering); use `pb::MakePbScheme`.
+  kPb,
+  /// Section 5's naive per-value strawman: O(R) query size; ablation only.
+  kNaivePerValue,
+};
+
+/// Human-readable scheme name as used in the paper's figures.
+const char* SchemeName(SchemeId id);
+
+/// Outcome of one range-query protocol execution.
+struct QueryResult {
+  /// Tuple ids as delivered by the server. SRC-based schemes may include
+  /// false positives; the owner removes them after decrypting the tuples
+  /// (see `FilterIdsToRange`).
+  std::vector<uint64_t> ids;
+
+  /// Number of tokens sent to the server across all rounds (Fig. 8a
+  /// counts these; BRC/URC send O(log R), SRC one, SRC-i two).
+  size_t token_count = 0;
+
+  /// Total bytes of token material sent (the query-size metric of Fig. 8a).
+  size_t token_bytes = 0;
+
+  /// Communication rounds (1, or 2 for Logarithmic-SRC-i).
+  int rounds = 1;
+
+  /// Owner-side trapdoor generation time (Fig. 8b) in nanoseconds.
+  uint64_t trapdoor_nanos = 0;
+
+  /// Server-side search time (Fig. 7) in nanoseconds.
+  uint64_t search_nanos = 0;
+};
+
+/// Uniform facade over all RSSE constructions. One object models both
+/// parties of the in-memory protocol while keeping the boundary explicit:
+/// `Build` runs the owner's Setup+BuildIndex and installs the encrypted
+/// index at the (simulated) server; `Query` runs the full trapdoor/search
+/// protocol and reports per-party costs. Concrete classes expose additional
+/// scheme-specific surface (e.g. leakage accessors) for tests.
+class RangeScheme {
+ public:
+  virtual ~RangeScheme() = default;
+
+  virtual SchemeId id() const = 0;
+
+  /// Owner-side index construction over `dataset`. Must be called once
+  /// before `Query`.
+  virtual Status Build(const Dataset& dataset) = 0;
+
+  /// Size of the outsourced encrypted index in bytes (Fig. 5a metric).
+  virtual size_t IndexSizeBytes() const = 0;
+
+  /// Executes the query protocol for range `r` (clipped to the domain).
+  virtual Result<QueryResult> Query(const Range& r) = 0;
+};
+
+/// Owner-side post-filtering: after retrieving and decrypting the tuples
+/// for `ids`, the owner keeps those whose attribute lies in `r`. Here the
+/// plaintext `dataset` stands in for the decrypted tuples.
+std::vector<uint64_t> FilterIdsToRange(const Dataset& dataset,
+                                       const std::vector<uint64_t>& ids,
+                                       const Range& r);
+
+/// Clips `r` to the domain; returns false when the intersection is empty.
+bool ClipRangeToDomain(const Domain& domain, Range& r);
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_SCHEME_H_

@@ -1,0 +1,216 @@
+#include "sse/encrypted_multimap.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "crypto/aes.h"
+
+namespace rsse::sse {
+
+namespace {
+
+constexpr uint8_t kRealMarker = 0x00;
+constexpr uint8_t kDummyMarker = 0x01;
+
+Bytes CounterInput(uint64_t c) {
+  Bytes in;
+  AppendUint64(in, c);
+  return in;
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("RSSE_BUILD_THREADS"); env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 1;
+}
+
+/// One encrypted dictionary entry before insertion.
+struct Entry {
+  Bytes label;
+  Bytes value;
+};
+
+/// Encrypts the postings of one keyword into dictionary entries.
+Status EncryptKeyword(const Bytes& keyword, const std::vector<Bytes>& payloads,
+                      const KeywordKeyDeriver& deriver, uint64_t pad_quantum,
+                      std::vector<Entry>& out) {
+  const KeywordKeys keys = deriver.Derive(keyword);
+  const crypto::Prf label_prf(keys.label_key);
+  uint64_t total = payloads.size();
+  if (pad_quantum > 0) {
+    total = (total + pad_quantum - 1) / pad_quantum * pad_quantum;
+    if (total == 0) total = pad_quantum;
+  }
+  for (uint64_t c = 0; c < total; ++c) {
+    Bytes label =
+        label_prf.EvalTrunc(CounterInput(c), crypto::kLambdaBytes);
+    Bytes plaintext;
+    if (c < payloads.size()) {
+      plaintext.push_back(kRealMarker);
+      Append(plaintext, payloads[c]);
+    } else {
+      plaintext.push_back(kDummyMarker);
+    }
+    Result<Bytes> ct = crypto::Aes128Cbc::Encrypt(keys.value_key, plaintext);
+    if (!ct.ok()) return ct.status();
+    out.push_back(Entry{std::move(label), std::move(ct).value()});
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<EncryptedMultimap> EncryptedMultimap::Build(
+    const PlainMultimap& postings, const KeywordKeyDeriver& deriver,
+    const PaddingPolicy& padding) {
+  BuildOptions options;
+  options.padding = padding;
+  return BuildWithOptions(postings, deriver, options);
+}
+
+Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
+    const PlainMultimap& postings, const KeywordKeyDeriver& deriver,
+    const BuildOptions& options) {
+  const int threads = ResolveThreads(options.threads);
+
+  // Stable keyword order for sharding.
+  std::vector<const std::pair<const Bytes, std::vector<Bytes>>*> items;
+  items.reserve(postings.size());
+  for (const auto& kv : postings) items.push_back(&kv);
+
+  std::vector<std::vector<Entry>> shards(static_cast<size_t>(threads));
+  std::vector<Status> shard_status(static_cast<size_t>(threads));
+
+  auto worker = [&](int t) {
+    for (size_t i = static_cast<size_t>(t); i < items.size();
+         i += static_cast<size_t>(threads)) {
+      Status s = EncryptKeyword(items[i]->first, items[i]->second, deriver,
+                                options.padding.quantum,
+                                shards[static_cast<size_t>(t)]);
+      if (!s.ok()) {
+        shard_status[static_cast<size_t>(t)] = s;
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& th : pool) th.join();
+  }
+  for (const Status& s : shard_status) {
+    if (!s.ok()) return s;
+  }
+
+  EncryptedMultimap index;
+  size_t total_entries = 0;
+  for (const auto& shard : shards) total_entries += shard.size();
+  index.dict_.reserve(total_entries);
+  for (auto& shard : shards) {
+    for (Entry& e : shard) {
+      index.size_bytes_ += e.label.size() + e.value.size();
+      index.dict_.emplace(std::move(e.label), std::move(e.value));
+    }
+  }
+  return index;
+}
+
+namespace {
+// Blob header: magic + format version.
+constexpr uint64_t kSerializeMagic = 0x52535345454d4d31ull;  // "RSSEEMM1"
+}  // namespace
+
+Bytes EncryptedMultimap::Serialize() const {
+  Bytes out;
+  out.reserve(16 + size_bytes_ + dict_.size() * 8);
+  AppendUint64(out, kSerializeMagic);
+  AppendUint64(out, dict_.size());
+  for (const auto& [label, value] : dict_) {
+    AppendUint32(out, static_cast<uint32_t>(label.size()));
+    Append(out, label);
+    AppendUint32(out, static_cast<uint32_t>(value.size()));
+    Append(out, value);
+  }
+  return out;
+}
+
+Result<EncryptedMultimap> EncryptedMultimap::Deserialize(const Bytes& blob) {
+  if (blob.size() < 16 || ReadUint64(blob, 0) != kSerializeMagic) {
+    return Status::InvalidArgument("not an EncryptedMultimap blob");
+  }
+  const uint64_t count = ReadUint64(blob, 8);
+  // Each entry needs at least 8 bytes of length prefixes; reject impossible
+  // counts before reserving (a corrupt header must not drive allocation).
+  if (count > (blob.size() - 16) / 8) {
+    return Status::InvalidArgument("implausible entry count in blob header");
+  }
+  EncryptedMultimap index;
+  index.dict_.reserve(count);
+  size_t offset = 16;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (offset + 4 > blob.size()) {
+      return Status::InvalidArgument("truncated blob (label length)");
+    }
+    uint32_t label_len = ReadUint32(blob, offset);
+    offset += 4;
+    if (offset + label_len > blob.size()) {
+      return Status::InvalidArgument("truncated blob (label)");
+    }
+    Bytes label(blob.begin() + static_cast<long>(offset),
+                blob.begin() + static_cast<long>(offset + label_len));
+    offset += label_len;
+    if (offset + 4 > blob.size()) {
+      return Status::InvalidArgument("truncated blob (value length)");
+    }
+    uint32_t value_len = ReadUint32(blob, offset);
+    offset += 4;
+    if (offset + value_len > blob.size()) {
+      return Status::InvalidArgument("truncated blob (value)");
+    }
+    Bytes value(blob.begin() + static_cast<long>(offset),
+                blob.begin() + static_cast<long>(offset + value_len));
+    offset += value_len;
+    index.size_bytes_ += label.size() + value.size();
+    index.dict_.emplace(std::move(label), std::move(value));
+  }
+  if (offset != blob.size()) {
+    return Status::InvalidArgument("trailing bytes after blob payload");
+  }
+  return index;
+}
+
+std::vector<Bytes> EncryptedMultimap::Search(const KeywordKeys& token) const {
+  std::vector<Bytes> results;
+  const crypto::Prf label_prf(token.label_key);
+  for (uint64_t c = 0;; ++c) {
+    Bytes label = label_prf.EvalTrunc(CounterInput(c), kLabelBytes);
+    auto it = dict_.find(label);
+    if (it == dict_.end()) break;
+    Result<Bytes> plaintext =
+        crypto::Aes128Cbc::Decrypt(token.value_key, it->second);
+    if (!plaintext.ok() || plaintext->empty()) break;  // wrong token
+    if ((*plaintext)[0] == kDummyMarker) continue;
+    results.emplace_back(plaintext->begin() + 1, plaintext->end());
+  }
+  return results;
+}
+
+Bytes EncodeIdPayload(uint64_t id) {
+  Bytes out;
+  AppendUint64(out, id);
+  return out;
+}
+
+std::optional<uint64_t> DecodeIdPayload(const Bytes& payload) {
+  if (payload.size() != 8) return std::nullopt;
+  return ReadUint64(payload, 0);
+}
+
+}  // namespace rsse::sse

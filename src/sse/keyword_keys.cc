@@ -1,0 +1,25 @@
+#include "sse/keyword_keys.h"
+
+#include "crypto/sha.h"
+
+namespace rsse::sse {
+
+KeywordKeys KeysFromSharedSecret(const Bytes& secret) {
+  Bytes in1 = secret;
+  AppendByte(in1, 0x01);
+  Bytes in2 = secret;
+  AppendByte(in2, 0x02);
+  Bytes k1 = crypto::Sha256(in1);
+  Bytes k2 = crypto::Sha256(in2);
+  k1.resize(crypto::kLambdaBytes);
+  k2.resize(crypto::kLambdaBytes);
+  return KeywordKeys{std::move(k1), std::move(k2)};
+}
+
+PrfKeyDeriver::PrfKeyDeriver(const Bytes& master_key) : prf_(master_key) {}
+
+KeywordKeys PrfKeyDeriver::Derive(const Bytes& w) const {
+  return KeysFromSharedSecret(prf_.EvalTrunc(w, crypto::kLambdaBytes));
+}
+
+}  // namespace rsse::sse

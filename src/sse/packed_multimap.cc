@@ -1,0 +1,138 @@
+#include "sse/packed_multimap.h"
+
+#include <cmath>
+
+#include "crypto/random.h"
+
+namespace rsse::sse {
+
+namespace {
+
+/// splitmix64 finalizer for bucket selection from an already-pseudorandom
+/// tag plus the per-build salt.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Bytes CounterInput(uint64_t c) {
+  Bytes in;
+  AppendUint64(in, c);
+  return in;
+}
+
+constexpr uint8_t kRealMarker = 0x00;
+
+}  // namespace
+
+uint64_t PackedMultimap::BucketOf(const Bytes& tag) const {
+  return Mix(Fnv1a64(tag) ^ bucket_salt_) % bucket_count_;
+}
+
+Result<PackedMultimap> PackedMultimap::Build(
+    const std::vector<std::pair<Bytes, std::vector<uint64_t>>>& postings,
+    const KeywordKeyDeriver& deriver, const Params& params) {
+  if (params.bucket_capacity == 0 || params.overhead_factor < 1.0) {
+    return Status::InvalidArgument("invalid packing parameters");
+  }
+  uint64_t total = 0;
+  for (const auto& [keyword, ids] : postings) total += ids.size();
+
+  PackedMultimap packed;
+  packed.bucket_capacity_ = params.bucket_capacity;
+  // Two sizing constraints: the K overhead factor, and a balls-into-bins
+  // concentration margin of 6 standard deviations so a random assignment
+  // balances with overwhelming probability.
+  const double capacity = static_cast<double>(params.bucket_capacity);
+  const double effective =
+      std::max(1.0, capacity - 6.0 * std::sqrt(capacity));
+  const uint64_t by_overhead = static_cast<uint64_t>(
+      std::ceil(params.overhead_factor * static_cast<double>(total) / capacity));
+  const uint64_t by_margin =
+      static_cast<uint64_t>(std::ceil(static_cast<double>(total) / effective));
+  packed.bucket_count_ = std::max<uint64_t>(1, std::max(by_overhead, by_margin));
+
+  for (int attempt = 0; attempt < params.max_build_attempts; ++attempt) {
+    packed.bucket_salt_ = ReadUint64(crypto::SecureRandom(8), 0);
+    packed.slots_.assign(
+        packed.bucket_count_ * packed.bucket_capacity_ * kSlotBytes, 0);
+    std::vector<uint64_t> fill(packed.bucket_count_, 0);
+    std::vector<bool> used(packed.bucket_count_ * packed.bucket_capacity_,
+                           false);
+    bool overflow = false;
+
+    for (const auto& [keyword, ids] : postings) {
+      const KeywordKeys keys = deriver.Derive(keyword);
+      const crypto::Prf tag_prf(keys.label_key);
+      const crypto::Prf mask_prf(keys.value_key);
+      for (uint64_t c = 0; c < ids.size() && !overflow; ++c) {
+        Bytes tag = tag_prf.EvalTrunc(CounterInput(c), kTagBytes);
+        uint64_t bucket = packed.BucketOf(tag);
+        if (fill[bucket] >= packed.bucket_capacity_) {
+          overflow = true;
+          break;
+        }
+        uint64_t slot = bucket * packed.bucket_capacity_ + fill[bucket];
+        ++fill[bucket];
+        used[slot] = true;
+        uint8_t* out = packed.slots_.data() + slot * kSlotBytes;
+        std::copy(tag.begin(), tag.end(), out);
+        Bytes payload;
+        payload.push_back(kRealMarker);
+        AppendUint64(payload, ids[c]);
+        Bytes mask = mask_prf.EvalTrunc(CounterInput(c), kPayloadBytes);
+        for (size_t i = 0; i < kPayloadBytes; ++i) {
+          out[kTagBytes + i] = payload[i] ^ mask[i];
+        }
+      }
+      if (overflow) break;
+    }
+    if (overflow) continue;
+
+    // Fill unused slots with random bytes: the array is uniform to anyone
+    // without trapdoors.
+    for (uint64_t slot = 0; slot < used.size(); ++slot) {
+      if (used[slot]) continue;
+      Bytes random = crypto::SecureRandom(kSlotBytes);
+      std::copy(random.begin(), random.end(),
+                packed.slots_.data() + slot * kSlotBytes);
+    }
+    return packed;
+  }
+  return Status::Internal(
+      "packed build failed to balance buckets; raise overhead_factor or "
+      "bucket_capacity");
+}
+
+std::vector<uint64_t> PackedMultimap::Search(const KeywordKeys& token) const {
+  std::vector<uint64_t> ids;
+  if (bucket_count_ == 0) return ids;
+  const crypto::Prf tag_prf(token.label_key);
+  const crypto::Prf mask_prf(token.value_key);
+  for (uint64_t c = 0;; ++c) {
+    Bytes tag = tag_prf.EvalTrunc(CounterInput(c), kTagBytes);
+    uint64_t bucket = BucketOf(tag);
+    const uint8_t* base =
+        slots_.data() + bucket * bucket_capacity_ * kSlotBytes;
+    bool found = false;
+    for (uint64_t s = 0; s < bucket_capacity_ && !found; ++s) {
+      const uint8_t* slot = base + s * kSlotBytes;
+      if (!std::equal(tag.begin(), tag.end(), slot)) continue;
+      Bytes mask = mask_prf.EvalTrunc(CounterInput(c), kPayloadBytes);
+      Bytes payload(kPayloadBytes);
+      for (size_t i = 0; i < kPayloadBytes; ++i) {
+        payload[i] = slot[kTagBytes + i] ^ mask[i];
+      }
+      if (payload[0] != kRealMarker) break;  // foreign tag collision
+      Bytes id_bytes(payload.begin() + 1, payload.end());
+      ids.push_back(ReadUint64(id_bytes, 0));
+      found = true;
+    }
+    if (!found) break;
+  }
+  return ids;
+}
+
+}  // namespace rsse::sse

@@ -1,0 +1,91 @@
+#ifndef RSSE_SSE_PACKED_MULTIMAP_H_
+#define RSSE_SSE_PACKED_MULTIMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse::sse {
+
+/// Space-efficient packed encrypted multimap in the style of the TSet of
+/// Cash et al. (CRYPTO'13 / NDSS'14) — the paper instantiates exactly this
+/// construction "setting its parameters to the values recommended for
+/// space-efficiency (S = 6000, K = 1.1)" (Section 8).
+///
+/// Layout: a fixed array of `bucket_count` buckets of `bucket_capacity` (S)
+/// slots each, where bucket_count ≈ K · total_entries / S. The c-th posting
+/// of keyword w is stored in bucket h(F(K1_w, c)) as a fixed-size slot
+///
+///   tag = F(K1_w, c)   (16 bytes, also selects the bucket)
+///   body = payload ⊕ F(K2_w, c)   (masked, fixed 9-byte payloads)
+///
+/// Unfilled slots hold random bytes, so the server's view is a uniform
+/// array whose size depends only on the total posting count — unlike the
+/// flat dictionary (`EncryptedMultimap`), whose per-entry overhead is an
+/// IV + padded AES block. The packed layout stores an id posting in 25
+/// bytes instead of ~64.
+///
+/// Build may fail with RESOURCE-style INTERNAL if bucket balancing cannot
+/// be achieved (it retries with fresh bucket salts, as in the TSet paper);
+/// with K >= 1.1 and S >= 64 this is astronomically unlikely at our scales.
+///
+/// Payloads are fixed at 9 bytes (marker + uint64 id): this backend serves
+/// the id-posting schemes; variable-length documents use the flat backend.
+class PackedMultimap {
+ public:
+  /// Packing parameters; defaults follow the paper's recommendation shape
+  /// (large bucket capacity S, small space overhead factor K — the paper
+  /// uses S = 6000, K = 1.1, where the balls-into-bins fluctuation is a
+  /// negligible fraction of S). The builder additionally reserves a
+  /// 6·sqrt(S) concentration margin per bucket so that small-S
+  /// configurations remain balanceable.
+  struct Params {
+    uint64_t bucket_capacity = 2048;  // S
+    double overhead_factor = 1.1;     // K
+    int max_build_attempts = 32;
+  };
+
+  /// Fixed slot payload size: 1 marker byte + 8 id bytes.
+  static constexpr size_t kPayloadBytes = 9;
+
+  PackedMultimap() = default;
+
+  /// Builds the packed structure from keyword -> id postings.
+  static Result<PackedMultimap> Build(
+      const std::vector<std::pair<Bytes, std::vector<uint64_t>>>& postings,
+      const KeywordKeyDeriver& deriver, const Params& params);
+
+  /// Build with the default (paper-shaped) packing parameters.
+  static Result<PackedMultimap> Build(
+      const std::vector<std::pair<Bytes, std::vector<uint64_t>>>& postings,
+      const KeywordKeyDeriver& deriver) {
+    return Build(postings, deriver, Params{});
+  }
+
+  /// Retrieves the ids for the keyword behind `token`.
+  std::vector<uint64_t> Search(const KeywordKeys& token) const;
+
+  uint64_t bucket_count() const { return bucket_count_; }
+
+  /// Total bytes of the slot array (the outsourced size).
+  size_t SizeBytes() const { return slots_.size(); }
+
+ private:
+  static constexpr size_t kTagBytes = crypto::kLambdaBytes;
+  static constexpr size_t kSlotBytes = kTagBytes + kPayloadBytes;
+
+  uint64_t BucketOf(const Bytes& tag) const;
+
+  uint64_t bucket_count_ = 0;
+  uint64_t bucket_capacity_ = 0;
+  uint64_t bucket_salt_ = 0;
+  /// bucket_count * bucket_capacity slots, kSlotBytes each, flattened.
+  std::vector<uint8_t> slots_;
+};
+
+}  // namespace rsse::sse
+
+#endif  // RSSE_SSE_PACKED_MULTIMAP_H_

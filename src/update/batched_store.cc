@@ -1,0 +1,170 @@
+#include "update/batched_store.h"
+
+#include <algorithm>
+
+#include "rsse/factory.h"
+
+namespace rsse::update {
+
+BatchedStore::BatchedStore(SchemeId scheme, Domain domain,
+                           size_t consolidation_step, uint64_t rng_seed)
+    : scheme_id_(scheme),
+      domain_(domain),
+      step_(std::max<size_t>(2, consolidation_step)),
+      next_seed_(rng_seed) {}
+
+Result<std::unique_ptr<BatchedStore::Instance>> BatchedStore::BuildInstance(
+    std::vector<UpdateOp> ops) {
+  auto instance = std::make_unique<Instance>();
+  instance->ops = std::move(ops);
+  std::vector<Record> records;
+  records.reserve(instance->ops.size());
+  for (const UpdateOp& op : instance->ops) {
+    records.push_back(op.record);
+    instance->by_id[op.record.id] = &op;
+  }
+  // Fresh scheme object => fresh keys (Setup runs inside Build): forward
+  // privacy across batches and across consolidations.
+  instance->scheme = MakeScheme(scheme_id_, next_seed_++);
+  if (instance->scheme == nullptr) {
+    return Status::InvalidArgument("unsupported scheme for BatchedStore");
+  }
+  Status built = instance->scheme->Build(Dataset(domain_, std::move(records)));
+  if (!built.ok()) return built;
+  return instance;
+}
+
+std::vector<UpdateOp> BatchedStore::MergeOps(
+    const std::vector<std::unique_ptr<Instance>>& sources) {
+  // Group by id; an insert/tombstone pair inside the merged set cancels; a
+  // lone tombstone must survive (its insert lives in an older instance).
+  std::unordered_map<uint64_t, std::vector<const UpdateOp*>> by_id;
+  for (const auto& instance : sources) {
+    for (const UpdateOp& op : instance->ops) {
+      by_id[op.record.id].push_back(&op);
+    }
+  }
+  std::vector<UpdateOp> merged;
+  merged.reserve(by_id.size());
+  for (const auto& [id, ops] : by_id) {
+    const UpdateOp* latest = ops.front();
+    bool has_insert = false;
+    for (const UpdateOp* op : ops) {
+      if (op->seq > latest->seq) latest = op;
+      if (op->type == UpdateOp::Type::kInsert) has_insert = true;
+    }
+    if (latest->type == UpdateOp::Type::kDelete && has_insert) {
+      continue;  // pair cancelled: the tuple was born and died in this merge
+    }
+    merged.push_back(*latest);
+  }
+  return merged;
+}
+
+Status BatchedStore::ApplyBatch(const std::vector<UpdateOp>& batch) {
+  if (batch.empty()) return Status::Ok();
+
+  // Within a batch the last op per id wins; assign global sequence numbers
+  // in arrival order.
+  std::vector<UpdateOp> ops;
+  ops.reserve(batch.size());
+  std::unordered_map<uint64_t, size_t> position;
+  for (const UpdateOp& op : batch) {
+    UpdateOp stamped = op;
+    stamped.seq = next_seq_++;
+    auto it = position.find(op.record.id);
+    if (it != position.end()) {
+      ops[it->second] = stamped;
+    } else {
+      position[op.record.id] = ops.size();
+      ops.push_back(stamped);
+    }
+  }
+
+  Result<std::unique_ptr<Instance>> instance = BuildInstance(std::move(ops));
+  if (!instance.ok()) return instance.status();
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].push_back(std::move(instance).value());
+
+  // Hierarchical consolidation: s instances at level l merge into one
+  // re-keyed instance at level l+1.
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].size() < step_) break;
+    std::vector<UpdateOp> merged = MergeOps(levels_[level]);
+    levels_[level].clear();
+    ++consolidations_;
+    if (merged.empty()) continue;
+    Result<std::unique_ptr<Instance>> consolidated =
+        BuildInstance(std::move(merged));
+    if (!consolidated.ok()) return consolidated.status();
+    if (levels_.size() <= level + 1) levels_.emplace_back();
+    levels_[level + 1].push_back(std::move(consolidated).value());
+  }
+  return Status::Ok();
+}
+
+Result<QueryResult> BatchedStore::Query(const Range& r) {
+  QueryResult aggregate;
+  // The op with the highest sequence number decides each id's state; the
+  // owner also drops false positives using the (decrypted) attributes.
+  std::unordered_map<uint64_t, const UpdateOp*> best;
+  for (const auto& level : levels_) {
+    for (const auto& instance : level) {
+      Result<QueryResult> one = instance->scheme->Query(r);
+      if (!one.ok()) return one.status();
+      aggregate.token_count += one->token_count;
+      aggregate.token_bytes += one->token_bytes;
+      aggregate.trapdoor_nanos += one->trapdoor_nanos;
+      aggregate.search_nanos += one->search_nanos;
+      aggregate.rounds = std::max(aggregate.rounds, one->rounds);
+      for (uint64_t id : one->ids) {
+        auto it = instance->by_id.find(id);
+        if (it == instance->by_id.end()) continue;
+        const UpdateOp* op = it->second;
+        if (!r.Contains(op->record.attr)) continue;  // false positive
+        auto [slot, inserted] = best.try_emplace(id, op);
+        if (!inserted && op->seq > slot->second->seq) slot->second = op;
+      }
+    }
+  }
+  for (const auto& [id, op] : best) {
+    if (op->type == UpdateOp::Type::kInsert) aggregate.ids.push_back(id);
+  }
+  std::sort(aggregate.ids.begin(), aggregate.ids.end());
+  return aggregate;
+}
+
+size_t BatchedStore::ActiveInstanceCount() const {
+  size_t count = 0;
+  for (const auto& level : levels_) count += level.size();
+  return count;
+}
+
+size_t BatchedStore::TotalIndexSizeBytes() const {
+  size_t total = 0;
+  for (const auto& level : levels_) {
+    for (const auto& instance : level) {
+      total += instance->scheme->IndexSizeBytes();
+    }
+  }
+  return total;
+}
+
+size_t BatchedStore::LiveTupleCount() const {
+  std::unordered_map<uint64_t, const UpdateOp*> best;
+  for (const auto& level : levels_) {
+    for (const auto& instance : level) {
+      for (const UpdateOp& op : instance->ops) {
+        auto [slot, inserted] = best.try_emplace(op.record.id, &op);
+        if (!inserted && op.seq > slot->second->seq) slot->second = &op;
+      }
+    }
+  }
+  size_t live = 0;
+  for (const auto& [id, op] : best) {
+    if (op->type == UpdateOp::Type::kInsert) ++live;
+  }
+  return live;
+}
+
+}  // namespace rsse::update

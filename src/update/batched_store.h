@@ -1,0 +1,99 @@
+#ifndef RSSE_UPDATE_BATCHED_STORE_H_
+#define RSSE_UPDATE_BATCHED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "rsse/scheme.h"
+
+namespace rsse::update {
+
+/// One update operation. An insert adds a tuple; a delete inserts a
+/// *tombstone* carrying the deleted tuple's (id, attr) with a flag — the
+/// tombstone is indexed like a regular tuple (so the same range queries
+/// discover it) and the owner filters the id out during result refinement.
+/// Modifications are expressed as delete(old) + insert(new), as in the
+/// paper's bulk-loading model.
+struct UpdateOp {
+  enum class Type { kInsert, kDelete };
+  Type type = Type::kInsert;
+  Record record;
+  /// Global sequence number assigned by the store when the batch is
+  /// applied; the op with the highest seq determines an id's live state.
+  uint64_t seq = 0;
+};
+
+/// The paper's Section-7 update mechanism over purely *static* RSSE
+/// instances (the Vertica-style alternative to dynamic SSE):
+///
+///  * every batch becomes an independent static index under a fresh key
+///    (forward privacy: old trapdoors are bound to retired keys);
+///  * when `consolidation_step` (s) sibling instances accumulate at a
+///    level, the owner downloads, merges, cancels insert/tombstone pairs,
+///    re-keys and rebuilds one instance at the next level — a hierarchical
+///    s-ary LSM merge keeping O(s log_s b) active instances;
+///  * a query fans out to every active instance; the owner-side refiner
+///    drops tombstoned ids (and, for SRC-based schemes, false positives).
+class BatchedStore {
+ public:
+  /// `scheme` selects the underlying static RSSE construction;
+  /// `consolidation_step` is the paper's parameter s (>= 2).
+  BatchedStore(SchemeId scheme, Domain domain, size_t consolidation_step,
+               uint64_t rng_seed = 1);
+
+  /// Applies one batch of updates: builds a new static instance and runs
+  /// any pending consolidations.
+  Status ApplyBatch(const std::vector<UpdateOp>& batch);
+
+  /// Fans the query out to all active instances, merges and refines.
+  /// Returns the final (owner-refined) ids along with aggregate protocol
+  /// costs summed over instances.
+  Result<QueryResult> Query(const Range& r);
+
+  /// Number of active (server-resident) instances: b before any merge,
+  /// O(s log_s b) in steady state.
+  size_t ActiveInstanceCount() const;
+
+  /// Total outsourced index bytes across active instances.
+  size_t TotalIndexSizeBytes() const;
+
+  /// Number of consolidation merges performed so far.
+  size_t ConsolidationCount() const { return consolidations_; }
+
+  /// Tuples currently live (inserted and not tombstoned).
+  size_t LiveTupleCount() const;
+
+ private:
+  struct Instance {
+    std::unique_ptr<RangeScheme> scheme;
+    /// Owner-side stand-in for the decrypted tuple payloads: per id, the
+    /// op flag and attribute (used for refinement and for merges).
+    std::vector<UpdateOp> ops;
+    std::unordered_map<uint64_t, const UpdateOp*> by_id;
+  };
+
+  /// Builds a static instance (fresh key) from `ops`.
+  Result<std::unique_ptr<Instance>> BuildInstance(std::vector<UpdateOp> ops);
+
+  /// Merges `sources` (oldest first), cancelling insert/tombstone pairs.
+  static std::vector<UpdateOp> MergeOps(
+      const std::vector<std::unique_ptr<Instance>>& sources);
+
+  SchemeId scheme_id_;
+  Domain domain_;
+  size_t step_;
+  uint64_t next_seed_;
+  uint64_t next_seq_ = 1;
+  size_t consolidations_ = 0;
+  /// levels_[l] holds the not-yet-consolidated instances at LSM level l,
+  /// oldest first.
+  std::vector<std::vector<std::unique_ptr<Instance>>> levels_;
+};
+
+}  // namespace rsse::update
+
+#endif  // RSSE_UPDATE_BATCHED_STORE_H_

@@ -1,0 +1,203 @@
+#include "update/batched_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rsse::update {
+namespace {
+
+UpdateOp Insert(uint64_t id, uint64_t attr) {
+  return UpdateOp{UpdateOp::Type::kInsert, Record{id, attr}, 0};
+}
+
+UpdateOp Delete(uint64_t id, uint64_t attr) {
+  return UpdateOp{UpdateOp::Type::kDelete, Record{id, attr}, 0};
+}
+
+std::vector<uint64_t> QueryIds(BatchedStore& store, Range r) {
+  Result<QueryResult> q = store.Query(r);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q->ids;  // already sorted by BatchedStore
+}
+
+TEST(BatchedStoreTest, InsertsAcrossBatchesAreQueryable) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, /*step=*/3);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10), Insert(2, 20)}).ok());
+  ASSERT_TRUE(store.ApplyBatch({Insert(3, 15)}).ok());
+  EXPECT_EQ(QueryIds(store, Range{10, 20}), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(QueryIds(store, Range{11, 19}), (std::vector<uint64_t>{3}));
+}
+
+TEST(BatchedStoreTest, DeleteHidesOlderInsert) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, 3);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10), Insert(2, 12)}).ok());
+  ASSERT_TRUE(store.ApplyBatch({Delete(1, 10)}).ok());
+  EXPECT_EQ(QueryIds(store, Range{0, 63}), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(store.LiveTupleCount(), 1u);
+}
+
+TEST(BatchedStoreTest, ModificationAsDeletePlusInsert) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, 3);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10)}).ok());
+  // Move tuple 1 from 10 to 40: tombstone old, insert new id for new value.
+  ASSERT_TRUE(store.ApplyBatch({Delete(1, 10), Insert(5, 40)}).ok());
+  EXPECT_TRUE(QueryIds(store, Range{5, 15}).empty());
+  EXPECT_EQ(QueryIds(store, Range{35, 45}), (std::vector<uint64_t>{5}));
+}
+
+TEST(BatchedStoreTest, ConsolidationTriggersAtStep) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, /*step=*/3);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 1)}).ok());
+  ASSERT_TRUE(store.ApplyBatch({Insert(2, 2)}).ok());
+  EXPECT_EQ(store.ActiveInstanceCount(), 2u);
+  EXPECT_EQ(store.ConsolidationCount(), 0u);
+  // Third batch at level 0 triggers a merge into level 1.
+  ASSERT_TRUE(store.ApplyBatch({Insert(3, 3)}).ok());
+  EXPECT_EQ(store.ActiveInstanceCount(), 1u);
+  EXPECT_EQ(store.ConsolidationCount(), 1u);
+  EXPECT_EQ(QueryIds(store, Range{0, 63}), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(BatchedStoreTest, HierarchicalConsolidationCascades) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, /*step=*/2);
+  // 4 batches with s=2: (b1 b2)->L1, (b3 b4)->L1, then L1 pair -> L2.
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.ApplyBatch({Insert(i, i)}).ok());
+  }
+  EXPECT_EQ(store.ConsolidationCount(), 3u);
+  EXPECT_EQ(store.ActiveInstanceCount(), 1u);
+  EXPECT_EQ(QueryIds(store, Range{0, 63}),
+            (std::vector<uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(BatchedStoreTest, ActiveInstancesStayLogarithmic) {
+  const size_t s = 3;
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{256}, s);
+  const size_t batches = 30;
+  for (uint64_t i = 0; i < batches; ++i) {
+    ASSERT_TRUE(store.ApplyBatch({Insert(i, i % 256)}).ok());
+    // O(s log_s b) bound from Section 7.
+    double log_b = std::log(static_cast<double>(i + 1)) /
+                   std::log(static_cast<double>(s));
+    EXPECT_LE(store.ActiveInstanceCount(),
+              static_cast<size_t>(s * (log_b + 2)));
+  }
+  EXPECT_EQ(QueryIds(store, Range{0, 255}).size(), batches);
+}
+
+TEST(BatchedStoreTest, InsertDeletePairCancelsDuringMerge) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, /*step=*/2);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10)}).ok());
+  ASSERT_TRUE(store.ApplyBatch({Delete(1, 10)}).ok());  // triggers merge
+  EXPECT_EQ(store.ConsolidationCount(), 1u);
+  // The pair annihilated: no live tuples, and the consolidated level may be
+  // empty entirely.
+  EXPECT_EQ(store.LiveTupleCount(), 0u);
+  EXPECT_TRUE(QueryIds(store, Range{0, 63}).empty());
+}
+
+TEST(BatchedStoreTest, TombstoneSurvivesMergeWhenInsertIsOlder) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, /*step=*/2);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10), Insert(2, 11)}).ok());
+  ASSERT_TRUE(store.ApplyBatch({Insert(3, 12)}).ok());  // merge #1: L1 holds 1,2,3
+  ASSERT_TRUE(store.ApplyBatch({Delete(1, 10)}).ok());
+  ASSERT_TRUE(store.ApplyBatch({Insert(4, 13)}).ok());  // merge #2 at L0
+  // Tombstone for 1 must keep masking the L1 insert.
+  EXPECT_EQ(QueryIds(store, Range{0, 63}), (std::vector<uint64_t>{2, 3, 4}));
+}
+
+TEST(BatchedStoreTest, WithinBatchLastOpWins) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, 3);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10), Delete(1, 10)}).ok());
+  EXPECT_TRUE(QueryIds(store, Range{0, 63}).empty());
+}
+
+TEST(BatchedStoreTest, WorksWithSrcISchemes) {
+  // The mechanism is scheme-agnostic; SRC-i adds false positives that the
+  // refiner must drop.
+  BatchedStore store(SchemeId::kLogarithmicSrcI, Domain{64}, 2);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10), Insert(2, 30)}).ok());
+  ASSERT_TRUE(store.ApplyBatch({Insert(3, 11), Delete(2, 30)}).ok());
+  EXPECT_EQ(QueryIds(store, Range{9, 31}), (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(BatchedStoreTest, RandomizedAgainstReferenceModel) {
+  // Fuzz the full update pipeline (batching, tombstones, hierarchical
+  // consolidation) against a trivial in-memory reference model, with
+  // random queries after every batch.
+  const Domain domain{128};
+  BatchedStore store(SchemeId::kLogarithmicUrc, domain, /*step=*/2,
+                     /*rng_seed=*/3);
+  std::unordered_map<uint64_t, uint64_t> reference;  // id -> attr
+  Rng rng(2024);
+  uint64_t next_id = 0;
+  for (int batch_no = 0; batch_no < 12; ++batch_no) {
+    std::vector<UpdateOp> batch;
+    const int inserts = static_cast<int>(rng.Uniform(1, 10));
+    for (int i = 0; i < inserts; ++i) {
+      uint64_t id = next_id++;
+      uint64_t attr = rng.Uniform(0, domain.size - 1);
+      batch.push_back(Insert(id, attr));
+      reference[id] = attr;
+    }
+    // Delete a few live ids.
+    const int deletes = static_cast<int>(rng.Uniform(0, 3));
+    for (int d = 0; d < deletes && !reference.empty(); ++d) {
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(0, reference.size() - 1)));
+      batch.push_back(Delete(it->first, it->second));
+      reference.erase(it);
+    }
+    ASSERT_TRUE(store.ApplyBatch(batch).ok());
+
+    // Random queries against the model.
+    for (int q = 0; q < 5; ++q) {
+      uint64_t lo = rng.Uniform(0, domain.size - 1);
+      uint64_t hi = rng.Uniform(lo, domain.size - 1);
+      std::vector<uint64_t> expected;
+      for (const auto& [id, attr] : reference) {
+        if (attr >= lo && attr <= hi) expected.push_back(id);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(QueryIds(store, Range{lo, hi}), expected)
+          << "batch " << batch_no << " range [" << lo << "," << hi << "]";
+    }
+    EXPECT_EQ(store.LiveTupleCount(), reference.size());
+  }
+}
+
+TEST(BatchedStoreTest, EmptyBatchIsNoOp) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, 2);
+  ASSERT_TRUE(store.ApplyBatch({}).ok());
+  EXPECT_EQ(store.ActiveInstanceCount(), 0u);
+  EXPECT_TRUE(QueryIds(store, Range{0, 63}).empty());
+}
+
+TEST(BatchedStoreTest, QueryCostsScaleWithInstanceCount) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, /*step=*/5);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10)}).ok());
+  Result<QueryResult> one = store.Query(Range{0, 63});
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(store.ApplyBatch({Insert(2, 20)}).ok());
+  Result<QueryResult> two = store.Query(Range{0, 63});
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->token_count, 2 * one->token_count);
+}
+
+TEST(BatchedStoreTest, TotalIndexSizeTracksInstances) {
+  BatchedStore store(SchemeId::kLogarithmicBrc, Domain{64}, 5);
+  EXPECT_EQ(store.TotalIndexSizeBytes(), 0u);
+  ASSERT_TRUE(store.ApplyBatch({Insert(1, 10)}).ok());
+  size_t one = store.TotalIndexSizeBytes();
+  EXPECT_GT(one, 0u);
+  ASSERT_TRUE(store.ApplyBatch({Insert(2, 20)}).ok());
+  EXPECT_GT(store.TotalIndexSizeBytes(), one);
+}
+
+}  // namespace
+}  // namespace rsse::update

@@ -1,0 +1,88 @@
+#include "pb/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hmac_prf.h"
+#include "crypto/random.h"
+
+namespace rsse::pb {
+namespace {
+
+Bytes TrapdoorFor(const crypto::Prf& prf, uint64_t element) {
+  Bytes in;
+  AppendUint64(in, element);
+  return prf.EvalTrunc(in, crypto::kLambdaBytes);
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  crypto::Prf prf(crypto::GenerateKey());
+  BloomFilter bf(1000, 0.01, /*node_salt=*/7);
+  for (uint64_t e = 0; e < 1000; ++e) bf.Insert(TrapdoorFor(prf, e));
+  for (uint64_t e = 0; e < 1000; ++e) {
+    EXPECT_TRUE(bf.MayContain(TrapdoorFor(prf, e))) << "element " << e;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  crypto::Prf prf(crypto::GenerateKey());
+  const double target = 0.01;
+  BloomFilter bf(2000, target, /*node_salt=*/3);
+  for (uint64_t e = 0; e < 2000; ++e) bf.Insert(TrapdoorFor(prf, e));
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (bf.MayContain(TrapdoorFor(prf, 1000000 + i))) ++false_positives;
+  }
+  double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 4 * target);
+}
+
+TEST(BloomFilterTest, EmptyFilterMatchesNothing) {
+  crypto::Prf prf(crypto::GenerateKey());
+  BloomFilter bf(100, 0.01, 0);
+  int hits = 0;
+  for (uint64_t e = 0; e < 1000; ++e) {
+    if (bf.MayContain(TrapdoorFor(prf, e))) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomFilterTest, DifferentSaltsProbeDifferently) {
+  // The same trapdoor inserted under salt A should usually not register
+  // under salt B — per-node unlinkability of the PB index.
+  crypto::Prf prf(crypto::GenerateKey());
+  BloomFilter a(100, 0.01, /*node_salt=*/1);
+  BloomFilter b(100, 0.01, /*node_salt=*/2);
+  int cross_hits = 0;
+  for (uint64_t e = 0; e < 100; ++e) {
+    Bytes t = TrapdoorFor(prf, e);
+    a.Insert(t);
+    if (b.MayContain(t)) ++cross_hits;
+  }
+  EXPECT_LT(cross_hits, 10);
+}
+
+TEST(BloomFilterTest, SizingMonotoneInElementsAndRate) {
+  BloomFilter small(100, 0.01, 0);
+  BloomFilter large(1000, 0.01, 0);
+  EXPECT_GT(large.num_bits(), small.num_bits());
+  BloomFilter loose(1000, 0.1, 0);
+  EXPECT_GT(large.num_bits(), loose.num_bits());
+  EXPECT_GT(large.num_hashes(), loose.num_hashes());
+}
+
+TEST(BloomFilterTest, HashCountSane) {
+  EXPECT_EQ(BloomFilter::HashCountFor(0.01), 7);
+  EXPECT_GE(BloomFilter::HashCountFor(0.5), 1);
+}
+
+TEST(BloomFilterTest, ZeroExpectedElementsStillUsable) {
+  BloomFilter bf(0, 0.01, 0);
+  EXPECT_GE(bf.num_bits(), 64u);
+  Bytes t(16, 0xab);
+  bf.Insert(t);
+  EXPECT_TRUE(bf.MayContain(t));
+}
+
+}  // namespace
+}  // namespace rsse::pb

@@ -1,0 +1,149 @@
+#include "cover/brc.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+/// Checks that `cover` covers exactly [r.lo, r.hi] with pairwise-disjoint
+/// dyadic nodes.
+void ExpectExactDisjointCover(const std::vector<DyadicNode>& cover,
+                              const Range& r, int bits) {
+  std::vector<int> hit(size_t{1} << bits, 0);
+  for (const DyadicNode& n : cover) {
+    for (uint64_t v = n.Lo(); v <= n.Hi(); ++v) ++hit[v];
+  }
+  for (uint64_t v = 0; v < (uint64_t{1} << bits); ++v) {
+    EXPECT_EQ(hit[v], r.Contains(v) ? 1 : 0)
+        << "value " << v << " for range [" << r.lo << "," << r.hi << "]";
+  }
+}
+
+TEST(BrcTest, PaperExampleRange2To7) {
+  // Figure 1: BRC covers [2,7] with N2,3 and N4,7.
+  std::vector<DyadicNode> cover = BestRangeCover(Range{2, 7}, 3);
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0], (DyadicNode{1, 1}));  // N2,3
+  EXPECT_EQ(cover[1], (DyadicNode{2, 1}));  // N4,7
+}
+
+TEST(BrcTest, PaperExampleRange1To6) {
+  // Figure 1: BRC covers [1,6] with N1, N2,3, N4,5 and N6.
+  std::vector<DyadicNode> cover = BestRangeCover(Range{1, 6}, 3);
+  ASSERT_EQ(cover.size(), 4u);
+  EXPECT_EQ(cover[0], (DyadicNode{0, 1}));  // N1
+  EXPECT_EQ(cover[1], (DyadicNode{1, 1}));  // N2,3
+  EXPECT_EQ(cover[2], (DyadicNode{1, 2}));  // N4,5
+  EXPECT_EQ(cover[3], (DyadicNode{0, 6}));  // N6
+}
+
+TEST(BrcTest, FullDomainIsRoot) {
+  std::vector<DyadicNode> cover = BestRangeCover(Range{0, 7}, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicNode{3, 0}));
+}
+
+TEST(BrcTest, SingletonIsLeaf) {
+  std::vector<DyadicNode> cover = BestRangeCover(Range{5, 5}, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicNode{0, 5}));
+}
+
+TEST(BrcTest, DomainEdgeRangeNoOverflow) {
+  std::vector<DyadicNode> cover = BestRangeCover(Range{7, 7}, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicNode{0, 7}));
+}
+
+/// Exhaustive sweep over every range of every small domain.
+class BrcExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BrcExhaustiveTest, CoversExactlyAndDisjointly) {
+  const int bits = GetParam();
+  const uint64_t m = uint64_t{1} << bits;
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      ExpectExactDisjointCover(BestRangeCover(Range{lo, hi}, bits),
+                               Range{lo, hi}, bits);
+    }
+  }
+}
+
+TEST_P(BrcExhaustiveTest, AtMostTwoNodesPerLevel) {
+  // The minimal dyadic decomposition has <= 2 nodes per level, giving the
+  // O(log R) bound of Section 2.2.
+  const int bits = GetParam();
+  const uint64_t m = uint64_t{1} << bits;
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      std::map<int, int> per_level;
+      for (const DyadicNode& n : BestRangeCover(Range{lo, hi}, bits)) {
+        ++per_level[n.level];
+      }
+      for (const auto& [level, count] : per_level) {
+        EXPECT_LE(count, 2) << "level " << level << " range [" << lo << ","
+                            << hi << "]";
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Brute-force minimal dyadic cover size via interval DP (exponential-free
+/// reference for small domains).
+int MinimalCoverSize(uint64_t lo, uint64_t hi, int bits,
+                     std::map<std::pair<uint64_t, uint64_t>, int>& memo) {
+  auto key = std::make_pair(lo, hi);
+  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  // Single dyadic node?
+  uint64_t size = hi - lo + 1;
+  bool is_power = (size & (size - 1)) == 0;
+  if (is_power && lo % size == 0) {
+    memo[key] = 1;
+    return 1;
+  }
+  int best = 1 << 30;
+  for (uint64_t mid = lo; mid < hi; ++mid) {
+    best = std::min(best, MinimalCoverSize(lo, mid, bits, memo) +
+                              MinimalCoverSize(mid + 1, hi, bits, memo));
+  }
+  memo[key] = best;
+  return best;
+}
+
+}  // namespace
+
+TEST(BrcTest, GreedyIsMinimalAgainstBruteForce) {
+  // BRC must produce the *minimum* dyadic decomposition, per Section 2.2.
+  const int bits = 5;
+  const uint64_t m = uint64_t{1} << bits;
+  std::map<std::pair<uint64_t, uint64_t>, int> memo;
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      EXPECT_EQ(static_cast<int>(BestRangeCover(Range{lo, hi}, bits).size()),
+                MinimalCoverSize(lo, hi, bits, memo))
+          << "range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(BrcExhaustiveTest, SizeWithinLogBound) {
+  const int bits = GetParam();
+  const uint64_t m = uint64_t{1} << bits;
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      size_t count = BestRangeCover(Range{lo, hi}, bits).size();
+      EXPECT_LE(count, static_cast<size_t>(2 * bits));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDomains, BrcExhaustiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace rsse

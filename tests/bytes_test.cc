@@ -1,0 +1,97 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(BytesTest, ToBytesPreservesContent) {
+  Bytes b = ToBytes("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(BytesTest, ToBytesEmpty) { EXPECT_TRUE(ToBytes("").empty()); }
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(ToHex(b), "0001abff");
+  EXPECT_EQ(FromHex("0001abff"), b);
+}
+
+TEST(BytesTest, FromHexAcceptsUppercase) {
+  EXPECT_EQ(FromHex("ABFF"), (Bytes{0xab, 0xff}));
+}
+
+TEST(BytesTest, FromHexRejectsOddLength) { EXPECT_TRUE(FromHex("abc").empty()); }
+
+TEST(BytesTest, FromHexRejectsNonHex) { EXPECT_TRUE(FromHex("zz").empty()); }
+
+TEST(BytesTest, AppendAndConcat) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Append(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+  Bytes c = Concat({&a, &b});
+  EXPECT_EQ(c, (Bytes{1, 2, 3, 3}));
+}
+
+TEST(BytesTest, AppendByte) {
+  Bytes a;
+  AppendByte(a, 0x7f);
+  EXPECT_EQ(a, (Bytes{0x7f}));
+}
+
+TEST(BytesTest, Uint64BigEndianRoundTrip) {
+  Bytes b;
+  AppendUint64(b, 0x0102030405060708ull);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[7], 0x08);
+  EXPECT_EQ(ReadUint64(b, 0), 0x0102030405060708ull);
+}
+
+TEST(BytesTest, Uint64ExtremesRoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, ~uint64_t{0}}) {
+    Bytes b;
+    AppendUint64(b, v);
+    EXPECT_EQ(ReadUint64(b, 0), v);
+  }
+}
+
+TEST(BytesTest, Uint32RoundTrip) {
+  Bytes b;
+  AppendUint32(b, 0xdeadbeef);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(ReadUint32(b, 0), 0xdeadbeefu);
+}
+
+TEST(BytesTest, ReadAtOffset) {
+  Bytes b;
+  AppendUint64(b, 1);
+  AppendUint64(b, 2);
+  EXPECT_EQ(ReadUint64(b, 8), 2u);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(BytesTest, Fnv1a64KnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64({}), 14695981039346656037ull);
+  EXPECT_NE(Fnv1a64(ToBytes("a")), Fnv1a64(ToBytes("b")));
+}
+
+TEST(BytesTest, BytesHashUsableInUnorderedMap) {
+  BytesHash h;
+  EXPECT_EQ(h(ToBytes("x")), h(ToBytes("x")));
+  EXPECT_NE(h(ToBytes("x")), h(ToBytes("y")));
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,95 @@
+#include "rsse/constant_cache.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+Dataset TestDataset() {
+  std::vector<Record> records;
+  for (uint64_t i = 0; i < 32; ++i) records.push_back({i, i * 2});
+  return Dataset(Domain{64}, std::move(records));
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class CachedConstantClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = TestDataset();
+    scheme_ = std::make_unique<ConstantScheme>(CoverTechnique::kUrc);
+    ASSERT_TRUE(scheme_->Build(data_).ok());
+    client_ = std::make_unique<CachedConstantClient>(*scheme_, data_);
+  }
+
+  Dataset data_;
+  std::unique_ptr<ConstantScheme> scheme_;
+  std::unique_ptr<CachedConstantClient> client_;
+};
+
+TEST_F(CachedConstantClientTest, FreshQueryHitsServer) {
+  Result<CachedConstantClient::Answer> a = client_->Query(Range{0, 15});
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->served_from_cache);
+  EXPECT_GT(a->token_count, 0u);
+  EXPECT_EQ(Sorted(a->ids), Sorted(data_.IdsInRange(Range{0, 15})));
+  EXPECT_EQ(client_->HistorySize(), 1u);
+}
+
+TEST_F(CachedConstantClientTest, SubRangeServedFromCache) {
+  ASSERT_TRUE(client_->Query(Range{0, 15}).ok());
+  Result<CachedConstantClient::Answer> a = client_->Query(Range{4, 9});
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->served_from_cache);
+  EXPECT_EQ(a->token_count, 0u);  // nothing left the owner
+  EXPECT_EQ(Sorted(a->ids), Sorted(data_.IdsInRange(Range{4, 9})));
+  EXPECT_EQ(client_->HistorySize(), 1u);  // no new server query
+}
+
+TEST_F(CachedConstantClientTest, UnionOfCachedRangesCovers) {
+  ASSERT_TRUE(client_->Query(Range{0, 15}).ok());
+  ASSERT_TRUE(client_->Query(Range{16, 31}).ok());
+  // [10, 20] spans both cached ranges.
+  Result<CachedConstantClient::Answer> a = client_->Query(Range{10, 20});
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->served_from_cache);
+  EXPECT_EQ(Sorted(a->ids), Sorted(data_.IdsInRange(Range{10, 20})));
+}
+
+TEST_F(CachedConstantClientTest, PartiallyCoveredIntersectionRefused) {
+  ASSERT_TRUE(client_->Query(Range{0, 15}).ok());
+  // [10, 25] intersects the history but [16, 25] is uncovered.
+  Result<CachedConstantClient::Answer> a = client_->Query(Range{10, 25});
+  EXPECT_EQ(a.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CachedConstantClientTest, DisjointQueriesKeepHittingServer) {
+  ASSERT_TRUE(client_->Query(Range{0, 7}).ok());
+  ASSERT_TRUE(client_->Query(Range{8, 15}).ok());
+  ASSERT_TRUE(client_->Query(Range{40, 50}).ok());
+  EXPECT_EQ(client_->HistorySize(), 3u);
+}
+
+TEST_F(CachedConstantClientTest, CacheAnswersAreDeduplicated) {
+  ASSERT_TRUE(client_->Query(Range{0, 9}).ok());
+  ASSERT_TRUE(client_->Query(Range{10, 19}).ok());
+  Result<CachedConstantClient::Answer> a = client_->Query(Range{0, 19});
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->served_from_cache);
+  std::vector<uint64_t> ids = a->ids;
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(CachedConstantClientTest, OutOfDomainQueryIsEmpty) {
+  Result<CachedConstantClient::Answer> a = client_->Query(Range{100, 200});
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->ids.empty());
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,131 @@
+#include "data/csv_loader.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(CsvLoaderTest, ParsesBasicRows) {
+  std::istringstream in("10,100\n20,200\n30,150\n");
+  CsvOptions options;
+  options.id_column = 0;
+  options.attr_column = 1;
+  Result<Dataset> d = ParseCsvDataset(in, options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  ASSERT_EQ(d->size(), 3u);
+  EXPECT_EQ(d->records()[0], (Record{10, 100}));
+  EXPECT_EQ(d->records()[2], (Record{30, 150}));
+  EXPECT_EQ(d->domain().size, 201u);  // inferred max+1
+}
+
+TEST(CsvLoaderTest, SequentialIdsWhenNoIdColumn) {
+  std::istringstream in("5\n9\n1\n");
+  CsvOptions options;
+  options.attr_column = 0;
+  Result<Dataset> d = ParseCsvDataset(in, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->records()[0], (Record{0, 5}));
+  EXPECT_EQ(d->records()[1], (Record{1, 9}));
+  EXPECT_EQ(d->records()[2], (Record{2, 1}));
+}
+
+TEST(CsvLoaderTest, SkipsHeaderAndBlankLinesAndCr) {
+  std::istringstream in("id,salary\r\n1,50\r\n\n2,70\r\n");
+  CsvOptions options;
+  options.id_column = 0;
+  options.attr_column = 1;
+  options.has_header = true;
+  Result<Dataset> d = ParseCsvDataset(in, options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_EQ(d->records()[1], (Record{2, 70}));
+}
+
+TEST(CsvLoaderTest, CustomDelimiterAndColumnSelection) {
+  std::istringstream in("a|7|x|42\nb|8|y|17\n");
+  CsvOptions options;
+  options.id_column = 1;
+  options.attr_column = 3;
+  options.delimiter = '|';
+  Result<Dataset> d = ParseCsvDataset(in, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->records()[0], (Record{7, 42}));
+  EXPECT_EQ(d->records()[1], (Record{8, 17}));
+}
+
+TEST(CsvLoaderTest, ExplicitDomainValidated) {
+  std::istringstream ok_in("3\n");
+  CsvOptions options;
+  options.attr_column = 0;
+  options.domain_size = 10;
+  Result<Dataset> d = ParseCsvDataset(ok_in, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->domain().size, 10u);
+
+  std::istringstream bad_in("15\n");
+  Result<Dataset> bad = ParseCsvDataset(bad_in, options);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvLoaderTest, RejectsNonNumericAttribute) {
+  std::istringstream in("1,abc\n");
+  CsvOptions options;
+  options.id_column = 0;
+  options.attr_column = 1;
+  Result<Dataset> d = ParseCsvDataset(in, options);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, RejectsShortRows) {
+  std::istringstream in("1,2\n3\n");
+  CsvOptions options;
+  options.id_column = 0;
+  options.attr_column = 1;
+  Result<Dataset> d = ParseCsvDataset(in, options);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, LoadsFromRealFile) {
+  const char* path = "/tmp/rsse_csv_loader_test.csv";
+  {
+    std::ofstream out(path);
+    out << "id,value\n";
+    for (int i = 0; i < 500; ++i) {
+      out << (1000 + i) << "," << (i * 3 % 777) << "\n";
+    }
+  }
+  CsvOptions options;
+  options.id_column = 0;
+  options.attr_column = 1;
+  options.has_header = true;
+  Result<Dataset> d = LoadCsvDataset(path, options);
+  std::remove(path);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 500u);
+  EXPECT_EQ(d->records()[0], (Record{1000, 0}));
+  EXPECT_EQ(d->records()[499], (Record{1499, 499 * 3 % 777}));
+}
+
+TEST(CsvLoaderTest, MissingFileIsNotFound) {
+  CsvOptions options;
+  EXPECT_EQ(LoadCsvDataset("/nonexistent/file.csv", options).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvLoaderTest, EmptyInputYieldsEmptyDataset) {
+  std::istringstream in("");
+  CsvOptions options;
+  Result<Dataset> d = ParseCsvDataset(in, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 0u);
+  EXPECT_EQ(d->domain().size, 1u);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,76 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(DomainTest, BitsForPowerOfTwo) {
+  EXPECT_EQ(Domain{2}.Bits(), 1);
+  EXPECT_EQ(Domain{4}.Bits(), 2);
+  EXPECT_EQ(Domain{8}.Bits(), 3);
+  EXPECT_EQ(Domain{1024}.Bits(), 10);
+}
+
+TEST(DomainTest, BitsForNonPowerOfTwo) {
+  EXPECT_EQ(Domain{3}.Bits(), 2);
+  EXPECT_EQ(Domain{5}.Bits(), 3);
+  EXPECT_EQ(Domain{1000}.Bits(), 10);
+  // The paper's USPS salary domain.
+  EXPECT_EQ(Domain{276841}.Bits(), 19);
+}
+
+TEST(DomainTest, TinyDomains) {
+  EXPECT_EQ(Domain{1}.Bits(), 1);
+  EXPECT_EQ(Domain{2}.PaddedSize(), 2u);
+  EXPECT_EQ(Domain{5}.PaddedSize(), 8u);
+}
+
+TEST(DomainTest, Contains) {
+  Domain d{10};
+  EXPECT_TRUE(d.Contains(0));
+  EXPECT_TRUE(d.Contains(9));
+  EXPECT_FALSE(d.Contains(10));
+}
+
+TEST(RangeTest, SizeAndContains) {
+  Range r{3, 7};
+  EXPECT_EQ(r.Size(), 5u);
+  EXPECT_TRUE(r.Contains(3));
+  EXPECT_TRUE(r.Contains(7));
+  EXPECT_FALSE(r.Contains(8));
+  EXPECT_FALSE(r.Contains(2));
+}
+
+TEST(RangeTest, Intersects) {
+  EXPECT_TRUE((Range{0, 5}).Intersects(Range{5, 9}));
+  EXPECT_TRUE((Range{2, 3}).Intersects(Range{0, 9}));
+  EXPECT_FALSE((Range{0, 4}).Intersects(Range{5, 9}));
+}
+
+TEST(DatasetTest, IdsInRange) {
+  Dataset d(Domain{16}, {{1, 2}, {2, 5}, {3, 5}, {4, 15}});
+  EXPECT_EQ(d.IdsInRange(Range{5, 5}), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(d.IdsInRange(Range{0, 15}).size(), 4u);
+  EXPECT_TRUE(d.IdsInRange(Range{6, 14}).empty());
+}
+
+TEST(DatasetTest, DistinctValueCount) {
+  Dataset d(Domain{16}, {{1, 2}, {2, 5}, {3, 5}, {4, 15}});
+  EXPECT_EQ(d.DistinctValueCount(), 3u);
+  Dataset empty(Domain{16}, {});
+  EXPECT_EQ(empty.DistinctValueCount(), 0u);
+}
+
+TEST(DatasetTest, SortedByAttrStableOnId) {
+  Dataset d(Domain{16}, {{5, 9}, {1, 2}, {4, 9}, {2, 2}});
+  std::vector<Record> sorted = d.SortedByAttr();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0], (Record{1, 2}));
+  EXPECT_EQ(sorted[1], (Record{2, 2}));
+  EXPECT_EQ(sorted[2], (Record{4, 9}));
+  EXPECT_EQ(sorted[3], (Record{5, 9}));
+}
+
+}  // namespace
+}  // namespace rsse

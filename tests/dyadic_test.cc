@@ -1,0 +1,93 @@
+#include "cover/dyadic.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(DyadicNodeTest, LeafCoversSingleValue) {
+  DyadicNode n{0, 5};
+  EXPECT_EQ(n.Lo(), 5u);
+  EXPECT_EQ(n.Hi(), 5u);
+  EXPECT_EQ(n.Size(), 1u);
+  EXPECT_TRUE(n.IsLeaf());
+}
+
+TEST(DyadicNodeTest, InnerNodeRange) {
+  // N4,7 in the paper's Figure 1: level 2, index 1.
+  DyadicNode n{2, 1};
+  EXPECT_EQ(n.Lo(), 4u);
+  EXPECT_EQ(n.Hi(), 7u);
+  EXPECT_EQ(n.Size(), 4u);
+  EXPECT_FALSE(n.IsLeaf());
+  EXPECT_TRUE(n.Contains(5));
+  EXPECT_FALSE(n.Contains(8));
+}
+
+TEST(DyadicNodeTest, ParentChildAlgebra) {
+  DyadicNode n{1, 3};  // covers [6,7]
+  EXPECT_EQ(n.Parent(), (DyadicNode{2, 1}));
+  EXPECT_EQ(n.LeftChild(), (DyadicNode{0, 6}));
+  EXPECT_EQ(n.RightChild(), (DyadicNode{0, 7}));
+  EXPECT_EQ(n.LeftChild().Parent(), n);
+  EXPECT_EQ(n.RightChild().Parent(), n);
+}
+
+TEST(DyadicNodeTest, ChildrenPartitionParent) {
+  for (int level = 1; level <= 4; ++level) {
+    for (uint64_t index = 0; index < 4; ++index) {
+      DyadicNode n{level, index};
+      EXPECT_EQ(n.LeftChild().Lo(), n.Lo());
+      EXPECT_EQ(n.RightChild().Hi(), n.Hi());
+      EXPECT_EQ(n.LeftChild().Hi() + 1, n.RightChild().Lo());
+    }
+  }
+}
+
+TEST(DyadicNodeTest, KeywordEncodingsUnique) {
+  std::set<Bytes> keywords;
+  int count = 0;
+  for (int level = 0; level <= 4; ++level) {
+    for (uint64_t index = 0; index < (uint64_t{1} << (4 - level)); ++index) {
+      keywords.insert(DyadicNode{level, index}.EncodeKeyword());
+      ++count;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(keywords.size()), count);
+}
+
+TEST(PathToRootTest, PathLengthAndMembership) {
+  const int bits = 3;
+  for (uint64_t v = 0; v < 8; ++v) {
+    std::vector<DyadicNode> path = PathToRoot(v, bits);
+    ASSERT_EQ(path.size(), 4u);
+    for (const DyadicNode& n : path) {
+      EXPECT_TRUE(n.Contains(v));
+    }
+    EXPECT_EQ(path.front(), (DyadicNode{0, v}));  // leaf
+    EXPECT_EQ(path.back(), (DyadicNode{bits, 0}));  // root
+  }
+}
+
+TEST(PathToRootTest, PaperExampleValue3) {
+  // d.a = 3 in Figure 1 is associated with N0,7, N0,3, N2,3 and N3.
+  std::vector<DyadicNode> path = PathToRoot(3, 3);
+  EXPECT_EQ(path[0], (DyadicNode{0, 3}));  // N3
+  EXPECT_EQ(path[1], (DyadicNode{1, 1}));  // N2,3
+  EXPECT_EQ(path[2], (DyadicNode{2, 0}));  // N0,3
+  EXPECT_EQ(path[3], (DyadicNode{3, 0}));  // N0,7
+}
+
+TEST(DyadicAncestorTest, MatchesPath) {
+  for (uint64_t v = 0; v < 16; ++v) {
+    std::vector<DyadicNode> path = PathToRoot(v, 4);
+    for (int level = 0; level <= 4; ++level) {
+      EXPECT_EQ(DyadicAncestor(v, level), path[static_cast<size_t>(level)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsse

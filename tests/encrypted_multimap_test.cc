@@ -1,0 +1,203 @@
+#include "sse/encrypted_multimap.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+
+namespace rsse::sse {
+namespace {
+
+PlainMultimap SamplePostings() {
+  PlainMultimap postings;
+  postings[ToBytes("apple")] = {EncodeIdPayload(1), EncodeIdPayload(2),
+                                EncodeIdPayload(3)};
+  postings[ToBytes("banana")] = {EncodeIdPayload(10)};
+  postings[ToBytes("empty")] = {};
+  return postings;
+}
+
+TEST(EncryptedMultimapTest, SearchReturnsExactPostings) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  std::vector<Bytes> apple = built->Search(deriver.Derive(ToBytes("apple")));
+  ASSERT_EQ(apple.size(), 3u);
+  std::vector<uint64_t> ids;
+  for (const Bytes& p : apple) ids.push_back(*DecodeIdPayload(p));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(EncryptedMultimapTest, PostingOrderPreserved) {
+  PlainMultimap postings;
+  postings[ToBytes("w")] = {EncodeIdPayload(7), EncodeIdPayload(5),
+                            EncodeIdPayload(9)};
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built = EncryptedMultimap::Build(postings, deriver);
+  ASSERT_TRUE(built.ok());
+  std::vector<Bytes> res = built->Search(deriver.Derive(ToBytes("w")));
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(*DecodeIdPayload(res[0]), 7u);
+  EXPECT_EQ(*DecodeIdPayload(res[1]), 5u);
+  EXPECT_EQ(*DecodeIdPayload(res[2]), 9u);
+}
+
+TEST(EncryptedMultimapTest, UnknownKeywordReturnsEmpty) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->Search(deriver.Derive(ToBytes("missing"))).empty());
+}
+
+TEST(EncryptedMultimapTest, WrongKeyDeriverFindsNothing) {
+  // Forward-privacy mechanism of Section 7: an index under a fresh key is
+  // unreadable with trapdoors from another key.
+  PrfKeyDeriver build_deriver(crypto::GenerateKey());
+  PrfKeyDeriver other_deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), build_deriver);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->Search(other_deriver.Derive(ToBytes("apple"))).empty());
+}
+
+TEST(EncryptedMultimapTest, EmptyPostingListLookupEmpty) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->Search(deriver.Derive(ToBytes("empty"))).empty());
+}
+
+TEST(EncryptedMultimapTest, EntryCountMatchesPostings) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->EntryCount(), 4u);
+  EXPECT_GT(built->SizeBytes(), 4 * 16u);
+}
+
+TEST(EncryptedMultimapTest, PaddingRoundsUpListsAndHidesCounts) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  PaddingPolicy padding{4};
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver, padding);
+  ASSERT_TRUE(built.ok());
+  // apple(3) -> 4, banana(1) -> 4, empty(0) -> 4.
+  EXPECT_EQ(built->EntryCount(), 12u);
+  // Search drops dummies.
+  EXPECT_EQ(built->Search(deriver.Derive(ToBytes("apple"))).size(), 3u);
+  EXPECT_EQ(built->Search(deriver.Derive(ToBytes("banana"))).size(), 1u);
+  EXPECT_TRUE(built->Search(deriver.Derive(ToBytes("empty"))).empty());
+}
+
+TEST(EncryptedMultimapTest, VariableLengthPayloads) {
+  PlainMultimap postings;
+  postings[ToBytes("w")] = {ToBytes("short"), Bytes(100, 0xaa), {}};
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built = EncryptedMultimap::Build(postings, deriver);
+  ASSERT_TRUE(built.ok());
+  std::vector<Bytes> res = built->Search(deriver.Derive(ToBytes("w")));
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0], ToBytes("short"));
+  EXPECT_EQ(res[1], Bytes(100, 0xaa));
+  EXPECT_TRUE(res[2].empty());
+}
+
+TEST(EncryptedMultimapTest, LargePostingListRoundTrips) {
+  PlainMultimap postings;
+  for (uint64_t i = 0; i < 500; ++i) {
+    postings[ToBytes("big")].push_back(EncodeIdPayload(i));
+  }
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built = EncryptedMultimap::Build(postings, deriver);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->Search(deriver.Derive(ToBytes("big"))).size(), 500u);
+}
+
+TEST(EncryptedMultimapTest, SerializeRoundTrip) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  Bytes blob = built->Serialize();
+  Result<EncryptedMultimap> restored = EncryptedMultimap::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->EntryCount(), built->EntryCount());
+  EXPECT_EQ(restored->SizeBytes(), built->SizeBytes());
+  std::vector<Bytes> apple = restored->Search(deriver.Derive(ToBytes("apple")));
+  EXPECT_EQ(apple.size(), 3u);
+}
+
+TEST(EncryptedMultimapTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(EncryptedMultimap::Deserialize({}).ok());
+  EXPECT_FALSE(EncryptedMultimap::Deserialize(Bytes(40, 0xab)).ok());
+}
+
+TEST(EncryptedMultimapTest, DeserializeRejectsTruncation) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  Bytes blob = built->Serialize();
+  blob.resize(blob.size() - 5);
+  EXPECT_FALSE(EncryptedMultimap::Deserialize(blob).ok());
+}
+
+TEST(EncryptedMultimapTest, DeserializeRejectsTrailingBytes) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  Bytes blob = built->Serialize();
+  blob.push_back(0x00);
+  EXPECT_FALSE(EncryptedMultimap::Deserialize(blob).ok());
+}
+
+TEST(EncryptedMultimapTest, ParallelBuildMatchesSerial) {
+  PlainMultimap postings;
+  for (uint64_t w = 0; w < 50; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, w);
+    for (uint64_t i = 0; i < 20; ++i) {
+      postings[keyword].push_back(EncodeIdPayload(w * 100 + i));
+    }
+  }
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  BuildOptions serial;
+  serial.threads = 1;
+  BuildOptions parallel;
+  parallel.threads = 8;
+  Result<EncryptedMultimap> a =
+      EncryptedMultimap::BuildWithOptions(postings, deriver, serial);
+  Result<EncryptedMultimap> b =
+      EncryptedMultimap::BuildWithOptions(postings, deriver, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->EntryCount(), b->EntryCount());
+  for (uint64_t w = 0; w < 50; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, w);
+    KeywordKeys token = deriver.Derive(keyword);
+    std::vector<Bytes> ra = a->Search(token);
+    std::vector<Bytes> rb = b->Search(token);
+    EXPECT_EQ(ra, rb) << "keyword " << w;
+  }
+}
+
+TEST(IdPayloadTest, RoundTrip) {
+  EXPECT_EQ(*DecodeIdPayload(EncodeIdPayload(0)), 0u);
+  EXPECT_EQ(*DecodeIdPayload(EncodeIdPayload(~uint64_t{0})), ~uint64_t{0});
+}
+
+TEST(IdPayloadTest, RejectsWrongSize) {
+  EXPECT_FALSE(DecodeIdPayload(Bytes(7, 0)).has_value());
+  EXPECT_FALSE(DecodeIdPayload(Bytes(9, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace rsse::sse

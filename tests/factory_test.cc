@@ -1,0 +1,65 @@
+#include "rsse/factory.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(FactoryTest, ProducesEverySchemeWithMatchingId) {
+  for (SchemeId id : AllSchemeIds()) {
+    std::unique_ptr<RangeScheme> scheme = MakeScheme(id, 1);
+    ASSERT_NE(scheme, nullptr) << SchemeName(id);
+    EXPECT_EQ(scheme->id(), id) << SchemeName(id);
+  }
+}
+
+TEST(FactoryTest, NaivePerValueConstructible) {
+  std::unique_ptr<RangeScheme> scheme = MakeScheme(SchemeId::kNaivePerValue, 1);
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_EQ(scheme->id(), SchemeId::kNaivePerValue);
+}
+
+TEST(FactoryTest, PbIsNotProducedHere) {
+  // Module layering: the baseline comes from pb::MakePbScheme.
+  EXPECT_EQ(MakeScheme(SchemeId::kPb, 1), nullptr);
+}
+
+TEST(FactoryTest, AllSchemeIdsAreTableOneSchemes) {
+  std::vector<SchemeId> ids = AllSchemeIds();
+  EXPECT_EQ(ids.size(), 7u);
+  std::set<SchemeId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+  EXPECT_EQ(unique.count(SchemeId::kPb), 0u);
+  EXPECT_EQ(unique.count(SchemeId::kNaivePerValue), 0u);
+}
+
+TEST(FactoryTest, SchemeNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  std::vector<SchemeId> ids = AllSchemeIds();
+  ids.push_back(SchemeId::kPb);
+  ids.push_back(SchemeId::kNaivePerValue);
+  for (SchemeId id : ids) {
+    std::string name = SchemeName(id);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(FactoryTest, FreshSchemesAreIndependent) {
+  // Two instances of the same scheme use fresh keys: an index built by one
+  // is not searchable by the other (different Setup output).
+  Dataset data(Domain{16}, {{1, 3}});
+  auto a = MakeScheme(SchemeId::kLogarithmicBrc, 1);
+  auto b = MakeScheme(SchemeId::kLogarithmicBrc, 1);
+  ASSERT_TRUE(a->Build(data).ok());
+  ASSERT_TRUE(b->Build(data).ok());
+  // Both answer their own queries correctly.
+  EXPECT_EQ(a->Query(Range{0, 15})->ids, std::vector<uint64_t>{1});
+  EXPECT_EQ(b->Query(Range{0, 15})->ids, std::vector<uint64_t>{1});
+}
+
+}  // namespace
+}  // namespace rsse

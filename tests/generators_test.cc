@@ -1,0 +1,78 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(GeneratorsTest, UniformShape) {
+  Rng rng(1);
+  Dataset d = GenerateUniform(1000, 1 << 20, rng);
+  EXPECT_EQ(d.size(), 1000u);
+  EXPECT_EQ(d.domain().size, uint64_t{1} << 20);
+  for (const Record& r : d.records()) {
+    EXPECT_LT(r.attr, d.domain().size);
+  }
+}
+
+TEST(GeneratorsTest, IdsAreUniqueAndSequential) {
+  Rng rng(1);
+  Dataset d = GenerateUniform(100, 1 << 10, rng);
+  for (size_t i = 0; i < d.size(); ++i) EXPECT_EQ(d.records()[i].id, i);
+}
+
+TEST(GeneratorsTest, GowallaLikeIsMostlyDistinct) {
+  Rng rng(2);
+  Dataset d = GenerateGowallaLike(20000, uint64_t{1} << 26, rng);
+  double distinct_ratio =
+      static_cast<double>(d.DistinctValueCount()) / static_cast<double>(d.size());
+  // The paper's Gowalla attribute has ~95% distinct values.
+  EXPECT_GT(distinct_ratio, 0.90);
+  EXPECT_LE(distinct_ratio, 1.0);
+}
+
+TEST(GeneratorsTest, UspsLikeIsHeavilySkewed) {
+  Rng rng(3);
+  Dataset d = GenerateUspsLike(20000, 276841, rng);
+  double distinct_ratio =
+      static_cast<double>(d.DistinctValueCount()) / static_cast<double>(d.size());
+  // The paper's USPS attribute has ~5% distinct values.
+  EXPECT_LT(distinct_ratio, 0.15);
+  EXPECT_GT(distinct_ratio, 0.001);
+}
+
+TEST(GeneratorsTest, UspsLikeStaysInDomain) {
+  Rng rng(3);
+  Dataset d = GenerateUspsLike(5000, 276841, rng);
+  for (const Record& r : d.records()) EXPECT_LT(r.attr, 276841u);
+}
+
+TEST(GeneratorsTest, ZipfConcentratesMass) {
+  Rng rng(4);
+  Dataset d = GenerateZipf(10000, 1 << 16, /*theta=*/1.2, rng);
+  // Under heavy Zipf skew far fewer distinct values than tuples.
+  EXPECT_LT(d.DistinctValueCount(), d.size() / 2);
+}
+
+TEST(GeneratorsTest, SingleValueWithOutliers) {
+  Rng rng(5);
+  Dataset d = GenerateSingleValueWithOutliers(1000, 1 << 10, /*hot_value=*/42,
+                                              /*outliers=*/10, rng);
+  size_t hot = 0;
+  for (const Record& r : d.records()) {
+    if (r.attr == 42) ++hot;
+  }
+  EXPECT_GE(hot, 990u - 10u);  // outliers could also land on 42
+  EXPECT_EQ(d.size(), 1000u);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  Dataset a = GenerateUspsLike(500, 10000, rng1);
+  Dataset b = GenerateUspsLike(500, 10000, rng2);
+  EXPECT_EQ(a.records(), b.records());
+}
+
+}  // namespace
+}  // namespace rsse

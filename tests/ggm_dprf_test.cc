@@ -1,0 +1,153 @@
+#include "dprf/ggm_dprf.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "crypto/prg.h"
+#include "crypto/random.h"
+#include "cover/urc.h"
+
+namespace rsse {
+namespace {
+
+TEST(GgmDprfTest, EvalMatchesPaperExample) {
+  // Section 2.2: the DPRF of 6 = (110)_2 is G0(G1(G1(k))).
+  Bytes key = crypto::GenerateKey();
+  GgmDprf dprf(key, 3);
+  Bytes expected = crypto::GgmPrg::G0(crypto::GgmPrg::G1(crypto::GgmPrg::G1(key)));
+  EXPECT_EQ(dprf.Eval(6), expected);
+}
+
+TEST(GgmDprfTest, NodeSeedMatchesPaperDelegation) {
+  // Section 2.2: node N4,7's seed is G1(k).
+  Bytes key = crypto::GenerateKey();
+  GgmDprf dprf(key, 3);
+  EXPECT_EQ(dprf.NodeSeed(DyadicNode{2, 1}), crypto::GgmPrg::G1(key));
+  // Root seed is the key itself.
+  EXPECT_EQ(dprf.NodeSeed(DyadicNode{3, 0}), key);
+}
+
+TEST(GgmDprfTest, LeafValuesAllDistinct) {
+  GgmDprf dprf(crypto::GenerateKey(), 5);
+  std::set<Bytes> values;
+  for (uint64_t v = 0; v < 32; ++v) values.insert(dprf.Eval(v));
+  EXPECT_EQ(values.size(), 32u);
+}
+
+TEST(GgmDprfTest, ExpandReproducesLeafValuesInOrder) {
+  GgmDprf dprf(crypto::GenerateKey(), 4);
+  for (int level = 0; level <= 4; ++level) {
+    for (uint64_t index = 0; index < (uint64_t{1} << (4 - level)); ++index) {
+      DyadicNode node{level, index};
+      GgmDprf::Token token{dprf.NodeSeed(node), level};
+      std::vector<Bytes> leaves = GgmDprf::Expand(token);
+      ASSERT_EQ(leaves.size(), node.Size());
+      for (uint64_t off = 0; off < node.Size(); ++off) {
+        EXPECT_EQ(leaves[off], dprf.Eval(node.Lo() + off))
+            << "node level=" << level << " index=" << index << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST(GgmDprfTest, DelegationCoversRangeExactly) {
+  Rng rng(7);
+  GgmDprf dprf(crypto::GenerateKey(), 6);
+  for (const auto technique : {CoverTechnique::kBrc, CoverTechnique::kUrc}) {
+    for (uint64_t lo = 0; lo < 64; lo += 5) {
+      for (uint64_t hi = lo; hi < 64; hi += 7) {
+        std::vector<GgmDprf::Token> tokens =
+            dprf.Delegate(Range{lo, hi}, technique, rng);
+        std::set<Bytes> derived;
+        for (const auto& t : tokens) {
+          for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(leaf);
+        }
+        std::set<Bytes> expected;
+        for (uint64_t v = lo; v <= hi; ++v) expected.insert(dprf.Eval(v));
+        EXPECT_EQ(derived, expected)
+            << "range [" << lo << "," << hi << "] technique "
+            << (technique == CoverTechnique::kBrc ? "BRC" : "URC");
+      }
+    }
+  }
+}
+
+TEST(GgmDprfTest, TokenCountLogarithmic) {
+  Rng rng(7);
+  GgmDprf dprf(crypto::GenerateKey(), 16);
+  for (uint64_t size : {1u, 10u, 100u, 1000u, 10000u}) {
+    std::vector<GgmDprf::Token> tokens =
+        dprf.Delegate(Range{3, 3 + size - 1}, CoverTechnique::kBrc, rng);
+    int log_r = 0;
+    while ((uint64_t{1} << log_r) < size) ++log_r;
+    EXPECT_LE(tokens.size(), static_cast<size_t>(2 * (log_r + 1)));
+  }
+}
+
+TEST(GgmDprfTest, UrcTokenLevelsDependOnlyOnRangeSize) {
+  // The shape an adversary sees from URC tokens must not reveal position.
+  Rng rng(7);
+  GgmDprf dprf(crypto::GenerateKey(), 8);
+  const uint64_t size = 11;
+  std::vector<int> reference;
+  for (uint64_t lo = 0; lo + size <= 256; lo += 13) {
+    std::vector<GgmDprf::Token> tokens =
+        dprf.Delegate(Range{lo, lo + size - 1}, CoverTechnique::kUrc, rng);
+    std::vector<int> levels;
+    for (const auto& t : tokens) levels.push_back(t.level);
+    std::sort(levels.begin(), levels.end());
+    if (reference.empty()) {
+      reference = levels;
+    } else {
+      EXPECT_EQ(levels, reference) << "at lo=" << lo;
+    }
+  }
+  EXPECT_EQ(reference, UrcLevelProfile(size, 8));
+}
+
+TEST(GgmDprfTest, DifferentKeysProduceUnrelatedValues) {
+  GgmDprf a(crypto::GenerateKey(), 4);
+  GgmDprf b(crypto::GenerateKey(), 4);
+  for (uint64_t v = 0; v < 16; ++v) EXPECT_NE(a.Eval(v), b.Eval(v));
+}
+
+TEST(GgmDprfTest, LargeDomainDelegationConsistent) {
+  // 40-bit domain: delegation + public expansion must still reproduce the
+  // owner-side evaluations exactly.
+  Rng rng(3);
+  GgmDprf dprf(crypto::GenerateKey(), 40);
+  const uint64_t lo = (uint64_t{1} << 39) - 5;  // straddles a high subtree
+  const Range r{lo, lo + 40};
+  std::vector<GgmDprf::Token> tokens =
+      dprf.Delegate(r, CoverTechnique::kUrc, rng);
+  std::set<Bytes> derived;
+  for (const auto& t : tokens) {
+    for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(leaf);
+  }
+  EXPECT_EQ(derived.size(), r.Size());
+  for (uint64_t v = r.lo; v <= r.hi; ++v) {
+    EXPECT_TRUE(derived.count(dprf.Eval(v))) << "missing leaf " << v;
+  }
+}
+
+TEST(GgmDprfTest, TokensArePermuted) {
+  // Delegate a wide range repeatedly; orders must differ across runs (the
+  // trapdoor hides cover-node order).
+  GgmDprf dprf(crypto::GenerateKey(), 10);
+  Rng rng1(1);
+  Rng rng2(2);
+  auto t1 = dprf.Delegate(Range{1, 700}, CoverTechnique::kBrc, rng1);
+  auto t2 = dprf.Delegate(Range{1, 700}, CoverTechnique::kBrc, rng2);
+  ASSERT_EQ(t1.size(), t2.size());
+  ASSERT_GT(t1.size(), 3u);
+  bool same_order = true;
+  for (size_t i = 0; i < t1.size(); ++i) {
+    if (t1[i].seed != t2[i].seed) same_order = false;
+  }
+  EXPECT_FALSE(same_order);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,79 @@
+#include "crypto/hmac_prf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace rsse::crypto {
+namespace {
+
+// RFC 4231 test case 2: key = "Jefe", data = "what do ya want for nothing?".
+TEST(HmacTest, Rfc4231Sha256Case2) {
+  EXPECT_EQ(
+      ToHex(HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Sha512Case2) {
+  EXPECT_EQ(
+      ToHex(HmacSha512(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))),
+      "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554"
+      "9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737");
+}
+
+// RFC 4231 test case 1: 20 bytes of 0x0b, data "Hi There".
+TEST(HmacTest, Rfc4231Sha512Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(ToHex(HmacSha512(key, ToBytes("Hi There"))),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+            "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854");
+}
+
+TEST(HmacTest, OutputSizes) {
+  EXPECT_EQ(HmacSha256(ToBytes("k"), ToBytes("m")).size(), 32u);
+  EXPECT_EQ(HmacSha512(ToBytes("k"), ToBytes("m")).size(), 64u);
+}
+
+TEST(PrfTest, MatchesOneShotHmac) {
+  Bytes key = ToBytes("prf-key-material");
+  Prf prf(key);
+  for (const char* msg : {"", "a", "hello world", "0123456789abcdef"}) {
+    EXPECT_EQ(prf.Eval(ToBytes(msg)), HmacSha512(key, ToBytes(msg)))
+        << "mismatch for message: " << msg;
+  }
+}
+
+TEST(PrfTest, TruncationIsPrefix) {
+  Prf prf(ToBytes("key"));
+  Bytes full = prf.Eval(ToBytes("msg"));
+  Bytes trunc = prf.EvalTrunc(ToBytes("msg"), 16);
+  ASSERT_EQ(trunc.size(), 16u);
+  EXPECT_TRUE(std::equal(trunc.begin(), trunc.end(), full.begin()));
+}
+
+TEST(PrfTest, DistinctKeysDistinctOutputs) {
+  Prf a(ToBytes("key-a"));
+  Prf b(ToBytes("key-b"));
+  EXPECT_NE(a.Eval(ToBytes("m")), b.Eval(ToBytes("m")));
+}
+
+TEST(PrfTest, DistinctInputsDistinctOutputs) {
+  Prf prf(ToBytes("key"));
+  EXPECT_NE(prf.Eval(ToBytes("m1")), prf.Eval(ToBytes("m2")));
+}
+
+TEST(PrfTest, RepeatedEvaluationIsStable) {
+  Prf prf(ToBytes("key"));
+  Bytes first = prf.Eval(ToBytes("m"));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(prf.Eval(ToBytes("m")), first);
+}
+
+TEST(PrfTest, MoveConstructionPreservesKey) {
+  Prf a(ToBytes("key"));
+  Bytes expected = a.Eval(ToBytes("m"));
+  Prf b = std::move(a);
+  EXPECT_EQ(b.Eval(ToBytes("m")), expected);
+}
+
+}  // namespace
+}  // namespace rsse::crypto

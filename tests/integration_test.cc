@@ -1,0 +1,152 @@
+// End-to-end scenarios cutting across modules: realistic synthetic data,
+// mixed workloads, qualitative cost relationships from Table 1 / Section 8.
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/workload.h"
+#include "pb/pb_scheme.h"
+#include "rsse/constant.h"
+#include "rsse/factory.h"
+#include "rsse/log_src.h"
+#include "rsse/log_src_i.h"
+#include "rsse/logarithmic.h"
+#include "rsse/scheme.h"
+
+namespace rsse {
+namespace {
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(IntegrationTest, AllSchemesAgreeOnRandomWorkload) {
+  Rng rng(100);
+  Dataset data = GenerateGowallaLike(400, 1 << 12, rng);
+  std::vector<std::unique_ptr<RangeScheme>> schemes;
+  for (SchemeId id : AllSchemeIds()) {
+    if (id == SchemeId::kQuadratic) continue;  // domain too large by design
+    schemes.push_back(MakeScheme(id, 55));
+  }
+  schemes.push_back(pb::MakePbScheme(55));
+  for (auto& s : schemes) ASSERT_TRUE(s->Build(data).ok());
+
+  Rng qrng(101);
+  for (const Range& r : RandomRangesOfSize(data.domain(), 200, 25, qrng)) {
+    std::vector<uint64_t> truth = Sorted(data.IdsInRange(r));
+    for (auto& s : schemes) {
+      Result<QueryResult> q = s->Query(r);
+      ASSERT_TRUE(q.ok()) << SchemeName(s->id());
+      EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, r)), truth)
+          << SchemeName(s->id()) << " on [" << r.lo << "," << r.hi << "]";
+    }
+  }
+}
+
+TEST(IntegrationTest, StorageOrderingMatchesTableOne) {
+  // Table 1 storage column: Constant O(n) < Logarithmic O(n log m)
+  // < SRC (TDAG doubles keywords) <= SRC-i (extra index).
+  Rng rng(42);
+  Dataset data = GenerateGowallaLike(500, 1 << 14, rng);
+  ConstantScheme constant(CoverTechnique::kBrc);
+  LogarithmicScheme logarithmic(CoverTechnique::kBrc);
+  LogarithmicSrcScheme src;
+  LogarithmicSrcIScheme srci;
+  ASSERT_TRUE(constant.Build(data).ok());
+  ASSERT_TRUE(logarithmic.Build(data).ok());
+  ASSERT_TRUE(src.Build(data).ok());
+  ASSERT_TRUE(srci.Build(data).ok());
+  EXPECT_LT(constant.IndexSizeBytes(), logarithmic.IndexSizeBytes());
+  EXPECT_LT(logarithmic.IndexSizeBytes(), src.IndexSizeBytes());
+  EXPECT_LT(src.IndexSizeBytes(), srci.IndexSizeBytes());
+}
+
+TEST(IntegrationTest, SrcIAuxIndexShrinksWithSkew) {
+  // Table 2 vs Figure 5: on ~5%-distinct data the auxiliary index adds
+  // little; on ~95%-distinct data it roughly doubles the total.
+  Rng rng1(1);
+  Rng rng2(2);
+  Dataset uniformish = GenerateGowallaLike(800, 1 << 16, rng1);
+  Dataset skewed = GenerateUspsLike(800, 1 << 16, rng2);
+  LogarithmicSrcIScheme on_uniform;
+  LogarithmicSrcIScheme on_skewed;
+  ASSERT_TRUE(on_uniform.Build(uniformish).ok());
+  ASSERT_TRUE(on_skewed.Build(skewed).ok());
+  double uniform_aux_fraction =
+      static_cast<double>(on_uniform.AuxiliaryIndexSizeBytes()) /
+      static_cast<double>(on_uniform.IndexSizeBytes());
+  double skewed_aux_fraction =
+      static_cast<double>(on_skewed.AuxiliaryIndexSizeBytes()) /
+      static_cast<double>(on_skewed.IndexSizeBytes());
+  EXPECT_GT(uniform_aux_fraction, 2 * skewed_aux_fraction);
+}
+
+TEST(IntegrationTest, QuerySizeShapesMatchFigure8) {
+  // Fig 8a: SRC/SRC-i constant; BRC/URC grow ~logarithmically; URC >= BRC.
+  Rng rng(9);
+  Dataset data = GenerateUniform(300, 1 << 16, rng);
+  LogarithmicScheme brc(CoverTechnique::kBrc);
+  LogarithmicScheme urc(CoverTechnique::kUrc);
+  LogarithmicSrcScheme src;
+  ASSERT_TRUE(brc.Build(data).ok());
+  ASSERT_TRUE(urc.Build(data).ok());
+  ASSERT_TRUE(src.Build(data).ok());
+
+  auto query_bytes = [](RangeScheme& s, Range r) {
+    Result<QueryResult> q = s.Query(r);
+    EXPECT_TRUE(q.ok());
+    return q->token_bytes;
+  };
+  Range small{100, 101};
+  Range large{100, 1099};
+  EXPECT_EQ(query_bytes(src, small), query_bytes(src, large));  // constant
+  EXPECT_LT(query_bytes(brc, small), query_bytes(brc, large));  // grows
+  EXPECT_GE(query_bytes(urc, large), query_bytes(brc, large));  // URC >= BRC
+}
+
+TEST(IntegrationTest, SearchCostReflectsFalsePositives) {
+  // Under heavy skew SRC touches nearly the whole dataset while SRC-i does
+  // not — the Figure 7b crossover.
+  Rng rng(12);
+  Dataset data = GenerateSingleValueWithOutliers(600, 1 << 10, /*hot=*/512,
+                                                 /*outliers=*/30, rng);
+  LogarithmicSrcScheme src;
+  LogarithmicSrcIScheme srci;
+  ASSERT_TRUE(src.Build(data).ok());
+  ASSERT_TRUE(srci.Build(data).ok());
+  Range r{500, 520};  // contains the hot value
+  Result<QueryResult> src_q = src.Query(r);
+  Result<QueryResult> srci_q = srci.Query(r);
+  ASSERT_TRUE(src_q.ok());
+  ASSERT_TRUE(srci_q.ok());
+  // Query hits the hot value, so both return >= 570 true results. Now query
+  // just beside the hot value:
+  Range beside{513, 533};
+  src_q = src.Query(beside);
+  srci_q = srci.Query(beside);
+  ASSERT_TRUE(src_q.ok());
+  ASSERT_TRUE(srci_q.ok());
+  EXPECT_GT(src_q->ids.size(), srci_q->ids.size());
+}
+
+TEST(IntegrationTest, ConstantSchemeWorksOnLargeDomain) {
+  // DPRF delegation over a 2^20 domain (the Appendix A setting).
+  Rng rng(77);
+  Dataset data = GenerateUniform(200, uint64_t{1} << 20, rng);
+  ConstantScheme scheme(CoverTechnique::kUrc);
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Rng qrng(78);
+  for (const Range& r : RandomRangesOfSize(data.domain(), 100, 10, qrng)) {
+    Result<QueryResult> q = scheme.Query(r);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(Sorted(q->ids), Sorted(data.IdsInRange(r)));
+    EXPECT_LE(q->token_count, 14u);  // O(log 100) tokens
+  }
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,47 @@
+#include "sse/keyword_keys.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+
+namespace rsse::sse {
+namespace {
+
+TEST(KeysFromSharedSecretTest, DeterministicAndSplit) {
+  Bytes secret = ToBytes("shared-secret");
+  KeywordKeys a = KeysFromSharedSecret(secret);
+  KeywordKeys b = KeysFromSharedSecret(secret);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.label_key.size(), crypto::kLambdaBytes);
+  EXPECT_EQ(a.value_key.size(), crypto::kLambdaBytes);
+  EXPECT_NE(a.label_key, a.value_key);  // domain separation
+}
+
+TEST(KeysFromSharedSecretTest, DistinctSecretsDistinctKeys) {
+  KeywordKeys a = KeysFromSharedSecret(ToBytes("s1"));
+  KeywordKeys b = KeysFromSharedSecret(ToBytes("s2"));
+  EXPECT_NE(a.label_key, b.label_key);
+  EXPECT_NE(a.value_key, b.value_key);
+}
+
+TEST(PrfKeyDeriverTest, DeterministicPerKeyword) {
+  Bytes master = crypto::GenerateKey();
+  PrfKeyDeriver deriver(master);
+  EXPECT_EQ(deriver.Derive(ToBytes("w1")), deriver.Derive(ToBytes("w1")));
+  EXPECT_NE(deriver.Derive(ToBytes("w1")), deriver.Derive(ToBytes("w2")));
+}
+
+TEST(PrfKeyDeriverTest, DistinctMastersDistinctKeys) {
+  PrfKeyDeriver a(crypto::GenerateKey());
+  PrfKeyDeriver b(crypto::GenerateKey());
+  EXPECT_NE(a.Derive(ToBytes("w")), b.Derive(ToBytes("w")));
+}
+
+TEST(PrfKeyDeriverTest, EmptyKeywordSupported) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  KeywordKeys k = deriver.Derive({});
+  EXPECT_EQ(k.label_key.size(), crypto::kLambdaBytes);
+}
+
+}  // namespace
+}  // namespace rsse::sse

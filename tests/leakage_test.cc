@@ -1,0 +1,129 @@
+#include "rsse/leakage.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cover/urc.h"
+
+namespace rsse::leakage {
+namespace {
+
+Dataset FigureOneDataset() {
+  // d1.a = 0, d2.a = 3 — the example of Section 5's leakage discussion.
+  return Dataset(Domain{8}, {{1, 0}, {2, 3}});
+}
+
+TEST(CoverLevelProfileTest, UrcProfilePositionIndependent) {
+  const int bits = 6;
+  for (uint64_t size = 1; size <= 32; ++size) {
+    std::vector<int> reference =
+        CoverLevelProfile(Range{0, size - 1}, CoverTechnique::kUrc, bits);
+    for (uint64_t lo = 1; lo + size <= 64; ++lo) {
+      EXPECT_EQ(CoverLevelProfile(Range{lo, lo + size - 1},
+                                  CoverTechnique::kUrc, bits),
+                reference)
+          << "size " << size << " lo " << lo;
+    }
+  }
+}
+
+TEST(CoverLevelProfileTest, BrcProfileLeaksPosition) {
+  // Ranges [2,7] and [1,6] (size 6) have different BRC shapes: the paper's
+  // motivation for URC.
+  std::vector<int> a = CoverLevelProfile(Range{2, 7}, CoverTechnique::kBrc, 3);
+  std::vector<int> b = CoverLevelProfile(Range{1, 6}, CoverTechnique::kBrc, 3);
+  EXPECT_NE(a, b);
+}
+
+TEST(ResultPartitioningTest, GroupsMatchCoverNodes) {
+  Dataset data = FigureOneDataset();
+  // Query [0,3]: BRC covers with the single node N0,3 -> one group holding
+  // both results.
+  std::vector<ResultGroup> groups =
+      ResultPartitioning(data, Range{0, 3}, CoverTechnique::kBrc, 3);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].level, 2);
+  EXPECT_EQ(std::set<uint64_t>(groups[0].ids.begin(), groups[0].ids.end()),
+            (std::set<uint64_t>{1, 2}));
+}
+
+TEST(ResultPartitioningTest, MultiNodeQuerySplitsResults) {
+  Dataset data(Domain{8}, {{1, 1}, {2, 2}, {3, 5}});
+  // BRC of [1,6]: N1 | N2,3 | N4,5 | N6 -> results split into groups.
+  std::vector<ResultGroup> groups =
+      ResultPartitioning(data, Range{1, 6}, CoverTechnique::kBrc, 3);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].ids, std::vector<uint64_t>{1});  // N1
+  EXPECT_EQ(groups[1].ids, std::vector<uint64_t>{2});  // N2,3
+  EXPECT_EQ(groups[2].ids, std::vector<uint64_t>{3});  // N4,5
+  EXPECT_TRUE(groups[3].ids.empty());                  // N6
+}
+
+TEST(ConstantStructuralLeakageTest, RevealsInSubtreeOffsets) {
+  // Section 5's example: query [0,3] leaks that d1 maps to the left-most
+  // leaf of N0,3's subtree and d2 to the right-most.
+  Dataset data = FigureOneDataset();
+  std::vector<SubtreeMapping> leak =
+      ConstantStructuralLeakage(data, Range{0, 3}, CoverTechnique::kBrc, 3);
+  ASSERT_EQ(leak.size(), 1u);
+  EXPECT_EQ(leak[0].level, 2);
+  ASSERT_EQ(leak[0].offset_to_id.size(), 2u);
+  EXPECT_EQ(leak[0].offset_to_id[0], std::make_pair(uint64_t{0}, uint64_t{1}));
+  EXPECT_EQ(leak[0].offset_to_id[1], std::make_pair(uint64_t{3}, uint64_t{2}));
+}
+
+TEST(ConstantStructuralLeakageTest, StrictlyRicherThanPartitioning) {
+  // Two datasets with the same per-node result groups but different value
+  // placements: partitioning leakage is identical, the Constant-scheme
+  // mapping distinguishes them.
+  Dataset a(Domain{8}, {{1, 4}, {2, 5}});
+  Dataset b(Domain{8}, {{1, 5}, {2, 4}});
+  const Range r{4, 7};
+  auto part_a = ResultPartitioning(a, r, CoverTechnique::kBrc, 3);
+  auto part_b = ResultPartitioning(b, r, CoverTechnique::kBrc, 3);
+  ASSERT_EQ(part_a.size(), part_b.size());
+  for (size_t i = 0; i < part_a.size(); ++i) {
+    EXPECT_EQ(std::set<uint64_t>(part_a[i].ids.begin(), part_a[i].ids.end()),
+              std::set<uint64_t>(part_b[i].ids.begin(), part_b[i].ids.end()));
+  }
+  EXPECT_NE(ConstantStructuralLeakage(a, r, CoverTechnique::kBrc, 3)[0]
+                .offset_to_id,
+            ConstantStructuralLeakage(b, r, CoverTechnique::kBrc, 3)[0]
+                .offset_to_id);
+}
+
+TEST(SearchPatternTrackerTest, DetectsRepeatedTokens) {
+  SearchPatternTracker tracker;
+  Bytes t1 = ToBytes("token-1");
+  Bytes t2 = ToBytes("token-2");
+  Bytes t3 = ToBytes("token-3");
+  tracker.Observe(0, {t1, t2});
+  tracker.Observe(1, {t3});
+  tracker.Observe(2, {t2});
+  std::vector<std::pair<size_t, size_t>> pairs = tracker.MatchingPairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(size_t{0}, size_t{2}));
+}
+
+TEST(SearchPatternTrackerTest, NoFalseMatches) {
+  SearchPatternTracker tracker;
+  tracker.Observe(0, {ToBytes("a")});
+  tracker.Observe(1, {ToBytes("b")});
+  EXPECT_TRUE(tracker.MatchingPairs().empty());
+}
+
+TEST(SearchPatternTrackerTest, RepeatWithinOneQueryIgnored) {
+  SearchPatternTracker tracker;
+  tracker.Observe(0, {ToBytes("a"), ToBytes("a")});
+  EXPECT_TRUE(tracker.MatchingPairs().empty());
+}
+
+TEST(SetupLeakageTest, Equality) {
+  EXPECT_EQ((SetupLeakage{8, 100}), (SetupLeakage{8, 100}));
+  EXPECT_FALSE((SetupLeakage{8, 100}) == (SetupLeakage{8, 101}));
+}
+
+}  // namespace
+}  // namespace rsse::leakage

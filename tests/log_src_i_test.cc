@@ -1,0 +1,138 @@
+#include "rsse/log_src_i.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "rsse/log_src.h"
+#include "rsse/scheme.h"
+
+namespace rsse {
+namespace {
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(LogSrcITest, NoFalseNegativesExhaustive) {
+  Rng rng(3);
+  Dataset data = GenerateUspsLike(80, 64, rng);
+  LogarithmicSrcIScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 64; lo += 3) {
+    for (uint64_t hi = lo; hi < 64; hi += 4) {
+      Result<QueryResult> r = scheme.Query(Range{lo, hi});
+      ASSERT_TRUE(r.ok());
+      std::vector<uint64_t> truth = data.IdsInRange(Range{lo, hi});
+      std::vector<uint64_t> got = Sorted(r->ids);
+      for (uint64_t id : truth) {
+        EXPECT_TRUE(std::binary_search(got.begin(), got.end(), id))
+            << "missing id " << id << " for [" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+TEST(LogSrcITest, OwnerFilteringRestoresExactResult) {
+  Rng rng(7);
+  Dataset data = GenerateUspsLike(150, 256, rng);
+  LogarithmicSrcIScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 256; lo += 37) {
+    Range r{lo, lo + 19};
+    Result<QueryResult> q = scheme.Query(r);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, r)),
+              Sorted(data.IdsInRange(r)));
+  }
+}
+
+TEST(LogSrcITest, TwoRoundsWhenResultsExist) {
+  Rng rng(3);
+  Dataset data = GenerateUniform(100, 64, rng);
+  LogarithmicSrcIScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<QueryResult> q = scheme.Query(Range{0, 63});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rounds, 2);
+  EXPECT_EQ(q->token_count, 2u);
+  EXPECT_EQ(q->token_bytes, 64u);
+}
+
+TEST(LogSrcITest, OneRoundWhenRangeEmpty) {
+  // Every tuple at value 0; query range far away has no distinct value.
+  Dataset data(Domain{64}, {{0, 0}, {1, 0}, {2, 0}});
+  LogarithmicSrcIScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<QueryResult> q = scheme.Query(Range{40, 50});
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->ids.empty());
+  EXPECT_EQ(q->rounds, 1);
+  EXPECT_EQ(q->token_count, 1u);
+}
+
+TEST(LogSrcITest, FalsePositivesBoundedByRangePlusResult) {
+  // The headline property (Table 1): false positives O(R + r) even under
+  // skew. Both SRC covers are within 4x (Lemma 1), so the returned ids are
+  // at most ~4(r + distinct-values-in-4R) ≈ 4r + 4R.
+  Rng rng(9);
+  Dataset data = GenerateUspsLike(400, 512, rng);
+  LogarithmicSrcIScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 512; lo += 61) {
+    Range r{lo, std::min<uint64_t>(511, lo + 31)};
+    Result<QueryResult> q = scheme.Query(r);
+    ASSERT_TRUE(q.ok());
+    size_t truth = data.IdsInRange(r).size();
+    EXPECT_LE(q->ids.size(), 4 * (truth + r.Size()) + 4)
+        << "range [" << r.lo << "," << r.hi << "]";
+  }
+}
+
+TEST(LogSrcITest, BeatsLogSrcUnderHeavySkew) {
+  // The paper's Figure 4 scenario: most of the dataset on one value just
+  // left of the query; SRC returns nearly everything, SRC-i only O(R + r).
+  Rng rng(4);
+  Dataset data = GenerateSingleValueWithOutliers(300, 8, /*hot_value=*/2,
+                                                 /*outliers=*/0, rng);
+  data.mutable_records().push_back({999, 4});
+  LogarithmicSrcScheme src;
+  LogarithmicSrcIScheme srci;
+  ASSERT_TRUE(src.Build(data).ok());
+  ASSERT_TRUE(srci.Build(data).ok());
+  Result<QueryResult> src_q = src.Query(Range{3, 5});
+  Result<QueryResult> srci_q = srci.Query(Range{3, 5});
+  ASSERT_TRUE(src_q.ok());
+  ASSERT_TRUE(srci_q.ok());
+  EXPECT_GT(src_q->ids.size(), 200u);   // blowup
+  EXPECT_LT(srci_q->ids.size(), 20u);   // tamed
+}
+
+TEST(LogSrcITest, AuxiliaryIndexSmallUnderSkew) {
+  // I1 stores one document per *distinct* value: under USPS-like skew it is
+  // a small fraction of the total (Table 2 observation).
+  Rng rng(5);
+  Dataset skewed = GenerateUspsLike(2000, 1 << 14, rng);
+  LogarithmicSrcIScheme scheme;
+  ASSERT_TRUE(scheme.Build(skewed).ok());
+  EXPECT_LT(scheme.AuxiliaryIndexSizeBytes(), scheme.IndexSizeBytes() / 2);
+}
+
+TEST(LogSrcITest, RejectsEmptyDataset) {
+  LogarithmicSrcIScheme scheme;
+  EXPECT_FALSE(scheme.Build(Dataset(Domain{8}, {})).ok());
+}
+
+TEST(LogSrcITest, SingleTupleDataset) {
+  Dataset data(Domain{64}, {{7, 33}});
+  LogarithmicSrcIScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<QueryResult> q = scheme.Query(Range{30, 40});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(Sorted(q->ids), std::vector<uint64_t>{7});
+}
+
+}  // namespace
+}  // namespace rsse

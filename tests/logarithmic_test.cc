@@ -1,0 +1,107 @@
+#include "rsse/logarithmic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+Dataset SampleDataset() {
+  std::vector<Record> records;
+  for (uint64_t i = 0; i < 40; ++i) records.push_back({i, (i * 7) % 64});
+  return Dataset(Domain{64}, std::move(records));
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class LogarithmicSchemeTest : public ::testing::TestWithParam<CoverTechnique> {
+};
+
+TEST_P(LogarithmicSchemeTest, ExhaustiveCorrectnessNoFalsePositives) {
+  LogarithmicScheme scheme(GetParam());
+  Dataset data = SampleDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 64; lo += 5) {
+    for (uint64_t hi = lo; hi < 64; hi += 3) {
+      Result<QueryResult> r = scheme.Query(Range{lo, hi});
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(Sorted(r->ids), Sorted(data.IdsInRange(Range{lo, hi})))
+          << "range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(LogarithmicSchemeTest, NoDuplicateIdsInResult) {
+  // BRC/URC nodes are disjoint, so the union never repeats an id.
+  LogarithmicScheme scheme(GetParam());
+  Dataset data = SampleDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<QueryResult> r = scheme.Query(Range{3, 60});
+  ASSERT_TRUE(r.ok());
+  std::vector<uint64_t> ids = Sorted(r->ids);
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_P(LogarithmicSchemeTest, TokenCountMatchesCoverSize) {
+  LogarithmicScheme scheme(GetParam());
+  ASSERT_TRUE(scheme.Build(SampleDataset()).ok());
+  Range r{3, 45};
+  Result<QueryResult> q = scheme.Query(r);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->token_count, scheme.Cover(r).size());
+  EXPECT_EQ(q->token_bytes, q->token_count * 32);  // two 16-byte keys each
+}
+
+TEST_P(LogarithmicSchemeTest, IndexSizeHasLogFactorOverConstant) {
+  // Each tuple is replicated bits+1 times: the index is ~log m larger than
+  // one entry per tuple.
+  LogarithmicScheme scheme(GetParam());
+  Dataset data = SampleDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  // 64-value domain: 7 keywords per tuple.
+  size_t per_tuple = scheme.IndexSizeBytes() / data.size();
+  EXPECT_GT(per_tuple, 6 * 40u);  // label(16)+ct(>=41) times 7 > this floor
+}
+
+TEST_P(LogarithmicSchemeTest, EmptyRangeOutsideDomain) {
+  LogarithmicScheme scheme(GetParam());
+  ASSERT_TRUE(scheme.Build(SampleDataset()).ok());
+  Result<QueryResult> r = scheme.Query(Range{100, 200});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->ids.empty());
+  EXPECT_EQ(r->token_count, 0u);
+}
+
+TEST_P(LogarithmicSchemeTest, FullDomainQueryReturnsEverything) {
+  LogarithmicScheme scheme(GetParam());
+  Dataset data = SampleDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<QueryResult> r = scheme.Query(Range{0, 63});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ids.size(), data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTechniques, LogarithmicSchemeTest,
+                         ::testing::Values(CoverTechnique::kBrc,
+                                           CoverTechnique::kUrc));
+
+TEST(LogarithmicSchemeTest, UrcNeverFewerTokensThanBrc) {
+  LogarithmicScheme brc(CoverTechnique::kBrc);
+  LogarithmicScheme urc(CoverTechnique::kUrc);
+  Dataset data = SampleDataset();
+  ASSERT_TRUE(brc.Build(data).ok());
+  ASSERT_TRUE(urc.Build(data).ok());
+  for (uint64_t lo = 0; lo < 64; lo += 7) {
+    for (uint64_t hi = lo; hi < 64; hi += 5) {
+      EXPECT_GE(urc.Cover(Range{lo, hi}).size(),
+                brc.Cover(Range{lo, hi}).size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsse

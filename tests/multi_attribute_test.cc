@@ -1,0 +1,130 @@
+#include "rsse/multi_attribute.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rsse {
+namespace {
+
+std::vector<Record2D> GridRecords() {
+  // 8x8 grid, one tuple per cell.
+  std::vector<Record2D> records;
+  uint64_t id = 0;
+  for (uint64_t x = 0; x < 8; ++x) {
+    for (uint64_t y = 0; y < 8; ++y) {
+      records.push_back(Record2D{id++, x, y});
+    }
+  }
+  return records;
+}
+
+std::vector<uint64_t> Truth(const std::vector<Record2D>& records,
+                            const Range& rx, const Range& ry) {
+  std::vector<uint64_t> out;
+  for (const Record2D& r : records) {
+    if (rx.Contains(r.x) && ry.Contains(r.y)) out.push_back(r.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TwoAttributeTest, ExactSubSchemeAnswersRectanglesExactly) {
+  std::vector<Record2D> records = GridRecords();
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicUrc);
+  ASSERT_TRUE(scheme.Build(Domain{8}, Domain{8}, records).ok());
+  for (uint64_t xlo = 0; xlo < 8; xlo += 2) {
+    for (uint64_t ylo = 0; ylo < 8; ylo += 3) {
+      Range rx{xlo, std::min<uint64_t>(7, xlo + 2)};
+      Range ry{ylo, std::min<uint64_t>(7, ylo + 3)};
+      Result<TwoAttributeScheme::RectResult> q = scheme.Query(rx, ry);
+      ASSERT_TRUE(q.ok());
+      EXPECT_EQ(q->ids, Truth(records, rx, ry))
+          << "rect [" << rx.lo << "," << rx.hi << "]x[" << ry.lo << ","
+          << ry.hi << "]";
+    }
+  }
+}
+
+TEST(TwoAttributeTest, SrcSubSchemeSupersetRefinedExactly) {
+  std::vector<Record2D> records = GridRecords();
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicSrc);
+  ASSERT_TRUE(scheme.Build(Domain{8}, Domain{8}, records).ok());
+  Range rx{2, 5};
+  Range ry{1, 3};
+  Result<TwoAttributeScheme::RectResult> q = scheme.Query(rx, ry);
+  ASSERT_TRUE(q.ok());
+  std::vector<uint64_t> truth = Truth(records, rx, ry);
+  for (uint64_t id : truth) {
+    EXPECT_TRUE(std::binary_search(q->ids.begin(), q->ids.end(), id));
+  }
+  EXPECT_EQ(TwoAttributeScheme::FilterToRect(records, q->ids, rx, ry), truth);
+}
+
+TEST(TwoAttributeTest, CostsAggregateBothSubQueries) {
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicBrc);
+  ASSERT_TRUE(scheme.Build(Domain{64}, Domain{64}, GridRecords()).ok());
+  Result<TwoAttributeScheme::RectResult> q =
+      scheme.Query(Range{1, 6}, Range{0, 7});
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(q->token_count, 2u);  // at least one token per attribute
+  EXPECT_GT(q->token_bytes, 0u);
+}
+
+TEST(TwoAttributeTest, EmptyIntersection) {
+  std::vector<Record2D> records = {{1, 0, 7}, {2, 7, 0}};
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicUrc);
+  ASSERT_TRUE(scheme.Build(Domain{8}, Domain{8}, records).ok());
+  // Each half-rectangle matches one attribute of one tuple but never both.
+  Result<TwoAttributeScheme::RectResult> q =
+      scheme.Query(Range{0, 3}, Range{0, 3});
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->ids.empty());
+}
+
+TEST(TwoAttributeTest, IndexSizeSumsBothAttributes) {
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicBrc);
+  EXPECT_EQ(scheme.IndexSizeBytes(), 0u);
+  ASSERT_TRUE(scheme.Build(Domain{8}, Domain{8}, GridRecords()).ok());
+  EXPECT_GT(scheme.IndexSizeBytes(), 0u);
+}
+
+TEST(TwoAttributeTest, FilterToRectDropsUnknownIds) {
+  std::vector<Record2D> records = {{1, 2, 3}, {2, 5, 5}};
+  std::vector<uint64_t> filtered = TwoAttributeScheme::FilterToRect(
+      records, {1, 2, 99}, Range{0, 3}, Range{0, 9});
+  EXPECT_EQ(filtered, std::vector<uint64_t>{1});
+}
+
+TEST(TwoAttributeTest, AsymmetricDomains) {
+  std::vector<Record2D> records = {{1, 3, 40000}, {2, 7, 123}};
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicUrc);
+  ASSERT_TRUE(scheme.Build(Domain{8}, Domain{1 << 20}, records).ok());
+  Result<TwoAttributeScheme::RectResult> q =
+      scheme.Query(Range{0, 7}, Range{30000, 50000});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ids, std::vector<uint64_t>{1});
+}
+
+TEST(TwoAttributeTest, QueryBeforeBuildFails) {
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicBrc);
+  EXPECT_FALSE(scheme.Query(Range{0, 1}, Range{0, 1}).ok());
+}
+
+TEST(TwoAttributeTest, WorksWithInteractiveSubScheme) {
+  std::vector<Record2D> records = GridRecords();
+  TwoAttributeScheme scheme(SchemeId::kLogarithmicSrcI);
+  ASSERT_TRUE(scheme.Build(Domain{8}, Domain{8}, records).ok());
+  Range rx{0, 4};
+  Range ry{3, 7};
+  Result<TwoAttributeScheme::RectResult> q = scheme.Query(rx, ry);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rounds, 2);
+  EXPECT_EQ(TwoAttributeScheme::FilterToRect(records, q->ids, rx, ry),
+            Truth(records, rx, ry));
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,79 @@
+#include "rsse/naive_value.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rsse/constant.h"
+
+namespace rsse {
+namespace {
+
+Dataset SmallDataset() {
+  return Dataset(Domain{64}, {{0, 5}, {1, 5}, {2, 17}, {3, 40}, {4, 63}});
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(NaiveValueTest, ExhaustiveCorrectnessNoFalsePositives) {
+  NaiveValueScheme scheme;
+  Dataset data = SmallDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 64; lo += 3) {
+    for (uint64_t hi = lo; hi < 64; hi += 5) {
+      Result<QueryResult> r = scheme.Query(Range{lo, hi});
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(Sorted(r->ids), Sorted(data.IdsInRange(Range{lo, hi})))
+          << "range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(NaiveValueTest, QuerySizeLinearInRange) {
+  NaiveValueScheme scheme;
+  ASSERT_TRUE(scheme.Build(SmallDataset()).ok());
+  Result<QueryResult> q1 = scheme.Query(Range{0, 0});
+  Result<QueryResult> q32 = scheme.Query(Range{0, 31});
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q32.ok());
+  EXPECT_EQ(q1->token_count, 1u);
+  EXPECT_EQ(q32->token_count, 32u);  // the O(R) drawback
+  EXPECT_EQ(q32->token_bytes, 32 * q1->token_bytes);
+}
+
+TEST(NaiveValueTest, ConstantSchemeShipsFarFewerTokens) {
+  // Same storage, same exactness — the DPRF saves a factor R/log R.
+  NaiveValueScheme naive;
+  ConstantScheme constant(CoverTechnique::kBrc);
+  Dataset data = SmallDataset();
+  ASSERT_TRUE(naive.Build(data).ok());
+  ASSERT_TRUE(constant.Build(data).ok());
+  Range r{1, 62};
+  Result<QueryResult> nq = naive.Query(r);
+  Result<QueryResult> cq = constant.Query(r);
+  ASSERT_TRUE(nq.ok());
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(Sorted(nq->ids), Sorted(cq->ids));
+  EXPECT_GT(nq->token_count, 4 * cq->token_count);
+}
+
+TEST(NaiveValueTest, QueryBeforeBuildFails) {
+  NaiveValueScheme scheme;
+  EXPECT_FALSE(scheme.Query(Range{0, 1}).ok());
+}
+
+TEST(NaiveValueTest, IndexSizeMatchesConstantScheme) {
+  // Both index one entry per tuple; sizes should be nearly identical.
+  NaiveValueScheme naive;
+  ConstantScheme constant(CoverTechnique::kBrc);
+  Dataset data = SmallDataset();
+  ASSERT_TRUE(naive.Build(data).ok());
+  ASSERT_TRUE(constant.Build(data).ok());
+  EXPECT_EQ(naive.IndexSizeBytes(), constant.IndexSizeBytes());
+}
+
+}  // namespace
+}  // namespace rsse

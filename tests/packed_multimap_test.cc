@@ -1,0 +1,179 @@
+#include "sse/packed_multimap.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+#include "sse/encrypted_multimap.h"
+
+namespace rsse::sse {
+namespace {
+
+std::vector<std::pair<Bytes, std::vector<uint64_t>>> SamplePostings() {
+  return {
+      {ToBytes("apple"), {1, 2, 3}},
+      {ToBytes("banana"), {10}},
+      {ToBytes("empty"), {}},
+  };
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(PackedMultimapTest, SearchReturnsExactPostings) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<PackedMultimap> built =
+      PackedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(Sorted(built->Search(deriver.Derive(ToBytes("apple")))),
+            (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(built->Search(deriver.Derive(ToBytes("banana"))),
+            std::vector<uint64_t>{10});
+  EXPECT_TRUE(built->Search(deriver.Derive(ToBytes("empty"))).empty());
+}
+
+TEST(PackedMultimapTest, UnknownKeywordEmpty) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<PackedMultimap> built =
+      PackedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->Search(deriver.Derive(ToBytes("missing"))).empty());
+}
+
+TEST(PackedMultimapTest, WrongKeyFindsNothing) {
+  PrfKeyDeriver build_deriver(crypto::GenerateKey());
+  PrfKeyDeriver other(crypto::GenerateKey());
+  Result<PackedMultimap> built =
+      PackedMultimap::Build(SamplePostings(), build_deriver);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->Search(other.Derive(ToBytes("apple"))).empty());
+}
+
+TEST(PackedMultimapTest, LargeLoadRoundTrips) {
+  // ~5000 entries across skewed list sizes; exercises bucket balancing.
+  std::vector<std::pair<Bytes, std::vector<uint64_t>>> postings;
+  uint64_t next = 0;
+  for (uint64_t w = 0; w < 100; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, w);
+    std::vector<uint64_t> ids;
+    for (uint64_t i = 0; i < (w % 10) * 10 + 5; ++i) ids.push_back(next++);
+    postings.emplace_back(std::move(keyword), std::move(ids));
+  }
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<PackedMultimap> built = PackedMultimap::Build(postings, deriver);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  for (const auto& [keyword, ids] : postings) {
+    EXPECT_EQ(Sorted(built->Search(deriver.Derive(keyword))), Sorted(ids));
+  }
+}
+
+TEST(PackedMultimapTest, MoreSpaceEfficientThanFlatDictionary) {
+  // The paper's reason for the (S, K) parameters: packing beats the flat
+  // per-entry IV+AES-block overhead by a wide margin.
+  std::vector<std::pair<Bytes, std::vector<uint64_t>>> postings;
+  PlainMultimap flat_postings;
+  for (uint64_t w = 0; w < 50; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, w);
+    std::vector<uint64_t> ids;
+    for (uint64_t i = 0; i < 100; ++i) {
+      ids.push_back(w * 1000 + i);
+      flat_postings[keyword].push_back(EncodeIdPayload(w * 1000 + i));
+    }
+    postings.emplace_back(keyword, std::move(ids));
+  }
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<PackedMultimap> packed = PackedMultimap::Build(postings, deriver);
+  Result<EncryptedMultimap> flat =
+      EncryptedMultimap::Build(flat_postings, deriver);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(flat.ok());
+  // Flat: 16B label + 32B IV/ct per posting (~48B). Packed: 25B slot at
+  // ~80% utilization (~31B) — at least a 30% saving even after bucket
+  // quantization at this size; the margin grows with the load.
+  EXPECT_LT(packed->SizeBytes(), flat->SizeBytes() * 7 / 10);
+}
+
+TEST(PackedMultimapTest, SizeDependsOnlyOnTotalCount) {
+  // Two datasets with equal totals but different per-keyword shapes yield
+  // byte-identical array sizes — the packed layout hides list shapes.
+  std::vector<std::pair<Bytes, std::vector<uint64_t>>> one_big = {
+      {ToBytes("w"), std::vector<uint64_t>(200, 7)}};
+  std::vector<std::pair<Bytes, std::vector<uint64_t>>> many_small;
+  for (uint64_t w = 0; w < 200; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, w);
+    many_small.emplace_back(keyword, std::vector<uint64_t>{w});
+  }
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<PackedMultimap> a = PackedMultimap::Build(one_big, deriver);
+  Result<PackedMultimap> b = PackedMultimap::Build(many_small, deriver);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->SizeBytes(), b->SizeBytes());
+}
+
+TEST(PackedMultimapTest, RejectsBadParameters) {
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  PackedMultimap::Params bad_capacity;
+  bad_capacity.bucket_capacity = 0;
+  EXPECT_FALSE(PackedMultimap::Build({}, deriver, bad_capacity).ok());
+  PackedMultimap::Params bad_factor;
+  bad_factor.overhead_factor = 0.5;
+  EXPECT_FALSE(PackedMultimap::Build({}, deriver, bad_factor).ok());
+}
+
+TEST(PackedMultimapTest, TinyCapacityEventuallyBalancesOrFails) {
+  // Capacity 1 with factor 1.1 will almost surely overflow and exhaust the
+  // retry budget for non-trivial loads — must fail cleanly, not loop.
+  std::vector<std::pair<Bytes, std::vector<uint64_t>>> postings = {
+      {ToBytes("w"), {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}};
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  PackedMultimap::Params tight;
+  tight.bucket_capacity = 1;
+  tight.overhead_factor = 1.0;
+  tight.max_build_attempts = 3;
+  Result<PackedMultimap> r = PackedMultimap::Build(postings, deriver, tight);
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  }
+}
+
+class PackedParamsTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, double>> {};
+
+TEST_P(PackedParamsTest, RoundTripsAcrossParameterGrid) {
+  auto [capacity, factor] = GetParam();
+  std::vector<std::pair<Bytes, std::vector<uint64_t>>> postings;
+  for (uint64_t w = 0; w < 20; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, w);
+    std::vector<uint64_t> ids;
+    for (uint64_t i = 0; i <= w; ++i) ids.push_back(w * 100 + i);
+    postings.emplace_back(keyword, std::move(ids));
+  }
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  PackedMultimap::Params params;
+  params.bucket_capacity = capacity;
+  params.overhead_factor = factor;
+  Result<PackedMultimap> built =
+      PackedMultimap::Build(postings, deriver, params);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  for (const auto& [keyword, ids] : postings) {
+    EXPECT_EQ(Sorted(built->Search(deriver.Derive(keyword))), Sorted(ids));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PackedParamsTest,
+    ::testing::Values(std::make_pair(uint64_t{32}, 1.1),
+                      std::make_pair(uint64_t{64}, 1.25),
+                      std::make_pair(uint64_t{128}, 1.1),
+                      std::make_pair(uint64_t{256}, 2.0)));
+
+}  // namespace
+}  // namespace rsse::sse

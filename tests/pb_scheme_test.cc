@@ -1,0 +1,141 @@
+#include "pb/pb_scheme.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cover/brc.h"
+#include "data/generators.h"
+#include "rsse/scheme.h"
+
+namespace rsse::pb {
+namespace {
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(PbSchemeTest, NoFalseNegativesExhaustive) {
+  Rng rng(3);
+  Dataset data = GenerateUniform(64, 64, rng);
+  PbScheme scheme(/*rng_seed=*/1, /*fp_rate=*/0.01);
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 64; lo += 4) {
+    for (uint64_t hi = lo; hi < 64; hi += 5) {
+      Result<QueryResult> q = scheme.Query(Range{lo, hi});
+      ASSERT_TRUE(q.ok());
+      std::vector<uint64_t> got = Sorted(q->ids);
+      for (uint64_t id : data.IdsInRange(Range{lo, hi})) {
+        EXPECT_TRUE(std::binary_search(got.begin(), got.end(), id))
+            << "missing id " << id << " for [" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+TEST(PbSchemeTest, FalsePositivesAreRareWithTightFilters) {
+  Rng rng(5);
+  Dataset data = GenerateUniform(500, 1 << 12, rng);
+  PbScheme scheme(/*rng_seed=*/2, /*fp_rate=*/0.001);
+  ASSERT_TRUE(scheme.Build(data).ok());
+  size_t total_returned = 0;
+  size_t total_truth = 0;
+  Rng qrng(7);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t lo = qrng.Uniform(0, (1 << 12) - 200);
+    Range r{lo, lo + 127};
+    Result<QueryResult> q = scheme.Query(r);
+    ASSERT_TRUE(q.ok());
+    total_returned += q->ids.size();
+    total_truth += data.IdsInRange(r).size();
+  }
+  // Bloom FP rate 0.1%: spurious leaves should be a tiny fraction.
+  EXPECT_LT(total_returned, total_truth + total_truth / 2 + 50);
+}
+
+TEST(PbSchemeTest, NoFalseNegativesUnderSkew) {
+  // Duplicate-heavy values stress the random permutation + split: every
+  // copy of a hot value must still reach its own leaf.
+  Rng rng(11);
+  Dataset data = GenerateSingleValueWithOutliers(300, 256, /*hot_value=*/77,
+                                                 /*outliers=*/30, rng);
+  PbScheme scheme(/*rng_seed=*/4, /*fp_rate=*/0.01);
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (const Range& r : {Range{70, 80}, Range{0, 255}, Range{77, 77}}) {
+    Result<QueryResult> q = scheme.Query(r);
+    ASSERT_TRUE(q.ok());
+    std::vector<uint64_t> got = Sorted(q->ids);
+    for (uint64_t id : data.IdsInRange(r)) {
+      EXPECT_TRUE(std::binary_search(got.begin(), got.end(), id))
+          << "missing id " << id;
+    }
+  }
+}
+
+TEST(PbSchemeTest, TokenCountEqualsMinimalDyadicCover) {
+  Rng rng(3);
+  Dataset data = GenerateUniform(64, 256, rng);
+  PbScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Range r{3, 200};
+  Result<QueryResult> q = scheme.Query(r);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->token_count, BestRangeCover(r, 8).size());
+}
+
+TEST(PbSchemeTest, IndexSizeCarriesLogNLogMFactor) {
+  // PB stores a filter per tree node over the DR sets: doubling n more than
+  // doubles the index (the log n factor adds a level).
+  Rng rng(3);
+  PbScheme small_scheme;
+  PbScheme big_scheme;
+  ASSERT_TRUE(small_scheme.Build(GenerateUniform(128, 1 << 10, rng)).ok());
+  ASSERT_TRUE(big_scheme.Build(GenerateUniform(256, 1 << 10, rng)).ok());
+  EXPECT_GT(big_scheme.IndexSizeBytes(), 2 * small_scheme.IndexSizeBytes());
+}
+
+TEST(PbSchemeTest, RefinementRemovesBloomFalsePositives) {
+  Rng rng(9);
+  Dataset data = GenerateUniform(200, 512, rng);
+  PbScheme scheme(/*rng_seed=*/1, /*fp_rate=*/0.05);  // deliberately loose
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Range r{100, 220};
+  Result<QueryResult> q = scheme.Query(r);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, r)),
+            Sorted(data.IdsInRange(r)));
+}
+
+TEST(PbSchemeTest, RejectsEmptyDataset) {
+  PbScheme scheme;
+  EXPECT_FALSE(scheme.Build(Dataset(Domain{8}, {})).ok());
+}
+
+TEST(PbSchemeTest, QueryBeforeBuildFails) {
+  PbScheme scheme;
+  EXPECT_FALSE(scheme.Query(Range{0, 1}).ok());
+}
+
+TEST(PbSchemeTest, SingleTupleTree) {
+  Dataset data(Domain{16}, {{42, 7}});
+  PbScheme scheme;
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<QueryResult> hit = scheme.Query(Range{0, 15});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->ids, std::vector<uint64_t>{42});
+}
+
+TEST(PbSchemeTest, FactoryProducesWorkingScheme) {
+  std::unique_ptr<RangeScheme> scheme = MakePbScheme(5);
+  EXPECT_EQ(scheme->id(), SchemeId::kPb);
+  Dataset data(Domain{16}, {{1, 3}, {2, 12}});
+  ASSERT_TRUE(scheme->Build(data).ok());
+  Result<QueryResult> q = scheme->Query(Range{0, 7});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(FilterIdsToRange(data, q->ids, Range{0, 7}),
+            std::vector<uint64_t>{1});
+}
+
+}  // namespace
+}  // namespace rsse::pb

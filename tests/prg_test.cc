@@ -1,0 +1,73 @@
+#include "crypto/prg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/hmac_prf.h"
+
+namespace rsse::crypto {
+namespace {
+
+TEST(GgmPrgTest, OutputsAreLambdaBytes) {
+  Bytes seed(kLambdaBytes, 0x42);
+  EXPECT_EQ(GgmPrg::G0(seed).size(), kLambdaBytes);
+  EXPECT_EQ(GgmPrg::G1(seed).size(), kLambdaBytes);
+}
+
+TEST(GgmPrgTest, Deterministic) {
+  Bytes seed(kLambdaBytes, 0x42);
+  EXPECT_EQ(GgmPrg::G0(seed), GgmPrg::G0(seed));
+  EXPECT_EQ(GgmPrg::G1(seed), GgmPrg::G1(seed));
+}
+
+TEST(GgmPrgTest, HalvesDiffer) {
+  Bytes seed(kLambdaBytes, 0x42);
+  EXPECT_NE(GgmPrg::G0(seed), GgmPrg::G1(seed));
+}
+
+TEST(GgmPrgTest, ExpandMatchesIndividualCalls) {
+  Bytes seed(kLambdaBytes, 0x13);
+  auto [left, right] = GgmPrg::Expand(seed);
+  EXPECT_EQ(left, GgmPrg::G0(seed));
+  EXPECT_EQ(right, GgmPrg::G1(seed));
+}
+
+TEST(GgmPrgTest, GbSelectsByBit) {
+  Bytes seed(kLambdaBytes, 0x13);
+  EXPECT_EQ(GgmPrg::Gb(seed, 0), GgmPrg::G0(seed));
+  EXPECT_EQ(GgmPrg::Gb(seed, 1), GgmPrg::G1(seed));
+}
+
+TEST(GgmPrgTest, DifferentSeedsDiverge) {
+  Bytes s1(kLambdaBytes, 0x00);
+  Bytes s2(kLambdaBytes, 0x01);
+  EXPECT_NE(GgmPrg::G0(s1), GgmPrg::G0(s2));
+  EXPECT_NE(GgmPrg::G1(s1), GgmPrg::G1(s2));
+}
+
+TEST(GgmPrgTest, SingleBitSeedChangeAvalanches) {
+  Bytes s1(kLambdaBytes, 0x00);
+  Bytes s2 = s1;
+  s2[0] ^= 0x01;
+  Bytes o1 = GgmPrg::G0(s1);
+  Bytes o2 = GgmPrg::G0(s2);
+  int differing_bits = 0;
+  for (size_t i = 0; i < o1.size(); ++i) {
+    differing_bits += __builtin_popcount(o1[i] ^ o2[i]);
+  }
+  // Expect roughly half the 128 output bits to flip.
+  EXPECT_GT(differing_bits, 32);
+  EXPECT_LT(differing_bits, 96);
+}
+
+TEST(GgmPrgTest, ChainedExpansionIsConsistent) {
+  // G_0(G_1(seed)) must be reproducible step by step — the property the
+  // GGM-tree DPRF relies on.
+  Bytes seed(kLambdaBytes, 0x99);
+  Bytes inner = GgmPrg::G1(seed);
+  Bytes direct = GgmPrg::G0(inner);
+  EXPECT_EQ(direct, GgmPrg::G0(GgmPrg::G1(seed)));
+}
+
+}  // namespace
+}  // namespace rsse::crypto

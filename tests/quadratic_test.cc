@@ -1,0 +1,89 @@
+#include "rsse/quadratic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+Dataset SmallDataset() {
+  // Domain {0..15}; values with duplicates and gaps.
+  return Dataset(Domain{16}, {{0, 3}, {1, 3}, {2, 7}, {3, 0}, {4, 15}, {5, 9}});
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(QuadraticTest, ExhaustiveCorrectnessNoFalsePositives) {
+  QuadraticScheme scheme(/*rng_seed=*/1);
+  Dataset data = SmallDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 16; ++lo) {
+    for (uint64_t hi = lo; hi < 16; ++hi) {
+      Result<QueryResult> r = scheme.Query(Range{lo, hi});
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(Sorted(r->ids), Sorted(data.IdsInRange(Range{lo, hi})))
+          << "range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(QuadraticTest, SingleTokenPerQuery) {
+  QuadraticScheme scheme;
+  ASSERT_TRUE(scheme.Build(SmallDataset()).ok());
+  Result<QueryResult> r = scheme.Query(Range{2, 9});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->token_count, 1u);
+  EXPECT_EQ(r->rounds, 1);
+}
+
+TEST(QuadraticTest, RejectsLargeDomain) {
+  QuadraticScheme scheme;
+  Dataset big(Domain{QuadraticScheme::kMaxDomain + 1}, {{0, 0}});
+  EXPECT_EQ(scheme.Build(big).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QuadraticTest, QueryBeforeBuildFails) {
+  QuadraticScheme scheme;
+  EXPECT_EQ(scheme.Query(Range{0, 1}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QuadraticTest, StorageGrowsQuadraticallyWithDomain) {
+  // Same records indexed over domains of sizes 8 and 16: the bigger domain
+  // multiplies the number of covering ranges per tuple by roughly 4.
+  QuadraticScheme small_scheme;
+  QuadraticScheme big_scheme;
+  std::vector<Record> records = {{0, 1}, {1, 2}, {2, 3}};
+  ASSERT_TRUE(small_scheme.Build(Dataset(Domain{8}, records)).ok());
+  ASSERT_TRUE(big_scheme.Build(Dataset(Domain{16}, records)).ok());
+  EXPECT_GT(big_scheme.IndexSizeBytes(), 2 * small_scheme.IndexSizeBytes());
+}
+
+TEST(QuadraticTest, PaddingIncreasesIndexSize) {
+  QuadraticScheme plain(1, /*pad_quantum=*/0);
+  QuadraticScheme padded(1, /*pad_quantum=*/8);
+  Dataset data(Domain{8}, {{0, 1}, {1, 5}});
+  ASSERT_TRUE(plain.Build(data).ok());
+  ASSERT_TRUE(padded.Build(data).ok());
+  EXPECT_GT(padded.IndexSizeBytes(), plain.IndexSizeBytes());
+}
+
+TEST(QuadraticTest, ClipsRangeToDomain) {
+  QuadraticScheme scheme;
+  Dataset data = SmallDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<QueryResult> r = scheme.Query(Range{10, 500});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Sorted(r->ids), Sorted(data.IdsInRange(Range{10, 15})));
+  // Entirely outside the domain: empty.
+  Result<QueryResult> out = scheme.Query(Range{100, 200});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ids.empty());
+}
+
+}  // namespace
+}  // namespace rsse

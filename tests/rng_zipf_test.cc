@@ -1,0 +1,123 @@
+#include "common/rng.h"
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(5, 5), 5u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1 << 30), b.Uniform(0, 1 << 30));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(0, 1 << 30) == b.Uniform(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, FlipProbabilityRoughlyRespected) {
+  Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Flip(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleHandlesTinyVectors) {
+  Rng rng(5);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(1);
+  ZipfSampler z(100, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  Rng rng(1);
+  ZipfSampler z(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.Sample(rng)];
+  int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(counts[0], max_count);
+  // Classic Zipf: rank 0 roughly twice as frequent as rank 1.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  Rng rng1(1);
+  Rng rng2(1);
+  ZipfSampler flat(100, 0.5);
+  ZipfSampler steep(100, 2.0);
+  int flat_zero = 0;
+  int steep_zero = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (flat.Sample(rng1) == 0) ++flat_zero;
+    if (steep.Sample(rng2) == 0) ++steep_zero;
+  }
+  EXPECT_GT(steep_zero, flat_zero);
+}
+
+TEST(ZipfTest, SingletonSupport) {
+  Rng rng(1);
+  ZipfSampler z(1, 1.0);
+  EXPECT_EQ(z.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,142 @@
+// Cross-scheme correctness: every construction, after owner-side
+// refinement, answers every range query exactly — on uniform, skewed and
+// degenerate datasets. The paper's no-false-positive schemes are also
+// checked for exactness *before* refinement.
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "pb/pb_scheme.h"
+#include "rsse/factory.h"
+#include "rsse/scheme.h"
+
+namespace rsse {
+namespace {
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+bool SchemeHasFalsePositives(SchemeId id) {
+  return id == SchemeId::kLogarithmicSrc || id == SchemeId::kLogarithmicSrcI ||
+         id == SchemeId::kPb;
+}
+
+std::unique_ptr<RangeScheme> Make(SchemeId id) {
+  if (id == SchemeId::kPb) return pb::MakePbScheme(/*rng_seed=*/11);
+  return MakeScheme(id, /*rng_seed=*/11);
+}
+
+struct Case {
+  SchemeId scheme;
+  const char* dataset;
+};
+
+class AllSchemesTest : public ::testing::TestWithParam<Case> {
+ protected:
+  Dataset MakeData() const {
+    Rng rng(17);
+    const std::string name = GetParam().dataset;
+    if (name == "uniform") return GenerateUniform(60, 32, rng);
+    if (name == "skewed") return GenerateUspsLike(60, 32, rng);
+    if (name == "one-value") {
+      return GenerateSingleValueWithOutliers(60, 32, 9, 4, rng);
+    }
+    return Dataset(Domain{32}, {{0, 31}});  // "singleton"
+  }
+};
+
+TEST_P(AllSchemesTest, RefinedResultsExactForAllRanges) {
+  Dataset data = MakeData();
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam().scheme);
+  ASSERT_NE(scheme, nullptr);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  for (uint64_t lo = 0; lo < 32; lo += 2) {
+    for (uint64_t hi = lo; hi < 32; hi += 3) {
+      Range r{lo, hi};
+      Result<QueryResult> q = scheme->Query(r);
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, r)),
+                Sorted(data.IdsInRange(r)))
+          << SchemeName(GetParam().scheme) << " range [" << lo << "," << hi
+          << "]";
+    }
+  }
+}
+
+TEST_P(AllSchemesTest, ExactSchemesHaveNoFalsePositives) {
+  if (SchemeHasFalsePositives(GetParam().scheme)) {
+    GTEST_SKIP() << "scheme may return false positives by design";
+  }
+  Dataset data = MakeData();
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam().scheme);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  for (uint64_t lo = 0; lo < 32; lo += 3) {
+    for (uint64_t hi = lo; hi < 32; hi += 4) {
+      Range r{lo, hi};
+      Result<QueryResult> q = scheme->Query(r);
+      ASSERT_TRUE(q.ok());
+      EXPECT_EQ(Sorted(q->ids), Sorted(data.IdsInRange(r)))
+          << SchemeName(GetParam().scheme) << " range [" << lo << "," << hi
+          << "]";
+    }
+  }
+}
+
+TEST_P(AllSchemesTest, IndexSizeIsPositive) {
+  Dataset data = MakeData();
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam().scheme);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  EXPECT_GT(scheme->IndexSizeBytes(), 0u);
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  std::vector<SchemeId> ids = AllSchemeIds();
+  ids.push_back(SchemeId::kPb);
+  ids.push_back(SchemeId::kNaivePerValue);
+  for (SchemeId id : ids) {
+    for (const char* dataset : {"uniform", "skewed", "one-value", "singleton"}) {
+      cases.push_back(Case{id, dataset});
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = SchemeName(info.param.scheme);
+  name += "_";
+  name += info.param.dataset;
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(EverySchemeEveryDataset, AllSchemesTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+TEST(FilterIdsToRangeTest, DropsUnknownAndOutOfRangeIds) {
+  Dataset data(Domain{16}, {{1, 5}, {2, 9}});
+  std::vector<uint64_t> filtered =
+      FilterIdsToRange(data, {1, 2, 77}, Range{0, 6});
+  EXPECT_EQ(filtered, std::vector<uint64_t>{1});
+}
+
+TEST(ClipRangeToDomainTest, Clipping) {
+  Domain d{10};
+  Range r{5, 100};
+  ASSERT_TRUE(ClipRangeToDomain(d, r));
+  EXPECT_EQ(r.hi, 9u);
+  Range outside{20, 30};
+  EXPECT_FALSE(ClipRangeToDomain(d, outside));
+  Range inverted{5, 2};
+  EXPECT_FALSE(ClipRangeToDomain(d, inverted));
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,44 @@
+#include "crypto/sha.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace rsse::crypto {
+namespace {
+
+// FIPS 180 reference vectors for the message "abc".
+TEST(ShaTest, Sha1KnownVector) {
+  EXPECT_EQ(ToHex(Sha1(ToBytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(ShaTest, Sha256KnownVector) {
+  EXPECT_EQ(ToHex(Sha256(ToBytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(ShaTest, Sha512KnownVector) {
+  EXPECT_EQ(ToHex(Sha512(ToBytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(ShaTest, EmptyInputVectors) {
+  EXPECT_EQ(ToHex(Sha1({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(ToHex(Sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(ShaTest, OutputSizes) {
+  EXPECT_EQ(Sha1(ToBytes("x")).size(), 20u);
+  EXPECT_EQ(Sha256(ToBytes("x")).size(), 32u);
+  EXPECT_EQ(Sha512(ToBytes("x")).size(), 64u);
+}
+
+TEST(ShaTest, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256(ToBytes("a")), Sha256(ToBytes("b")));
+}
+
+}  // namespace
+}  // namespace rsse::crypto

@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(StatsAccumulatorTest, EmptyIsZero) {
+  StatsAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(StatsAccumulatorTest, BasicAggregates) {
+  StatsAccumulator s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(StatsAccumulatorTest, Percentiles) {
+  StatsAccumulator s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.5);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 0.5);
+}
+
+TEST(StatsAccumulatorTest, PercentileAfterInterleavedAdds) {
+  StatsAccumulator s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 10.0);
+  s.Add(20);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ASSERT_GE(sink, 0.0);
+  EXPECT_GT(t.ElapsedNanos(), 0u);
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(WallTimerTest, ResetRestartsClock) {
+  WallTimer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ASSERT_GE(sink, 0.0);
+  uint64_t before = t.ElapsedNanos();
+  t.Reset();
+  EXPECT_LT(t.ElapsedNanos(), before);
+}
+
+TEST(WallTimerTest, UnitsConsistent) {
+  WallTimer t;
+  double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  ASSERT_GE(sink, 0.0);
+  uint64_t ns = t.ElapsedNanos();
+  EXPECT_NEAR(t.ElapsedMillis(), static_cast<double>(ns) / 1e6,
+              static_cast<double>(ns) / 1e6);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,194 @@
+#include "cover/tdag.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(TdagNodeTest, RegularVsInjected) {
+  EXPECT_FALSE((TdagNode{2, 0}).IsInjected());   // N0,3
+  EXPECT_FALSE((TdagNode{2, 4}).IsInjected());   // N4,7
+  EXPECT_TRUE((TdagNode{2, 2}).IsInjected());    // N2,5
+  EXPECT_TRUE((TdagNode{1, 3}).IsInjected());    // N3,4
+  EXPECT_FALSE((TdagNode{0, 5}).IsInjected());   // leaves are never injected
+}
+
+TEST(TdagNodeTest, RangeAlgebra) {
+  TdagNode n{2, 2};  // N2,5 in Figure 3
+  EXPECT_EQ(n.Lo(), 2u);
+  EXPECT_EQ(n.Hi(), 5u);
+  EXPECT_EQ(n.Size(), 4u);
+  EXPECT_TRUE(n.Contains(3));
+  EXPECT_FALSE(n.Contains(6));
+  EXPECT_TRUE(n.CoversRange(Range{3, 5}));
+  EXPECT_FALSE(n.CoversRange(Range{3, 6}));
+}
+
+TEST(TdagTest, PaperFigure3Covers) {
+  Tdag tdag(3);
+  // SRC covers [2,7] by N0,7 (the root) and [3,5] by N2,5 (Section 6.2).
+  EXPECT_EQ(tdag.SingleRangeCover(Range{2, 7}), (TdagNode{3, 0}));
+  EXPECT_EQ(tdag.SingleRangeCover(Range{3, 5}), (TdagNode{2, 2}));
+}
+
+TEST(TdagTest, CoverContainsPathAndInjectedNodes) {
+  Tdag tdag(3);
+  std::vector<TdagNode> cover = tdag.Cover(3);
+  std::set<TdagNode> nodes(cover.begin(), cover.end());
+  // Binary-tree path of value 3: N3, N2,3, N0,3, N0,7.
+  EXPECT_TRUE(nodes.count(TdagNode{0, 3}));
+  EXPECT_TRUE(nodes.count(TdagNode{1, 2}));
+  EXPECT_TRUE(nodes.count(TdagNode{2, 0}));
+  EXPECT_TRUE(nodes.count(TdagNode{3, 0}));
+  // Injected nodes containing 3: N3,4 (level 1) and N2,5 (level 2).
+  EXPECT_TRUE(nodes.count(TdagNode{1, 3}));
+  EXPECT_TRUE(nodes.count(TdagNode{2, 2}));
+  // Every cover node must contain the value.
+  for (const TdagNode& n : cover) EXPECT_TRUE(n.Contains(3));
+}
+
+TEST(TdagTest, CoverSizeIsLogarithmic) {
+  for (int bits = 1; bits <= 10; ++bits) {
+    Tdag tdag(bits);
+    for (uint64_t v = 0; v < tdag.leaf_count(); v += 7) {
+      size_t count = tdag.Cover(v).size();
+      EXPECT_LE(count, 2 * static_cast<size_t>(bits) + 1);
+      EXPECT_GE(count, static_cast<size_t>(bits) + 1);  // at least the path
+    }
+  }
+}
+
+TEST(TdagTest, InjectedNodeLookup) {
+  Tdag tdag(3);
+  // Level-1 injected nodes over 8 leaves: starts 1, 3, 5.
+  EXPECT_EQ(tdag.InjectedNodeAt(0, 1), std::nullopt);
+  EXPECT_EQ(tdag.InjectedNodeAt(1, 1), (TdagNode{1, 1}));
+  EXPECT_EQ(tdag.InjectedNodeAt(2, 1), (TdagNode{1, 1}));
+  EXPECT_EQ(tdag.InjectedNodeAt(3, 1), (TdagNode{1, 3}));
+  EXPECT_EQ(tdag.InjectedNodeAt(7, 1), std::nullopt);  // [7,8] off the edge
+  // No injected nodes at leaf level or above the root's children level.
+  EXPECT_EQ(tdag.InjectedNodeAt(3, 0), std::nullopt);
+  EXPECT_EQ(tdag.InjectedNodeAt(3, 3), std::nullopt);
+}
+
+/// Lemma 1 exhaustively: every range of size R is covered by a single TDAG
+/// subtree of size at most 4R.
+class TdagLemma1Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(TdagLemma1Test, SingleCoverWithinFourTimesRange) {
+  const int bits = GetParam();
+  Tdag tdag(bits);
+  const uint64_t m = tdag.leaf_count();
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      TdagNode node = tdag.SingleRangeCover(Range{lo, hi});
+      EXPECT_TRUE(node.CoversRange(Range{lo, hi}))
+          << "node misses range [" << lo << "," << hi << "]";
+      EXPECT_LE(node.Size(), 4 * (hi - lo + 1))
+          << "Lemma 1 violated for [" << lo << "," << hi << "]";
+      EXPECT_LE(node.Hi(), m - 1) << "node exceeds domain";
+    }
+  }
+}
+
+TEST_P(TdagLemma1Test, CoverIsLowestCoveringNode) {
+  // No TDAG node of a *smaller* level covers the range.
+  const int bits = GetParam();
+  Tdag tdag(bits);
+  const uint64_t m = tdag.leaf_count();
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      TdagNode node = tdag.SingleRangeCover(Range{lo, hi});
+      for (int level = 0; level < node.level; ++level) {
+        // Regular candidate.
+        bool regular_covers = (lo >> level) == (hi >> level);
+        bool injected_covers = false;
+        if (auto inj = tdag.InjectedNodeAt(lo, level); inj.has_value()) {
+          injected_covers = inj->CoversRange(Range{lo, hi});
+        }
+        EXPECT_FALSE(regular_covers || injected_covers)
+            << "lower-level cover exists for [" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDomains, TdagLemma1Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(TdagTest, CoverIsExactlyTheContainingNodes) {
+  // Structural completeness behind SRC correctness: Cover(v) must return
+  // *every* TDAG node whose subtree contains v — otherwise a query whose
+  // SRC node contains v would miss the tuple. Verified by enumerating all
+  // nodes of small TDAGs.
+  for (int bits = 1; bits <= 5; ++bits) {
+    Tdag tdag(bits);
+    const uint64_t m = tdag.leaf_count();
+    // Enumerate every node (regular + injected).
+    std::vector<TdagNode> all_nodes;
+    for (int level = 0; level <= bits; ++level) {
+      const uint64_t size = uint64_t{1} << level;
+      for (uint64_t start = 0; start + size <= m; start += size) {
+        all_nodes.push_back(TdagNode{level, start});
+      }
+      if (level >= 1 && level < bits) {
+        const uint64_t half = size >> 1;
+        for (uint64_t start = half; start + size <= m; start += size) {
+          all_nodes.push_back(TdagNode{level, start});
+        }
+      }
+    }
+    for (uint64_t v = 0; v < m; ++v) {
+      std::vector<TdagNode> cover = tdag.Cover(v);
+      std::set<TdagNode> cover_set(cover.begin(), cover.end());
+      for (const TdagNode& node : all_nodes) {
+        EXPECT_EQ(cover_set.count(node) > 0, node.Contains(v))
+            << "bits=" << bits << " v=" << v << " node level=" << node.level
+            << " start=" << node.start;
+      }
+    }
+  }
+}
+
+TEST(TdagTest, SrcNodeIsAlwaysAKeywordOfItsMembers) {
+  // Ties Cover and SingleRangeCover together: for every range, the SRC
+  // node must appear in Cover(v) of every value it contains.
+  Tdag tdag(4);
+  for (uint64_t lo = 0; lo < 16; ++lo) {
+    for (uint64_t hi = lo; hi < 16; ++hi) {
+      TdagNode node = tdag.SingleRangeCover(Range{lo, hi});
+      for (uint64_t v = node.Lo(); v <= node.Hi(); ++v) {
+        std::vector<TdagNode> cover = tdag.Cover(v);
+        EXPECT_NE(std::find(cover.begin(), cover.end(), node), cover.end())
+            << "range [" << lo << "," << hi << "] value " << v;
+      }
+    }
+  }
+}
+
+TEST(TdagTest, NodeCountMatchesManualCount) {
+  // bits=3: regular 8+4+2+1 = 15; injected 3 (level1) + 1 (level2) = 4.
+  EXPECT_EQ(Tdag(3).NodeCount(), 19u);
+  // bits=1: 2 leaves + root, no injected.
+  EXPECT_EQ(Tdag(1).NodeCount(), 3u);
+}
+
+TEST(TdagTest, KeywordEncodingsUniqueAcrossNodeKinds) {
+  Tdag tdag(4);
+  std::set<Bytes> keywords;
+  size_t total = 0;
+  for (uint64_t v = 0; v < tdag.leaf_count(); ++v) {
+    for (const TdagNode& n : tdag.Cover(v)) {
+      keywords.insert(n.EncodeKeyword());
+      ++total;
+    }
+  }
+  EXPECT_GT(total, keywords.size());  // covers overlap across values
+  EXPECT_EQ(keywords.size(), static_cast<size_t>(Tdag(4).NodeCount()));
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,184 @@
+#include "cover/urc.h"
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cover/brc.h"
+
+namespace rsse {
+namespace {
+
+std::vector<int> SortedLevels(const std::vector<DyadicNode>& cover) {
+  std::vector<int> levels;
+  for (const DyadicNode& n : cover) levels.push_back(n.level);
+  std::sort(levels.begin(), levels.end());
+  return levels;
+}
+
+TEST(UrcTest, PaperExampleRange2To7) {
+  // Figure 1: URC represents [2,7] by N2, N3, N4,5 and N6,7.
+  std::vector<DyadicNode> cover = UniformRangeCover(Range{2, 7}, 3);
+  std::set<DyadicNode> expected = {
+      DyadicNode{0, 2},  // N2
+      DyadicNode{0, 3},  // N3
+      DyadicNode{1, 2},  // N4,5
+      DyadicNode{1, 3},  // N6,7
+  };
+  EXPECT_EQ(std::set<DyadicNode>(cover.begin(), cover.end()), expected);
+}
+
+TEST(UrcTest, PaperExampleSameProfileFor1To6) {
+  // [1,6] has the same size as [2,7] and must produce the same number of
+  // nodes at the same levels (two at level 0, two at level 1).
+  std::vector<int> p1 = SortedLevels(UniformRangeCover(Range{2, 7}, 3));
+  std::vector<int> p2 = SortedLevels(UniformRangeCover(Range{1, 6}, 3));
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(UrcTest, AlreadyUniformCoverUnchanged) {
+  // BRC of [1,6] already has nodes at every level 0..max, so URC keeps it.
+  std::vector<DyadicNode> brc = BestRangeCover(Range{1, 6}, 3);
+  std::vector<DyadicNode> urc = UniformRangeCover(Range{1, 6}, 3);
+  EXPECT_EQ(std::set<DyadicNode>(brc.begin(), brc.end()),
+            std::set<DyadicNode>(urc.begin(), urc.end()));
+}
+
+/// Exhaustive property sweep per domain size.
+class UrcExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UrcExhaustiveTest, CoversExactlyAndDisjointly) {
+  const int bits = GetParam();
+  const uint64_t m = uint64_t{1} << bits;
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      std::vector<int> hit(m, 0);
+      for (const DyadicNode& n : UniformRangeCover(Range{lo, hi}, bits)) {
+        for (uint64_t v = n.Lo(); v <= n.Hi(); ++v) ++hit[v];
+      }
+      for (uint64_t v = 0; v < m; ++v) {
+        EXPECT_EQ(hit[v], (v >= lo && v <= hi) ? 1 : 0)
+            << "value " << v << " range [" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+TEST_P(UrcExhaustiveTest, LevelProfileDependsOnlyOnRangeSize) {
+  // The security property motivating URC: the multiset of cover-node levels
+  // is a function of R alone, regardless of where the range sits. An
+  // adversary counting tokens per level learns R but not the position.
+  const int bits = GetParam();
+  const uint64_t m = uint64_t{1} << bits;
+  for (uint64_t size = 1; size <= m; ++size) {
+    std::vector<int> reference;
+    for (uint64_t lo = 0; lo + size <= m; ++lo) {
+      std::vector<int> profile =
+          SortedLevels(UniformRangeCover(Range{lo, lo + size - 1}, bits));
+      if (lo == 0) {
+        reference = profile;
+      } else {
+        EXPECT_EQ(profile, reference)
+            << "position-dependent URC profile for size " << size << " at lo "
+            << lo;
+      }
+    }
+    EXPECT_EQ(UrcLevelProfile(size, bits), reference);
+  }
+}
+
+TEST_P(UrcExhaustiveTest, EveryLevelUpToMaxPopulated) {
+  const int bits = GetParam();
+  const uint64_t m = uint64_t{1} << bits;
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      std::vector<DyadicNode> cover = UniformRangeCover(Range{lo, hi}, bits);
+      int max_level = 0;
+      std::set<int> levels;
+      for (const DyadicNode& n : cover) {
+        max_level = std::max(max_level, n.level);
+        levels.insert(n.level);
+      }
+      for (int level = 0; level <= max_level; ++level) {
+        EXPECT_TRUE(levels.count(level))
+            << "missing level " << level << " range [" << lo << "," << hi
+            << "]";
+      }
+    }
+  }
+}
+
+TEST_P(UrcExhaustiveTest, StillLogarithmicSize) {
+  const int bits = GetParam();
+  const uint64_t m = uint64_t{1} << bits;
+  for (uint64_t lo = 0; lo < m; ++lo) {
+    for (uint64_t hi = lo; hi < m; ++hi) {
+      size_t count = UniformRangeCover(Range{lo, hi}, bits).size();
+      // URC keeps O(log R): at most ~3 log2(R) + 2 nodes in practice; use a
+      // generous constant to pin the asymptotic behaviour.
+      uint64_t r = hi - lo + 1;
+      int log_r = 0;
+      while ((uint64_t{1} << log_r) < r) ++log_r;
+      EXPECT_LE(count, static_cast<size_t>(3 * (log_r + 1)))
+          << "range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDomains, UrcExhaustiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(UrcRandomizedTest, ProfileUniformOnLargeDomain) {
+  // The exhaustive sweep stops at 2^7; sample the property at 2^16 with
+  // random sizes and positions to pin the asymptotic behaviour.
+  const int bits = 16;
+  const uint64_t m = uint64_t{1} << bits;
+  std::mt19937_64 rng(424242);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint64_t size = 1 + rng() % (m / 2);
+    std::vector<int> reference = UrcLevelProfile(size, bits);
+    for (int probe = 0; probe < 5; ++probe) {
+      uint64_t lo = rng() % (m - size + 1);
+      EXPECT_EQ(SortedLevels(UniformRangeCover(Range{lo, lo + size - 1}, bits)),
+                reference)
+          << "size " << size << " lo " << lo;
+    }
+  }
+}
+
+TEST(UrcRandomizedTest, ExactCoverageOnLargeDomain) {
+  const int bits = 32;
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t size = 1 + rng() % 100000;
+    uint64_t lo = rng() % ((uint64_t{1} << bits) - size);
+    Range r{lo, lo + size - 1};
+    std::vector<DyadicNode> cover = UniformRangeCover(r, bits);
+    // Nodes sorted by Lo and contiguous: exact disjoint coverage.
+    uint64_t cursor = r.lo;
+    for (const DyadicNode& n : cover) {
+      EXPECT_EQ(n.Lo(), cursor) << "gap/overlap at " << cursor;
+      cursor = n.Hi() + 1;
+    }
+    EXPECT_EQ(cursor, r.hi + 1);
+  }
+}
+
+TEST(UrcLevelProfileTest, EmptyRangeYieldsEmptyProfile) {
+  EXPECT_TRUE(UrcLevelProfile(0, 4).empty());
+}
+
+TEST(UrcLevelProfileTest, KnownSmallProfiles) {
+  EXPECT_EQ(UrcLevelProfile(1, 4), (std::vector<int>{0}));
+  EXPECT_EQ(UrcLevelProfile(2, 4), (std::vector<int>{0, 0}));
+  EXPECT_EQ(UrcLevelProfile(6, 4), (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(UrcLevelProfile(8, 4), (std::vector<int>{0, 0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace rsse

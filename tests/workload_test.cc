@@ -1,0 +1,75 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace rsse {
+namespace {
+
+TEST(WorkloadTest, RandomRangesHaveExactSize) {
+  Rng rng(1);
+  Domain domain{1000};
+  for (const Range& r : RandomRangesOfSize(domain, 17, 200, rng)) {
+    EXPECT_EQ(r.Size(), 17u);
+    EXPECT_LT(r.hi, domain.size);
+  }
+}
+
+TEST(WorkloadTest, RangeSizeClampedToDomain) {
+  Rng rng(1);
+  Domain domain{100};
+  for (const Range& r : RandomRangesOfSize(domain, 5000, 10, rng)) {
+    EXPECT_EQ(r.Size(), domain.size);
+    EXPECT_EQ(r.lo, 0u);
+  }
+}
+
+TEST(WorkloadTest, ZeroSizeBecomesSingleton) {
+  Rng rng(1);
+  Domain domain{100};
+  for (const Range& r : RandomRangesOfSize(domain, 0, 10, rng)) {
+    EXPECT_EQ(r.Size(), 1u);
+  }
+}
+
+TEST(WorkloadTest, FractionProducesProportionalSize) {
+  Rng rng(2);
+  Domain domain{10000};
+  for (const Range& r : RandomRangesOfFraction(domain, 0.25, 50, rng)) {
+    EXPECT_EQ(r.Size(), 2500u);
+  }
+}
+
+TEST(WorkloadTest, RangePositionsVary) {
+  Rng rng(3);
+  std::vector<Range> ranges = RandomRangesOfSize(Domain{1 << 20}, 10, 100, rng);
+  bool all_same = true;
+  for (const Range& r : ranges) {
+    if (r.lo != ranges.front().lo) all_same = false;
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(WorkloadTest, NonIntersectingRangesAreDisjoint) {
+  Rng rng(4);
+  Domain domain{1024};
+  std::vector<Range> ranges = NonIntersectingRanges(domain, 16, 32, rng);
+  EXPECT_EQ(ranges.size(), 32u);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].Size(), 16u);
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      EXPECT_FALSE(ranges[i].Intersects(ranges[j]))
+          << "ranges " << i << " and " << j << " intersect";
+    }
+  }
+}
+
+TEST(WorkloadTest, NonIntersectingCappedBySlots) {
+  Rng rng(5);
+  Domain domain{100};
+  // Only 10 slots of size 10 exist.
+  std::vector<Range> ranges = NonIntersectingRanges(domain, 10, 50, rng);
+  EXPECT_EQ(ranges.size(), 10u);
+}
+
+}  // namespace
+}  // namespace rsse
