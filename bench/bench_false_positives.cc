@@ -24,7 +24,8 @@ constexpr char kUsage[] =
     "  --dataset=gowalla|usps   (default gowalla)\n"
     "  --n=<dataset size>       (default 20000)\n"
     "  --queries=<per point>    (default 40)\n"
-    "  --domain=<domain size>   (default per dataset)\n";
+    "  --domain=<domain size>   (default per dataset)\n"
+    "  --smoke=1                (~1 s workload for CI smoke runs)\n";
 
 double FalsePositiveRate(RangeScheme& scheme, const Dataset& data,
                          const std::vector<Range>& queries) {
@@ -42,10 +43,13 @@ double FalsePositiveRate(RangeScheme& scheme, const Dataset& data,
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
+  const bool smoke = flags.Smoke();
   const std::string dataset_name = flags.GetString("dataset", "gowalla");
-  const uint64_t n = flags.GetUint("n", 20000);
-  const size_t queries = flags.GetUint("queries", 40);
-  const uint64_t domain = flags.GetUint("domain", DefaultDomainFor(dataset_name));
+  const uint64_t n = flags.GetUint("n", smoke ? 1000 : 20000);
+  const size_t queries = flags.GetUint("queries", smoke ? 4 : 40);
+  const uint64_t domain = flags.GetUint(
+      "domain",
+      smoke ? uint64_t{1} << 16 : DefaultDomainFor(dataset_name));
 
   Dataset data = MakeEvalDataset(dataset_name, n, domain, /*seed=*/3);
   LogarithmicSrcScheme src(/*rng_seed=*/5);

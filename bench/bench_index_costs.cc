@@ -23,15 +23,19 @@ constexpr char kUsage[] =
     "  --dataset=gowalla|usps|uniform (default gowalla)\n"
     "  --n=<max dataset size>         (default 20000)\n"
     "  --points=<sweep points>        (default 4; usps uses 1)\n"
-    "  --domain=<domain size>         (default per dataset)\n";
+    "  --domain=<domain size>         (default per dataset)\n"
+    "  --smoke=1                      (~1 s workload for CI smoke runs)\n";
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
+  const bool smoke = flags.Smoke();
   const std::string dataset_name = flags.GetString("dataset", "gowalla");
-  const uint64_t max_n = flags.GetUint("n", 20000);
+  const uint64_t max_n = flags.GetUint("n", smoke ? 1000 : 20000);
   const uint64_t points =
-      dataset_name == "usps" ? 1 : flags.GetUint("points", 4);
-  const uint64_t domain = flags.GetUint("domain", DefaultDomainFor(dataset_name));
+      dataset_name == "usps" ? 1 : flags.GetUint("points", smoke ? 1 : 4);
+  const uint64_t domain = flags.GetUint(
+      "domain",
+      smoke ? uint64_t{1} << 16 : DefaultDomainFor(dataset_name));
 
   std::printf("== Index costs (%s, domain=%llu) — Fig 5 / Table 2 ==\n",
               dataset_name.c_str(), static_cast<unsigned long long>(domain));

@@ -23,13 +23,16 @@ constexpr char kUsage[] =
     "size.\n"
     "  --n=<dataset size>     (default 2000; costs are data-independent)\n"
     "  --queries=<per point>  (default 200)\n"
-    "  --domain_bits=<bits>   (default 20, the Appendix A domain)\n";
+    "  --domain_bits=<bits>   (default 20, the Appendix A domain)\n"
+    "  --smoke=1              (~1 s workload for CI smoke runs)\n";
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
-  const uint64_t n = flags.GetUint("n", 20000);
-  const size_t queries = flags.GetUint("queries", 200);
-  const uint64_t domain = uint64_t{1} << flags.GetUint("domain_bits", 20);
+  const bool smoke = flags.Smoke();
+  const uint64_t n = flags.GetUint("n", smoke ? 1000 : 20000);
+  const size_t queries = flags.GetUint("queries", smoke ? 10 : 200);
+  const uint64_t domain = uint64_t{1}
+                          << flags.GetUint("domain_bits", smoke ? 14 : 20);
 
   Dataset data = MakeEvalDataset("uniform", n, domain, /*seed=*/3);
   std::vector<std::pair<SchemeId, std::unique_ptr<RangeScheme>>> schemes;

@@ -28,7 +28,8 @@ constexpr char kUsage[] =
     "  --queries=<per point>    (default 5)\n"
     "  --domain=<domain size>   (default 2^18 for gowalla, 276841 for usps;\n"
     "    the Constant schemes expand O(R) GGM leaves, so search cost scales\n"
-    "    with the domain — raise --domain to reproduce Fig 7a's wider gap)\n";
+    "    with the domain — raise --domain to reproduce Fig 7a's wider gap)\n"
+    "  --smoke=1                (~1 s workload for CI smoke runs)\n";
 
 /// Measured per-result retrieval cost of the underlying SSE scheme, in
 /// nanoseconds: the "SSE (Cash et al.)" curve of Fig 7.
@@ -48,13 +49,15 @@ double MeasureSsePerResultNanos() {
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
+  const bool smoke = flags.Smoke();
   const std::string dataset_name = flags.GetString("dataset", "gowalla");
-  const uint64_t n = flags.GetUint("n", 20000);
-  const size_t queries = flags.GetUint("queries", 5);
+  const uint64_t n = flags.GetUint("n", smoke ? 1000 : 20000);
+  const size_t queries = flags.GetUint("queries", smoke ? 2 : 5);
   const uint64_t default_domain =
       dataset_name == "usps" ? DefaultDomainFor(dataset_name) : uint64_t{1}
                                                                     << 18;
-  const uint64_t domain = flags.GetUint("domain", default_domain);
+  const uint64_t domain =
+      flags.GetUint("domain", smoke ? uint64_t{1} << 13 : default_domain);
 
   Dataset data = MakeEvalDataset(dataset_name, n, domain, /*seed=*/3);
   std::vector<std::pair<SchemeId, std::unique_ptr<RangeScheme>>> schemes;

@@ -18,7 +18,8 @@ namespace {
 
 constexpr char kUsage[] =
     "bench_table1_asymptotics: Table 1 — measured cost scaling per scheme.\n"
-    "  --n=<base dataset size> (default 4000)\n";
+    "  --n=<base dataset size> (default 4000)\n"
+    "  --smoke=1               (~1 s workload for CI smoke runs)\n";
 
 struct SchemeRow {
   SchemeId id;
@@ -44,10 +45,12 @@ const SchemeRow kRows[] = {
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
-  const uint64_t base_n = flags.GetUint("n", 4000);
-  const uint64_t domain = 1 << 12;
+  const bool smoke = flags.Smoke();
+  const uint64_t base_n = flags.GetUint("n", smoke ? 250 : 4000);
+  const uint64_t domain = smoke ? 1 << 10 : 1 << 12;
   // Quadratic materializes O(m^2) keywords; measure it on a tiny domain.
-  const uint64_t quad_domain = 64;
+  const uint64_t quad_domain = smoke ? 32 : 64;
+  const uint64_t quad_n = smoke ? 100 : 500;
 
   std::printf("== Table 1: measured cost scaling ==\n");
   PrintRow({"scheme", "storage(2n)/storage(n)", "tokens R=16 -> R=256",
@@ -55,7 +58,7 @@ int Run(int argc, char** argv) {
 
   for (const SchemeRow& row : kRows) {
     const uint64_t m = row.id == SchemeId::kQuadratic ? quad_domain : domain;
-    const uint64_t n = row.id == SchemeId::kQuadratic ? 500 : base_n;
+    const uint64_t n = row.id == SchemeId::kQuadratic ? quad_n : base_n;
     Dataset small = MakeEvalDataset("uniform", n, m, 1);
     Dataset large = MakeEvalDataset("uniform", 2 * n, m, 2);
 

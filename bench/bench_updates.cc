@@ -22,13 +22,15 @@ constexpr char kUsage[] =
     "bench_updates: Section 7 — batched updates + consolidation.\n"
     "  --batches=<count>      (default 27)\n"
     "  --batch_size=<tuples>  (default 500)\n"
-    "  --deletes=<per batch>  (default 25)\n";
+    "  --deletes=<per batch>  (default 25)\n"
+    "  --smoke=1              (~1 s workload for CI smoke runs)\n";
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
-  const uint64_t batches = flags.GetUint("batches", 27);
-  const uint64_t batch_size = flags.GetUint("batch_size", 500);
-  const uint64_t deletes = flags.GetUint("deletes", 25);
+  const bool smoke = flags.Smoke();
+  const uint64_t batches = flags.GetUint("batches", smoke ? 6 : 27);
+  const uint64_t batch_size = flags.GetUint("batch_size", smoke ? 100 : 500);
+  const uint64_t deletes = flags.GetUint("deletes", smoke ? 5 : 25);
   const Domain domain{uint64_t{1} << 20};
 
   for (size_t step : {size_t{2}, size_t{4}, size_t{8}}) {

@@ -24,6 +24,16 @@ class Flags {
   std::string GetString(const std::string& key,
                         const std::string& default_value) const;
 
+  /// Shared `--smoke` / `--smoke=1` convention: drivers shrink their
+  /// default workload to a ~1-second run. Used by ctest's `bench_smoke`
+  /// label so bench binaries are exercised on every test run. Explicit
+  /// flags still win. (Bare flags parse as "true", so this cannot go
+  /// through GetUint.)
+  bool Smoke() const {
+    const std::string v = GetString("smoke", "0");
+    return v != "0" && v != "false";
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };

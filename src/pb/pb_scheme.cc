@@ -42,7 +42,6 @@ int64_t PbScheme::BuildNode(const std::vector<std::vector<Bytes>>& trapdoors,
 Status PbScheme::Build(const Dataset& dataset) {
   domain_ = dataset.domain();
   if (domain_.size == 0) return Status::InvalidArgument("empty domain");
-  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
   bits_ = domain_.Bits();
   trapdoor_prf_ = std::make_unique<crypto::Prf>(crypto::GenerateKey());
 
@@ -62,7 +61,8 @@ Status PbScheme::Build(const Dataset& dataset) {
 
   nodes_.clear();
   nodes_.reserve(2 * records.size());
-  root_ = BuildNode(trapdoors, 0, records.size(), records);
+  root_ = records.empty() ? -1
+                          : BuildNode(trapdoors, 0, records.size(), records);
 
   index_size_bytes_ = 0;
   for (const TreeNode& node : nodes_) {
@@ -93,7 +93,8 @@ Result<QueryResult> PbScheme::Query(const Range& query) {
   // Server: descend wherever a node filter claims containment of any
   // query dyadic range.
   WallTimer search_timer;
-  std::vector<int64_t> stack = {root_};
+  std::vector<int64_t> stack;
+  if (root_ >= 0) stack.push_back(root_);
   while (!stack.empty()) {
     int64_t idx = stack.back();
     stack.pop_back();

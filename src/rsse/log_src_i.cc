@@ -48,7 +48,6 @@ LogarithmicSrcIScheme::LogarithmicSrcIScheme(uint64_t rng_seed)
 Status LogarithmicSrcIScheme::Build(const Dataset& dataset) {
   domain_ = dataset.domain();
   if (domain_.size == 0) return Status::InvalidArgument("empty domain");
-  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
   n_ = dataset.size();
   key1_ = crypto::GenerateKey();
   key2_ = crypto::GenerateKey();

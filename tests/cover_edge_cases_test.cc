@@ -1,0 +1,153 @@
+// Edge cases shared by all range-covering techniques (BRC, URC, TDAG,
+// dyadic paths): width-1 ranges, ranges touching the domain boundaries,
+// and non-power-of-two domain sizes (where the tree is padded but queries
+// never cross the pad boundary).
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cover/brc.h"
+#include "cover/dyadic.h"
+#include "cover/tdag.h"
+#include "cover/urc.h"
+
+namespace rsse {
+namespace {
+
+/// Exact disjoint coverage of [r.lo, r.hi] by `cover` over a 2^bits-leaf
+/// tree.
+void ExpectExactDisjointCover(const std::vector<DyadicNode>& cover,
+                              const Range& r, int bits) {
+  std::vector<int> hit(size_t{1} << bits, 0);
+  for (const DyadicNode& n : cover) {
+    ASSERT_LE(n.Hi(), (uint64_t{1} << bits) - 1);
+    for (uint64_t v = n.Lo(); v <= n.Hi(); ++v) ++hit[v];
+  }
+  for (uint64_t v = 0; v < (uint64_t{1} << bits); ++v) {
+    EXPECT_EQ(hit[v], r.Contains(v) ? 1 : 0)
+        << "value " << v << " range [" << r.lo << "," << r.hi << "] bits "
+        << bits;
+  }
+}
+
+TEST(CoverWidthOneTest, BrcAndUrcAreTheSingleLeaf) {
+  for (int bits : {1, 3, 5}) {
+    for (uint64_t v = 0; v < (uint64_t{1} << bits); ++v) {
+      const Range r{v, v};
+      std::vector<DyadicNode> brc = BestRangeCover(r, bits);
+      ASSERT_EQ(brc.size(), 1u) << "bits " << bits << " v " << v;
+      EXPECT_EQ(brc[0], (DyadicNode{0, v}));
+      std::vector<DyadicNode> urc = UniformRangeCover(r, bits);
+      ASSERT_EQ(urc.size(), 1u);
+      EXPECT_EQ(urc[0], (DyadicNode{0, v}));
+    }
+  }
+}
+
+TEST(CoverWidthOneTest, TdagSingleRangeCoverIsTheLeaf) {
+  for (int bits : {1, 3, 5}) {
+    Tdag tdag(bits);
+    for (uint64_t v = 0; v < tdag.leaf_count(); ++v) {
+      TdagNode node = tdag.SingleRangeCover(Range{v, v});
+      EXPECT_EQ(node.level, 0);
+      EXPECT_EQ(node.start, v);
+    }
+  }
+}
+
+TEST(CoverWidthOneTest, DyadicPathBottomIsTheLeaf) {
+  for (int bits : {1, 4, 7}) {
+    for (uint64_t v : {uint64_t{0}, (uint64_t{1} << bits) - 1}) {
+      std::vector<DyadicNode> path = PathToRoot(v, bits);
+      ASSERT_EQ(path.size(), static_cast<size_t>(bits) + 1);
+      EXPECT_EQ(path.front(), (DyadicNode{0, v}));
+      EXPECT_EQ(path.back(), (DyadicNode{bits, 0}));
+      for (const DyadicNode& n : path) EXPECT_TRUE(n.Contains(v));
+    }
+  }
+}
+
+TEST(CoverBoundaryTest, RangesTouchingDomainEdgesCoverExactly) {
+  const int bits = 4;
+  const uint64_t top = (uint64_t{1} << bits) - 1;
+  const std::vector<Range> edges = {
+      {0, 0},  {0, 1},   {0, top - 1},   {0, top},
+      {1, top}, {top - 1, top}, {top, top}, {1, top - 1},
+  };
+  for (const Range& r : edges) {
+    ExpectExactDisjointCover(BestRangeCover(r, bits), r, bits);
+    ExpectExactDisjointCover(UniformRangeCover(r, bits), r, bits);
+    Tdag tdag(bits);
+    TdagNode src = tdag.SingleRangeCover(r);
+    EXPECT_TRUE(src.CoversRange(r))
+        << "TDAG SRC for [" << r.lo << "," << r.hi << "]";
+    EXPECT_LE(src.Hi(), top);
+  }
+}
+
+TEST(CoverBoundaryTest, BrcOfTopHalfIsOneNode) {
+  const int bits = 5;
+  const uint64_t half = uint64_t{1} << (bits - 1);
+  std::vector<DyadicNode> cover =
+      BestRangeCover(Range{half, 2 * half - 1}, bits);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicNode{bits - 1, 1}));
+}
+
+// Non-power-of-two domains: the tree is padded to 2^bits leaves, but the
+// scheme layer clips queries to [0, size), so covers are requested for
+// ranges ending inside the padded region's lower part. They must stay
+// exact and never spill past the requested hi.
+TEST(CoverNonPowerOfTwoTest, CoversOfClippedRangesAreExact) {
+  for (uint64_t domain_size : {3u, 5u, 11u, 13u}) {
+    Domain d{domain_size};
+    const int bits = d.Bits();
+    ASSERT_GT(d.PaddedSize(), domain_size);  // genuinely non-pow2
+    for (uint64_t lo = 0; lo < domain_size; ++lo) {
+      for (uint64_t hi = lo; hi < domain_size; ++hi) {
+        const Range r{lo, hi};
+        ExpectExactDisjointCover(BestRangeCover(r, bits), r, bits);
+        ExpectExactDisjointCover(UniformRangeCover(r, bits), r, bits);
+      }
+    }
+  }
+}
+
+TEST(CoverNonPowerOfTwoTest, TdagSrcStaysWithinPaddedTree) {
+  for (uint64_t domain_size : {3u, 5u, 11u, 13u}) {
+    Domain d{domain_size};
+    Tdag tdag(d.Bits());
+    for (uint64_t lo = 0; lo < domain_size; ++lo) {
+      for (uint64_t hi = lo; hi < domain_size; ++hi) {
+        TdagNode src = tdag.SingleRangeCover(Range{lo, hi});
+        EXPECT_TRUE(src.CoversRange(Range{lo, hi}));
+        EXPECT_LE(src.Hi(), d.PaddedSize() - 1);
+        // Lemma 1: the SRC node covers at most ~4x the range (padded
+        // trees can hit exactly 4x at the boundary).
+        EXPECT_LE(src.Size(), 4 * (hi - lo + 1));
+      }
+    }
+  }
+}
+
+TEST(CoverNonPowerOfTwoTest, DomainBitsOfNonPowerOfTwoSizes) {
+  EXPECT_EQ(Domain{1}.Bits(), 1);
+  EXPECT_EQ(Domain{2}.Bits(), 1);
+  EXPECT_EQ(Domain{3}.Bits(), 2);
+  EXPECT_EQ(Domain{5}.Bits(), 3);
+  EXPECT_EQ(Domain{11}.Bits(), 4);
+  EXPECT_EQ(Domain{276841}.Bits(), 19);  // the USPS salary domain
+}
+
+TEST(CoverWidthOneTest, UrcProfileOfWidthOneIsOneLeaf) {
+  for (int bits : {1, 3, 6}) {
+    std::vector<int> profile = UrcLevelProfile(1, bits);
+    ASSERT_EQ(profile.size(), 1u);
+    EXPECT_EQ(profile[0], 0);
+  }
+}
+
+}  // namespace
+}  // namespace rsse

@@ -120,9 +120,14 @@ TEST(LogSrcITest, AuxiliaryIndexSmallUnderSkew) {
   EXPECT_LT(scheme.AuxiliaryIndexSizeBytes(), scheme.IndexSizeBytes() / 2);
 }
 
-TEST(LogSrcITest, RejectsEmptyDataset) {
+TEST(LogSrcITest, EmptyDatasetBuildsAndAnswersEmpty) {
+  // The shared scheme contract (scheme_correctness_test): an empty dataset
+  // is a valid degenerate input — e.g. a fully-cancelled update batch.
   LogarithmicSrcIScheme scheme;
-  EXPECT_FALSE(scheme.Build(Dataset(Domain{8}, {})).ok());
+  ASSERT_TRUE(scheme.Build(Dataset(Domain{8}, {})).ok());
+  auto q = scheme.Query(Range{0, 7});
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->ids.empty());
 }
 
 TEST(LogSrcITest, SingleTupleDataset) {

@@ -107,9 +107,14 @@ TEST(PbSchemeTest, RefinementRemovesBloomFalsePositives) {
             Sorted(data.IdsInRange(r)));
 }
 
-TEST(PbSchemeTest, RejectsEmptyDataset) {
+TEST(PbSchemeTest, EmptyDatasetBuildsAndAnswersEmpty) {
+  // The shared scheme contract (scheme_correctness_test): an empty dataset
+  // is a valid degenerate input — e.g. a fully-cancelled update batch.
   PbScheme scheme;
-  EXPECT_FALSE(scheme.Build(Dataset(Domain{8}, {})).ok());
+  ASSERT_TRUE(scheme.Build(Dataset(Domain{8}, {})).ok());
+  auto q = scheme.Query(Range{0, 7});
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->ids.empty());
 }
 
 TEST(PbSchemeTest, QueryBeforeBuildFails) {

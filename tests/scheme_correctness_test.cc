@@ -1,7 +1,12 @@
-// Cross-scheme correctness: every construction, after owner-side
+// Cross-scheme conformance harness: every construction, after owner-side
 // refinement, answers every range query exactly — on uniform, skewed and
 // degenerate datasets. The paper's no-false-positive schemes are also
-// checked for exactness *before* refinement.
+// checked for exactness *before* refinement. Further suites certify the
+// shared contract on degenerate inputs (empty/out-of-domain/full-domain
+// ranges, width-1 ranges, single-point and non-power-of-two domains,
+// empty datasets) and on the Section-7 update path through
+// `update::BatchedStore` — so every present and future scheme is held to
+// the same behaviour.
 
 #include <algorithm>
 #include <memory>
@@ -12,6 +17,7 @@
 #include "pb/pb_scheme.h"
 #include "rsse/factory.h"
 #include "rsse/scheme.h"
+#include "update/batched_store.h"
 
 namespace rsse {
 namespace {
@@ -94,12 +100,23 @@ TEST_P(AllSchemesTest, IndexSizeIsPositive) {
   EXPECT_GT(scheme->IndexSizeBytes(), 0u);
 }
 
-std::vector<Case> AllCases() {
-  std::vector<Case> cases;
+std::vector<SchemeId> AllSchemeIdsWithBaselines() {
   std::vector<SchemeId> ids = AllSchemeIds();
   ids.push_back(SchemeId::kPb);
   ids.push_back(SchemeId::kNaivePerValue);
-  for (SchemeId id : ids) {
+  return ids;
+}
+
+std::string Sanitized(std::string name) {
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (SchemeId id : AllSchemeIdsWithBaselines()) {
     for (const char* dataset : {"uniform", "skewed", "one-value", "singleton"}) {
       cases.push_back(Case{id, dataset});
     }
@@ -108,17 +125,218 @@ std::vector<Case> AllCases() {
 }
 
 std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
-  std::string name = SchemeName(info.param.scheme);
-  name += "_";
-  name += info.param.dataset;
-  for (char& c : name) {
-    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
-  }
-  return name;
+  return Sanitized(std::string(SchemeName(info.param.scheme)) + "_" +
+                   info.param.dataset);
 }
 
 INSTANTIATE_TEST_SUITE_P(EverySchemeEveryDataset, AllSchemesTest,
                          ::testing::ValuesIn(AllCases()), CaseName);
+
+// ---------------------------------------------------------------------------
+// Degenerate ranges and domain shapes, per scheme. These build their own
+// datasets, so they are parameterized over the scheme id alone.
+// ---------------------------------------------------------------------------
+
+class SchemeDomainTest : public ::testing::TestWithParam<SchemeId> {
+ protected:
+  // Exactness of every query over every (lo, hi) in the domain, after
+  // refinement — the exhaustive contract on small domains.
+  void ExpectExactOnAllRanges(const Dataset& data) {
+    std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+    ASSERT_NE(scheme, nullptr);
+    ASSERT_TRUE(scheme->Build(data).ok());
+    for (uint64_t lo = 0; lo < data.domain().size; ++lo) {
+      for (uint64_t hi = lo; hi < data.domain().size; ++hi) {
+        Range r{lo, hi};
+        Result<QueryResult> q = scheme->Query(r);
+        ASSERT_TRUE(q.ok()) << q.status().ToString();
+        EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, r)),
+                  Sorted(data.IdsInRange(r)))
+            << SchemeName(GetParam()) << " range [" << lo << "," << hi << "]";
+      }
+    }
+  }
+};
+
+TEST_P(SchemeDomainTest, OutOfDomainRangesReturnEmpty) {
+  Rng rng(23);
+  Dataset data = GenerateUniform(40, 32, rng);
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+  ASSERT_TRUE(scheme->Build(data).ok());
+  // Entirely beyond the domain.
+  Result<QueryResult> beyond = scheme->Query(Range{32, 100});
+  ASSERT_TRUE(beyond.ok()) << beyond.status().ToString();
+  EXPECT_TRUE(beyond->ids.empty());
+  // Inverted (hi < lo): the empty range.
+  Result<QueryResult> inverted = scheme->Query(Range{9, 3});
+  ASSERT_TRUE(inverted.ok()) << inverted.status().ToString();
+  EXPECT_TRUE(inverted->ids.empty());
+}
+
+TEST_P(SchemeDomainTest, RangeOverhangingDomainIsClipped) {
+  Rng rng(23);
+  Dataset data = GenerateUniform(40, 32, rng);
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+  ASSERT_TRUE(scheme->Build(data).ok());
+  Range overhang{16, 1000};  // clips to [16, 31]
+  Result<QueryResult> q = scheme->Query(overhang);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, overhang)),
+            Sorted(data.IdsInRange(Range{16, 31})));
+}
+
+TEST_P(SchemeDomainTest, FullDomainRangeReturnsEveryRecord) {
+  Rng rng(29);
+  Dataset data = GenerateUspsLike(50, 32, rng);
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+  ASSERT_TRUE(scheme->Build(data).ok());
+  Range all{0, 31};
+  Result<QueryResult> q = scheme->Query(all);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<uint64_t> expected;
+  for (const Record& rec : data.records()) expected.push_back(rec.id);
+  EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, all)), Sorted(expected));
+}
+
+TEST_P(SchemeDomainTest, ValueFreeRegionsAnswerEmpty) {
+  // All records in the upper half; queries in the lower half must refine
+  // to nothing.
+  std::vector<Record> records;
+  for (uint64_t i = 0; i < 20; ++i) records.push_back({i, 24 + (i % 8)});
+  Dataset data(Domain{32}, std::move(records));
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+  ASSERT_TRUE(scheme->Build(data).ok());
+  for (uint64_t lo : {uint64_t{0}, uint64_t{7}, uint64_t{15}}) {
+    Range r{lo, lo + 4};
+    Result<QueryResult> q = scheme->Query(r);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_TRUE(FilterIdsToRange(data, q->ids, r).empty())
+        << SchemeName(GetParam()) << " range [" << r.lo << "," << r.hi << "]";
+  }
+}
+
+TEST_P(SchemeDomainTest, WidthOneRangesExactEverywhere) {
+  Rng rng(31);
+  Dataset data = GenerateUspsLike(40, 16, rng);
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+  ASSERT_TRUE(scheme->Build(data).ok());
+  for (uint64_t v = 0; v < 16; ++v) {
+    Range r{v, v};
+    Result<QueryResult> q = scheme->Query(r);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(Sorted(FilterIdsToRange(data, q->ids, r)),
+              Sorted(data.IdsInRange(r)))
+        << SchemeName(GetParam()) << " point " << v;
+  }
+}
+
+TEST_P(SchemeDomainTest, SinglePointDomain) {
+  // The degenerate domain A = {0}: every record has the only value; the
+  // only non-empty query is [0, 0].
+  Dataset data(Domain{1}, {{7, 0}, {9, 0}, {12, 0}});
+  ExpectExactOnAllRanges(data);
+}
+
+TEST_P(SchemeDomainTest, NonPowerOfTwoDomain) {
+  // Domain size 11 pads to a 16-leaf tree; values near the pad boundary
+  // must still be answered exactly.
+  std::vector<Record> records;
+  for (uint64_t i = 0; i < 33; ++i) records.push_back({i, i % 11});
+  Dataset data(Domain{11}, std::move(records));
+  ExpectExactOnAllRanges(data);
+}
+
+TEST_P(SchemeDomainTest, EmptyDatasetAnswersEmpty) {
+  Dataset data(Domain{16}, {});
+  std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+  ASSERT_NE(scheme, nullptr);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  for (uint64_t lo : {uint64_t{0}, uint64_t{5}, uint64_t{15}}) {
+    Range r{lo, 15};
+    Result<QueryResult> q = scheme->Query(r);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_TRUE(FilterIdsToRange(data, q->ids, r).empty());
+  }
+}
+
+std::string SchemeIdName(const ::testing::TestParamInfo<SchemeId>& info) {
+  return Sanitized(SchemeName(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryScheme, SchemeDomainTest,
+                         ::testing::ValuesIn(AllSchemeIdsWithBaselines()),
+                         SchemeIdName);
+
+// ---------------------------------------------------------------------------
+// Update-path conformance: the Section-7 batched store must stay exact for
+// every underlying static construction it can host (AllSchemeIds — the PB
+// baseline is deliberately outside MakeScheme's layering).
+// ---------------------------------------------------------------------------
+
+class SchemeUpdateTest : public ::testing::TestWithParam<SchemeId> {};
+
+TEST_P(SchemeUpdateTest, BatchedInsertsAndDeletesStayExact) {
+  const Domain domain{64};
+  update::BatchedStore store(GetParam(), domain, /*consolidation_step=*/2,
+                             /*rng_seed=*/11);
+  Rng rng(47);
+  std::vector<Record> live;
+  uint64_t next_id = 0;
+
+  for (int batch_no = 0; batch_no < 5; ++batch_no) {
+    std::vector<update::UpdateOp> batch;
+    for (int i = 0; i < 12; ++i) {
+      Record rec{next_id++, rng.Uniform(0, domain.size - 1)};
+      batch.push_back({update::UpdateOp::Type::kInsert, rec, 0});
+      live.push_back(rec);
+    }
+    // Delete the oldest live record — guaranteed to come from an earlier
+    // batch once one exists, exercising cross-instance tombstoning — plus
+    // two picked at random (which may hit this very batch).
+    for (int d = 0; d < 3 && !live.empty(); ++d) {
+      size_t pick = d == 0 ? 0 : rng.Uniform(0, live.size() - 1);
+      batch.push_back({update::UpdateOp::Type::kDelete, live[pick], 0});
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    ASSERT_TRUE(store.ApplyBatch(batch).ok());
+
+    Dataset reference(domain, live);
+    for (uint64_t lo = 0; lo < domain.size; lo += 7) {
+      for (uint64_t hi = lo; hi < domain.size; hi += 9) {
+        Range r{lo, hi};
+        Result<QueryResult> q = store.Query(r);
+        ASSERT_TRUE(q.ok()) << q.status().ToString();
+        EXPECT_EQ(Sorted(q->ids), Sorted(reference.IdsInRange(r)))
+            << SchemeName(GetParam()) << " batch " << batch_no << " range ["
+            << lo << "," << hi << "]";
+      }
+    }
+  }
+  EXPECT_EQ(store.LiveTupleCount(), live.size());
+  EXPECT_GT(store.ConsolidationCount(), 0u);
+}
+
+TEST_P(SchemeUpdateTest, ReinsertAfterDeleteIsLiveAgain) {
+  const Domain domain{32};
+  update::BatchedStore store(GetParam(), domain, /*consolidation_step=*/3,
+                             /*rng_seed=*/5);
+  Record rec{42, 17};
+  ASSERT_TRUE(
+      store.ApplyBatch({{update::UpdateOp::Type::kInsert, rec, 0}}).ok());
+  ASSERT_TRUE(
+      store.ApplyBatch({{update::UpdateOp::Type::kDelete, rec, 0}}).ok());
+  Result<QueryResult> gone = store.Query(Range{0, 31});
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->ids.empty());
+  ASSERT_TRUE(
+      store.ApplyBatch({{update::UpdateOp::Type::kInsert, rec, 0}}).ok());
+  Result<QueryResult> back = store.Query(Range{17, 17});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ids, std::vector<uint64_t>{42});
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryScheme, SchemeUpdateTest,
+                         ::testing::ValuesIn(AllSchemeIds()), SchemeIdName);
 
 TEST(FilterIdsToRangeTest, DropsUnknownAndOutOfRangeIds) {
   Dataset data(Domain{16}, {{1, 5}, {2, 9}});
