@@ -25,7 +25,8 @@ constexpr char kUsage[] =
     "  --n=<dataset size>       (default 20000)\n"
     "  --queries=<per point>    (default 40)\n"
     "  --domain=<domain size>   (default per dataset)\n"
-    "  --smoke=1                (~1 s workload for CI smoke runs)\n";
+    "  --smoke=1                (~1 s workload for CI smoke runs)\n"
+    "  --json=1                 (machine-readable JSON-lines rows)\n";
 
 double FalsePositiveRate(RangeScheme& scheme, const Dataset& data,
                          const std::vector<Range>& queries) {
@@ -61,7 +62,7 @@ int Run(int argc, char** argv) {
 
   std::printf("== False-positive rate (%s, n=%llu) — Fig 6 ==\n",
               dataset_name.c_str(), static_cast<unsigned long long>(n));
-  PrintRow({"range (% domain)", "Logarithmic-SRC", "Logarithmic-SRC-i"});
+  PrintHeaderRow({"range (% domain)", "Logarithmic-SRC", "Logarithmic-SRC-i"});
   Rng qrng(11);
   for (int pct = 10; pct <= 100; pct += 10) {
     std::vector<Range> workload =

@@ -24,7 +24,8 @@ constexpr char kUsage[] =
     "  --n=<max dataset size>         (default 20000)\n"
     "  --points=<sweep points>        (default 4; usps uses 1)\n"
     "  --domain=<domain size>         (default per dataset)\n"
-    "  --smoke=1                      (~1 s workload for CI smoke runs)\n";
+    "  --smoke=1                      (~1 s workload for CI smoke runs)\n"
+    "  --json=1                       (machine-readable JSON-lines rows)\n";
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
@@ -39,7 +40,7 @@ int Run(int argc, char** argv) {
 
   std::printf("== Index costs (%s, domain=%llu) — Fig 5 / Table 2 ==\n",
               dataset_name.c_str(), static_cast<unsigned long long>(domain));
-  PrintRow({"scheme", "n", "index size", "construction time"});
+  PrintHeaderRow({"scheme", "n", "index size", "construction time"});
 
   for (uint64_t p = 1; p <= points; ++p) {
     const uint64_t n = max_n * p / points;

@@ -47,6 +47,20 @@ void BM_GgmExpandOneLevel(benchmark::State& state) {
 }
 BENCHMARK(BM_GgmExpandOneLevel);
 
+void BM_GgmExpandOneLevelAes(benchmark::State& state) {
+  const auto prior = crypto::GgmPrg::backend();
+  crypto::GgmPrg::SetBackend(crypto::GgmPrg::Backend::kAes);
+  uint8_t seed[16] = {0x42};
+  uint8_t left[16];
+  uint8_t right[16];
+  for (auto _ : state) {
+    crypto::GgmPrg::ExpandInto(seed, left, right);
+    benchmark::DoNotOptimize(left);
+  }
+  crypto::GgmPrg::SetBackend(prior);
+}
+BENCHMARK(BM_GgmExpandOneLevelAes);
+
 void BM_AesEncrypt(benchmark::State& state) {
   Bytes key = crypto::GenerateKey();
   Bytes plaintext(static_cast<size_t>(state.range(0)), 0x11);
@@ -115,6 +129,44 @@ void BM_DprfExpandSubtree(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (int64_t{1} << state.range(0)));
 }
 BENCHMARK(BM_DprfExpandSubtree)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DprfExpandSubtreeAes(benchmark::State& state) {
+  // Same expansion under the AES-NI GGM backend (RSSE_GGM_PRG=aes).
+  const auto prior = crypto::GgmPrg::backend();
+  crypto::GgmPrg::SetBackend(crypto::GgmPrg::Backend::kAes);
+  GgmDprf dprf(crypto::GenerateKey(), 27);
+  GgmDprf::Token token{dprf.NodeSeed(DyadicNode{
+                           static_cast<int>(state.range(0)), 3}),
+                       static_cast<int>(state.range(0))};
+  std::vector<Label> leaves;
+  for (auto _ : state) {
+    GgmDprf::ExpandInto(token, leaves);
+    benchmark::DoNotOptimize(leaves.data());
+  }
+  crypto::GgmPrg::SetBackend(prior);
+  state.SetItemsProcessed(state.iterations() * (int64_t{1} << state.range(0)));
+}
+BENCHMARK(BM_DprfExpandSubtreeAes)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_EmmBuild(benchmark::State& state) {
+  sse::PlainMultimap postings;
+  const int64_t keywords = state.range(0);
+  const int64_t per_keyword = 16;
+  for (int64_t w = 0; w < keywords; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, static_cast<uint64_t>(w));
+    for (int64_t i = 0; i < per_keyword; ++i) {
+      postings[keyword].push_back(
+          sse::EncodeIdPayload(static_cast<uint64_t>(w * 1000 + i)));
+    }
+  }
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::EncryptedMultimap::Build(postings, deriver));
+  }
+  state.SetItemsProcessed(state.iterations() * keywords * per_keyword);
+}
+BENCHMARK(BM_EmmBuild)->Arg(64)->Arg(512);
 
 void BM_EmmSearch(benchmark::State& state) {
   sse::PlainMultimap postings;

@@ -24,7 +24,8 @@ constexpr char kUsage[] =
     "  --n=<dataset size>     (default 2000; costs are data-independent)\n"
     "  --queries=<per point>  (default 200)\n"
     "  --domain_bits=<bits>   (default 20, the Appendix A domain)\n"
-    "  --smoke=1              (~1 s workload for CI smoke runs)\n";
+    "  --smoke=1              (~1 s workload for CI smoke runs)\n"
+    "  --json=1               (machine-readable JSON-lines rows)\n";
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
@@ -53,7 +54,7 @@ int Run(int argc, char** argv) {
     std::printf("== %s over A={0..2^20} — Fig 8 ==\n", metric);
     std::vector<std::string> header = {"range size"};
     for (const auto& [id, scheme] : schemes) header.push_back(SchemeName(id));
-    PrintRow(header);
+    PrintHeaderRow(header);
     const bool size_metric = std::string(metric).rfind("query", 0) == 0;
     Rng qrng(17);
     for (uint64_t range_size : {1, 2, 5, 10, 20, 40, 60, 80, 100}) {

@@ -29,7 +29,8 @@ constexpr char kUsage[] =
     "  --domain=<domain size>   (default 2^18 for gowalla, 276841 for usps;\n"
     "    the Constant schemes expand O(R) GGM leaves, so search cost scales\n"
     "    with the domain — raise --domain to reproduce Fig 7a's wider gap)\n"
-    "  --smoke=1                (~1 s workload for CI smoke runs)\n";
+    "  --smoke=1                (~1 s workload for CI smoke runs)\n"
+    "  --json=1                 (machine-readable JSON-lines rows)\n";
 
 /// Measured per-result retrieval cost of the underlying SSE scheme, in
 /// nanoseconds: the "SSE (Cash et al.)" curve of Fig 7.
@@ -76,7 +77,7 @@ int Run(int argc, char** argv) {
   std::vector<std::string> header = {"range (% domain)"};
   for (const auto& [id, scheme] : schemes) header.push_back(SchemeName(id));
   header.push_back("SSE floor");
-  PrintRow(header);
+  PrintHeaderRow(header);
 
   Rng qrng(13);
   for (int pct = 10; pct <= 100; pct += 10) {

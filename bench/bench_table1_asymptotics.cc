@@ -19,7 +19,8 @@ namespace {
 constexpr char kUsage[] =
     "bench_table1_asymptotics: Table 1 — measured cost scaling per scheme.\n"
     "  --n=<base dataset size> (default 4000)\n"
-    "  --smoke=1               (~1 s workload for CI smoke runs)\n";
+    "  --smoke=1               (~1 s workload for CI smoke runs)\n"
+    "  --json=1                (machine-readable JSON-lines rows)\n";
 
 struct SchemeRow {
   SchemeId id;
@@ -53,7 +54,7 @@ int Run(int argc, char** argv) {
   const uint64_t quad_n = smoke ? 100 : 500;
 
   std::printf("== Table 1: measured cost scaling ==\n");
-  PrintRow({"scheme", "storage(2n)/storage(n)", "tokens R=16 -> R=256",
+  PrintHeaderRow({"scheme", "storage(2n)/storage(n)", "tokens R=16 -> R=256",
             "fp observed", "claims (storage|query|fp)"});
 
   for (const SchemeRow& row : kRows) {

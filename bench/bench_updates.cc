@@ -23,7 +23,8 @@ constexpr char kUsage[] =
     "  --batches=<count>      (default 27)\n"
     "  --batch_size=<tuples>  (default 500)\n"
     "  --deletes=<per batch>  (default 25)\n"
-    "  --smoke=1              (~1 s workload for CI smoke runs)\n";
+    "  --smoke=1              (~1 s workload for CI smoke runs)\n"
+    "  --json=1               (machine-readable JSON-lines rows)\n";
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv, kUsage);
@@ -41,7 +42,7 @@ int Run(int argc, char** argv) {
     std::vector<uint64_t> live;
 
     std::printf("== Updates with consolidation step s=%zu ==\n", step);
-    PrintRow({"batch", "instances", "consolidations", "store size",
+    PrintHeaderRow({"batch", "instances", "consolidations", "store size",
               "query tokens", "apply time"});
     for (uint64_t b = 1; b <= batches; ++b) {
       std::vector<update::UpdateOp> batch;

@@ -29,6 +29,10 @@ Flags::Flags(int argc, char** argv, const std::string& usage) {
       values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     }
   }
+  // Shared `--json` convention: every driver emits machine-readable rows.
+  if (const std::string v = GetString("json", "0"); v != "0" && v != "false") {
+    SetJsonOutput(true);
+  }
 }
 
 uint64_t Flags::GetUint(const std::string& key, uint64_t default_value) const {
@@ -75,11 +79,59 @@ std::vector<SchemeId> EvalSchemes() {
           SchemeId::kPb};
 }
 
+namespace {
+
+bool g_json_output = false;
+std::vector<std::string> g_json_header;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetJsonOutput(bool enabled) { g_json_output = enabled; }
+
+void PrintHeaderRow(const std::vector<std::string>& cells) {
+  if (g_json_output) {
+    g_json_header = cells;
+    return;
+  }
+  PrintRow(cells);
+}
+
 void PrintRow(const std::vector<std::string>& cells) {
   static const bool csv = []() {
     const char* env = std::getenv("RSSE_BENCH_CSV");
     return env != nullptr && env[0] == '1';
   }();
+  if (g_json_output) {
+    std::printf("{");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const std::string key = i < g_json_header.size()
+                                  ? g_json_header[i]
+                                  : "col" + std::to_string(i);
+      std::printf("%s\"%s\":\"%s\"", i == 0 ? "" : ",",
+                  JsonEscape(key).c_str(), JsonEscape(cells[i]).c_str());
+    }
+    std::printf("}\n");
+    return;
+  }
   for (size_t i = 0; i < cells.size(); ++i) {
     if (csv) {
       std::printf("%s%s", i == 0 ? "" : ",", cells[i].c_str());

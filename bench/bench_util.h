@@ -56,8 +56,20 @@ std::unique_ptr<RangeScheme> MakeAnyScheme(SchemeId id, uint64_t seed);
 std::vector<SchemeId> EvalSchemes();
 
 /// Prints a row of fixed-width columns; with RSSE_BENCH_CSV=1 in the
-/// environment, emits comma-separated values instead (for plotting).
+/// environment, emits comma-separated values instead (for plotting), and
+/// in JSON mode (the shared `--json` flag) one JSON object per data row,
+/// keyed by the most recent header row (JSON-lines, for tracked perf
+/// trajectories).
 void PrintRow(const std::vector<std::string>& cells);
+
+/// Declares `cells` as the header of the rows that follow. In table/CSV
+/// mode it prints like a normal row; in JSON mode it is recorded as the
+/// key set and not printed.
+void PrintHeaderRow(const std::vector<std::string>& cells);
+
+/// Switches PrintRow/PrintHeaderRow to JSON-lines output. Flags enables
+/// this automatically when `--json` is passed.
+void SetJsonOutput(bool enabled);
 
 /// Formats bytes as MB with two decimals.
 std::string FormatMb(size_t bytes);

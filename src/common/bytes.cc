@@ -15,6 +15,8 @@ int HexNibble(char c) {
 
 Bytes ToBytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
 
+Bytes LabelToBytes(const Label& l) { return Bytes(l.begin(), l.end()); }
+
 std::string ToHex(const Bytes& data) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out;
@@ -57,6 +59,12 @@ Bytes Concat(std::initializer_list<const Bytes*> parts) {
 void AppendUint64(Bytes& dst, uint64_t v) {
   for (int shift = 56; shift >= 0; shift -= 8) {
     dst.push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void StoreUint64(uint8_t out[8], uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>((v >> (56 - 8 * i)) & 0xff);
   }
 }
 

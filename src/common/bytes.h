@@ -1,7 +1,10 @@
 #ifndef RSSE_COMMON_BYTES_H_
 #define RSSE_COMMON_BYTES_H_
 
+#include <array>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +15,32 @@ namespace rsse {
 /// ciphertexts. A plain vector keeps the dependency surface minimal and makes
 /// serialization trivial.
 using Bytes = std::vector<uint8_t>;
+
+/// Non-owning byte views for the scratch-buffer crypto APIs (`EvalInto`,
+/// `EncryptInto`, ...): callers keep ownership and reuse buffers across
+/// calls, so the hot paths allocate nothing in steady state.
+using ByteSpan = std::span<uint8_t>;
+using ConstByteSpan = std::span<const uint8_t>;
+
+/// Fixed-size 128-bit dictionary label / GGM seed. Labels are PRF outputs
+/// (λ = 16 bytes everywhere in this library), so a fixed-size array type
+/// avoids one heap allocation per label and gives the flat dictionary
+/// trivially comparable, contiguous keys.
+inline constexpr size_t kLabelBytes = 16;
+using Label = std::array<uint8_t, kLabelBytes>;
+
+/// Hash functor for `Label` keys. Labels are pseudorandom, so their first
+/// eight bytes are already a uniform 64-bit hash — no mixing needed.
+struct LabelHash {
+  size_t operator()(const Label& l) const {
+    uint64_t v;
+    std::memcpy(&v, l.data(), sizeof(v));
+    return static_cast<size_t>(v);
+  }
+};
+
+/// `Label` contents as an owning `Bytes` (for APIs that persist labels).
+Bytes LabelToBytes(const Label& l);
 
 /// Converts an ASCII string to bytes (no terminator).
 Bytes ToBytes(std::string_view s);
@@ -34,6 +63,10 @@ Bytes Concat(std::initializer_list<const Bytes*> parts);
 
 /// Serializes `v` big-endian into 8 bytes appended to `dst`.
 void AppendUint64(Bytes& dst, uint64_t v);
+
+/// Serializes `v` big-endian into a fixed 8-byte buffer (no allocation;
+/// the counter-encoding hot path of label derivation).
+void StoreUint64(uint8_t out[8], uint64_t v);
 
 /// Serializes `v` big-endian into 4 bytes appended to `dst`.
 void AppendUint32(Bytes& dst, uint32_t v);

@@ -1,0 +1,14 @@
+#ifndef RSSE_COMMON_ENV_H_
+#define RSSE_COMMON_ENV_H_
+
+namespace rsse {
+
+/// Resolves a worker-thread count: a positive `requested` wins, otherwise
+/// a positive integer in the `env_var` environment variable, otherwise 1
+/// (single-threaded, paper-faithful timing). Shared by index construction
+/// (`RSSE_BUILD_THREADS`) and multi-token search (`RSSE_SEARCH_THREADS`).
+int ResolveThreadCount(int requested, const char* env_var);
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_ENV_H_

@@ -2,53 +2,106 @@
 
 #include <openssl/evp.h>
 
+#include <cstring>
+
 #include "crypto/random.h"
 
 namespace rsse::crypto {
 
 namespace {
 
-/// Per-thread cipher context, allocated once and re-initialized per call.
-/// Index construction encrypts millions of entries; avoiding a context
-/// allocation per entry is a significant win and is thread-safe.
-EVP_CIPHER_CTX* ThreadCipherContext() {
-  thread_local EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
-  return ctx;
+/// Per-thread cipher context plus the key its schedule was computed for.
+/// When consecutive calls reuse the key (every counter probe of a keyword
+/// does), re-init only sets the IV and skips the key schedule; a failed
+/// operation drops the cache so the context is rebuilt from scratch.
+/// The destructor releases the context when its thread exits (search
+/// workers are short-lived threads).
+struct CachedCipherCtx {
+  EVP_CIPHER_CTX* ctx = nullptr;
+  uint8_t key[Aes128Cbc::kKeyBytes] = {};
+  bool keyed = false;
+
+  ~CachedCipherCtx() {
+    if (ctx != nullptr) EVP_CIPHER_CTX_free(ctx);
+  }
+};
+
+CachedCipherCtx& ThreadEncryptCtx() {
+  thread_local CachedCipherCtx cached;
+  return cached;
+}
+
+CachedCipherCtx& ThreadDecryptCtx() {
+  thread_local CachedCipherCtx cached;
+  return cached;
+}
+
+/// Initializes `cached` for `key`/`iv` in the given direction, reusing the
+/// cached key schedule when possible. Returns false on OpenSSL failure.
+bool InitCached(CachedCipherCtx& cached, ConstByteSpan key, const uint8_t* iv,
+                bool encrypt) {
+  if (cached.ctx == nullptr) {
+    cached.ctx = EVP_CIPHER_CTX_new();
+    if (cached.ctx == nullptr) return false;
+  }
+  auto init = encrypt ? EVP_EncryptInit_ex : EVP_DecryptInit_ex;
+  if (cached.keyed &&
+      std::memcmp(cached.key, key.data(), Aes128Cbc::kKeyBytes) == 0) {
+    if (init(cached.ctx, nullptr, nullptr, nullptr, iv) == 1) return true;
+    cached.keyed = false;  // fall through to a full re-init
+  }
+  if (init(cached.ctx, EVP_aes_128_cbc(), nullptr, key.data(), iv) != 1) {
+    cached.keyed = false;
+    return false;
+  }
+  std::memcpy(cached.key, key.data(), Aes128Cbc::kKeyBytes);
+  cached.keyed = true;
+  return true;
 }
 
 }  // namespace
 
-Result<Bytes> Aes128Cbc::EncryptWithIv(const Bytes& key, const Bytes& iv,
-                                       const Bytes& plaintext) {
+Status Aes128Cbc::EncryptWithIvInto(ConstByteSpan key, ConstByteSpan iv,
+                                    ConstByteSpan plaintext, ByteSpan out,
+                                    size_t* written) {
   if (key.size() != kKeyBytes) {
     return Status::InvalidArgument("AES-128 key must be 16 bytes");
   }
   if (iv.size() != kBlockBytes) {
     return Status::InvalidArgument("AES-CBC IV must be 16 bytes");
   }
-  EVP_CIPHER_CTX* ctx = ThreadCipherContext();
-  if (ctx == nullptr) return Status::Internal("EVP_CIPHER_CTX_new failed");
-  Bytes out = iv;
-  out.resize(iv.size() + plaintext.size() + kBlockBytes);
+  if (out.size() < CiphertextSize(plaintext.size())) {
+    return Status::InvalidArgument("AES-CBC output buffer too small");
+  }
+  CachedCipherCtx& cached = ThreadEncryptCtx();
+  if (!InitCached(cached, key, iv.data(), /*encrypt=*/true)) {
+    return Status::Internal("AES-CBC encrypt init failed");
+  }
+  std::memcpy(out.data(), iv.data(), kBlockBytes);
   int len1 = 0;
   int len2 = 0;
-  bool ok =
-      EVP_EncryptInit_ex(ctx, EVP_aes_128_cbc(), nullptr, key.data(),
-                         iv.data()) == 1 &&
-      EVP_EncryptUpdate(ctx, out.data() + iv.size(), &len1, plaintext.data(),
-                        static_cast<int>(plaintext.size())) == 1 &&
-      EVP_EncryptFinal_ex(ctx, out.data() + iv.size() + len1, &len2) == 1;
-  EVP_CIPHER_CTX_reset(ctx);
-  if (!ok) return Status::Internal("AES-CBC encryption failed");
-  out.resize(iv.size() + static_cast<size_t>(len1 + len2));
-  return out;
+  if (EVP_EncryptUpdate(cached.ctx, out.data() + kBlockBytes, &len1,
+                        plaintext.data(),
+                        static_cast<int>(plaintext.size())) != 1 ||
+      EVP_EncryptFinal_ex(cached.ctx, out.data() + kBlockBytes + len1,
+                          &len2) != 1) {
+    cached.keyed = false;
+    EVP_CIPHER_CTX_reset(cached.ctx);
+    return Status::Internal("AES-CBC encryption failed");
+  }
+  *written = kBlockBytes + static_cast<size_t>(len1 + len2);
+  return Status::Ok();
 }
 
-Result<Bytes> Aes128Cbc::Encrypt(const Bytes& key, const Bytes& plaintext) {
-  return EncryptWithIv(key, SecureRandom(kBlockBytes), plaintext);
+Status Aes128Cbc::EncryptInto(ConstByteSpan key, ConstByteSpan plaintext,
+                              ByteSpan out, size_t* written) {
+  uint8_t iv[kBlockBytes];
+  SecureRandomInto(iv);
+  return EncryptWithIvInto(key, iv, plaintext, out, written);
 }
 
-Result<Bytes> Aes128Cbc::Decrypt(const Bytes& key, const Bytes& ciphertext) {
+Status Aes128Cbc::DecryptInto(ConstByteSpan key, ConstByteSpan ciphertext,
+                              ByteSpan out, size_t* written) {
   if (key.size() != kKeyBytes) {
     return Status::InvalidArgument("AES-128 key must be 16 bytes");
   }
@@ -56,22 +109,59 @@ Result<Bytes> Aes128Cbc::Decrypt(const Bytes& key, const Bytes& ciphertext) {
       (ciphertext.size() - kBlockBytes) % kBlockBytes != 0) {
     return Status::InvalidArgument("malformed AES-CBC ciphertext");
   }
-  EVP_CIPHER_CTX* ctx = ThreadCipherContext();
-  if (ctx == nullptr) return Status::Internal("EVP_CIPHER_CTX_new failed");
-  const uint8_t* iv = ciphertext.data();
-  const uint8_t* body = ciphertext.data() + kBlockBytes;
   const size_t body_len = ciphertext.size() - kBlockBytes;
-  Bytes out(body_len);
+  if (out.size() < body_len) {
+    return Status::InvalidArgument("AES-CBC output buffer too small");
+  }
+  CachedCipherCtx& cached = ThreadDecryptCtx();
+  if (!InitCached(cached, key, ciphertext.data(), /*encrypt=*/false)) {
+    return Status::Internal("AES-CBC decrypt init failed");
+  }
   int len1 = 0;
   int len2 = 0;
-  bool ok = EVP_DecryptInit_ex(ctx, EVP_aes_128_cbc(), nullptr, key.data(),
-                               iv) == 1 &&
-            EVP_DecryptUpdate(ctx, out.data(), &len1, body,
-                              static_cast<int>(body_len)) == 1 &&
-            EVP_DecryptFinal_ex(ctx, out.data() + len1, &len2) == 1;
-  EVP_CIPHER_CTX_reset(ctx);
-  if (!ok) return Status::InvalidArgument("AES-CBC decryption failed (bad key or padding)");
-  out.resize(static_cast<size_t>(len1 + len2));
+  if (EVP_DecryptUpdate(cached.ctx, out.data(), &len1,
+                        ciphertext.data() + kBlockBytes,
+                        static_cast<int>(body_len)) != 1 ||
+      EVP_DecryptFinal_ex(cached.ctx, out.data() + len1, &len2) != 1) {
+    // Wrong key or padding: expected during SSE search under a foreign
+    // token. Drop the cached schedule; the context state is undefined.
+    cached.keyed = false;
+    EVP_CIPHER_CTX_reset(cached.ctx);
+    return Status::InvalidArgument(
+        "AES-CBC decryption failed (bad key or padding)");
+  }
+  *written = static_cast<size_t>(len1 + len2);
+  return Status::Ok();
+}
+
+Result<Bytes> Aes128Cbc::EncryptWithIv(const Bytes& key, const Bytes& iv,
+                                       const Bytes& plaintext) {
+  Bytes out(CiphertextSize(plaintext.size()));
+  size_t written = 0;
+  Status s = EncryptWithIvInto(key, iv, plaintext, out, &written);
+  if (!s.ok()) return s;
+  out.resize(written);
+  return out;
+}
+
+Result<Bytes> Aes128Cbc::Encrypt(const Bytes& key, const Bytes& plaintext) {
+  Bytes out(CiphertextSize(plaintext.size()));
+  size_t written = 0;
+  Status s = EncryptInto(key, plaintext, out, &written);
+  if (!s.ok()) return s;
+  out.resize(written);
+  return out;
+}
+
+Result<Bytes> Aes128Cbc::Decrypt(const Bytes& key, const Bytes& ciphertext) {
+  if (ciphertext.size() < 2 * kBlockBytes) {
+    return Status::InvalidArgument("malformed AES-CBC ciphertext");
+  }
+  Bytes out(ciphertext.size() - kBlockBytes);
+  size_t written = 0;
+  Status s = DecryptInto(key, ciphertext, out, &written);
+  if (!s.ok()) return s;
+  out.resize(written);
   return out;
 }
 

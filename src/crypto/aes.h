@@ -9,6 +9,11 @@ namespace rsse::crypto {
 /// AES-128-CBC with PKCS#7 padding and a fresh random IV per encryption —
 /// the paper's semantically secure symmetric encryption for tuple ids and
 /// index values. Ciphertext layout: IV (16 bytes) || CBC ciphertext.
+///
+/// The `*Into` variants write into caller scratch buffers and keep two
+/// per-thread cipher contexts (encrypt/decrypt) whose AES key schedule is
+/// cached across calls under the same key — the common case, since every
+/// counter probe of one keyword reuses that keyword's value key.
 class Aes128Cbc {
  public:
   static constexpr size_t kKeyBytes = 16;
@@ -26,6 +31,23 @@ class Aes128Cbc {
   /// Decrypts `ciphertext` (IV || body) under `key`. Fails on malformed
   /// input or padding.
   static Result<Bytes> Decrypt(const Bytes& key, const Bytes& ciphertext);
+
+  /// Encrypts into `out` (size >= CiphertextSize(plaintext.size())) with a
+  /// fresh pooled-random IV; `*written` receives the ciphertext length.
+  /// No allocation.
+  static Status EncryptInto(ConstByteSpan key, ConstByteSpan plaintext,
+                            ByteSpan out, size_t* written);
+
+  /// `EncryptInto` with a caller-provided 16-byte IV.
+  static Status EncryptWithIvInto(ConstByteSpan key, ConstByteSpan iv,
+                                  ConstByteSpan plaintext, ByteSpan out,
+                                  size_t* written);
+
+  /// Decrypts `ciphertext` (IV || body) into `out` (size >=
+  /// ciphertext.size() - 16); `*written` receives the plaintext length.
+  /// No allocation.
+  static Status DecryptInto(ConstByteSpan key, ConstByteSpan ciphertext,
+                            ByteSpan out, size_t* written);
 
   /// Size of the ciphertext produced for `plaintext_len` bytes of input
   /// (IV + padded body).

@@ -1,28 +1,152 @@
 #include "crypto/prg.h"
 
+#include <openssl/evp.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "crypto/hmac_prf.h"
 
 namespace rsse::crypto {
 
 namespace {
 
-/// Pre-keyed HMAC under a fixed public key: G must be a public function
-/// (the server expands delegated GGM seeds), so the MAC key carries no
-/// secret; all entropy is in the seed, which is the HMAC message. Keying
-/// once and duplicating the context per call makes GGM expansion ~5x
-/// faster than one-shot HMAC, which dominates the Constant schemes'
-/// delegation and search costs (Figures 7/8).
-const Prf& PublicGgmPrf() {
+[[noreturn]] void DiePrgFailure(const char* what) {
+  std::fprintf(stderr, "rsse: GGM PRG backend failure: %s\n", what);
+  std::abort();
+}
+
+// ---------------------------------------------------------------------------
+// HMAC backend. G must be a public function (the server expands delegated
+// GGM seeds), so the MAC key carries no secret; all entropy is in the seed,
+// which is the HMAC message. One shared pre-keyed Prf (stack-state
+// evaluations are thread-safe) makes expansion ~2x faster than one-shot
+// HMAC.
+// ---------------------------------------------------------------------------
+
+const Prf& PublicHmacPrf() {
   static const Prf* prf = new Prf(ToBytes("rsse-ggm-public-expansion-key"));
   return *prf;
 }
 
+void HmacExpandInto(const uint8_t* seed, uint8_t* left, uint8_t* right) {
+  uint8_t mac[Prf::kMaxOutputBytes];
+  if (!PublicHmacPrf().EvalInto(ConstByteSpan(seed, kLambdaBytes),
+                                ByteSpan(mac, sizeof(mac)))) {
+    DiePrgFailure("HMAC evaluation failed");
+  }
+  std::memcpy(left, mac, kLambdaBytes);
+  std::memcpy(right, mac + kLambdaBytes, kLambdaBytes);
+}
+
+// ---------------------------------------------------------------------------
+// AES backend: fixed-key single-permutation Matyas-Meyer-Oseas,
+// G_b(s) = AES_K(s ⊕ c_b) ⊕ s ⊕ c_b. The key schedule is computed once per
+// thread; each expansion is one two-block ECB encryption (AES-NI via EVP).
+// ---------------------------------------------------------------------------
+
+// Public fixed key and block tweaks; arbitrary distinct constants.
+constexpr uint8_t kAesFixedKey[16] = {'r', 's', 's', 'e', '-', 'g', 'g', 'm',
+                                      '-', 'a', 'e', 's', '-', 'k', 'e', 'y'};
+constexpr uint8_t kTweak0 = 0x00;
+constexpr uint8_t kTweak1 = 0xff;
+
+/// Owns the per-thread fixed-key context so it is released on thread exit.
+struct AesCtxHolder {
+  EVP_CIPHER_CTX* ctx = nullptr;
+
+  ~AesCtxHolder() {
+    if (ctx != nullptr) EVP_CIPHER_CTX_free(ctx);
+  }
+};
+
+EVP_CIPHER_CTX* ThreadAesCtx() {
+  thread_local AesCtxHolder holder;
+  if (holder.ctx == nullptr) {
+    holder.ctx = EVP_CIPHER_CTX_new();
+    if (holder.ctx == nullptr ||
+        EVP_EncryptInit_ex(holder.ctx, EVP_aes_128_ecb(), nullptr,
+                           kAesFixedKey, nullptr) != 1) {
+      DiePrgFailure("AES-128-ECB init failed");
+    }
+    EVP_CIPHER_CTX_set_padding(holder.ctx, 0);
+  }
+  return holder.ctx;
+}
+
+void AesExpandInto(const uint8_t* seed, uint8_t* left, uint8_t* right) {
+  uint8_t in[2 * kLambdaBytes];
+  uint8_t out[2 * kLambdaBytes];
+  for (size_t i = 0; i < kLambdaBytes; ++i) {
+    in[i] = static_cast<uint8_t>(seed[i] ^ kTweak0);
+    in[kLambdaBytes + i] = static_cast<uint8_t>(seed[i] ^ kTweak1);
+  }
+  int len = 0;
+  if (EVP_EncryptUpdate(ThreadAesCtx(), out, &len, in, sizeof(in)) != 1 ||
+      len != static_cast<int>(sizeof(in))) {
+    DiePrgFailure("AES-128-ECB encryption failed");
+  }
+  // Feed-forward (Davies-Meyer/MMO) makes the permutation one-way: without
+  // it, the server could invert AES_K and recover parent seeds from
+  // delegated children.
+  for (size_t i = 0; i < kLambdaBytes; ++i) {
+    out[i] ^= in[i];
+    out[kLambdaBytes + i] ^= in[kLambdaBytes + i];
+  }
+  std::memcpy(left, out, kLambdaBytes);
+  std::memcpy(right, out + kLambdaBytes, kLambdaBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection.
+// ---------------------------------------------------------------------------
+
+int InitialBackend() {
+  const char* env = std::getenv("RSSE_GGM_PRG");
+  if (env != nullptr && (std::strcmp(env, "aes") == 0 ||
+                         std::strcmp(env, "AES") == 0)) {
+    return static_cast<int>(GgmPrg::Backend::kAes);
+  }
+  return static_cast<int>(GgmPrg::Backend::kHmac);
+}
+
+std::atomic<int>& BackendFlag() {
+  static std::atomic<int> flag(InitialBackend());
+  return flag;
+}
+
 }  // namespace
 
+GgmPrg::Backend GgmPrg::backend() {
+  return static_cast<Backend>(BackendFlag().load(std::memory_order_relaxed));
+}
+
+void GgmPrg::SetBackend(Backend b) {
+  BackendFlag().store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void GgmPrg::ExpandInto(const uint8_t* seed, uint8_t* left, uint8_t* right) {
+  if (backend() == Backend::kAes) {
+    AesExpandInto(seed, left, right);
+  } else {
+    HmacExpandInto(seed, left, right);
+  }
+}
+
+void GgmPrg::GbInto(const uint8_t* seed, int bit, uint8_t* out) {
+  uint8_t left[kLambdaBytes];
+  uint8_t right[kLambdaBytes];
+  ExpandInto(seed, left, right);
+  std::memcpy(out, bit == 0 ? left : right, kLambdaBytes);
+}
+
 std::pair<Bytes, Bytes> GgmPrg::Expand(const Bytes& seed) {
-  Bytes mac = PublicGgmPrf().Eval(seed);
-  Bytes left(mac.begin(), mac.begin() + kLambdaBytes);
-  Bytes right(mac.begin() + kLambdaBytes, mac.begin() + 2 * kLambdaBytes);
+  if (seed.size() != kLambdaBytes) DiePrgFailure("seed must be λ bytes");
+  Bytes left(kLambdaBytes);
+  Bytes right(kLambdaBytes);
+  ExpandInto(seed.data(), left.data(), right.data());
   return {std::move(left), std::move(right)};
 }
 
@@ -31,8 +155,10 @@ Bytes GgmPrg::G0(const Bytes& seed) { return Expand(seed).first; }
 Bytes GgmPrg::G1(const Bytes& seed) { return Expand(seed).second; }
 
 Bytes GgmPrg::Gb(const Bytes& seed, int bit) {
-  auto [left, right] = Expand(seed);
-  return bit == 0 ? left : right;
+  if (seed.size() != kLambdaBytes) DiePrgFailure("seed must be λ bytes");
+  Bytes out(kLambdaBytes);
+  GbInto(seed.data(), bit, out.data());
+  return out;
 }
 
 }  // namespace rsse::crypto

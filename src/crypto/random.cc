@@ -1,14 +1,76 @@
 #include "crypto/random.h"
 
 #include <openssl/rand.h>
+#include <pthread.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "crypto/hmac_prf.h"
 
 namespace rsse::crypto {
 
+namespace {
+
+constexpr size_t kPoolBytes = 4096;
+
+struct EntropyPool {
+  uint8_t buf[kPoolBytes];
+  size_t pos = kPoolBytes;  // empty until first refill
+};
+
+EntropyPool& ThreadPool() {
+  thread_local EntropyPool pool;
+  return pool;
+}
+
+/// OpenSSL reseeds its DRBG across fork(), but bytes already buffered in
+/// our user-space pool would be replayed identically in parent and child
+/// (duplicate IVs/keys). Drop the forking thread's pool in the child —
+/// the only thread that survives a fork.
+void DropPoolInChild() {
+  EntropyPool& pool = ThreadPool();
+  std::memset(pool.buf, 0, sizeof(pool.buf));
+  pool.pos = kPoolBytes;
+}
+
+[[noreturn]] void DieEntropyFailure() {
+  std::fputs("rsse: RAND_bytes failed; no secure entropy available\n",
+             stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void SecureRandomInto(ByteSpan out) {
+  if (out.empty()) return;
+  if (out.size() > kPoolBytes) {
+    if (RAND_bytes(out.data(), static_cast<int>(out.size())) != 1) {
+      DieEntropyFailure();
+    }
+    return;
+  }
+  static const int atfork_registered =
+      pthread_atfork(nullptr, nullptr, DropPoolInChild);
+  (void)atfork_registered;
+  EntropyPool& pool = ThreadPool();
+  if (pool.pos + out.size() > kPoolBytes) {
+    if (RAND_bytes(pool.buf, static_cast<int>(kPoolBytes)) != 1) {
+      DieEntropyFailure();
+    }
+    pool.pos = 0;
+  }
+  std::memcpy(out.data(), pool.buf + pool.pos, out.size());
+  // Scrub consumed bytes so a later memory disclosure cannot replay IVs
+  // that already left the pool.
+  std::memset(pool.buf + pool.pos, 0, out.size());
+  pool.pos += out.size();
+}
+
 Bytes SecureRandom(size_t n) {
   Bytes out(n);
-  if (n > 0) RAND_bytes(out.data(), static_cast<int>(n));
+  SecureRandomInto(out);
   return out;
 }
 

@@ -9,6 +9,14 @@ namespace rsse::crypto {
 /// entropy). Used for all key material and IVs.
 Bytes SecureRandom(size_t n);
 
+/// Fills `out` with secure random bytes from a thread-local 4 KiB pool,
+/// refilled from RAND_bytes on exhaustion. Index construction draws one
+/// 16-byte IV per encrypted entry; pooling amortizes the OpenSSL DRBG
+/// locking/call overhead over ~256 draws. Requests larger than the pool go
+/// straight to RAND_bytes. Aborts the process if the system DRBG fails —
+/// silently degraded randomness must never reach key or IV material.
+void SecureRandomInto(ByteSpan out);
+
 /// Fresh λ-byte (128-bit) symmetric key.
 Bytes GenerateKey();
 

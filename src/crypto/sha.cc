@@ -20,6 +20,13 @@ Bytes Sha1(const Bytes& data) { return Digest(EVP_sha1(), data); }
 
 Bytes Sha256(const Bytes& data) { return Digest(EVP_sha256(), data); }
 
+bool Sha256Into(ConstByteSpan data, uint8_t out[32]) {
+  unsigned int out_len = 0;
+  return EVP_Digest(data.data(), data.size(), out, &out_len, EVP_sha256(),
+                    nullptr) == 1 &&
+         out_len == 32;
+}
+
 Bytes Sha512(const Bytes& data) { return Digest(EVP_sha512(), data); }
 
 }  // namespace rsse::crypto

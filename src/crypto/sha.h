@@ -15,6 +15,11 @@ Bytes Sha1(const Bytes& data);
 /// SHA-256 digest (32 bytes).
 Bytes Sha256(const Bytes& data);
 
+/// SHA-256 digest written into caller storage (exactly 32 bytes); the
+/// allocation-free variant for per-leaf key derivation. Returns false on
+/// OpenSSL failure.
+bool Sha256Into(ConstByteSpan data, uint8_t out[32]);
+
 /// SHA-512 digest (64 bytes).
 Bytes Sha512(const Bytes& data);
 

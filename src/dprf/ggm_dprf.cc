@@ -1,21 +1,34 @@
 #include "dprf/ggm_dprf.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "cover/brc.h"
 #include "cover/urc.h"
 #include "crypto/prg.h"
 
 namespace rsse {
 
-GgmDprf::GgmDprf(Bytes key, int bits) : key_(std::move(key)), bits_(bits) {}
+GgmDprf::GgmDprf(Bytes key, int bits) : key_(std::move(key)), bits_(bits) {
+  // The in-place GGM walks read/write exactly λ bytes through raw
+  // pointers; a wrong-sized key would corrupt the heap, so fail fast.
+  if (key_.size() != kLabelBytes) {
+    std::fprintf(stderr, "rsse: GgmDprf key must be %zu bytes (got %zu)\n",
+                 kLabelBytes, key_.size());
+    std::abort();
+  }
+}
 
 Bytes GgmDprf::NodeSeed(const DyadicNode& node) const {
   // Walk the path bits of `node.index` MSB-first, starting from the root
-  // seed (the key). A node at `level` has bits_ - level path bits.
+  // seed (the key). A node at `level` has bits_ - level path bits. The
+  // walk keeps one λ-byte seed in place (GbInto may alias its input).
   Bytes seed = key_;
   const int path_bits = bits_ - node.level;
   for (int i = path_bits - 1; i >= 0; --i) {
     const int bit = static_cast<int>((node.index >> i) & 1);
-    seed = crypto::GgmPrg::Gb(seed, bit);
+    crypto::GgmPrg::GbInto(seed.data(), bit, seed.data());
   }
   return seed;
 }
@@ -39,19 +52,34 @@ std::vector<GgmDprf::Token> GgmDprf::Delegate(const Range& r,
   return tokens;
 }
 
-std::vector<Bytes> GgmDprf::Expand(const Token& token) {
-  std::vector<Bytes> frontier = {token.seed};
-  for (int level = token.level; level > 0; --level) {
-    std::vector<Bytes> next;
-    next.reserve(frontier.size() * 2);
-    for (const Bytes& seed : frontier) {
-      auto [left, right] = crypto::GgmPrg::Expand(seed);
-      next.push_back(std::move(left));
-      next.push_back(std::move(right));
-    }
-    frontier = std::move(next);
+bool GgmDprf::ExpandInto(const Token& token, std::vector<Label>& out) {
+  if (token.seed.size() != kLabelBytes || token.level < 0 ||
+      token.level > 62) {
+    return false;
   }
-  return frontier;
+  out.resize(size_t{1} << token.level);
+  std::memcpy(out[0].data(), token.seed.data(), kLabelBytes);
+  // In-place breadth-first doubling: at step k the frontier of 2^k seeds
+  // occupies slots [0, 2^k). Walking it right-to-left, slot i expands into
+  // slots 2i and 2i+1 — both >= i, and every frontier slot > i has already
+  // been consumed, so nothing live is overwritten (ExpandInto buffers the
+  // parent internally before writing the children).
+  for (int k = 0; k < token.level; ++k) {
+    for (size_t i = (size_t{1} << k); i-- > 0;) {
+      crypto::GgmPrg::ExpandInto(out[i].data(), out[2 * i].data(),
+                                 out[2 * i + 1].data());
+    }
+  }
+  return true;
+}
+
+std::vector<Bytes> GgmDprf::Expand(const Token& token) {
+  std::vector<Label> leaves;
+  if (!ExpandInto(token, leaves)) return {};
+  std::vector<Bytes> out;
+  out.reserve(leaves.size());
+  for (const Label& leaf : leaves) out.push_back(LabelToBytes(leaf));
+  return out;
 }
 
 }  // namespace rsse

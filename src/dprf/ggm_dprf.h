@@ -54,6 +54,14 @@ class GgmDprf {
   /// secret material.
   static std::vector<Bytes> Expand(const Token& token);
 
+  /// Zero-copy expansion into caller storage: `out` is resized to 2^level
+  /// λ-byte leaf values and filled by an iterative in-place subtree walk
+  /// (parent seeds are overwritten by their children — no per-level
+  /// frontier vectors, no per-leaf allocations once `out` has capacity).
+  /// Returns false when the token seed is not λ bytes or the level is
+  /// outside [0, 62].
+  static bool ExpandInto(const Token& token, std::vector<Label>& out);
+
  private:
   Bytes key_;
   int bits_;

@@ -1,5 +1,9 @@
 #include "rsse/constant.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "common/env.h"
 #include "common/stats.h"
 #include "crypto/random.h"
 #include "sse/keyword_keys.h"
@@ -86,17 +90,42 @@ Result<QueryResult> ConstantScheme::Query(const Range& query) {
   }
 
   // Server: expand each token to the leaf DPRF values and run SSE search
-  // per derived per-value token.
+  // per derived per-value token. Covering nodes are independent, so they
+  // shard across worker threads; within a worker, the leaf buffer and key
+  // pair are reused across expansions (zero steady-state allocation).
   WallTimer search_timer;
-  for (const GgmDprf::Token& token : tokens) {
-    for (const Bytes& leaf : GgmDprf::Expand(token)) {
-      sse::KeywordKeys keys = sse::KeysFromSharedSecret(leaf);
-      for (const Bytes& payload : index_.Search(keys)) {
-        if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
-          result.ids.push_back(*id);
+  const int threads = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(
+          ResolveThreadCount(search_threads_, "RSSE_SEARCH_THREADS")),
+      tokens.size()));
+  std::vector<std::vector<uint64_t>> per_token(tokens.size());
+  auto worker = [&](int t) {
+    std::vector<Label> leaves;
+    sse::KeywordKeys keys;
+    for (size_t i = static_cast<size_t>(t); i < tokens.size();
+         i += static_cast<size_t>(threads)) {
+      if (!GgmDprf::ExpandInto(tokens[i], leaves)) continue;
+      for (const Label& leaf : leaves) {
+        sse::KeysFromSharedSecretInto(ConstByteSpan(leaf.data(), leaf.size()),
+                                      keys);
+        for (const Bytes& payload : index_.Search(keys)) {
+          if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
+            per_token[i].push_back(*id);
+          }
         }
       }
     }
+  };
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& th : pool) th.join();
+  }
+  for (const std::vector<uint64_t>& ids : per_token) {
+    result.ids.insert(result.ids.end(), ids.begin(), ids.end());
   }
   result.search_nanos = search_timer.ElapsedNanos();
   return result;

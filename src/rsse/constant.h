@@ -38,6 +38,11 @@ class ConstantScheme : public RangeScheme {
   /// intersects any previously issued one fails with FAILED_PRECONDITION.
   void EnableIntersectionGuard() { guard_enabled_ = true; }
 
+  /// Worker threads for the server-side multi-token search (each covering
+  /// node expands and probes independently). 0 reads the
+  /// RSSE_SEARCH_THREADS environment variable, defaulting to 1.
+  void SetSearchThreads(int threads) { search_threads_ = threads; }
+
   /// Owner-side delegation only (exposed for tests/benches that need the
   /// raw tokens).
   std::vector<GgmDprf::Token> Delegate(const Range& r);
@@ -51,6 +56,7 @@ class ConstantScheme : public RangeScheme {
   sse::EncryptedMultimap index_;
   bool built_ = false;
   bool guard_enabled_ = false;
+  int search_threads_ = 0;
   std::vector<Range> history_;
 };
 

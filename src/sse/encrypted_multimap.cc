@@ -1,8 +1,8 @@
 #include "sse/encrypted_multimap.h"
 
-#include <cstdlib>
 #include <thread>
 
+#include "common/env.h"
 #include "crypto/aes.h"
 
 namespace rsse::sse {
@@ -12,51 +12,68 @@ namespace {
 constexpr uint8_t kRealMarker = 0x00;
 constexpr uint8_t kDummyMarker = 0x01;
 
-Bytes CounterInput(uint64_t c) {
-  Bytes in;
-  AppendUint64(in, c);
-  return in;
-}
-
-int ResolveThreads(int requested) {
-  if (requested > 0) return requested;
-  if (const char* env = std::getenv("RSSE_BUILD_THREADS"); env != nullptr) {
-    int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
-  }
-  return 1;
-}
-
-/// One encrypted dictionary entry before insertion.
-struct Entry {
-  Bytes label;
-  Bytes value;
-};
-
-/// Encrypts the postings of one keyword into dictionary entries.
-Status EncryptKeyword(const Bytes& keyword, const std::vector<Bytes>& payloads,
-                      const KeywordKeyDeriver& deriver, uint64_t pad_quantum,
-                      std::vector<Entry>& out) {
-  const KeywordKeys keys = deriver.Derive(keyword);
-  const crypto::Prf label_prf(keys.label_key);
-  uint64_t total = payloads.size();
+/// Posting-list length after padding.
+uint64_t PaddedTotal(size_t payload_count, uint64_t pad_quantum) {
+  uint64_t total = payload_count;
   if (pad_quantum > 0) {
     total = (total + pad_quantum - 1) / pad_quantum * pad_quantum;
     if (total == 0) total = pad_quantum;
   }
+  return total;
+}
+
+/// Encrypted entries of one build shard: labels plus ciphertexts packed
+/// into a contiguous buffer (offsets are implicit — entries are appended
+/// in order, so the lengths delimit them).
+struct Shard {
+  std::vector<Label> labels;
+  std::vector<uint32_t> value_lens;
+  Bytes values;
+};
+
+/// Encrypts the postings of one keyword, reusing `plaintext` as scratch
+/// across entries. Each entry's ciphertext is written directly into the
+/// span returned by `emit(label, exact_ciphertext_size)` — single-threaded
+/// builds hand out table-arena storage (no staging copy), sharded builds a
+/// shard buffer. Steady-state allocation-free apart from the sink's own
+/// amortized growth.
+template <typename Emit>
+Status EncryptKeyword(const Bytes& keyword, const std::vector<Bytes>& payloads,
+                      const KeywordKeyDeriver& deriver, uint64_t pad_quantum,
+                      Bytes& plaintext, Emit&& emit) {
+  const KeywordKeys keys = deriver.Derive(keyword);
+  const crypto::Prf label_prf(keys.label_key);
+  if (!label_prf.ok()) {
+    return Status::Internal("label PRF initialization failed");
+  }
+  const uint64_t total = PaddedTotal(payloads.size(), pad_quantum);
+  uint8_t counter[8];
+  Label label;
   for (uint64_t c = 0; c < total; ++c) {
-    Bytes label =
-        label_prf.EvalTrunc(CounterInput(c), crypto::kLambdaBytes);
-    Bytes plaintext;
+    StoreUint64(counter, c);
+    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
+                            ByteSpan(label.data(), label.size()))) {
+      return Status::Internal("label PRF evaluation failed");
+    }
+    plaintext.clear();
     if (c < payloads.size()) {
       plaintext.push_back(kRealMarker);
       Append(plaintext, payloads[c]);
     } else {
       plaintext.push_back(kDummyMarker);
     }
-    Result<Bytes> ct = crypto::Aes128Cbc::Encrypt(keys.value_key, plaintext);
-    if (!ct.ok()) return ct.status();
-    out.push_back(Entry{std::move(label), std::move(ct).value()});
+    // CBC/PKCS#7 output size is exact, so the sink reserves precisely the
+    // bytes the encryption fills.
+    const size_t ct_size = crypto::Aes128Cbc::CiphertextSize(plaintext.size());
+    ByteSpan dst = emit(label, ct_size);
+    size_t written = 0;
+    Status s =
+        crypto::Aes128Cbc::EncryptInto(keys.value_key, plaintext, dst,
+                                       &written);
+    if (!s.ok()) return s;
+    if (written != ct_size) {
+      return Status::Internal("unexpected AES-CBC ciphertext size");
+    }
   }
   return Status::Ok();
 }
@@ -74,22 +91,64 @@ Result<EncryptedMultimap> EncryptedMultimap::Build(
 Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
     const PlainMultimap& postings, const KeywordKeyDeriver& deriver,
     const BuildOptions& options) {
-  const int threads = ResolveThreads(options.threads);
+  const int threads = ResolveThreadCount(options.threads,
+                                         "RSSE_BUILD_THREADS");
 
-  // Stable keyword order for sharding.
+  // Exact output size is cheap to precompute, so the table and arena are
+  // sized once and never rehash or reallocate during construction.
+  size_t total_entries = 0;
+  size_t total_value_bytes = 0;
+  for (const auto& [keyword, payloads] : postings) {
+    const uint64_t total = PaddedTotal(payloads.size(),
+                                      options.padding.quantum);
+    total_entries += total;
+    for (const Bytes& p : payloads) {
+      total_value_bytes += crypto::Aes128Cbc::CiphertextSize(1 + p.size());
+    }
+    total_value_bytes += (total - payloads.size()) *
+                         crypto::Aes128Cbc::CiphertextSize(1);
+  }
+
+  EncryptedMultimap index;
+  index.dict_.Reserve(total_entries, total_value_bytes);
+
+  if (threads == 1) {
+    // Hot path: encrypt every ciphertext directly into the table arena.
+    Bytes plaintext;
+    for (const auto& [keyword, payloads] : postings) {
+      Status s = EncryptKeyword(
+          keyword, payloads, deriver, options.padding.quantum, plaintext,
+          [&index](const Label& label, size_t len) {
+            return index.dict_.InsertUninit(label, len);
+          });
+      if (!s.ok()) return s;
+    }
+    return index;
+  }
+
+  // Sharded build: stable keyword order, one staging shard per worker,
+  // single-threaded merge into the table.
   std::vector<const std::pair<const Bytes, std::vector<Bytes>>*> items;
   items.reserve(postings.size());
   for (const auto& kv : postings) items.push_back(&kv);
 
-  std::vector<std::vector<Entry>> shards(static_cast<size_t>(threads));
+  std::vector<Shard> shards(static_cast<size_t>(threads));
   std::vector<Status> shard_status(static_cast<size_t>(threads));
 
   auto worker = [&](int t) {
+    Bytes plaintext;
+    Shard& shard = shards[static_cast<size_t>(t)];
     for (size_t i = static_cast<size_t>(t); i < items.size();
          i += static_cast<size_t>(threads)) {
-      Status s = EncryptKeyword(items[i]->first, items[i]->second, deriver,
-                                options.padding.quantum,
-                                shards[static_cast<size_t>(t)]);
+      Status s = EncryptKeyword(
+          items[i]->first, items[i]->second, deriver, options.padding.quantum,
+          plaintext, [&shard](const Label& label, size_t len) {
+            shard.labels.push_back(label);
+            shard.value_lens.push_back(static_cast<uint32_t>(len));
+            const size_t old_size = shard.values.size();
+            shard.values.resize(old_size + len);
+            return ByteSpan(shard.values.data() + old_size, len);
+          });
       if (!s.ok()) {
         shard_status[static_cast<size_t>(t)] = s;
         return;
@@ -97,26 +156,21 @@ Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
     }
   };
 
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& th : pool) th.join();
-  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (std::thread& th : pool) th.join();
   for (const Status& s : shard_status) {
     if (!s.ok()) return s;
   }
 
-  EncryptedMultimap index;
-  size_t total_entries = 0;
-  for (const auto& shard : shards) total_entries += shard.size();
-  index.dict_.reserve(total_entries);
-  for (auto& shard : shards) {
-    for (Entry& e : shard) {
-      index.size_bytes_ += e.label.size() + e.value.size();
-      index.dict_.emplace(std::move(e.label), std::move(e.value));
+  for (const Shard& shard : shards) {
+    size_t offset = 0;
+    for (size_t i = 0; i < shard.labels.size(); ++i) {
+      index.dict_.Insert(
+          shard.labels[i],
+          ConstByteSpan(shard.values.data() + offset, shard.value_lens[i]));
+      offset += shard.value_lens[i];
     }
   }
   return index;
@@ -129,15 +183,15 @@ constexpr uint64_t kSerializeMagic = 0x52535345454d4d31ull;  // "RSSEEMM1"
 
 Bytes EncryptedMultimap::Serialize() const {
   Bytes out;
-  out.reserve(16 + size_bytes_ + dict_.size() * 8);
+  out.reserve(16 + SizeBytes() + dict_.size() * 8);
   AppendUint64(out, kSerializeMagic);
   AppendUint64(out, dict_.size());
-  for (const auto& [label, value] : dict_) {
+  dict_.ForEach([&out](const Label& label, ConstByteSpan value) {
     AppendUint32(out, static_cast<uint32_t>(label.size()));
-    Append(out, label);
+    out.insert(out.end(), label.begin(), label.end());
     AppendUint32(out, static_cast<uint32_t>(value.size()));
-    Append(out, value);
-  }
+    out.insert(out.end(), value.begin(), value.end());
+  });
   return out;
 }
 
@@ -152,33 +206,42 @@ Result<EncryptedMultimap> EncryptedMultimap::Deserialize(const Bytes& blob) {
     return Status::InvalidArgument("implausible entry count in blob header");
   }
   EncryptedMultimap index;
-  index.dict_.reserve(count);
+  // Arena size is implied by the header: total blob minus the 16-byte
+  // header and each entry's 8 length bytes + 16 label bytes. A corrupt
+  // header fails the entry parse below regardless.
+  const size_t overhead = 16 + static_cast<size_t>(count) * (8 + kLabelBytes);
+  index.dict_.Reserve(count,
+                      blob.size() > overhead ? blob.size() - overhead : 0);
   size_t offset = 16;
+  Label label;
   for (uint64_t i = 0; i < count; ++i) {
     if (offset + 4 > blob.size()) {
       return Status::InvalidArgument("truncated blob (label length)");
     }
     uint32_t label_len = ReadUint32(blob, offset);
     offset += 4;
+    if (label_len != kLabelBytes) {
+      return Status::InvalidArgument("unsupported label size in blob");
+    }
     if (offset + label_len > blob.size()) {
       return Status::InvalidArgument("truncated blob (label)");
     }
-    Bytes label(blob.begin() + static_cast<long>(offset),
-                blob.begin() + static_cast<long>(offset + label_len));
+    std::memcpy(label.data(), blob.data() + offset, kLabelBytes);
     offset += label_len;
     if (offset + 4 > blob.size()) {
       return Status::InvalidArgument("truncated blob (value length)");
     }
     uint32_t value_len = ReadUint32(blob, offset);
     offset += 4;
+    if (value_len == 0) {
+      return Status::InvalidArgument("empty value in blob");
+    }
     if (offset + value_len > blob.size()) {
       return Status::InvalidArgument("truncated blob (value)");
     }
-    Bytes value(blob.begin() + static_cast<long>(offset),
-                blob.begin() + static_cast<long>(offset + value_len));
+    index.dict_.Insert(label,
+                       ConstByteSpan(blob.data() + offset, value_len));
     offset += value_len;
-    index.size_bytes_ += label.size() + value.size();
-    index.dict_.emplace(std::move(label), std::move(value));
   }
   if (offset != blob.size()) {
     return Status::InvalidArgument("trailing bytes after blob payload");
@@ -189,15 +252,29 @@ Result<EncryptedMultimap> EncryptedMultimap::Deserialize(const Bytes& blob) {
 std::vector<Bytes> EncryptedMultimap::Search(const KeywordKeys& token) const {
   std::vector<Bytes> results;
   const crypto::Prf label_prf(token.label_key);
+  if (!label_prf.ok()) return results;
+  uint8_t counter[8];
+  Label label;
+  Bytes plaintext;  // reused across counter probes
   for (uint64_t c = 0;; ++c) {
-    Bytes label = label_prf.EvalTrunc(CounterInput(c), kLabelBytes);
-    auto it = dict_.find(label);
-    if (it == dict_.end()) break;
-    Result<Bytes> plaintext =
-        crypto::Aes128Cbc::Decrypt(token.value_key, it->second);
-    if (!plaintext.ok() || plaintext->empty()) break;  // wrong token
-    if ((*plaintext)[0] == kDummyMarker) continue;
-    results.emplace_back(plaintext->begin() + 1, plaintext->end());
+    StoreUint64(counter, c);
+    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
+                            ByteSpan(label.data(), label.size()))) {
+      break;
+    }
+    std::optional<ConstByteSpan> ct = dict_.Find(label);
+    if (!ct.has_value()) break;
+    plaintext.resize(ct->size());
+    size_t written = 0;
+    if (!crypto::Aes128Cbc::DecryptInto(token.value_key, *ct, plaintext,
+                                        &written)
+             .ok() ||
+        written == 0) {
+      break;  // wrong token
+    }
+    if (plaintext[0] == kDummyMarker) continue;
+    results.emplace_back(plaintext.begin() + 1,
+                         plaintext.begin() + static_cast<long>(written));
   }
   return results;
 }

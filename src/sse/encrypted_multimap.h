@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "sse/flat_label_map.h"
 #include "sse/keyword_keys.h"
 
 namespace rsse::sse {
@@ -48,6 +49,11 @@ struct BuildOptions {
 /// miss and decrypts. Search time is O(r_w); the index leaks only its total
 /// size (L1) and, per query, the access/search patterns (L2).
 ///
+/// Storage is a `FlatLabelMap`: fixed 16-byte labels in an open-addressing
+/// table, ciphertexts in one contiguous arena. Build and search reuse
+/// scratch buffers across counter probes, so the steady-state hot path
+/// performs no heap allocation beyond the returned results.
+///
 /// This class is the *server-side* object; key derivation lives in
 /// `KeywordKeyDeriver` so the same index machinery serves both PRF-based
 /// schemes and the DPRF-based Constant schemes.
@@ -76,7 +82,8 @@ class EncryptedMultimap {
   /// Serializes the encrypted dictionary for persistence or shipping to
   /// the server. The blob holds only pseudorandom labels and ciphertexts —
   /// exactly the server's view. Format: magic/version header, entry count,
-  /// then length-prefixed label/value pairs.
+  /// then length-prefixed label/value pairs (byte-compatible with every
+  /// blob this library has ever produced).
   Bytes Serialize() const;
 
   /// Restores an index from `Serialize` output; INVALID_ARGUMENT on a
@@ -87,13 +94,12 @@ class EncryptedMultimap {
   size_t EntryCount() const { return dict_.size(); }
 
   /// Total bytes of labels + ciphertexts; the index-size metric of Fig. 5.
-  size_t SizeBytes() const { return size_bytes_; }
+  size_t SizeBytes() const {
+    return dict_.size() * kLabelBytes + dict_.ValueBytes();
+  }
 
  private:
-  static constexpr size_t kLabelBytes = crypto::kLambdaBytes;
-
-  std::unordered_map<Bytes, Bytes, BytesHash> dict_;
-  size_t size_bytes_ = 0;
+  FlatLabelMap dict_;
 };
 
 /// Encodes/decodes a uint64 document id as a payload (the common case).

@@ -1,0 +1,81 @@
+#include "sse/flat_label_map.h"
+
+#include <cstring>
+
+namespace rsse::sse {
+
+namespace {
+
+constexpr size_t kMinCapacity = 16;
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = kMinCapacity;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void FlatLabelMap::Reserve(size_t n, size_t value_bytes) {
+  // Max load factor 1/2: probe chains on pseudorandom labels stay ~1.5
+  // slots on average.
+  const size_t needed = NextPowerOfTwo(n * 2);
+  if (needed > slots_.size()) Rehash(needed);
+  if (value_bytes > arena_.capacity()) arena_.reserve(value_bytes);
+}
+
+size_t FlatLabelMap::ProbeSlot(const Label& label) const {
+  const size_t mask = slots_.size() - 1;
+  size_t idx = LabelHash{}(label) & mask;
+  for (;;) {
+    const Slot& s = slots_[idx];
+    if (s.len == 0 || s.label == label) return idx;
+    idx = (idx + 1) & mask;
+  }
+}
+
+void FlatLabelMap::Rehash(size_t capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  const size_t mask = capacity - 1;
+  for (const Slot& s : old) {
+    if (s.len == 0) continue;
+    size_t idx = LabelHash{}(s.label) & mask;
+    while (slots_[idx].len != 0) idx = (idx + 1) & mask;
+    slots_[idx] = s;
+  }
+}
+
+ByteSpan FlatLabelMap::InsertUninit(const Label& label, size_t len) {
+  if (len == 0) return {};
+  if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
+    Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+  }
+  Slot& s = slots_[ProbeSlot(label)];
+  if (s.len != 0) {
+    value_bytes_ -= s.len;  // duplicate label: the old bytes are dead
+  } else {
+    s.label = label;
+    ++size_;
+  }
+  s.offset = arena_.size();
+  s.len = static_cast<uint32_t>(len);
+  arena_.resize(arena_.size() + len);
+  value_bytes_ += len;
+  return ByteSpan(arena_.data() + s.offset, len);
+}
+
+void FlatLabelMap::Insert(const Label& label, ConstByteSpan value) {
+  if (value.empty()) return;
+  ByteSpan dst = InsertUninit(label, value.size());
+  std::memcpy(dst.data(), value.data(), value.size());
+}
+
+std::optional<ConstByteSpan> FlatLabelMap::Find(const Label& label) const {
+  if (slots_.empty()) return std::nullopt;
+  const Slot& s = slots_[ProbeSlot(label)];
+  if (s.len == 0) return std::nullopt;
+  return ConstByteSpan(arena_.data() + s.offset, s.len);
+}
+
+}  // namespace rsse::sse

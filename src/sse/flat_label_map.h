@@ -1,0 +1,92 @@
+#ifndef RSSE_SSE_FLAT_LABEL_MAP_H_
+#define RSSE_SSE_FLAT_LABEL_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rsse::sse {
+
+/// Purpose-built encrypted-dictionary store: an open-addressing hash table
+/// keyed by fixed-size 16-byte pseudorandom labels whose values
+/// (ciphertexts) live in one contiguous arena, addressed by offset.
+///
+/// Compared to `std::unordered_map<Bytes, Bytes>` this removes two heap
+/// allocations per entry (label vector + value vector) and every per-node
+/// pointer chase: one probe is one cache line of slot metadata plus, on a
+/// hit, one arena read. Labels are PRF outputs, so the first eight bytes
+/// already distribute uniformly (no hash mixing) and linear probing stays
+/// short at the 0.5 max load factor.
+///
+/// The table is insert-only (Π_bas dictionaries are built once and then
+/// searched), so there are no tombstones and probe sequences never degrade;
+/// growth rehashes into a table twice the size. Values must be non-empty —
+/// an empty value marks a free slot; real ciphertexts are always >= 32
+/// bytes.
+class FlatLabelMap {
+ public:
+  FlatLabelMap() = default;
+
+  /// Pre-sizes the table for `n` entries and `value_bytes` of arena (both
+  /// may be 0; the table grows as needed).
+  void Reserve(size_t n, size_t value_bytes = 0);
+
+  /// Inserts `value` under `label`; overwrites on duplicate label (the old
+  /// arena bytes are leaked until destruction, matching map semantics
+  /// without tombstone machinery — duplicates never occur in PRF-labelled
+  /// dictionaries). Empty values are ignored.
+  void Insert(const Label& label, ConstByteSpan value);
+
+  /// Arena-append insertion for producers that write the value in place
+  /// (e.g. encrypting directly into the table): reserves `len > 0` bytes
+  /// under `label` and returns the span to fill. Duplicate-label semantics
+  /// as `Insert`. The span is invalidated by the next insertion.
+  ByteSpan InsertUninit(const Label& label, size_t len);
+
+  /// Value stored under `label`, or nullopt. The span points into the
+  /// arena and is invalidated by the next `Insert`.
+  std::optional<ConstByteSpan> Find(const Label& label) const;
+
+  /// Number of stored entries.
+  size_t size() const { return size_; }
+
+  /// Arena bytes in use (sum of stored value lengths).
+  size_t ValueBytes() const { return value_bytes_; }
+
+  /// Invokes `fn(const Label&, ConstByteSpan)` for every entry, in
+  /// unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.len != 0) {
+        fn(s.label, ConstByteSpan(arena_.data() + s.offset, s.len));
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    Label label{};
+    uint64_t offset = 0;
+    uint32_t len = 0;  // 0 marks a free slot
+  };
+
+  /// Grows (or initially sizes) the slot array to `capacity` (power of
+  /// two) and rehashes existing entries.
+  void Rehash(size_t capacity);
+
+  /// Index of the slot holding `label`, or of the free slot where it
+  /// belongs. Requires a non-full table.
+  size_t ProbeSlot(const Label& label) const;
+
+  std::vector<Slot> slots_;
+  Bytes arena_;
+  size_t size_ = 0;
+  size_t value_bytes_ = 0;
+};
+
+}  // namespace rsse::sse
+
+#endif  // RSSE_SSE_FLAT_LABEL_MAP_H_

@@ -4,16 +4,47 @@
 
 namespace rsse::sse {
 
+void KeysFromSharedSecretInto(ConstByteSpan secret, KeywordKeys& out) {
+  // Domain-separated KDF over a stack buffer: secret || 0x01 -> K1,
+  // secret || 0x02 -> K2. Secrets are λ-byte PRF/DPRF outputs, so the
+  // fixed-size buffer below always fits (guarded for exotic callers).
+  uint8_t input[64 + 1];
+  uint8_t digest[32];
+  if (secret.size() > 64) {
+    // Fall back to the allocating path for oversized secrets.
+    Bytes in1(secret.begin(), secret.end());
+    AppendByte(in1, 0x01);
+    Bytes in2(secret.begin(), secret.end());
+    AppendByte(in2, 0x02);
+    Bytes k1 = crypto::Sha256(in1);
+    Bytes k2 = crypto::Sha256(in2);
+    k1.resize(crypto::kLambdaBytes);
+    k2.resize(crypto::kLambdaBytes);
+    out.label_key = std::move(k1);
+    out.value_key = std::move(k2);
+    return;
+  }
+  std::memcpy(input, secret.data(), secret.size());
+  input[secret.size()] = 0x01;
+  if (!crypto::Sha256Into(ConstByteSpan(input, secret.size() + 1), digest)) {
+    out.label_key.clear();
+    out.value_key.clear();
+    return;
+  }
+  out.label_key.assign(digest, digest + crypto::kLambdaBytes);
+  input[secret.size()] = 0x02;
+  if (!crypto::Sha256Into(ConstByteSpan(input, secret.size() + 1), digest)) {
+    out.label_key.clear();
+    out.value_key.clear();
+    return;
+  }
+  out.value_key.assign(digest, digest + crypto::kLambdaBytes);
+}
+
 KeywordKeys KeysFromSharedSecret(const Bytes& secret) {
-  Bytes in1 = secret;
-  AppendByte(in1, 0x01);
-  Bytes in2 = secret;
-  AppendByte(in2, 0x02);
-  Bytes k1 = crypto::Sha256(in1);
-  Bytes k2 = crypto::Sha256(in2);
-  k1.resize(crypto::kLambdaBytes);
-  k2.resize(crypto::kLambdaBytes);
-  return KeywordKeys{std::move(k1), std::move(k2)};
+  KeywordKeys keys;
+  KeysFromSharedSecretInto(secret, keys);
+  return keys;
 }
 
 PrfKeyDeriver::PrfKeyDeriver(const Bytes& master_key) : prf_(master_key) {}

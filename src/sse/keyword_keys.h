@@ -26,6 +26,11 @@ struct KeywordKeys {
 /// this function — it is the paper's "use a DPRF instead of a PRF" hook.
 KeywordKeys KeysFromSharedSecret(const Bytes& secret);
 
+/// In-place variant for the server's per-leaf expansion loop: reuses the
+/// capacity of `out`'s key buffers, so repeated derivation allocates only
+/// on the first call.
+void KeysFromSharedSecretInto(ConstByteSpan secret, KeywordKeys& out);
+
 /// Strategy for mapping keywords to key pairs at index-build and trapdoor
 /// time. The default PRF deriver implements standard SSE; the Constant
 /// schemes substitute a DPRF-backed deriver.

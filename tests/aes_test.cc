@@ -1,5 +1,7 @@
 #include "crypto/aes.h"
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
@@ -88,6 +90,89 @@ TEST(AesTest, CiphertextSizeFormula) {
   EXPECT_EQ(Aes128Cbc::CiphertextSize(17), 48u);
 }
 
+TEST(AesIntoTest, EncryptIntoMatchesEncryptWithIv) {
+  Bytes key(16, 0x01);
+  Bytes iv(16, 0x02);
+  Bytes plaintext = ToBytes("span-based parity check");
+  Result<Bytes> reference = Aes128Cbc::EncryptWithIv(key, iv, plaintext);
+  ASSERT_TRUE(reference.ok());
+  uint8_t out[64];
+  size_t written = 0;
+  ASSERT_TRUE(Aes128Cbc::EncryptWithIvInto(key, iv, plaintext,
+                                           ByteSpan(out, sizeof(out)),
+                                           &written)
+                  .ok());
+  EXPECT_EQ(Bytes(out, out + written), *reference);
+}
+
+TEST(AesIntoTest, DecryptIntoRoundTrips) {
+  Bytes key = GenerateKey();
+  Bytes plaintext = ToBytes("decrypt into scratch");
+  Result<Bytes> ct = Aes128Cbc::Encrypt(key, plaintext);
+  ASSERT_TRUE(ct.ok());
+  uint8_t out[64];
+  size_t written = 0;
+  ASSERT_TRUE(
+      Aes128Cbc::DecryptInto(key, *ct, ByteSpan(out, sizeof(out)), &written)
+          .ok());
+  EXPECT_EQ(Bytes(out, out + written), plaintext);
+}
+
+TEST(AesIntoTest, RejectsUndersizedOutput) {
+  Bytes key = GenerateKey();
+  Bytes plaintext(20, 0xaa);
+  uint8_t small[16];
+  size_t written = 0;
+  EXPECT_FALSE(Aes128Cbc::EncryptInto(key, plaintext,
+                                      ByteSpan(small, sizeof(small)),
+                                      &written)
+                   .ok());
+  Result<Bytes> ct = Aes128Cbc::Encrypt(key, plaintext);
+  ASSERT_TRUE(ct.ok());
+  uint8_t tiny[8];
+  EXPECT_FALSE(
+      Aes128Cbc::DecryptInto(key, *ct, ByteSpan(tiny, sizeof(tiny)), &written)
+          .ok());
+}
+
+TEST(AesIntoTest, KeyScheduleCacheSurvivesKeySwitches) {
+  // The per-thread context caches the last key schedule; interleaving keys
+  // must still encrypt/decrypt correctly (cache hit, miss, hit again).
+  Bytes k1 = GenerateKey();
+  Bytes k2 = GenerateKey();
+  Bytes p1 = ToBytes("under key one");
+  Bytes p2 = ToBytes("under key two");
+  for (int round = 0; round < 3; ++round) {
+    Result<Bytes> c1 = Aes128Cbc::Encrypt(k1, p1);
+    Result<Bytes> c2 = Aes128Cbc::Encrypt(k2, p2);
+    ASSERT_TRUE(c1.ok());
+    ASSERT_TRUE(c2.ok());
+    EXPECT_EQ(*Aes128Cbc::Decrypt(k1, *c1), p1);
+    EXPECT_EQ(*Aes128Cbc::Decrypt(k2, *c2), p2);
+  }
+}
+
+TEST(AesIntoTest, DecryptRecoversAfterPaddingFailure) {
+  // A failed decryption leaves the cached context in a reset state; the
+  // next decryption under the same key must succeed (search probes hit
+  // this when a foreign token garbles padding).
+  Bytes key = GenerateKey();
+  Bytes plaintext = ToBytes("recover after failure");
+  Result<Bytes> ct = Aes128Cbc::Encrypt(key, plaintext);
+  ASSERT_TRUE(ct.ok());
+  Bytes corrupted = *ct;
+  corrupted.back() ^= 0xff;
+  uint8_t out[64];
+  size_t written = 0;
+  EXPECT_FALSE(Aes128Cbc::DecryptInto(key, corrupted,
+                                      ByteSpan(out, sizeof(out)), &written)
+                   .ok());
+  ASSERT_TRUE(
+      Aes128Cbc::DecryptInto(key, *ct, ByteSpan(out, sizeof(out)), &written)
+          .ok());
+  EXPECT_EQ(Bytes(out, out + written), plaintext);
+}
+
 TEST(SecureRandomTest, ProducesRequestedLength) {
   EXPECT_EQ(SecureRandom(0).size(), 0u);
   EXPECT_EQ(SecureRandom(33).size(), 33u);
@@ -96,6 +181,25 @@ TEST(SecureRandomTest, ProducesRequestedLength) {
 
 TEST(SecureRandomTest, OutputsDiffer) {
   EXPECT_NE(SecureRandom(16), SecureRandom(16));
+}
+
+TEST(SecureRandomTest, PooledDrawsAreDistinctAcrossRefills) {
+  // Draw more than one 4 KiB pool's worth in IV-sized chunks; all draws
+  // must be pairwise distinct (collision probability ~ 2^-64).
+  std::set<Bytes> seen;
+  for (int i = 0; i < 600; ++i) {
+    Bytes iv = SecureRandom(16);
+    EXPECT_TRUE(seen.insert(iv).second) << "duplicate IV at draw " << i;
+  }
+}
+
+TEST(SecureRandomTest, LargeRequestBypassesPool) {
+  Bytes big = SecureRandom(8192);
+  EXPECT_EQ(big.size(), 8192u);
+  // Not all zeros.
+  bool nonzero = false;
+  for (uint8_t b : big) nonzero |= (b != 0);
+  EXPECT_TRUE(nonzero);
 }
 
 }  // namespace

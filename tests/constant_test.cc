@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "cover/urc.h"
+#include "crypto/prg.h"
+#include "prg_backend_guard.h"
 #include "rsse/leakage.h"
 
 namespace rsse {
@@ -71,6 +73,45 @@ TEST_P(ConstantSchemeTest, QueryBeforeBuildFails) {
 INSTANTIATE_TEST_SUITE_P(BothTechniques, ConstantSchemeTest,
                          ::testing::Values(CoverTechnique::kBrc,
                                            CoverTechnique::kUrc));
+
+TEST_P(ConstantSchemeTest, ParallelSearchMatchesSerial) {
+  // Multi-token search shards covering nodes across worker threads; the
+  // returned id multiset must not depend on the thread count.
+  Dataset data = SkewedDataset();
+  ConstantScheme serial(GetParam(), /*rng_seed=*/5);
+  ConstantScheme parallel(GetParam(), /*rng_seed=*/5);
+  ASSERT_TRUE(serial.Build(data).ok());
+  ASSERT_TRUE(parallel.Build(data).ok());
+  serial.SetSearchThreads(1);
+  parallel.SetSearchThreads(4);
+  for (uint64_t lo = 0; lo < 32; lo += 5) {
+    for (uint64_t hi = lo; hi < 32; hi += 4) {
+      Result<QueryResult> a = serial.Query(Range{lo, hi});
+      Result<QueryResult> b = parallel.Query(Range{lo, hi});
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(Sorted(a->ids), Sorted(b->ids))
+          << "range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(ConstantSchemeTest, AesPrgBackendEndToEnd) {
+  // Build + query under the AES-NI GGM backend: exact results, no false
+  // positives — the backend only changes the PRG, not the protocol.
+  crypto::PrgBackendGuard guard(crypto::GgmPrg::Backend::kAes);
+  ConstantScheme scheme(GetParam());
+  Dataset data = SkewedDataset();
+  ASSERT_TRUE(scheme.Build(data).ok());
+  for (uint64_t lo = 0; lo < 32; lo += 4) {
+    for (uint64_t hi = lo; hi < 32; hi += 3) {
+      Result<QueryResult> r = scheme.Query(Range{lo, hi});
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(Sorted(r->ids), Sorted(data.IdsInRange(Range{lo, hi})))
+          << "range [" << lo << "," << hi << "]";
+    }
+  }
+}
 
 TEST(ConstantSchemeTest, UrcDelegationLevelsPositionIndependent) {
   ConstantScheme scheme(CoverTechnique::kUrc);

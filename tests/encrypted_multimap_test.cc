@@ -133,6 +133,65 @@ TEST(EncryptedMultimapTest, SerializeRoundTrip) {
   EXPECT_EQ(apple.size(), 3u);
 }
 
+TEST(EncryptedMultimapTest, SerializedLayoutIsLegacyFormat) {
+  // Byte-level pin of the wire format shared with the pre-flat-table
+  // implementation: magic, count, then (u32 label_len, label, u32
+  // value_len, value) per entry with 16-byte labels.
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  Bytes blob = built->Serialize();
+  ASSERT_GE(blob.size(), 16u);
+  EXPECT_EQ(ReadUint64(blob, 0), 0x52535345454d4d31ull);  // "RSSEEMM1"
+  const uint64_t count = ReadUint64(blob, 8);
+  EXPECT_EQ(count, built->EntryCount());
+  size_t offset = 16;
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSERT_LE(offset + 4, blob.size());
+    const uint32_t label_len = ReadUint32(blob, offset);
+    EXPECT_EQ(label_len, 16u);
+    offset += 4 + label_len;
+    ASSERT_LE(offset + 4, blob.size());
+    const uint32_t value_len = ReadUint32(blob, offset);
+    EXPECT_GE(value_len, 32u);  // IV + at least one AES block
+    EXPECT_EQ(value_len % 16, 0u);
+    offset += 4 + value_len;
+  }
+  EXPECT_EQ(offset, blob.size());
+}
+
+TEST(EncryptedMultimapTest, DeserializeIsEntryOrderIndependent) {
+  // Blobs written by older builds iterate entries in a different order;
+  // restoring must not depend on it. Reverse the entry stream and verify
+  // search parity.
+  PrfKeyDeriver deriver(crypto::GenerateKey());
+  Result<EncryptedMultimap> built =
+      EncryptedMultimap::Build(SamplePostings(), deriver);
+  ASSERT_TRUE(built.ok());
+  Bytes blob = built->Serialize();
+  const uint64_t count = ReadUint64(blob, 8);
+  std::vector<Bytes> entries;
+  size_t offset = 16;
+  for (uint64_t i = 0; i < count; ++i) {
+    const size_t start = offset;
+    offset += 4 + ReadUint32(blob, offset);
+    offset += 4 + ReadUint32(blob, offset);
+    entries.emplace_back(blob.begin() + static_cast<long>(start),
+                         blob.begin() + static_cast<long>(offset));
+  }
+  Bytes reordered(blob.begin(), blob.begin() + 16);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    Append(reordered, *it);
+  }
+  Result<EncryptedMultimap> restored =
+      EncryptedMultimap::Deserialize(reordered);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->EntryCount(), built->EntryCount());
+  EXPECT_EQ(restored->Search(deriver.Derive(ToBytes("apple"))).size(), 3u);
+  EXPECT_EQ(restored->Search(deriver.Derive(ToBytes("banana"))).size(), 1u);
+}
+
 TEST(EncryptedMultimapTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(EncryptedMultimap::Deserialize({}).ok());
   EXPECT_FALSE(EncryptedMultimap::Deserialize(Bytes(40, 0xab)).ok());

@@ -1,0 +1,152 @@
+#include "sse/flat_label_map.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rsse::sse {
+namespace {
+
+Label MakeLabel(uint64_t hash_part, uint64_t tail_part = 0) {
+  // First 8 bytes feed LabelHash; the tail distinguishes colliding labels.
+  Label l{};
+  for (int i = 0; i < 8; ++i) {
+    l[static_cast<size_t>(i)] =
+        static_cast<uint8_t>((hash_part >> (8 * i)) & 0xff);
+    l[static_cast<size_t>(8 + i)] =
+        static_cast<uint8_t>((tail_part >> (8 * i)) & 0xff);
+  }
+  return l;
+}
+
+Bytes ValueFor(uint64_t tag, size_t len = 32) {
+  Bytes v(len);
+  for (size_t i = 0; i < len; ++i) {
+    v[i] = static_cast<uint8_t>((tag + i) & 0xff);
+  }
+  return v;
+}
+
+TEST(FlatLabelMapTest, InsertAndFind) {
+  FlatLabelMap map;
+  Bytes v1 = ValueFor(1);
+  Bytes v2 = ValueFor(2, 48);
+  map.Insert(MakeLabel(10), v1);
+  map.Insert(MakeLabel(20), v2);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.ValueBytes(), v1.size() + v2.size());
+  auto f1 = map.Find(MakeLabel(10));
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(Bytes(f1->begin(), f1->end()), v1);
+  auto f2 = map.Find(MakeLabel(20));
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(Bytes(f2->begin(), f2->end()), v2);
+  EXPECT_FALSE(map.Find(MakeLabel(30)).has_value());
+}
+
+TEST(FlatLabelMapTest, EmptyMapFindsNothing) {
+  FlatLabelMap map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.Find(MakeLabel(1)).has_value());
+}
+
+TEST(FlatLabelMapTest, EmptyValuesAreIgnored) {
+  FlatLabelMap map;
+  map.Insert(MakeLabel(1), ConstByteSpan{});
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.Find(MakeLabel(1)).has_value());
+}
+
+TEST(FlatLabelMapTest, CollidingHashesProbeCorrectly) {
+  // Labels sharing the full 8-byte hash prefix land in the same slot chain;
+  // linear probing must keep them all retrievable, with no tombstone-style
+  // degradation (the table is insert-only).
+  FlatLabelMap map;
+  const uint64_t shared_hash = 0xdeadbeefcafef00dull;
+  const size_t kColliders = 50;
+  for (uint64_t t = 0; t < kColliders; ++t) {
+    map.Insert(MakeLabel(shared_hash, t), ValueFor(t));
+  }
+  EXPECT_EQ(map.size(), kColliders);
+  for (uint64_t t = 0; t < kColliders; ++t) {
+    auto found = map.Find(MakeLabel(shared_hash, t));
+    ASSERT_TRUE(found.has_value()) << "collider " << t;
+    EXPECT_EQ(Bytes(found->begin(), found->end()), ValueFor(t));
+  }
+  // A colliding-but-absent label must miss.
+  EXPECT_FALSE(map.Find(MakeLabel(shared_hash, kColliders + 1)).has_value());
+}
+
+TEST(FlatLabelMapTest, GrowthRehashPreservesAllEntries) {
+  FlatLabelMap map;  // no Reserve: forces repeated rehashing
+  const uint64_t kEntries = 10000;
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    map.Insert(MakeLabel(i * 0x9e3779b97f4a7c15ull, i), ValueFor(i));
+  }
+  EXPECT_EQ(map.size(), kEntries);
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    auto found = map.Find(MakeLabel(i * 0x9e3779b97f4a7c15ull, i));
+    ASSERT_TRUE(found.has_value()) << "entry " << i;
+    EXPECT_EQ((*found)[0], ValueFor(i)[0]);
+  }
+}
+
+TEST(FlatLabelMapTest, DuplicateLabelOverwrites) {
+  FlatLabelMap map;
+  map.Insert(MakeLabel(7), ValueFor(1));
+  map.Insert(MakeLabel(7), ValueFor(9, 64));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.ValueBytes(), 64u);
+  auto found = map.Find(MakeLabel(7));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(Bytes(found->begin(), found->end()), ValueFor(9, 64));
+}
+
+TEST(FlatLabelMapTest, InsertUninitWritesInPlace) {
+  FlatLabelMap map;
+  Bytes v = ValueFor(3, 40);
+  ByteSpan dst = map.InsertUninit(MakeLabel(3), v.size());
+  ASSERT_EQ(dst.size(), v.size());
+  std::memcpy(dst.data(), v.data(), v.size());
+  auto found = map.Find(MakeLabel(3));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(Bytes(found->begin(), found->end()), v);
+}
+
+TEST(FlatLabelMapTest, ReserveAvoidsLaterGrowth) {
+  FlatLabelMap map;
+  map.Reserve(1000, 1000 * 32);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    map.Insert(MakeLabel(i + 1, i), ValueFor(i));
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  EXPECT_EQ(map.ValueBytes(), 1000u * 32u);
+}
+
+TEST(FlatLabelMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatLabelMap map;
+  std::set<uint64_t> expected;
+  for (uint64_t i = 0; i < 100; ++i) {
+    map.Insert(MakeLabel(i + 1, i), ValueFor(i));
+    expected.insert(i + 1);
+  }
+  std::set<uint64_t> seen;
+  size_t visits = 0;
+  map.ForEach([&](const Label& label, ConstByteSpan value) {
+    uint64_t hash_part = 0;
+    for (int i = 7; i >= 0; --i) {
+      hash_part = (hash_part << 8) | label[static_cast<size_t>(i)];
+    }
+    seen.insert(hash_part);
+    EXPECT_EQ(value.size(), 32u);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 100u);
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace rsse::sse

@@ -8,6 +8,7 @@
 #include "crypto/prg.h"
 #include "crypto/random.h"
 #include "cover/urc.h"
+#include "prg_backend_guard.h"
 
 namespace rsse {
 namespace {
@@ -130,6 +131,59 @@ TEST(GgmDprfTest, LargeDomainDelegationConsistent) {
   for (uint64_t v = r.lo; v <= r.hi; ++v) {
     EXPECT_TRUE(derived.count(dprf.Eval(v))) << "missing leaf " << v;
   }
+}
+
+TEST(GgmDprfTest, ExpandIntoMatchesExpand) {
+  GgmDprf dprf(crypto::GenerateKey(), 10);
+  for (int level : {0, 1, 4, 8}) {
+    GgmDprf::Token token{
+        dprf.NodeSeed(DyadicNode{level, 1}), level};
+    std::vector<Bytes> reference = GgmDprf::Expand(token);
+    std::vector<Label> leaves;
+    ASSERT_TRUE(GgmDprf::ExpandInto(token, leaves));
+    ASSERT_EQ(leaves.size(), reference.size()) << "level " << level;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      EXPECT_EQ(LabelToBytes(leaves[i]), reference[i])
+          << "level " << level << " leaf " << i;
+    }
+  }
+}
+
+TEST(GgmDprfTest, ExpandIntoRejectsMalformedTokens) {
+  std::vector<Label> leaves;
+  EXPECT_FALSE(GgmDprf::ExpandInto(GgmDprf::Token{Bytes(8, 0), 2}, leaves));
+  EXPECT_FALSE(GgmDprf::ExpandInto(GgmDprf::Token{Bytes(16, 0), -1}, leaves));
+  EXPECT_FALSE(GgmDprf::ExpandInto(GgmDprf::Token{Bytes(16, 0), 63}, leaves));
+}
+
+TEST(GgmDprfTest, ExpandIntoReusesCallerBuffer) {
+  GgmDprf dprf(crypto::GenerateKey(), 6);
+  std::vector<Label> leaves;
+  GgmDprf::Token big{dprf.NodeSeed(DyadicNode{5, 0}), 5};
+  ASSERT_TRUE(GgmDprf::ExpandInto(big, leaves));
+  EXPECT_EQ(leaves.size(), 32u);
+  GgmDprf::Token small{dprf.NodeSeed(DyadicNode{2, 3}), 2};
+  ASSERT_TRUE(GgmDprf::ExpandInto(small, leaves));
+  ASSERT_EQ(leaves.size(), 4u);
+  for (uint64_t off = 0; off < 4; ++off) {
+    EXPECT_EQ(LabelToBytes(leaves[off]), dprf.Eval(12 + off));
+  }
+}
+
+TEST(GgmDprfTest, AesBackendDelegationConsistent) {
+  // Full delegation/expansion round under the AES PRG backend: the
+  // publicly expanded leaves must equal the owner-side evaluations.
+  crypto::PrgBackendGuard guard(crypto::GgmPrg::Backend::kAes);
+  Rng rng(11);
+  GgmDprf dprf(crypto::GenerateKey(), 8);
+  const Range r{37, 200};
+  std::set<Bytes> derived;
+  for (const auto& t : dprf.Delegate(r, CoverTechnique::kBrc, rng)) {
+    for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(leaf);
+  }
+  std::set<Bytes> expected;
+  for (uint64_t v = r.lo; v <= r.hi; ++v) expected.insert(dprf.Eval(v));
+  EXPECT_EQ(derived, expected);
 }
 
 TEST(GgmDprfTest, TokensArePermuted) {

@@ -10,13 +10,13 @@ namespace {
 // RFC 4231 test case 2: key = "Jefe", data = "what do ya want for nothing?".
 TEST(HmacTest, Rfc4231Sha256Case2) {
   EXPECT_EQ(
-      ToHex(HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))),
+      ToHex(*HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))),
       "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
 }
 
 TEST(HmacTest, Rfc4231Sha512Case2) {
   EXPECT_EQ(
-      ToHex(HmacSha512(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))),
+      ToHex(*HmacSha512(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))),
       "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554"
       "9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737");
 }
@@ -24,21 +24,21 @@ TEST(HmacTest, Rfc4231Sha512Case2) {
 // RFC 4231 test case 1: 20 bytes of 0x0b, data "Hi There".
 TEST(HmacTest, Rfc4231Sha512Case1) {
   Bytes key(20, 0x0b);
-  EXPECT_EQ(ToHex(HmacSha512(key, ToBytes("Hi There"))),
+  EXPECT_EQ(ToHex(*HmacSha512(key, ToBytes("Hi There"))),
             "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
             "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854");
 }
 
 TEST(HmacTest, OutputSizes) {
-  EXPECT_EQ(HmacSha256(ToBytes("k"), ToBytes("m")).size(), 32u);
-  EXPECT_EQ(HmacSha512(ToBytes("k"), ToBytes("m")).size(), 64u);
+  EXPECT_EQ(HmacSha256(ToBytes("k"), ToBytes("m"))->size(), 32u);
+  EXPECT_EQ(HmacSha512(ToBytes("k"), ToBytes("m"))->size(), 64u);
 }
 
 TEST(PrfTest, MatchesOneShotHmac) {
   Bytes key = ToBytes("prf-key-material");
   Prf prf(key);
   for (const char* msg : {"", "a", "hello world", "0123456789abcdef"}) {
-    EXPECT_EQ(prf.Eval(ToBytes(msg)), HmacSha512(key, ToBytes(msg)))
+    EXPECT_EQ(prf.Eval(ToBytes(msg)), *HmacSha512(key, ToBytes(msg)))
         << "mismatch for message: " << msg;
   }
 }
@@ -73,6 +73,48 @@ TEST(PrfTest, MoveConstructionPreservesKey) {
   Bytes expected = a.Eval(ToBytes("m"));
   Prf b = std::move(a);
   EXPECT_EQ(b.Eval(ToBytes("m")), expected);
+}
+
+TEST(PrfTest, CreateFactoryYieldsWorkingPrf) {
+  Result<Prf> prf = Prf::Create(ToBytes("key"));
+  ASSERT_TRUE(prf.ok());
+  EXPECT_TRUE(prf->ok());
+  EXPECT_EQ(prf->Eval(ToBytes("m")), Prf(ToBytes("key")).Eval(ToBytes("m")));
+}
+
+TEST(PrfTest, EvalIntoMatchesEval) {
+  Prf prf(ToBytes("prf-key-material"));
+  for (const char* msg : {"", "a", "hello world", "0123456789abcdef"}) {
+    Bytes expected = prf.Eval(ToBytes(msg));
+    uint8_t full[Prf::kMaxOutputBytes];
+    Bytes input = ToBytes(msg);
+    ASSERT_TRUE(prf.EvalInto(input, ByteSpan(full, sizeof(full))));
+    EXPECT_EQ(Bytes(full, full + sizeof(full)), expected) << msg;
+    // Truncated outputs are prefixes.
+    uint8_t trunc[16];
+    ASSERT_TRUE(prf.EvalInto(input, ByteSpan(trunc, sizeof(trunc))));
+    EXPECT_TRUE(std::equal(trunc, trunc + sizeof(trunc), expected.begin()));
+  }
+}
+
+TEST(PrfTest, EvalIntoRepeatedRestartsAreStable) {
+  // Exercises the scratch-context restart path (EVP_MAC re-init with a
+  // retained key) across many evaluations.
+  Prf prf(ToBytes("key"));
+  Bytes expected = prf.Eval(ToBytes("m"));
+  Bytes input = ToBytes("m");
+  uint8_t out[Prf::kMaxOutputBytes];
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(prf.EvalInto(input, ByteSpan(out, sizeof(out))));
+    EXPECT_EQ(Bytes(out, out + sizeof(out)), expected);
+  }
+}
+
+TEST(PrfTest, EvalIntoRejectsOversizedOutput) {
+  Prf prf(ToBytes("key"));
+  uint8_t out[Prf::kMaxOutputBytes + 1];
+  Bytes input = ToBytes("m");
+  EXPECT_FALSE(prf.EvalInto(input, ByteSpan(out, sizeof(out))));
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+#ifndef RSSE_TESTS_PRG_BACKEND_GUARD_H_
+#define RSSE_TESTS_PRG_BACKEND_GUARD_H_
+
+#include "crypto/prg.h"
+
+namespace rsse::crypto {
+
+/// Test helper: switches the process-global GGM PRG backend and restores
+/// the previous one on scope exit, so a failing assertion inside a
+/// backend-specific test cannot leak the AES backend into later tests.
+class PrgBackendGuard {
+ public:
+  explicit PrgBackendGuard(GgmPrg::Backend b) : old_(GgmPrg::backend()) {
+    GgmPrg::SetBackend(b);
+  }
+  ~PrgBackendGuard() { GgmPrg::SetBackend(old_); }
+
+  PrgBackendGuard(const PrgBackendGuard&) = delete;
+  PrgBackendGuard& operator=(const PrgBackendGuard&) = delete;
+
+ private:
+  GgmPrg::Backend old_;
+};
+
+}  // namespace rsse::crypto
+
+#endif  // RSSE_TESTS_PRG_BACKEND_GUARD_H_

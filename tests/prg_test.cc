@@ -1,9 +1,13 @@
 #include "crypto/prg.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
 #include "crypto/hmac_prf.h"
+#include "prg_backend_guard.h"
 
 namespace rsse::crypto {
 namespace {
@@ -67,6 +71,83 @@ TEST(GgmPrgTest, ChainedExpansionIsConsistent) {
   Bytes inner = GgmPrg::G1(seed);
   Bytes direct = GgmPrg::G0(inner);
   EXPECT_EQ(direct, GgmPrg::G0(GgmPrg::G1(seed)));
+}
+
+TEST(GgmPrgTest, ExpandIntoMatchesExpand) {
+  Bytes seed(kLambdaBytes, 0x5a);
+  auto [left, right] = GgmPrg::Expand(seed);
+  uint8_t l[kLambdaBytes];
+  uint8_t r[kLambdaBytes];
+  GgmPrg::ExpandInto(seed.data(), l, r);
+  EXPECT_EQ(Bytes(l, l + kLambdaBytes), left);
+  EXPECT_EQ(Bytes(r, r + kLambdaBytes), right);
+}
+
+TEST(GgmPrgTest, ExpandIntoSupportsAliasedOutputs) {
+  // The in-place subtree walk overwrites the parent seed with a child.
+  Bytes seed(kLambdaBytes, 0x5a);
+  Bytes expected_left = GgmPrg::G0(seed);
+  uint8_t buf[2 * kLambdaBytes];
+  std::copy(seed.begin(), seed.end(), buf);
+  GgmPrg::ExpandInto(buf, buf, buf + kLambdaBytes);  // left aliases seed
+  EXPECT_EQ(Bytes(buf, buf + kLambdaBytes), expected_left);
+}
+
+TEST(GgmPrgBackendTest, DefaultBackendIsHmac) {
+  // The paper-faithful HMAC instantiation must stay the default (existing
+  // outsourced indexes depend on it). The initial backend honours
+  // RSSE_GGM_PRG, so only assert when the override is absent.
+  if (std::getenv("RSSE_GGM_PRG") != nullptr) {
+    GTEST_SKIP() << "RSSE_GGM_PRG overrides the default backend";
+  }
+  EXPECT_EQ(GgmPrg::backend(), GgmPrg::Backend::kHmac);
+}
+
+TEST(GgmPrgBackendTest, AesBackendSatisfiesPrgProperties) {
+  PrgBackendGuard guard(GgmPrg::Backend::kAes);
+  Bytes seed(kLambdaBytes, 0x42);
+  EXPECT_EQ(GgmPrg::G0(seed).size(), kLambdaBytes);
+  EXPECT_EQ(GgmPrg::G1(seed).size(), kLambdaBytes);
+  EXPECT_EQ(GgmPrg::G0(seed), GgmPrg::G0(seed));
+  EXPECT_NE(GgmPrg::G0(seed), GgmPrg::G1(seed));
+  Bytes other(kLambdaBytes, 0x43);
+  EXPECT_NE(GgmPrg::G0(seed), GgmPrg::G0(other));
+  auto [left, right] = GgmPrg::Expand(seed);
+  EXPECT_EQ(left, GgmPrg::G0(seed));
+  EXPECT_EQ(right, GgmPrg::G1(seed));
+}
+
+TEST(GgmPrgBackendTest, AesBackendAvalanches) {
+  PrgBackendGuard guard(GgmPrg::Backend::kAes);
+  Bytes s1(kLambdaBytes, 0x00);
+  Bytes s2 = s1;
+  s2[0] ^= 0x01;
+  Bytes o1 = GgmPrg::G0(s1);
+  Bytes o2 = GgmPrg::G0(s2);
+  int differing_bits = 0;
+  for (size_t i = 0; i < o1.size(); ++i) {
+    differing_bits += __builtin_popcount(o1[i] ^ o2[i]);
+  }
+  EXPECT_GT(differing_bits, 32);
+  EXPECT_LT(differing_bits, 96);
+}
+
+TEST(GgmPrgBackendTest, BackendsProduceDistinctStreams) {
+  // Same seed, different G: an index outsourced under one backend is
+  // unreadable under the other, so the selector must never silently flip.
+  Bytes seed(kLambdaBytes, 0x42);
+  Bytes hmac_g0 = GgmPrg::G0(seed);
+  PrgBackendGuard guard(GgmPrg::Backend::kAes);
+  EXPECT_NE(GgmPrg::G0(seed), hmac_g0);
+}
+
+TEST(GgmPrgBackendTest, SelectorRoundTrips) {
+  PrgBackendGuard guard(GgmPrg::Backend::kAes);
+  EXPECT_EQ(GgmPrg::backend(), GgmPrg::Backend::kAes);
+  GgmPrg::SetBackend(GgmPrg::Backend::kHmac);
+  EXPECT_EQ(GgmPrg::backend(), GgmPrg::Backend::kHmac);
+  GgmPrg::SetBackend(GgmPrg::Backend::kAes);
+  EXPECT_EQ(GgmPrg::backend(), GgmPrg::Backend::kAes);
 }
 
 }  // namespace
