@@ -25,21 +25,38 @@ constexpr char kUsage[] =
     "  --n=<dataset size>       (default 20000)\n"
     "  --queries=<per point>    (default 40)\n"
     "  --domain=<domain size>   (default per dataset)\n"
+    "  --pad=<quantum>          (bloom-gated pair's padding, default 4)\n"
+    "  --bloom_fp=<rate>        (bloom gate FP rate, default 0.01)\n"
     "  --smoke=1                (~1 s workload for CI smoke runs)\n"
     "  --json=1                 (machine-readable JSON-lines rows)\n";
 
-double FalsePositiveRate(RangeScheme& scheme, const Dataset& data,
-                         const std::vector<Range>& queries) {
+struct WorkloadCosts {
+  double fp_rate = 0.0;
+  /// Mean dummy decryptions the Bloom gate saved per query (0 without a
+  /// gate or without padding).
+  double skipped_per_query = 0.0;
+};
+
+WorkloadCosts RunWorkload(RangeScheme& scheme, const Dataset& data,
+                          const std::vector<Range>& queries) {
+  WorkloadCosts costs;
   double total_fp = 0;
   double total_returned = 0;
+  double total_skipped = 0;
+  size_t executed = 0;
   for (const Range& r : queries) {
     Result<QueryResult> q = scheme.Query(r);
     if (!q.ok()) continue;
     size_t truth = FilterIdsToRange(data, q->ids, r).size();
     total_fp += static_cast<double>(q->ids.size() - truth);
     total_returned += static_cast<double>(q->ids.size());
+    total_skipped += static_cast<double>(q->skipped_decrypts);
+    ++executed;
   }
-  return total_returned == 0 ? 0.0 : total_fp / total_returned;
+  costs.fp_rate = total_returned == 0 ? 0.0 : total_fp / total_returned;
+  costs.skipped_per_query =
+      executed == 0 ? 0.0 : total_skipped / static_cast<double>(executed);
+  return costs;
 }
 
 int Run(int argc, char** argv) {
@@ -51,31 +68,54 @@ int Run(int argc, char** argv) {
   const uint64_t domain = flags.GetUint(
       "domain",
       smoke ? uint64_t{1} << 16 : DefaultDomainFor(dataset_name));
+  const uint64_t pad = flags.GetUint("pad", 4);
+  const double bloom_fp = flags.GetDouble("bloom_fp", 0.01);
 
   Dataset data = MakeEvalDataset(dataset_name, n, domain, /*seed=*/3);
+  // Paper-faithful pair (Fig 6) plus a padded pair with the Bloom
+  // pre-decryption gate, to measure how many dummy decryptions the gate
+  // saves the server per query.
   LogarithmicSrcScheme src(/*rng_seed=*/5);
   LogarithmicSrcIScheme srci(/*rng_seed=*/5);
-  if (!src.Build(data).ok() || !srci.Build(data).ok()) {
+  LogarithmicSrcScheme src_gated(/*rng_seed=*/5, pad);
+  LogarithmicSrcIScheme srci_gated(/*rng_seed=*/5, pad);
+  src_gated.EnableBloomGate(bloom_fp);
+  srci_gated.EnableBloomGate(bloom_fp);
+  if (!src.Build(data).ok() || !srci.Build(data).ok() ||
+      !src_gated.Build(data).ok() || !srci_gated.Build(data).ok()) {
     std::fprintf(stderr, "index construction failed\n");
     return 1;
   }
 
-  std::printf("== False-positive rate (%s, n=%llu) — Fig 6 ==\n",
-              dataset_name.c_str(), static_cast<unsigned long long>(n));
-  PrintHeaderRow({"range (% domain)", "Logarithmic-SRC", "Logarithmic-SRC-i"});
+  std::printf("== False-positive rate (%s, n=%llu) — Fig 6; pad=%llu "
+              "bloom_fp=%.3f ==\n",
+              dataset_name.c_str(), static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(pad), bloom_fp);
+  PrintHeaderRow({"range (% domain)", "Logarithmic-SRC", "Logarithmic-SRC-i",
+                  "SRC skipped-dec/q", "SRC-i skipped-dec/q"});
   Rng qrng(11);
   for (int pct = 10; pct <= 100; pct += 10) {
     std::vector<Range> workload =
         RandomRangesOfFraction(data.domain(), pct / 100.0, queries, qrng);
+    const WorkloadCosts src_costs = RunWorkload(src, data, workload);
+    const WorkloadCosts srci_costs = RunWorkload(srci, data, workload);
+    const WorkloadCosts src_gated_costs =
+        RunWorkload(src_gated, data, workload);
+    const WorkloadCosts srci_gated_costs =
+        RunWorkload(srci_gated, data, workload);
     char src_buf[32];
     char srci_buf[32];
-    std::snprintf(src_buf, sizeof(src_buf), "%.3f",
-                  FalsePositiveRate(src, data, workload));
-    std::snprintf(srci_buf, sizeof(srci_buf), "%.3f",
-                  FalsePositiveRate(srci, data, workload));
+    char src_skip_buf[32];
+    char srci_skip_buf[32];
+    std::snprintf(src_buf, sizeof(src_buf), "%.3f", src_costs.fp_rate);
+    std::snprintf(srci_buf, sizeof(srci_buf), "%.3f", srci_costs.fp_rate);
+    std::snprintf(src_skip_buf, sizeof(src_skip_buf), "%.1f",
+                  src_gated_costs.skipped_per_query);
+    std::snprintf(srci_skip_buf, sizeof(srci_skip_buf), "%.1f",
+                  srci_gated_costs.skipped_per_query);
     char pct_buf[16];
     std::snprintf(pct_buf, sizeof(pct_buf), "%d", pct);
-    PrintRow({pct_buf, src_buf, srci_buf});
+    PrintRow({pct_buf, src_buf, srci_buf, src_skip_buf, srci_skip_buf});
   }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "crypto/random.h"
 #include "crypto/sha.h"
 #include "dprf/ggm_dprf.h"
+#include "shard/sharded_emm.h"
 #include "sse/encrypted_multimap.h"
 #include "sse/packed_multimap.h"
 
@@ -167,6 +168,86 @@ void BM_EmmBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * keywords * per_keyword);
 }
 BENCHMARK(BM_EmmBuild)->Arg(64)->Arg(512);
+
+sse::PlainMultimap MakeBuildPostings(int64_t keywords, int64_t per_keyword) {
+  sse::PlainMultimap postings;
+  for (int64_t w = 0; w < keywords; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, static_cast<uint64_t>(w));
+    for (int64_t i = 0; i < per_keyword; ++i) {
+      postings[keyword].push_back(
+          sse::EncodeIdPayload(static_cast<uint64_t>(w * 1000 + i)));
+    }
+  }
+  return postings;
+}
+
+void BM_ShardedEmmBuild(benchmark::State& state) {
+  // Args: {shards, build threads}. (1, 1) is the paper-faithful flat
+  // build; (1, 4) adds parallel encryption but funnels through the single
+  // merge; (4, 4) additionally parallelizes the merge across shards — the
+  // sharding win on multi-core builds.
+  sse::PlainMultimap postings = MakeBuildPostings(512, 16);
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  shard::ShardOptions options;
+  options.shards = static_cast<int>(state.range(0));
+  options.threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shard::ShardedEmm::Build(postings, deriver, options));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 16);
+}
+// Wall-clock (UseRealTime) so the multi-worker configurations are scored
+// by elapsed time, not the mostly-idle main thread; process CPU alongside
+// shows the parallel efficiency. On a single-core machine the (4, 4) row
+// matches (1, 1) — the speedup needs the cores the shards were built for.
+BENCHMARK(BM_ShardedEmmBuild)
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_ShardedEmmLoad(benchmark::State& state) {
+  // Deserialization of a 4-shard blob with 1 vs 4 loader threads: the
+  // per-shard serialization exists exactly so this scales.
+  sse::PlainMultimap postings = MakeBuildPostings(512, 16);
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  shard::ShardOptions options;
+  options.shards = 4;
+  options.threads = 4;
+  auto store = shard::ShardedEmm::Build(postings, deriver, options);
+  Bytes blob = store->Serialize();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shard::ShardedEmm::Deserialize(blob, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 16);
+}
+BENCHMARK(BM_ShardedEmmLoad)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_ShardedEmmSearch(benchmark::State& state) {
+  // Single-token search routed across shards; the routing adds one modulo
+  // over the flat map's probe, so this should track BM_EmmSearch.
+  sse::PlainMultimap postings;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    postings[ToBytes("w")].push_back(sse::EncodeIdPayload(i));
+  }
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  shard::ShardOptions options;
+  options.shards = 4;
+  auto store = shard::ShardedEmm::Build(postings, deriver, options);
+  sse::KeywordKeys token = deriver.Derive(ToBytes("w"));
+  for (auto _ : state) benchmark::DoNotOptimize(store->Search(token));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShardedEmmSearch)->Arg(1000)->Arg(10000);
 
 void BM_EmmSearch(benchmark::State& state) {
   sse::PlainMultimap postings;

@@ -1,0 +1,29 @@
+#ifndef RSSE_COMMON_PARALLEL_H_
+#define RSSE_COMMON_PARALLEL_H_
+
+#include <thread>
+#include <vector>
+
+namespace rsse {
+
+/// Runs `fn(worker_index)` on `workers` threads and joins them; `workers`
+/// <= 1 runs inline on the caller's thread (the paper-faithful
+/// single-threaded path pays no thread overhead). Workers conventionally
+/// process a shared item list strided by their index. `fn` must not throw
+/// (this library reports failures through Status, typically via a
+/// per-worker status slot).
+template <typename Fn>
+void RunWorkers(int workers, Fn&& fn) {
+  if (workers <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(fn, t);
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_PARALLEL_H_

@@ -2,6 +2,7 @@
 
 #include <openssl/evp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -99,6 +100,39 @@ void AesExpandInto(const uint8_t* seed, uint8_t* left, uint8_t* right) {
   std::memcpy(right, out + kLambdaBytes, kLambdaBytes);
 }
 
+// Parents per batched frontier expansion: 256 parents = 512 AES blocks =
+// 8 KiB per buffer, small enough for the stack, large enough that the EVP
+// dispatch overhead (the dominant cost of two-block calls) amortizes away.
+constexpr size_t kFrontierChunk = 256;
+
+/// Expands `count` <= kFrontierChunk parent seeds into their 2·count
+/// children with a single multi-block EVP_EncryptUpdate. `children` may
+/// overlap `parents`: the parents are staged into a private buffer before
+/// anything is written.
+void AesExpandFrontierChunk(const uint8_t* parents, size_t count,
+                            uint8_t* children) {
+  uint8_t in[2 * kFrontierChunk * kLambdaBytes];
+  uint8_t out[2 * kFrontierChunk * kLambdaBytes];
+  for (size_t j = 0; j < count; ++j) {
+    const uint8_t* s = parents + j * kLambdaBytes;
+    uint8_t* left = in + 2 * j * kLambdaBytes;
+    uint8_t* right = left + kLambdaBytes;
+    for (size_t b = 0; b < kLambdaBytes; ++b) {
+      left[b] = static_cast<uint8_t>(s[b] ^ kTweak0);
+      right[b] = static_cast<uint8_t>(s[b] ^ kTweak1);
+    }
+  }
+  const int total = static_cast<int>(2 * count * kLambdaBytes);
+  int len = 0;
+  if (EVP_EncryptUpdate(ThreadAesCtx(), out, &len, in, total) != 1 ||
+      len != total) {
+    DiePrgFailure("AES-128-ECB batched encryption failed");
+  }
+  // Same MMO feed-forward as the per-node path; outputs are bit-identical.
+  for (int b = 0; b < total; ++b) out[b] ^= in[b];
+  std::memcpy(children, out, static_cast<size_t>(total));
+}
+
 // ---------------------------------------------------------------------------
 // Backend selection.
 // ---------------------------------------------------------------------------
@@ -132,6 +166,28 @@ void GgmPrg::ExpandInto(const uint8_t* seed, uint8_t* left, uint8_t* right) {
     AesExpandInto(seed, left, right);
   } else {
     HmacExpandInto(seed, left, right);
+  }
+}
+
+void GgmPrg::ExpandFrontierInPlace(uint8_t* buf, size_t count) {
+  // Walk the frontier right to left: the chunk [i0, i0 + cnt) writes its
+  // children to [2·i0, 2·(i0 + cnt)), which never touches the unprocessed
+  // parents below i0 (2·i0 >= i0); parents inside the chunk are staged
+  // into a private buffer (AES) or read before their slots are written
+  // (HMAC walks one node at a time, and ExpandInto tolerates aliasing).
+  if (backend() == Backend::kAes) {
+    size_t i0 = count;
+    while (i0 > 0) {
+      const size_t cnt = std::min(kFrontierChunk, i0);
+      i0 -= cnt;
+      AesExpandFrontierChunk(buf + i0 * kLambdaBytes, cnt,
+                             buf + 2 * i0 * kLambdaBytes);
+    }
+  } else {
+    for (size_t i = count; i-- > 0;) {
+      HmacExpandInto(buf + i * kLambdaBytes, buf + 2 * i * kLambdaBytes,
+                     buf + (2 * i + 1) * kLambdaBytes);
+    }
   }
 }
 

@@ -60,6 +60,16 @@ class GgmPrg {
 
   /// Zero-allocation G_b(seed) into `out` (16 bytes; may alias `seed`).
   static void GbInto(const uint8_t* seed, int bit, uint8_t* out);
+
+  /// Expands one whole GGM-tree frontier in place: `buf` holds `count`
+  /// λ-byte seeds on entry and their 2·`count` children (children of seed i
+  /// at slots 2i and 2i+1) on return; `buf` must have room for 2·`count`
+  /// seeds. Produces bit-identical output to per-node `ExpandInto` calls —
+  /// the AES backend batches the frontier into multi-block
+  /// `EVP_EncryptUpdate` calls (one per 256-parent chunk) instead of
+  /// dispatching two blocks at a time, which roughly doubles wide-subtree
+  /// expansion throughput.
+  static void ExpandFrontierInPlace(uint8_t* buf, size_t count);
 };
 
 }  // namespace rsse::crypto

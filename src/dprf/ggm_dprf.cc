@@ -60,15 +60,13 @@ bool GgmDprf::ExpandInto(const Token& token, std::vector<Label>& out) {
   out.resize(size_t{1} << token.level);
   std::memcpy(out[0].data(), token.seed.data(), kLabelBytes);
   // In-place breadth-first doubling: at step k the frontier of 2^k seeds
-  // occupies slots [0, 2^k). Walking it right-to-left, slot i expands into
-  // slots 2i and 2i+1 — both >= i, and every frontier slot > i has already
-  // been consumed, so nothing live is overwritten (ExpandInto buffers the
-  // parent internally before writing the children).
+  // occupies slots [0, 2^k) and doubles into [0, 2^(k+1)). The whole level
+  // is handed to the PRG in one call, so the AES backend pipelines it
+  // through multi-block EVP_EncryptUpdate batches instead of dispatching
+  // two blocks per node.
+  uint8_t* buf = reinterpret_cast<uint8_t*>(out.data());
   for (int k = 0; k < token.level; ++k) {
-    for (size_t i = (size_t{1} << k); i-- > 0;) {
-      crypto::GgmPrg::ExpandInto(out[i].data(), out[2 * i].data(),
-                                 out[2 * i + 1].data());
-    }
+    crypto::GgmPrg::ExpandFrontierInPlace(buf, size_t{1} << k);
   }
   return true;
 }

@@ -36,12 +36,19 @@ BloomFilter::BloomFilter(uint64_t expected_elements, double fp_rate,
   bits_.assign((num_bits_ + 63) / 64, 0);
 }
 
-void BloomFilter::BaseHashes(const Bytes& trapdoor, uint64_t& h1,
+void BloomFilter::BaseHashes(ConstByteSpan trapdoor, uint64_t& h1,
                              uint64_t& h2) const {
-  // The trapdoor is HMAC output (pseudorandom); mixing its halves with the
-  // node salt yields independent per-node probe sequences.
-  uint64_t a = trapdoor.size() >= 8 ? ReadUint64(trapdoor, 0) : 0;
-  uint64_t b = trapdoor.size() >= 16 ? ReadUint64(trapdoor, 8) : a;
+  // The trapdoor is HMAC/PRF output (pseudorandom); mixing its halves with
+  // the node salt yields independent per-node probe sequences. Big-endian
+  // reads keep the probe positions identical to the historical
+  // Bytes-taking implementation.
+  auto read_be64 = [&trapdoor](size_t offset) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) v = (v << 8) | trapdoor[offset + i];
+    return v;
+  };
+  uint64_t a = trapdoor.size() >= 8 ? read_be64(0) : 0;
+  uint64_t b = trapdoor.size() >= 16 ? read_be64(8) : a;
   h1 = Mix(a ^ node_salt_);
   h2 = Mix(b + 0x517cc1b727220a95ull * node_salt_) | 1;  // odd stride
 }
@@ -50,7 +57,7 @@ uint64_t BloomFilter::Position(uint64_t h1, uint64_t h2, int i) const {
   return (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
 }
 
-void BloomFilter::Insert(const Bytes& trapdoor) {
+void BloomFilter::Insert(ConstByteSpan trapdoor) {
   uint64_t h1 = 0;
   uint64_t h2 = 0;
   BaseHashes(trapdoor, h1, h2);
@@ -60,7 +67,7 @@ void BloomFilter::Insert(const Bytes& trapdoor) {
   }
 }
 
-bool BloomFilter::MayContain(const Bytes& trapdoor) const {
+bool BloomFilter::MayContain(ConstByteSpan trapdoor) const {
   uint64_t h1 = 0;
   uint64_t h2 = 0;
   BaseHashes(trapdoor, h1, h2);

@@ -26,10 +26,10 @@ class BloomFilter {
   BloomFilter(uint64_t expected_elements, double fp_rate, uint64_t node_salt);
 
   /// Inserts an element given its trapdoor.
-  void Insert(const Bytes& trapdoor);
+  void Insert(ConstByteSpan trapdoor);
 
   /// Tests membership of the element behind `trapdoor`.
-  bool MayContain(const Bytes& trapdoor) const;
+  bool MayContain(ConstByteSpan trapdoor) const;
 
   int num_hashes() const { return num_hashes_; }
   uint64_t num_bits() const { return num_bits_; }
@@ -43,7 +43,7 @@ class BloomFilter {
   uint64_t Position(uint64_t h1, uint64_t h2, int i) const;
 
   /// Derives the double-hashing pair (h1, h2) from trapdoor and salt.
-  void BaseHashes(const Bytes& trapdoor, uint64_t& h1, uint64_t& h2) const;
+  void BaseHashes(ConstByteSpan trapdoor, uint64_t& h1, uint64_t& h2) const;
 
   uint64_t num_bits_;
   int num_hashes_;

@@ -1,0 +1,39 @@
+#include "rsse/bloom_gate.h"
+
+#include "crypto/hmac_prf.h"
+
+namespace rsse {
+
+BloomLabelGate::BloomLabelGate(uint64_t expected_real_entries, double fp_rate,
+                               uint64_t salt)
+    : bloom_(expected_real_entries, fp_rate, salt) {}
+
+Status BloomLabelGate::Populate(const sse::PlainMultimap& postings,
+                                const sse::KeywordKeyDeriver& deriver) {
+  uint8_t counter[8];
+  Label label;
+  for (const auto& [keyword, payloads] : postings) {
+    const sse::KeywordKeys keys = deriver.Derive(keyword);
+    const crypto::Prf label_prf(keys.label_key);
+    if (!label_prf.ok()) {
+      return Status::Internal("label PRF initialization failed");
+    }
+    // Only counters below the real posting count: padding dummies (any
+    // counter past payloads.size()) are exactly what the gate rejects.
+    for (uint64_t c = 0; c < payloads.size(); ++c) {
+      StoreUint64(counter, c);
+      if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
+                              ByteSpan(label.data(), label.size()))) {
+        return Status::Internal("label PRF evaluation failed");
+      }
+      bloom_.Insert(ConstByteSpan(label.data(), label.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+bool BloomLabelGate::MayContainReal(const Label& label) const {
+  return bloom_.MayContain(ConstByteSpan(label.data(), label.size()));
+}
+
+}  // namespace rsse

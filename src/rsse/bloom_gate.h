@@ -1,0 +1,54 @@
+#ifndef RSSE_RSSE_BLOOM_GATE_H_
+#define RSSE_RSSE_BLOOM_GATE_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "pb/bloom_filter.h"
+#include "sse/emm_codec.h"
+#include "sse/encrypted_multimap.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse {
+
+/// Pre-decryption Bloom gate over the *real* entry labels of an encrypted
+/// index. SRC/SRC-i pad posting lists with dummy entries (the padding the
+/// paper's security argument assumes); without a gate the server pays one
+/// AES decryption per dummy just to discover and drop it. The owner instead
+/// inserts every real entry's label into a Bloom filter at build time and
+/// ships it with the index: the server consults the filter before each
+/// decryption and skips entries it rejects.
+///
+/// Correctness: Bloom filters have no false negatives, so a real entry is
+/// never skipped; a false positive merely decrypts one dummy that the
+/// marker byte then drops — results are bit-identical with or without the
+/// gate. The trade is leakage: the server learns (up to the FP rate) which
+/// dictionary entries are padding, weakening exactly the shape-hiding that
+/// motivated the padding. It is therefore opt-in, for deployments that pad
+/// for shape quantization rather than strict indistinguishability.
+class BloomLabelGate : public sse::LabelGate {
+ public:
+  /// Sizes the filter for `expected_real_entries` at `fp_rate`; `salt`
+  /// separates the probe sequences of gates over different indexes.
+  BloomLabelGate(uint64_t expected_real_entries, double fp_rate,
+                 uint64_t salt);
+
+  /// Re-derives the label of every real (unpadded) entry of `postings`
+  /// under `deriver` and inserts it. Mirrors the label derivation of the
+  /// index build itself, so gate and index stay in lockstep by
+  /// construction.
+  Status Populate(const sse::PlainMultimap& postings,
+                  const sse::KeywordKeyDeriver& deriver);
+
+  bool MayContainReal(const Label& label) const override;
+
+  size_t SizeBytes() const { return bloom_.SizeBytes(); }
+
+ private:
+  pb::BloomFilter bloom_;
+};
+
+}  // namespace rsse
+
+#endif  // RSSE_RSSE_BLOOM_GATE_H_

@@ -1,9 +1,9 @@
 #include "rsse/constant.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/env.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "crypto/random.h"
 #include "sse/keyword_keys.h"
@@ -52,8 +52,13 @@ Status ConstantScheme::Build(const Dataset& dataset) {
   for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
 
   DprfKeyDeriver deriver(*dprf_);
-  Result<sse::EncryptedMultimap> index =
-      sse::EncryptedMultimap::Build(postings, deriver);
+  // The server-side dictionary is hash-sharded (RSSE_SHARDS / SetShards) so
+  // build and load scale with cores; a single shard reproduces the flat
+  // paper-faithful layout.
+  shard::ShardOptions options;
+  options.shards = shards_;
+  Result<shard::ShardedEmm> index =
+      shard::ShardedEmm::Build(postings, deriver, options);
   if (!index.ok()) return index.status();
   index_ = std::move(index).value();
   built_ = true;
@@ -116,14 +121,7 @@ Result<QueryResult> ConstantScheme::Query(const Range& query) {
       }
     }
   };
-  if (threads <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& th : pool) th.join();
-  }
+  RunWorkers(threads, worker);
   for (const std::vector<uint64_t>& ids : per_token) {
     result.ids.insert(result.ids.end(), ids.begin(), ids.end());
   }

@@ -9,7 +9,7 @@
 #include "data/dataset.h"
 #include "dprf/ggm_dprf.h"
 #include "rsse/scheme.h"
-#include "sse/encrypted_multimap.h"
+#include "shard/sharded_emm.h"
 
 namespace rsse {
 
@@ -43,6 +43,18 @@ class ConstantScheme : public RangeScheme {
   /// RSSE_SEARCH_THREADS environment variable, defaulting to 1.
   void SetSearchThreads(int threads) { search_threads_ = threads; }
 
+  /// Shard count for the server-side encrypted dictionary. 0 reads the
+  /// RSSE_SHARDS environment variable, defaulting to 1. Must be set before
+  /// `Build`.
+  void SetShards(int shards) { shards_ = shards; }
+
+  /// The server-side dictionary, serialized for shipping to a standalone
+  /// `rsse_serverd` (holds only pseudorandom labels and ciphertexts).
+  Bytes SerializeIndex() const { return index_.Serialize(); }
+
+  /// Server-side store (exposed for tests/benches).
+  const shard::ShardedEmm& index() const { return index_; }
+
   /// Owner-side delegation only (exposed for tests/benches that need the
   /// raw tokens).
   std::vector<GgmDprf::Token> Delegate(const Range& r);
@@ -53,10 +65,11 @@ class ConstantScheme : public RangeScheme {
   Domain domain_;
   int bits_ = 0;
   std::unique_ptr<GgmDprf> dprf_;
-  sse::EncryptedMultimap index_;
+  shard::ShardedEmm index_;
   bool built_ = false;
   bool guard_enabled_ = false;
   int search_threads_ = 0;
+  int shards_ = 0;
   std::vector<Range> history_;
 };
 

@@ -32,6 +32,17 @@ Status LogarithmicSrcScheme::Build(const Dataset& dataset) {
       sse::EncryptedMultimap::Build(postings, deriver, padding);
   if (!index.ok()) return index.status();
   index_ = std::move(index).value();
+
+  if (bloom_fp_rate_ > 0.0) {
+    size_t real_entries = 0;
+    for (const auto& [keyword, payloads] : postings) {
+      real_entries += payloads.size();
+    }
+    gate_ = std::make_unique<BloomLabelGate>(real_entries, bloom_fp_rate_,
+                                             /*salt=*/0x5352432d31ull);
+    Status s = gate_->Populate(postings, deriver);
+    if (!s.ok()) return s;
+  }
   built_ = true;
   return Status::Ok();
 }
@@ -52,12 +63,14 @@ Result<QueryResult> LogarithmicSrcScheme::Query(const Range& query) {
   result.token_bytes = token.label_key.size() + token.value_key.size();
 
   WallTimer search_timer;
-  for (const Bytes& payload : index_.Search(token)) {
+  sse::SearchStats stats;
+  for (const Bytes& payload : index_.Search(token, gate_.get(), &stats)) {
     if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
       result.ids.push_back(*id);
     }
   }
   result.search_nanos = search_timer.ElapsedNanos();
+  result.skipped_decrypts = stats.skipped_decrypts;
   return result;
 }
 

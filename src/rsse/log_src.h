@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "cover/tdag.h"
 #include "data/dataset.h"
+#include "rsse/bloom_gate.h"
 #include "rsse/scheme.h"
 #include "sse/encrypted_multimap.h"
 
@@ -36,6 +37,20 @@ class LogarithmicSrcScheme : public RangeScheme {
   /// The single TDAG cover node for `r` (exposed for tests).
   TdagNode CoverNode(const Range& r) const { return tdag_->SingleRangeCover(r); }
 
+  /// Installs a Bloom pre-decryption gate, built over the real-entry
+  /// labels during `Build`: the server skips decrypting entries the filter
+  /// rejects (padding dummies), reporting the savings through
+  /// `QueryResult::skipped_decrypts`. Results are unchanged (no false
+  /// negatives); the server learns which entries are padding, so this is
+  /// an opt-in perf/leakage trade (see BloomLabelGate). Only effective
+  /// with `pad_quantum` > 0. Call before `Build`.
+  void EnableBloomGate(double fp_rate = 0.01) { bloom_fp_rate_ = fp_rate; }
+
+  /// Bytes of the shipped Bloom gate (0 when disabled).
+  size_t BloomGateSizeBytes() const {
+    return gate_ == nullptr ? 0 : gate_->SizeBytes();
+  }
+
  private:
   Rng rng_;
   uint64_t pad_quantum_;
@@ -43,6 +58,8 @@ class LogarithmicSrcScheme : public RangeScheme {
   std::unique_ptr<Tdag> tdag_;
   Bytes master_key_;
   sse::EncryptedMultimap index_;
+  double bloom_fp_rate_ = 0.0;  // 0 disables the gate
+  std::unique_ptr<BloomLabelGate> gate_;
   bool built_ = false;
 };
 

@@ -42,8 +42,9 @@ int BitsForCount(uint64_t n) {
 
 }  // namespace
 
-LogarithmicSrcIScheme::LogarithmicSrcIScheme(uint64_t rng_seed)
-    : rng_(rng_seed) {}
+LogarithmicSrcIScheme::LogarithmicSrcIScheme(uint64_t rng_seed,
+                                             uint64_t pad_quantum)
+    : rng_(rng_seed), pad_quantum_(pad_quantum) {}
 
 Status LogarithmicSrcIScheme::Build(const Dataset& dataset) {
   domain_ = dataset.domain();
@@ -88,17 +89,35 @@ Status LogarithmicSrcIScheme::Build(const Dataset& dataset) {
   }
   for (auto& [keyword, payloads] : postings2) rng_.Shuffle(payloads);
 
+  sse::PaddingPolicy padding{pad_quantum_};
   sse::PrfKeyDeriver deriver1(key1_);
   Result<sse::EncryptedMultimap> i1 =
-      sse::EncryptedMultimap::Build(postings1, deriver1);
+      sse::EncryptedMultimap::Build(postings1, deriver1, padding);
   if (!i1.ok()) return i1.status();
   i1_ = std::move(i1).value();
 
   sse::PrfKeyDeriver deriver2(key2_);
   Result<sse::EncryptedMultimap> i2 =
-      sse::EncryptedMultimap::Build(postings2, deriver2);
+      sse::EncryptedMultimap::Build(postings2, deriver2, padding);
   if (!i2.ok()) return i2.status();
   i2_ = std::move(i2).value();
+
+  if (bloom_fp_rate_ > 0.0) {
+    size_t real1 = 0;
+    for (const auto& [keyword, payloads] : postings1) {
+      real1 += payloads.size();
+    }
+    size_t real2 = 0;
+    for (const auto& [keyword, payloads] : postings2) {
+      real2 += payloads.size();
+    }
+    gate1_ = std::make_unique<BloomLabelGate>(real1, bloom_fp_rate_,
+                                              /*salt=*/0x535243692d31ull);
+    RSSE_RETURN_IF_ERROR(gate1_->Populate(postings1, deriver1));
+    gate2_ = std::make_unique<BloomLabelGate>(real2, bloom_fp_rate_,
+                                              /*salt=*/0x535243692d32ull);
+    RSSE_RETURN_IF_ERROR(gate2_->Populate(postings2, deriver2));
+  }
 
   built_ = true;
   return Status::Ok();
@@ -123,7 +142,8 @@ Result<QueryResult> LogarithmicSrcIScheme::Query(const Range& query) {
 
   // Round 1 — server: search I1.
   WallTimer search_timer;
-  std::vector<Bytes> round1 = i1_.Search(token1);
+  sse::SearchStats stats;
+  std::vector<Bytes> round1 = i1_.Search(token1, gate1_.get(), &stats);
   result.search_nanos += search_timer.ElapsedNanos();
 
   // Owner: keep qualifying (value, position-range) pairs and merge them
@@ -149,6 +169,7 @@ Result<QueryResult> LogarithmicSrcIScheme::Query(const Range& query) {
     // No distinct value of the dataset falls in the range: done after one
     // round with an empty (exact) result.
     result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
+    result.skipped_decrypts = stats.skipped_decrypts;
     return result;
   }
 
@@ -163,12 +184,13 @@ Result<QueryResult> LogarithmicSrcIScheme::Query(const Range& query) {
 
   // Round 2 — server: search I2 for the tuple ids.
   search_timer.Reset();
-  for (const Bytes& payload : i2_.Search(token2)) {
+  for (const Bytes& payload : i2_.Search(token2, gate2_.get(), &stats)) {
     if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
       result.ids.push_back(*id);
     }
   }
   result.search_nanos += search_timer.ElapsedNanos();
+  result.skipped_decrypts = stats.skipped_decrypts;
   return result;
 }
 

@@ -51,6 +51,10 @@ struct QueryResult {
 
   /// Server-side search time (Fig. 7) in nanoseconds.
   uint64_t search_nanos = 0;
+
+  /// Candidate decryptions a pre-decryption gate skipped (padding dummies
+  /// rejected by the Bloom gate of SRC/SRC-i; 0 when no gate is active).
+  size_t skipped_decrypts = 0;
 };
 
 /// Uniform facade over all RSSE constructions. One object models both

@@ -1,0 +1,25 @@
+#ifndef RSSE_SERVER_CLI_FLAGS_H_
+#define RSSE_SERVER_CLI_FLAGS_H_
+
+#include <cstring>
+#include <string>
+
+namespace rsse::server {
+
+/// Minimal --key=value lookup shared by the rsse_serverd / rsse_client
+/// mains (they deliberately link no bench utilities). Returns the value of
+/// the last matching flag, or nullptr when absent.
+inline const char* FlagValue(int argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  const char* value = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    }
+  }
+  return value;
+}
+
+}  // namespace rsse::server
+
+#endif  // RSSE_SERVER_CLI_FLAGS_H_

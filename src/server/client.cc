@@ -1,0 +1,225 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rsse::server {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// An Error frame from the server, surfaced as a Status.
+Status ServerError(const Bytes& payload) {
+  Result<ErrorResponse> resp = ErrorResponse::Decode(payload);
+  return Status::Internal("server error: " +
+                          (resp.ok() ? resp->message
+                                     : std::string("<unparseable>")));
+}
+
+}  // namespace
+
+EmmClient::~EmmClient() { Close(); }
+
+void EmmClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+  in_offset_ = 0;
+}
+
+Status EmmClient::Connect(const std::string& host, uint16_t port,
+                          int recv_timeout_seconds) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("host must be numeric IPv4");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("connect");
+    Close();
+    return s;
+  }
+  if (recv_timeout_seconds > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_seconds;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Status::Ok();
+}
+
+Status EmmClient::WriteAll(const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+Status EmmClient::SendFrame(FrameType type,
+                            std::initializer_list<ConstByteSpan> parts) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t total = 0;
+  for (ConstByteSpan part : parts) total += part.size();
+  if (total > kMaxFrameBytes - 2) {
+    return Status::InvalidArgument("request payload exceeds the wire frame "
+                                   "limit; split it into smaller frames");
+  }
+  uint8_t header[6];
+  const uint32_t len = static_cast<uint32_t>(2 + total);
+  header[0] = static_cast<uint8_t>(len >> 24);
+  header[1] = static_cast<uint8_t>(len >> 16);
+  header[2] = static_cast<uint8_t>(len >> 8);
+  header[3] = static_cast<uint8_t>(len);
+  header[4] = kWireVersion;
+  header[5] = static_cast<uint8_t>(type);
+  RSSE_RETURN_IF_ERROR(WriteAll(header, sizeof(header)));
+  for (ConstByteSpan part : parts) {
+    RSSE_RETURN_IF_ERROR(WriteAll(part.data(), part.size()));
+  }
+  return Status::Ok();
+}
+
+Result<Frame> EmmClient::RecvFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    Frame frame;
+    std::string error;
+    const FrameParse parse = DecodeFrame(in_, in_offset_, frame, &error);
+    if (parse == FrameParse::kFrame) {
+      if (in_offset_ == in_.size()) {
+        in_.clear();
+        in_offset_ = 0;
+      }
+      return frame;
+    }
+    if (parse == FrameParse::kMalformed) {
+      return Status::Internal("malformed server frame: " + error);
+    }
+    uint8_t chunk[64 * 1024];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) return Status::Internal("server closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Internal("timed out waiting for server response");
+    }
+    return Errno("recv");
+  }
+}
+
+Result<SetupResponse> EmmClient::Setup(const Bytes& index_blob) {
+  // Same payload layout as SetupRequest::Encode (u64 length + blob), but
+  // streamed from the caller's buffer instead of copied through it.
+  uint8_t prefix[8];
+  StoreUint64(prefix, index_blob.size());
+  RSSE_RETURN_IF_ERROR(SendFrame(
+      FrameType::kSetupReq,
+      {ConstByteSpan(prefix, sizeof(prefix)),
+       ConstByteSpan(index_blob.data(), index_blob.size())}));
+  Result<Frame> frame = RecvFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return ServerError(frame->payload);
+  if (frame->type != FrameType::kSetupResp) {
+    return Status::Internal("unexpected response frame to Setup");
+  }
+  return SetupResponse::Decode(frame->payload);
+}
+
+Result<EmmClient::BatchOutcome> EmmClient::SearchBatch(
+    const std::vector<BatchQuery>& queries) {
+  SearchBatchRequest req;
+  req.queries.reserve(queries.size());
+  for (const BatchQuery& q : queries) {
+    WireQuery wq;
+    wq.query_id = q.query_id;
+    wq.tokens.reserve(q.tokens.size());
+    for (const GgmDprf::Token& t : q.tokens) {
+      if (t.seed.size() != kLabelBytes || t.level < 0 || t.level > 62) {
+        return Status::InvalidArgument("token seed/level out of range");
+      }
+      WireToken wt;
+      wt.level = static_cast<uint8_t>(t.level);
+      std::memcpy(wt.seed.data(), t.seed.data(), kLabelBytes);
+      wq.tokens.push_back(wt);
+    }
+    req.queries.push_back(std::move(wq));
+  }
+  const Bytes payload = req.Encode();
+  RSSE_RETURN_IF_ERROR(SendFrame(
+      FrameType::kSearchBatchReq,
+      {ConstByteSpan(payload.data(), payload.size())}));
+
+  BatchOutcome outcome;
+  for (;;) {
+    Result<Frame> frame = RecvFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kError) return ServerError(frame->payload);
+    if (frame->type == FrameType::kSearchResult) {
+      Result<SearchResult> result = SearchResult::Decode(frame->payload);
+      if (!result.ok()) return result.status();
+      std::vector<uint64_t>& ids = outcome.ids[result->query_id];
+      ids.insert(ids.end(), result->ids.begin(), result->ids.end());
+      continue;
+    }
+    if (frame->type == FrameType::kSearchDone) {
+      Result<SearchDone> done = SearchDone::Decode(frame->payload);
+      if (!done.ok()) return done.status();
+      outcome.done = *done;
+      return outcome;
+    }
+    return Status::Internal("unexpected frame type in batch response");
+  }
+}
+
+Result<UpdateResponse> EmmClient::Update(
+    const std::vector<std::pair<Label, Bytes>>& entries) {
+  UpdateRequest req;
+  req.entries = entries;
+  const Bytes payload = req.Encode();
+  RSSE_RETURN_IF_ERROR(SendFrame(
+      FrameType::kUpdateReq, {ConstByteSpan(payload.data(), payload.size())}));
+  Result<Frame> frame = RecvFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return ServerError(frame->payload);
+  if (frame->type != FrameType::kUpdateResp) {
+    return Status::Internal("unexpected response frame to Update");
+  }
+  return UpdateResponse::Decode(frame->payload);
+}
+
+Result<StatsResponse> EmmClient::Stats() {
+  RSSE_RETURN_IF_ERROR(SendFrame(FrameType::kStatsReq, {}));
+  Result<Frame> frame = RecvFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return ServerError(frame->payload);
+  if (frame->type != FrameType::kStatsResp) {
+    return Status::Internal("unexpected response frame to Stats");
+  }
+  return StatsResponse::Decode(frame->payload);
+}
+
+}  // namespace rsse::server

@@ -1,0 +1,77 @@
+#ifndef RSSE_SERVER_CLIENT_H_
+#define RSSE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dprf/ggm_dprf.h"
+#include "server/wire.h"
+
+namespace rsse::server {
+
+/// Blocking client for `rsse_serverd`: frames requests onto one TCP
+/// connection and parses the streamed responses. One instance per
+/// connection; not thread-safe.
+class EmmClient {
+ public:
+  EmmClient() = default;
+  ~EmmClient();
+
+  EmmClient(const EmmClient&) = delete;
+  EmmClient& operator=(const EmmClient&) = delete;
+
+  /// Connects to `host:port` (numeric IPv4). `recv_timeout_seconds` bounds
+  /// each response wait (0 disables the timeout).
+  Status Connect(const std::string& host, uint16_t port,
+                 int recv_timeout_seconds = 30);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Ships a serialized ShardedEmm index for the server to host.
+  Result<SetupResponse> Setup(const Bytes& index_blob);
+
+  /// One range query of a batch: caller-chosen id plus the delegated
+  /// covering tokens (`ConstantScheme::Delegate` output).
+  struct BatchQuery {
+    uint32_t query_id = 0;
+    std::vector<GgmDprf::Token> tokens;
+  };
+
+  /// Result of one batched round trip: ids per query id plus the server's
+  /// dedupe/expansion report.
+  struct BatchOutcome {
+    std::map<uint32_t, std::vector<uint64_t>> ids;
+    SearchDone done;
+  };
+
+  /// Sends every query in one SearchBatch frame and collects the streamed
+  /// per-query results until the terminating SearchDone.
+  Result<BatchOutcome> SearchBatch(const std::vector<BatchQuery>& queries);
+
+  /// Inserts pre-encrypted (label, ciphertext) entries.
+  Result<UpdateResponse> Update(
+      const std::vector<std::pair<Label, Bytes>>& entries);
+
+  Result<StatsResponse> Stats();
+
+ private:
+  /// Sends one frame whose payload is the concatenation of `parts`,
+  /// streaming each part straight from the caller's buffer — Setup ships
+  /// the (potentially huge) index blob without ever copying it.
+  Status SendFrame(FrameType type, std::initializer_list<ConstByteSpan> parts);
+  Status WriteAll(const uint8_t* data, size_t len);
+  /// Blocks until one full frame arrives (or the peer closes/times out).
+  Result<Frame> RecvFrame();
+
+  int fd_ = -1;
+  Bytes in_;
+  size_t in_offset_ = 0;
+};
+
+}  // namespace rsse::server
+
+#endif  // RSSE_SERVER_CLIENT_H_

@@ -1,0 +1,444 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "common/env.h"
+#include "common/parallel.h"
+#include "common/stats.h"
+#include "dprf/ggm_dprf.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse::server {
+
+namespace {
+
+/// Input buffer compaction threshold: parsed-prefix bytes kept around
+/// before the buffer is shifted down.
+constexpr size_t kCompactThreshold = 1 << 20;
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Dedupe key of a delegated GGM node: level byte followed by the seed.
+using NodeKey = std::array<uint8_t, 1 + kLabelBytes>;
+
+NodeKey KeyOf(const WireToken& t) {
+  NodeKey key;
+  key[0] = t.level;
+  std::memcpy(key.data() + 1, t.seed.data(), kLabelBytes);
+  return key;
+}
+
+}  // namespace
+
+EmmServer::EmmServer(const ServerOptions& options)
+    : options_(options), store_(shard::ShardedEmm::WithShards(options.shards)) {}
+
+EmmServer::~EmmServer() {
+  CloseAll();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+}
+
+Status EmmServer::Host(const Bytes& index_blob) {
+  // Resolve the worker count here so the documented RSSE_SEARCH_THREADS
+  // fallback governs the load too (Deserialize's own 0-fallback is the
+  // builder-side RSSE_BUILD_THREADS).
+  const int threads =
+      ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS");
+  Result<shard::ShardedEmm> store =
+      shard::ShardedEmm::Deserialize(index_blob, threads);
+  if (!store.ok()) return store.status();
+  store_ = std::move(store).value();
+  hosted_ = true;
+  return Status::Ok();
+}
+
+Status EmmServer::Listen() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already listening");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bind_address must be numeric IPv4");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (listen(listen_fd_, SOMAXCONN) != 0) return Errno("listen");
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl(listen)");
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (pipe(wake_fds_) != 0) return Errno("pipe");
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+  return Status::Ok();
+}
+
+void EmmServer::Shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (wake_fds_[1] >= 0) {
+    const uint8_t b = 0;
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &b, 1);
+  }
+}
+
+void EmmServer::CloseAll() {
+  for (Connection& c : conns_) {
+    if (c.fd >= 0) close(c.fd);
+  }
+  conns_.clear();
+}
+
+Status EmmServer::Serve() {
+  if (listen_fd_ < 0) return Status::FailedPrecondition("Listen() not called");
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const Connection& c : conns_) {
+      // A closing connection only flushes: registering POLLIN for it
+      // would level-trigger forever on unread input and spin the loop.
+      short events = c.closing ? 0 : POLLIN;
+      if (c.out.size() > c.out_offset) events |= POLLOUT;
+      fds.push_back({c.fd, events, 0});
+    }
+    const int rc = poll(fds.data(), fds.size(), /*timeout_ms=*/-1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      uint8_t drain[64];
+      while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    // fds[2 + i] maps to conns_[i] only for the connections that existed
+    // when the pollfd set was built; snapshot that count before accepting
+    // (AcceptPending grows conns_ past it).
+    const size_t polled = conns_.size();
+    if ((fds[0].revents & POLLIN) != 0) AcceptPending();
+    // Walk connections back to front so drops do not disturb the mapping
+    // between fds[2 + i] and conns_[i].
+    for (size_t i = polled; i-- > 0;) {
+      const short revents = fds[2 + i].revents;
+      if (revents == 0) continue;
+      Connection& c = conns_[i];
+      bool alive = true;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) alive = false;
+      if (alive && (revents & POLLIN) != 0) alive = ReadPending(c);
+      if (alive && (revents & POLLOUT) != 0) alive = WritePending(c);
+      if (!alive) {
+        close(c.fd);
+        conns_.erase(conns_.begin() + static_cast<long>(i));
+      }
+    }
+  }
+  CloseAll();
+  return Status::Ok();
+}
+
+void EmmServer::AcceptPending() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNABORTED) {
+        return;  // drained / transient: back to poll
+      }
+      // Persistent failure (EMFILE/ENFILE, ...): the listen socket stays
+      // readable, so returning immediately would spin the poll loop at
+      // 100% CPU. Back off briefly; existing connections resume after.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return;
+    }
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    Connection c;
+    c.fd = fd;
+    conns_.push_back(std::move(c));
+  }
+}
+
+bool EmmServer::ReadPending(Connection& conn) {
+  // A closing connection only flushes; re-parsing would re-handle the
+  // same malformed prefix and emit duplicate Error frames.
+  if (conn.closing) return WritePending(conn);
+  uint8_t chunk[64 * 1024];
+  // Read and parse alternately: handling complete frames between recv
+  // calls keeps conn.in bounded by one in-flight frame (plus a chunk)
+  // even against a sender that never lets the socket go dry, instead of
+  // buffering the whole stream before the first parse.
+  for (;;) {
+    const ssize_t n = recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.in.insert(conn.in.end(), chunk, chunk + n);
+    for (;;) {
+      Frame frame;
+      std::string error;
+      const FrameParse parse =
+          DecodeFrame(conn.in, conn.in_offset, frame, &error);
+      if (parse == FrameParse::kNeedMore) break;
+      if (parse == FrameParse::kMalformed) {
+        SendError(conn, "malformed frame: " + error);
+        conn.closing = true;
+        break;
+      }
+      HandleFrame(conn, frame);
+      if (conn.closing) break;
+    }
+    if (conn.closing) break;
+    if (conn.in_offset >= kCompactThreshold ||
+        conn.in_offset == conn.in.size()) {
+      conn.in.erase(conn.in.begin(),
+                    conn.in.begin() + static_cast<long>(conn.in_offset));
+      conn.in_offset = 0;
+    }
+  }
+  // Try to flush immediately; otherwise POLLOUT takes over.
+  return WritePending(conn);
+}
+
+bool EmmServer::WritePending(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n =
+        send(conn.fd, conn.out.data() + conn.out_offset,
+             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  return !conn.closing;
+}
+
+void EmmServer::SendError(Connection& conn, const std::string& message) {
+  ErrorResponse resp;
+  resp.message = message;
+  const Bytes payload = resp.Encode();
+  if (!EncodeFrame(FrameType::kError, payload, conn.out)) {
+    conn.closing = true;  // cannot even frame the error: drop the peer
+  }
+}
+
+void EmmServer::HandleFrame(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kSetupReq:
+      HandleSetup(conn, frame.payload);
+      return;
+    case FrameType::kSearchBatchReq:
+      HandleSearchBatch(conn, frame.payload);
+      return;
+    case FrameType::kUpdateReq:
+      HandleUpdate(conn, frame.payload);
+      return;
+    case FrameType::kStatsReq:
+      HandleStats(conn);
+      return;
+    default:
+      // Response-only types arriving at the server are a protocol breach.
+      SendError(conn, "unexpected frame type at server");
+      conn.closing = true;
+      return;
+  }
+}
+
+void EmmServer::HandleSetup(Connection& conn, const Bytes& payload) {
+  Result<SetupRequest> req = SetupRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status().message());
+    return;
+  }
+  Status hosted = Host(req->index_blob);
+  if (!hosted.ok()) {
+    SendError(conn, hosted.message());
+    return;
+  }
+  SetupResponse resp;
+  resp.shards = static_cast<uint32_t>(store_.shard_count());
+  resp.entries = store_.EntryCount();
+  const Bytes out = resp.Encode();
+  if (!EncodeFrame(FrameType::kSetupResp, out, conn.out)) {
+    SendError(conn, "setup response exceeds frame limit");
+  }
+}
+
+void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
+  Result<SearchBatchRequest> req = SearchBatchRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status().message());
+    return;
+  }
+  if (!hosted_) {
+    SendError(conn, "no index hosted (send Setup first)");
+    return;
+  }
+
+  WallTimer timer;
+
+  // Dedupe covering nodes across every query of the batch: queries over
+  // overlapping ranges share dyadic nodes, and each distinct GGM subtree
+  // is expanded and probed exactly once.
+  std::map<NodeKey, size_t> unique_index;
+  std::vector<const WireToken*> unique_tokens;
+  std::vector<std::vector<size_t>> query_token_refs(req->queries.size());
+  uint64_t tokens_received = 0;
+  for (size_t q = 0; q < req->queries.size(); ++q) {
+    for (const WireToken& t : req->queries[q].tokens) {
+      if (t.level > options_.max_token_level) {
+        SendError(conn, "token level exceeds the server's expansion limit");
+        return;
+      }
+      ++tokens_received;
+      auto [it, inserted] =
+          unique_index.try_emplace(KeyOf(t), unique_tokens.size());
+      if (inserted) unique_tokens.push_back(&t);
+      query_token_refs[q].push_back(it->second);
+    }
+  }
+
+  // Expand + probe each distinct subtree once, sharded across workers
+  // (same strided layout as ConstantScheme's in-process search).
+  const int threads = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(
+          ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS")),
+      std::max<size_t>(unique_tokens.size(), 1)));
+  std::vector<std::vector<uint64_t>> unique_ids(unique_tokens.size());
+  std::vector<uint64_t> leaves_per_worker(static_cast<size_t>(threads), 0);
+  auto worker = [&](int t) {
+    std::vector<Label> leaves;
+    sse::KeywordKeys keys;
+    for (size_t i = static_cast<size_t>(t); i < unique_tokens.size();
+         i += static_cast<size_t>(threads)) {
+      GgmDprf::Token token;
+      token.level = unique_tokens[i]->level;
+      token.seed.assign(unique_tokens[i]->seed.begin(),
+                        unique_tokens[i]->seed.end());
+      if (!GgmDprf::ExpandInto(token, leaves)) continue;
+      leaves_per_worker[static_cast<size_t>(t)] += leaves.size();
+      for (const Label& leaf : leaves) {
+        sse::KeysFromSharedSecretInto(ConstByteSpan(leaf.data(), leaf.size()),
+                                      keys);
+        for (const Bytes& payload_bytes : store_.Search(keys)) {
+          if (auto id = sse::DecodeIdPayload(payload_bytes); id.has_value()) {
+            unique_ids[i].push_back(*id);
+          }
+        }
+      }
+    }
+  };
+  RunWorkers(threads, worker);
+
+  // Stream one result frame per query id, fanning shared expansions back
+  // out to every subscriber.
+  uint64_t leaves_searched = 0;
+  for (uint64_t n : leaves_per_worker) leaves_searched += n;
+  for (size_t q = 0; q < req->queries.size(); ++q) {
+    SearchResult result;
+    result.query_id = req->queries[q].query_id;
+    for (size_t idx : query_token_refs[q]) {
+      result.ids.insert(result.ids.end(), unique_ids[idx].begin(),
+                        unique_ids[idx].end());
+    }
+    const Bytes out = result.Encode();
+    if (!EncodeFrame(FrameType::kSearchResult, out, conn.out)) {
+      SendError(conn, "result set exceeds frame limit");
+      return;
+    }
+  }
+
+  SearchDone done;
+  done.query_count = static_cast<uint32_t>(req->queries.size());
+  done.tokens_received = tokens_received;
+  done.unique_nodes_expanded = unique_tokens.size();
+  done.leaves_searched = leaves_searched;
+  done.search_nanos = timer.ElapsedNanos();
+  const Bytes out = done.Encode();
+  if (!EncodeFrame(FrameType::kSearchDone, out, conn.out)) {
+    SendError(conn, "search done frame failed to encode");
+    return;
+  }
+
+  stats_.batches_served += 1;
+  stats_.queries_served += req->queries.size();
+  stats_.tokens_received += tokens_received;
+  stats_.nodes_deduped += tokens_received - unique_tokens.size();
+}
+
+void EmmServer::HandleUpdate(Connection& conn, const Bytes& payload) {
+  Result<UpdateRequest> req = UpdateRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status().message());
+    return;
+  }
+  for (const auto& [label, value] : req->entries) {
+    store_.Insert(label, ConstByteSpan(value.data(), value.size()));
+  }
+  hosted_ = true;
+  UpdateResponse resp;
+  resp.entries = store_.EntryCount();
+  const Bytes out = resp.Encode();
+  if (!EncodeFrame(FrameType::kUpdateResp, out, conn.out)) {
+    SendError(conn, "update response exceeds frame limit");
+  }
+}
+
+void EmmServer::HandleStats(Connection& conn) {
+  StatsResponse resp;
+  resp.entries = store_.EntryCount();
+  resp.size_bytes = store_.SizeBytes();
+  resp.shards = static_cast<uint32_t>(store_.shard_count());
+  resp.batches_served = stats_.batches_served;
+  resp.queries_served = stats_.queries_served;
+  resp.tokens_received = stats_.tokens_received;
+  resp.nodes_deduped = stats_.nodes_deduped;
+  const Bytes out = resp.Encode();
+  if (!EncodeFrame(FrameType::kStatsResp, out, conn.out)) {
+    SendError(conn, "stats response exceeds frame limit");
+  }
+}
+
+}  // namespace rsse::server

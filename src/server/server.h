@@ -1,0 +1,126 @@
+#ifndef RSSE_SERVER_SERVER_H_
+#define RSSE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "server/wire.h"
+#include "shard/sharded_emm.h"
+
+namespace rsse::server {
+
+struct ServerOptions {
+  /// Listen address (numeric IPv4). Loopback by default: the wire protocol
+  /// carries only labels/ciphertexts/tokens, but exposing it wider is a
+  /// deployment decision.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via `port()`).
+  uint16_t port = 0;
+  /// Shards for a store created through Update before any Setup.
+  /// 0 reads RSSE_SHARDS, defaulting to 1. (A Setup blob carries its own
+  /// shard count.)
+  int shards = 0;
+  /// Worker threads for batch search and index load. 0 reads
+  /// RSSE_SEARCH_THREADS, defaulting to 1.
+  int search_threads = 0;
+  /// Largest GGM subtree a SearchBatch token may request (the expansion
+  /// buffer is 16 bytes per leaf, so 2^26 leaves = 1 GiB per worker at
+  /// peak). The wire format allows up to 62; without this cap one hostile
+  /// token could drive an astronomically large allocation.
+  int max_token_level = 26;
+};
+
+/// Cumulative serving statistics (reported through StatsResponse).
+struct ServerStats {
+  uint64_t batches_served = 0;
+  uint64_t queries_served = 0;
+  uint64_t tokens_received = 0;
+  /// Tokens answered from another query's expansion in the same batch.
+  uint64_t nodes_deduped = 0;
+};
+
+/// The server side of the Constant schemes as a standalone process: hosts a
+/// `shard::ShardedEmm` (the flat encrypted dictionary, hash-sharded across
+/// cores) and serves the batched binary protocol of wire.h over TCP.
+///
+/// `SearchBatch` is the reason this exists as a protocol rather than one
+/// request per range: queries whose BRC/URC covers share GGM nodes are
+/// deduplicated server-side — each distinct (level, seed) subtree is
+/// expanded once, its leaf tokens probed once, and the resulting ids fanned
+/// back out to every subscribed query id. Distinct subtrees then shard
+/// across `search_threads` workers exactly like the in-process multi-token
+/// search.
+///
+/// Single-threaded poll event loop (nonblocking sockets, length-prefixed
+/// frames, partial read/write tolerant); the batch handler itself fans out
+/// across worker threads, so the loop stays simple while search scales.
+class EmmServer {
+ public:
+  explicit EmmServer(const ServerOptions& options = {});
+  ~EmmServer();
+
+  EmmServer(const EmmServer&) = delete;
+  EmmServer& operator=(const EmmServer&) = delete;
+
+  /// Binds and listens; fills `port()`. Call once before `Serve`.
+  Status Listen();
+
+  /// Bound port (valid after `Listen`).
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until `Shutdown`.
+  Status Serve();
+
+  /// Stops `Serve` from any thread (idempotent).
+  void Shutdown();
+
+  /// In-process equivalent of a Setup frame (tools/tests): hosts the
+  /// serialized ShardedEmm blob.
+  Status Host(const Bytes& index_blob);
+
+  const ServerStats& stats() const { return stats_; }
+  size_t EntryCount() const { return store_.EntryCount(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    Bytes in;
+    size_t in_offset = 0;  // bytes of `in` already parsed
+    Bytes out;
+    size_t out_offset = 0;  // bytes of `out` already sent
+    bool closing = false;   // flush `out`, then close
+  };
+
+  void HandleFrame(Connection& conn, const Frame& frame);
+  void HandleSetup(Connection& conn, const Bytes& payload);
+  void HandleSearchBatch(Connection& conn, const Bytes& payload);
+  void HandleUpdate(Connection& conn, const Bytes& payload);
+  void HandleStats(Connection& conn);
+  void SendError(Connection& conn, const std::string& message);
+
+  void AcceptPending();
+  /// Returns false when the connection should be dropped.
+  bool ReadPending(Connection& conn);
+  bool WritePending(Connection& conn);
+  void CloseAll();
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  /// One-way stop latch: a Shutdown that lands before Serve starts must
+  /// still win, so Serve never resets it.
+  std::atomic<bool> stop_{false};
+  shard::ShardedEmm store_;
+  bool hosted_ = false;
+  ServerStats stats_;
+  std::vector<Connection> conns_;
+};
+
+}  // namespace rsse::server
+
+#endif  // RSSE_SERVER_SERVER_H_

@@ -1,0 +1,81 @@
+// rsse_serverd: standalone sharded encrypted-range-search server.
+//
+// Hosts the flat encrypted dictionary of the Constant schemes (shipped by a
+// client via the Setup frame) and serves batched range searches over the
+// length-prefixed binary protocol of server/wire.h.
+//
+//   rsse_serverd --port=7370 --threads=8
+//   rsse_serverd --port=0              # ephemeral; the bound port is printed
+//
+// Flags:
+//   --bind=<ipv4>      listen address        (default 127.0.0.1)
+//   --port=<port>      TCP port, 0=ephemeral (default 7370)
+//   --shards=<n>       shards for Update-built stores (default RSSE_SHARDS)
+//   --threads=<n>      batch-search workers  (default RSSE_SEARCH_THREADS)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "server/cli_flags.h"
+#include "server/server.h"
+
+namespace {
+
+using rsse::server::FlagValue;
+
+rsse::server::EmmServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "rsse_serverd: sharded encrypted-range-search server\n"
+          "  --bind=<ipv4>  --port=<port>  --shards=<n>  --threads=<n>\n"
+          "  --max-level=<l>  (largest GGM subtree per token, default 26)\n");
+      return 0;
+    }
+  }
+  rsse::server::ServerOptions options;
+  options.port = 7370;
+  if (const char* v = FlagValue(argc, argv, "bind")) options.bind_address = v;
+  if (const char* v = FlagValue(argc, argv, "port")) {
+    options.port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+  }
+  if (const char* v = FlagValue(argc, argv, "shards")) {
+    options.shards = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "threads")) {
+    options.search_threads = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "max-level")) {
+    options.max_token_level = std::atoi(v);
+  }
+
+  rsse::server::EmmServer server(options);
+  rsse::Status s = server.Listen();
+  if (!s.ok()) {
+    std::fprintf(stderr, "rsse_serverd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("rsse_serverd: listening on %s:%u\n",
+              options.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+  s = server.Serve();
+  if (!s.ok()) {
+    std::fprintf(stderr, "rsse_serverd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("rsse_serverd: shut down cleanly\n");
+  return 0;
+}

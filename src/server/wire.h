@@ -1,0 +1,176 @@
+#ifndef RSSE_SERVER_WIRE_H_
+#define RSSE_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rsse::server {
+
+/// Length-prefixed binary wire protocol between `rsse_client` and
+/// `rsse_serverd`. Every frame is
+///
+///   [u32 frame_len][u8 version][u8 type][payload ...]
+///
+/// with all integers big-endian and `frame_len` counting the bytes after
+/// the length field (so version + type + payload, at least 2). Frames are
+/// self-delimiting, so a stream parser needs no lookahead beyond the
+/// 4-byte prefix; `frame_len` is capped to keep a corrupt or hostile
+/// prefix from driving allocation.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint32_t kMaxFrameBytes = uint32_t{1} << 30;
+
+enum class FrameType : uint8_t {
+  /// Client -> server: host a serialized ShardedEmm index.
+  kSetupReq = 1,
+  kSetupResp = 2,
+  /// Client -> server: many range queries, each many GGM tokens, in one
+  /// round trip.
+  kSearchBatchReq = 3,
+  /// Server -> client: the ids of one query of the batch (streamed per
+  /// query id, in request order).
+  kSearchResult = 4,
+  /// Server -> client: end of batch + dedupe/expansion statistics.
+  kSearchDone = 5,
+  /// Client -> server: insert pre-encrypted (label, ciphertext) entries.
+  kUpdateReq = 6,
+  kUpdateResp = 7,
+  kStatsReq = 8,
+  kStatsResp = 9,
+  /// Server -> client: request-level failure (bad frame, no index, ...).
+  kError = 10,
+};
+
+/// One decoded frame: type plus raw payload (still to be parsed by the
+/// typed Decode functions below).
+struct Frame {
+  FrameType type = FrameType::kError;
+  Bytes payload;
+};
+
+/// Appends one encoded frame to `out`. Returns false (appending nothing)
+/// when `payload` exceeds kMaxFrameBytes - 2 — the send-side mirror of the
+/// decoder's cap, so an oversized payload fails loudly instead of wrapping
+/// the length prefix and corrupting the stream.
+[[nodiscard]] bool EncodeFrame(FrameType type, ConstByteSpan payload,
+                               Bytes& out);
+
+/// Outcome of pulling one frame off a byte stream.
+enum class FrameParse {
+  kFrame,     // one frame decoded, `offset` advanced past it
+  kNeedMore,  // the buffer holds only a frame prefix; read more bytes
+  kMalformed, // unrecoverable: bad version/type/length — drop the peer
+};
+
+/// Attempts to decode one frame from `buf[offset...]`. On kFrame, fills
+/// `frame` and advances `offset`; on kMalformed, `error` (when non-null)
+/// receives a diagnostic.
+FrameParse DecodeFrame(const Bytes& buf, size_t& offset, Frame& frame,
+                       std::string* error);
+
+// ---------------------------------------------------------------------------
+// Typed payloads. Each struct encodes to / decodes from a frame payload;
+// Decode returns INVALID_ARGUMENT on truncated, oversized or malformed
+// input (never crashes, never over-reads).
+// ---------------------------------------------------------------------------
+
+/// A delegated GGM covering node: subtree level plus λ-byte seed. The node
+/// position is deliberately absent, as in `GgmDprf::Token`.
+struct WireToken {
+  uint8_t level = 0;
+  Label seed{};
+
+  friend bool operator==(const WireToken&, const WireToken&) = default;
+};
+
+/// One range query of a batch: a client-chosen id echoed on results plus
+/// the BRC/URC cover tokens of the range.
+struct WireQuery {
+  uint32_t query_id = 0;
+  std::vector<WireToken> tokens;
+};
+
+struct SetupRequest {
+  /// Serialized `shard::ShardedEmm` blob (self-describing).
+  Bytes index_blob;
+
+  Bytes Encode() const;
+  static Result<SetupRequest> Decode(const Bytes& payload);
+};
+
+struct SetupResponse {
+  uint32_t shards = 0;
+  uint64_t entries = 0;
+
+  Bytes Encode() const;
+  static Result<SetupResponse> Decode(const Bytes& payload);
+};
+
+struct SearchBatchRequest {
+  std::vector<WireQuery> queries;
+
+  Bytes Encode() const;
+  static Result<SearchBatchRequest> Decode(const Bytes& payload);
+};
+
+struct SearchResult {
+  uint32_t query_id = 0;
+  std::vector<uint64_t> ids;
+
+  Bytes Encode() const;
+  static Result<SearchResult> Decode(const Bytes& payload);
+};
+
+struct SearchDone {
+  uint32_t query_count = 0;
+  /// Tokens received across the batch vs distinct GGM subtrees actually
+  /// expanded — the batching win the client can observe.
+  uint64_t tokens_received = 0;
+  uint64_t unique_nodes_expanded = 0;
+  uint64_t leaves_searched = 0;
+  uint64_t search_nanos = 0;
+
+  Bytes Encode() const;
+  static Result<SearchDone> Decode(const Bytes& payload);
+};
+
+struct UpdateRequest {
+  std::vector<std::pair<Label, Bytes>> entries;
+
+  Bytes Encode() const;
+  static Result<UpdateRequest> Decode(const Bytes& payload);
+};
+
+struct UpdateResponse {
+  uint64_t entries = 0;
+
+  Bytes Encode() const;
+  static Result<UpdateResponse> Decode(const Bytes& payload);
+};
+
+struct StatsResponse {
+  uint64_t entries = 0;
+  uint64_t size_bytes = 0;
+  uint32_t shards = 0;
+  uint64_t batches_served = 0;
+  uint64_t queries_served = 0;
+  uint64_t tokens_received = 0;
+  uint64_t nodes_deduped = 0;
+
+  Bytes Encode() const;
+  static Result<StatsResponse> Decode(const Bytes& payload);
+};
+
+struct ErrorResponse {
+  std::string message;
+
+  Bytes Encode() const;
+  static Result<ErrorResponse> Decode(const Bytes& payload);
+};
+
+}  // namespace rsse::server
+
+#endif  // RSSE_SERVER_WIRE_H_

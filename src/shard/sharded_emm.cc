@@ -1,0 +1,338 @@
+#include "shard/sharded_emm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/env.h"
+#include "common/parallel.h"
+#include "crypto/aes.h"
+
+namespace rsse::shard {
+
+namespace {
+
+constexpr uint64_t kShardMagic = 0x5253534553484d31ull;  // "RSSESHM1"
+constexpr int kMaxShards = 4096;
+
+/// Staging bucket: entries one build worker encrypted for one shard.
+/// Ciphertexts are packed back to back (the lengths delimit them).
+struct Bucket {
+  std::vector<Label> labels;
+  std::vector<uint32_t> value_lens;
+  Bytes values;
+};
+
+int ResolveShardCount(int requested) {
+  int shards = ResolveThreadCount(requested, "RSSE_SHARDS");
+  return std::clamp(shards, 1, kMaxShards);
+}
+
+}  // namespace
+
+ShardedEmm ShardedEmm::WithShards(int shards) {
+  return ShardedEmm(static_cast<size_t>(ResolveShardCount(shards)));
+}
+
+size_t ShardedEmm::ShardOf(const Label& label, size_t shard_count) {
+  // Bytes [8, 16) route; bytes [0, 8) feed the in-shard probe hash
+  // (LabelHash). Labels are PRF outputs, so both halves are independently
+  // uniform. Read big-endian like the rest of the serialization format,
+  // so a multi-shard blob routes identically on every host.
+  uint64_t v = 0;
+  for (size_t i = 8; i < kLabelBytes; ++i) v = (v << 8) | label[i];
+  return static_cast<size_t>(v % shard_count);
+}
+
+Result<ShardedEmm> ShardedEmm::Build(const sse::PlainMultimap& postings,
+                                     const sse::KeywordKeyDeriver& deriver,
+                                     const ShardOptions& options) {
+  const size_t shard_count =
+      static_cast<size_t>(ResolveShardCount(options.shards));
+  const int threads = ResolveThreadCount(options.threads,
+                                         "RSSE_BUILD_THREADS");
+  ShardedEmm store(shard_count);
+
+  if (shard_count == 1 && threads == 1) {
+    // Degenerate single-shard single-thread build: exact-size reserve and
+    // in-place encryption into the one table arena, exactly as the flat
+    // EncryptedMultimap hot path (same shared cost model).
+    const sse::EmmSizing sizing =
+        sse::ComputeEmmSizing(postings, options.padding.quantum);
+    sse::FlatLabelMap& dict = store.shards_[0];
+    dict.Reserve(sizing.entries, sizing.value_bytes);
+    Bytes plaintext;
+    for (const auto& [keyword, payloads] : postings) {
+      Status s = sse::EncryptKeywordEntries(
+          keyword, payloads, deriver, options.padding.quantum, plaintext,
+          [&dict](const Label& label, size_t len) {
+            return dict.InsertUninit(label, len);
+          });
+      if (!s.ok()) return s;
+    }
+    return store;
+  }
+
+  // Phase A — encryption (embarrassingly parallel over keywords): each
+  // worker encrypts its strided slice of the keyword set and routes every
+  // entry into a private per-shard staging bucket; no locks, no sharing.
+  std::vector<const std::pair<const Bytes, std::vector<Bytes>>*> items;
+  items.reserve(postings.size());
+  for (const auto& kv : postings) items.push_back(&kv);
+
+  std::vector<std::vector<Bucket>> staging(
+      static_cast<size_t>(threads), std::vector<Bucket>(shard_count));
+  std::vector<Status> worker_status(static_cast<size_t>(threads));
+
+  RunWorkers(threads, [&](int t) {
+    Bytes plaintext;
+    std::vector<Bucket>& buckets = staging[static_cast<size_t>(t)];
+    for (size_t i = static_cast<size_t>(t); i < items.size();
+         i += static_cast<size_t>(threads)) {
+      Status s = sse::EncryptKeywordEntries(
+          items[i]->first, items[i]->second, deriver, options.padding.quantum,
+          plaintext, [&buckets, shard_count](const Label& label, size_t len) {
+            Bucket& b = buckets[ShardOf(label, shard_count)];
+            b.labels.push_back(label);
+            b.value_lens.push_back(static_cast<uint32_t>(len));
+            const size_t old_size = b.values.size();
+            b.values.resize(old_size + len);
+            return ByteSpan(b.values.data() + old_size, len);
+          });
+      if (!s.ok()) {
+        worker_status[static_cast<size_t>(t)] = s;
+        return;
+      }
+    }
+  });
+  for (const Status& s : worker_status) {
+    if (!s.ok()) return s;
+  }
+
+  // Phase B — merge (parallel over *shards*, the step the unsharded build
+  // funnels through one thread): each shard owner sums the exact entry and
+  // arena sizes of its buckets, reserves once, and copies them in.
+  const int merge_workers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(threads),
+                                        shard_count));
+  RunWorkers(merge_workers, [&](int w) {
+    for (size_t s = static_cast<size_t>(w); s < shard_count;
+         s += static_cast<size_t>(merge_workers)) {
+      size_t entries = 0;
+      size_t value_bytes = 0;
+      for (int t = 0; t < threads; ++t) {
+        const Bucket& b = staging[static_cast<size_t>(t)][s];
+        entries += b.labels.size();
+        value_bytes += b.values.size();
+      }
+      sse::FlatLabelMap& dict = store.shards_[s];
+      dict.Reserve(entries, value_bytes);
+      for (int t = 0; t < threads; ++t) {
+        const Bucket& b = staging[static_cast<size_t>(t)][s];
+        size_t offset = 0;
+        for (size_t i = 0; i < b.labels.size(); ++i) {
+          dict.Insert(b.labels[i],
+                      ConstByteSpan(b.values.data() + offset,
+                                    b.value_lens[i]));
+          offset += b.value_lens[i];
+        }
+      }
+    }
+  });
+  return store;
+}
+
+std::optional<ConstByteSpan> ShardedEmm::Find(const Label& label) const {
+  if (shards_.empty()) return std::nullopt;
+  return shards_[ShardOf(label, shards_.size())].Find(label);
+}
+
+void ShardedEmm::Insert(const Label& label, ConstByteSpan value) {
+  if (shards_.empty()) shards_.resize(1);
+  shards_[ShardOf(label, shards_.size())].Insert(label, value);
+}
+
+std::vector<Bytes> ShardedEmm::Search(const sse::KeywordKeys& token) const {
+  return Search(token, nullptr, nullptr);
+}
+
+std::vector<Bytes> ShardedEmm::Search(const sse::KeywordKeys& token,
+                                      const sse::LabelGate* gate,
+                                      sse::SearchStats* stats) const {
+  std::vector<Bytes> results;
+  sse::SearchEntries(
+      token, [this](const Label& label) { return Find(label); }, results,
+      gate, stats);
+  return results;
+}
+
+size_t ShardedEmm::EntryCount() const {
+  size_t n = 0;
+  for (const sse::FlatLabelMap& s : shards_) n += s.size();
+  return n;
+}
+
+size_t ShardedEmm::SizeBytes() const {
+  size_t bytes = 0;
+  for (const sse::FlatLabelMap& s : shards_) {
+    bytes += s.size() * kLabelBytes + s.ValueBytes();
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. Layout (all integers big-endian):
+//   [u64 magic "RSSESHM1"][u32 shard_count]
+//   [u64 section_len] x shard_count            -- the shard directory
+//   section x shard_count
+// where each section is
+//   [u64 entry_count] ([16-byte label][u32 value_len][value]) x entry_count
+// The directory makes every section independently addressable, so both
+// Serialize and Deserialize fan shards out across worker threads.
+// ---------------------------------------------------------------------------
+
+Bytes ShardedEmm::Serialize() const {
+  const size_t shard_count = shards_.size();
+  std::vector<size_t> section_len(shard_count);
+  size_t total = 12 + 8 * shard_count;
+  for (size_t s = 0; s < shard_count; ++s) {
+    section_len[s] =
+        8 + shards_[s].size() * (kLabelBytes + 4) + shards_[s].ValueBytes();
+    total += section_len[s];
+  }
+
+  Bytes out(total);
+  size_t offset = 0;
+  auto put_u64 = [&out](size_t at, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out[at + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(v >> (56 - 8 * i));
+    }
+  };
+  put_u64(0, kShardMagic);
+  out[8] = static_cast<uint8_t>(shard_count >> 24);
+  out[9] = static_cast<uint8_t>(shard_count >> 16);
+  out[10] = static_cast<uint8_t>(shard_count >> 8);
+  out[11] = static_cast<uint8_t>(shard_count);
+  offset = 12;
+  std::vector<size_t> section_at(shard_count);
+  size_t cursor = 12 + 8 * shard_count;
+  for (size_t s = 0; s < shard_count; ++s) {
+    put_u64(offset, section_len[s]);
+    offset += 8;
+    section_at[s] = cursor;
+    cursor += section_len[s];
+  }
+
+  const int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(
+                           ResolveThreadCount(0, "RSSE_BUILD_THREADS")),
+                       shard_count));
+  RunWorkers(workers, [&](int w) {
+    for (size_t s = static_cast<size_t>(w); s < shard_count;
+         s += static_cast<size_t>(workers)) {
+      size_t at = section_at[s];
+      put_u64(at, shards_[s].size());
+      at += 8;
+      shards_[s].ForEach([&](const Label& label, ConstByteSpan value) {
+        std::memcpy(out.data() + at, label.data(), kLabelBytes);
+        at += kLabelBytes;
+        const uint32_t len = static_cast<uint32_t>(value.size());
+        out[at] = static_cast<uint8_t>(len >> 24);
+        out[at + 1] = static_cast<uint8_t>(len >> 16);
+        out[at + 2] = static_cast<uint8_t>(len >> 8);
+        out[at + 3] = static_cast<uint8_t>(len);
+        at += 4;
+        std::memcpy(out.data() + at, value.data(), value.size());
+        at += value.size();
+      });
+    }
+  });
+  return out;
+}
+
+Result<ShardedEmm> ShardedEmm::Deserialize(const Bytes& blob, int threads) {
+  if (blob.size() < 12 || ReadUint64(blob, 0) != kShardMagic) {
+    return Status::InvalidArgument("not a ShardedEmm blob");
+  }
+  const uint32_t shard_count = ReadUint32(blob, 8);
+  if (shard_count == 0 || shard_count > kMaxShards) {
+    return Status::InvalidArgument("implausible shard count in blob header");
+  }
+  const size_t dir_end = 12 + size_t{8} * shard_count;
+  if (blob.size() < dir_end) {
+    return Status::InvalidArgument("truncated blob (shard directory)");
+  }
+  std::vector<size_t> section_at(shard_count);
+  std::vector<size_t> section_len(shard_count);
+  size_t cursor = dir_end;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    const uint64_t len = ReadUint64(blob, 12 + size_t{8} * s);
+    if (len < 8 || len > blob.size() - cursor) {
+      return Status::InvalidArgument("implausible shard section length");
+    }
+    section_at[s] = cursor;
+    section_len[s] = static_cast<size_t>(len);
+    cursor += static_cast<size_t>(len);
+  }
+  if (cursor != blob.size()) {
+    return Status::InvalidArgument("trailing bytes after shard sections");
+  }
+
+  ShardedEmm store(shard_count);
+  const int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(ResolveThreadCount(threads, "RSSE_BUILD_THREADS")),
+      shard_count));
+  std::vector<Status> worker_status(static_cast<size_t>(workers));
+  RunWorkers(workers, [&](int w) {
+    Label label;
+    for (size_t s = static_cast<size_t>(w); s < shard_count;
+         s += static_cast<size_t>(workers)) {
+      const size_t end = section_at[s] + section_len[s];
+      size_t at = section_at[s];
+      const uint64_t count = ReadUint64(blob, at);
+      at += 8;
+      // Every entry needs at least label + length prefix + one value byte.
+      if (count > (end - at) / (kLabelBytes + 4 + 1)) {
+        worker_status[static_cast<size_t>(w)] =
+            Status::InvalidArgument("implausible entry count in shard");
+        return;
+      }
+      sse::FlatLabelMap& dict = store.shards_[s];
+      dict.Reserve(count, end - at - count * (kLabelBytes + 4));
+      for (uint64_t i = 0; i < count; ++i) {
+        if (at + kLabelBytes + 4 > end) {
+          worker_status[static_cast<size_t>(w)] =
+              Status::InvalidArgument("truncated shard entry");
+          return;
+        }
+        std::memcpy(label.data(), blob.data() + at, kLabelBytes);
+        at += kLabelBytes;
+        const uint32_t value_len = ReadUint32(blob, at);
+        at += 4;
+        if (value_len == 0 || value_len > end - at) {
+          worker_status[static_cast<size_t>(w)] =
+              Status::InvalidArgument("truncated shard entry value");
+          return;
+        }
+        if (ShardOf(label, shard_count) != s) {
+          worker_status[static_cast<size_t>(w)] =
+              Status::InvalidArgument("entry routed to the wrong shard");
+          return;
+        }
+        dict.Insert(label, ConstByteSpan(blob.data() + at, value_len));
+        at += value_len;
+      }
+      if (at != end) {
+        worker_status[static_cast<size_t>(w)] =
+            Status::InvalidArgument("trailing bytes in shard section");
+        return;
+      }
+    }
+  });
+  for (const Status& s : worker_status) {
+    if (!s.ok()) return s;
+  }
+  return store;
+}
+
+}  // namespace rsse::shard

@@ -1,0 +1,100 @@
+#ifndef RSSE_SHARD_SHARDED_EMM_H_
+#define RSSE_SHARD_SHARDED_EMM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sse/emm_codec.h"
+#include "sse/encrypted_multimap.h"
+#include "sse/flat_label_map.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse::shard {
+
+/// Construction/IO knobs for the sharded store.
+struct ShardOptions {
+  /// Number of shards. 0 reads the RSSE_SHARDS environment variable,
+  /// defaulting to 1. Clamped to [1, 4096].
+  int shards = 0;
+  /// Worker threads for build/serialize/deserialize. 0 reads
+  /// RSSE_BUILD_THREADS, defaulting to 1.
+  int threads = 0;
+  sse::PaddingPolicy padding;
+};
+
+/// The flat encrypted dictionary of Π_bas, hash-partitioned by label across
+/// N independent `FlatLabelMap` shards so that multi-core machines build,
+/// load, save and search in parallel.
+///
+/// Labels are PRF outputs, so any fixed byte range of a label is a uniform
+/// partitioning key; routing uses bytes [8, 16) while the in-shard probe
+/// hash uses bytes [0, 8) — the two are independent, so per-shard tables
+/// stay uniformly loaded even conditioned on the shard choice.
+///
+/// Entries are byte-identical to `EncryptedMultimap` entries (the shared
+/// codec in sse/emm_codec.h), and `Serialize` is a per-shard framing of the
+/// same label/ciphertext pairs: the sharded store is a drop-in server-side
+/// layout, not a new scheme. Build avoids the classic single-merge funnel:
+/// workers encrypt keywords into per-(worker, shard) staging buckets, then
+/// shards are merged *in parallel* — each shard reserves its exact final
+/// size and copies only the buckets routed to it.
+class ShardedEmm {
+ public:
+  ShardedEmm() = default;
+
+  /// An empty store partitioned into `shards` shards (0 → RSSE_SHARDS → 1);
+  /// the server-side Update path populates one of these via `Insert`.
+  static ShardedEmm WithShards(int shards);
+
+  /// Builds the sharded encrypted dictionary over `postings`.
+  static Result<ShardedEmm> Build(const sse::PlainMultimap& postings,
+                                  const sse::KeywordKeyDeriver& deriver,
+                                  const ShardOptions& options = {});
+
+  /// Counter-probe search for one keyword token, routed across shards.
+  std::vector<Bytes> Search(const sse::KeywordKeys& token) const;
+
+  /// Instrumented/gated search (see EncryptedMultimap::Search overload).
+  std::vector<Bytes> Search(const sse::KeywordKeys& token,
+                            const sse::LabelGate* gate,
+                            sse::SearchStats* stats) const;
+
+  /// Ciphertext stored under `label`, or nullopt. The span is invalidated
+  /// by the next `Insert`.
+  std::optional<ConstByteSpan> Find(const Label& label) const;
+
+  /// Inserts one pre-encrypted entry (the batched-update path of the
+  /// server: clients ship codec-format label/ciphertext pairs).
+  void Insert(const Label& label, ConstByteSpan value);
+
+  /// Serializes all shards: a header plus one independently parseable
+  /// section per shard, so `Deserialize` can restore shards in parallel.
+  Bytes Serialize() const;
+
+  /// Restores a store from `Serialize` output, loading shards with
+  /// `threads` workers (0 → RSSE_BUILD_THREADS → 1). INVALID_ARGUMENT on a
+  /// corrupt or foreign blob.
+  static Result<ShardedEmm> Deserialize(const Bytes& blob, int threads = 0);
+
+  /// Shard index of a label (public so tests can pin the routing).
+  static size_t ShardOf(const Label& label, size_t shard_count);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  size_t EntryCount() const;
+  size_t SizeBytes() const;
+
+  /// Entries currently stored in shard `s` (load-balance introspection).
+  size_t ShardEntryCount(size_t s) const { return shards_[s].size(); }
+
+ private:
+  explicit ShardedEmm(size_t shard_count) : shards_(shard_count) {}
+
+  std::vector<sse::FlatLabelMap> shards_;
+};
+
+}  // namespace rsse::shard
+
+#endif  // RSSE_SHARD_SHARDED_EMM_H_

@@ -1,0 +1,187 @@
+#ifndef RSSE_SSE_EMM_CODEC_H_
+#define RSSE_SSE_EMM_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/hmac_prf.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse::sse {
+
+/// Entry-level codec of the Π_bas encrypted dictionary: label derivation
+/// (F(K1, counter)), payload framing (real/dummy marker byte, padding) and
+/// the counter-probe search loop. `EncryptedMultimap` and the sharded store
+/// `shard::ShardedEmm` are two storage layouts over this one entry format,
+/// so the format lives here exactly once — a blob built by either store is
+/// searchable by the other.
+
+/// First plaintext byte of a stored payload: real posting vs padding dummy.
+inline constexpr uint8_t kEmmRealMarker = 0x00;
+inline constexpr uint8_t kEmmDummyMarker = 0x01;
+
+/// Posting-list length after padding to a multiple of `pad_quantum`
+/// (0 disables padding; an empty list pads up to one full quantum).
+inline uint64_t PaddedPostingTotal(size_t payload_count, uint64_t pad_quantum) {
+  uint64_t total = payload_count;
+  if (pad_quantum > 0) {
+    total = (total + pad_quantum - 1) / pad_quantum * pad_quantum;
+    if (total == 0) total = pad_quantum;
+  }
+  return total;
+}
+
+/// Exact storage footprint of an index over `postings`: entry count and
+/// total ciphertext bytes after padding. Both the flat and the sharded
+/// store reserve from this one cost model, so the two can never diverge.
+struct EmmSizing {
+  size_t entries = 0;
+  size_t value_bytes = 0;
+};
+
+inline EmmSizing ComputeEmmSizing(
+    const std::unordered_map<Bytes, std::vector<Bytes>, BytesHash>& postings,
+    uint64_t pad_quantum) {
+  EmmSizing sizing;
+  for (const auto& [keyword, payloads] : postings) {
+    const uint64_t total = PaddedPostingTotal(payloads.size(), pad_quantum);
+    sizing.entries += total;
+    for (const Bytes& p : payloads) {
+      sizing.value_bytes += crypto::Aes128Cbc::CiphertextSize(1 + p.size());
+    }
+    sizing.value_bytes += (total - payloads.size()) *
+                          crypto::Aes128Cbc::CiphertextSize(1);
+  }
+  return sizing;
+}
+
+/// Optional pre-decryption filter consulted by the search loop. When a gate
+/// is installed, an entry whose label it rejects is skipped without paying
+/// the AES decryption — the gate promises no false negatives for real
+/// entries, so skipped entries can only be padding dummies (or, for
+/// approximate gates, are re-checked by the post-decrypt marker anyway).
+class LabelGate {
+ public:
+  virtual ~LabelGate() = default;
+
+  /// May the entry stored under `label` hold a real (non-dummy) payload?
+  virtual bool MayContainReal(const Label& label) const = 0;
+};
+
+/// Per-search instrumentation (bench_false_positives reports these).
+struct SearchStats {
+  /// Dictionary probes issued, including the terminating miss.
+  size_t probes = 0;
+  /// Ciphertexts actually decrypted.
+  size_t decrypts = 0;
+  /// Entries a `LabelGate` rejected before decryption.
+  size_t skipped_decrypts = 0;
+
+  void Add(const SearchStats& o) {
+    probes += o.probes;
+    decrypts += o.decrypts;
+    skipped_decrypts += o.skipped_decrypts;
+  }
+};
+
+/// Encrypts the (padded) postings of one keyword, reusing `plaintext` as
+/// scratch across entries. Each entry's ciphertext is written directly into
+/// the span returned by `emit(label, exact_ciphertext_size)` — callers hand
+/// out table-arena storage (no staging copy) or shard staging buffers.
+/// Steady-state allocation-free apart from the sink's own amortized growth.
+template <typename Emit>
+Status EncryptKeywordEntries(const Bytes& keyword,
+                             const std::vector<Bytes>& payloads,
+                             const KeywordKeyDeriver& deriver,
+                             uint64_t pad_quantum, Bytes& plaintext,
+                             Emit&& emit) {
+  const KeywordKeys keys = deriver.Derive(keyword);
+  const crypto::Prf label_prf(keys.label_key);
+  if (!label_prf.ok()) {
+    return Status::Internal("label PRF initialization failed");
+  }
+  const uint64_t total = PaddedPostingTotal(payloads.size(), pad_quantum);
+  uint8_t counter[8];
+  Label label;
+  for (uint64_t c = 0; c < total; ++c) {
+    StoreUint64(counter, c);
+    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
+                            ByteSpan(label.data(), label.size()))) {
+      return Status::Internal("label PRF evaluation failed");
+    }
+    plaintext.clear();
+    if (c < payloads.size()) {
+      plaintext.push_back(kEmmRealMarker);
+      Append(plaintext, payloads[c]);
+    } else {
+      plaintext.push_back(kEmmDummyMarker);
+    }
+    // CBC/PKCS#7 output size is exact, so the sink reserves precisely the
+    // bytes the encryption fills.
+    const size_t ct_size = crypto::Aes128Cbc::CiphertextSize(plaintext.size());
+    ByteSpan dst = emit(label, ct_size);
+    size_t written = 0;
+    Status s =
+        crypto::Aes128Cbc::EncryptInto(keys.value_key, plaintext, dst,
+                                       &written);
+    if (!s.ok()) return s;
+    if (written != ct_size) {
+      return Status::Internal("unexpected AES-CBC ciphertext size");
+    }
+  }
+  return Status::Ok();
+}
+
+/// The counter-probe search loop shared by every storage layout: derives
+/// labels F(K1, c) for c = 0, 1, ... and looks each up through `find`
+/// (`std::optional<ConstByteSpan> find(const Label&)`), stopping at the
+/// first miss. Real payloads are appended to `results`; dummies are
+/// dropped. With a `gate`, entries the gate rejects skip decryption.
+template <typename FindFn>
+void SearchEntries(const KeywordKeys& token, FindFn&& find,
+                   std::vector<Bytes>& results,
+                   const LabelGate* gate = nullptr,
+                   SearchStats* stats = nullptr) {
+  const crypto::Prf label_prf(token.label_key);
+  if (!label_prf.ok()) return;
+  uint8_t counter[8];
+  Label label;
+  Bytes plaintext;  // reused across counter probes
+  for (uint64_t c = 0;; ++c) {
+    StoreUint64(counter, c);
+    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
+                            ByteSpan(label.data(), label.size()))) {
+      break;
+    }
+    if (stats != nullptr) ++stats->probes;
+    std::optional<ConstByteSpan> ct = find(label);
+    if (!ct.has_value()) break;
+    if (gate != nullptr && !gate->MayContainReal(label)) {
+      // The gate has no false negatives, so this entry is a padding dummy;
+      // skip the decryption it would have cost.
+      if (stats != nullptr) ++stats->skipped_decrypts;
+      continue;
+    }
+    if (stats != nullptr) ++stats->decrypts;
+    plaintext.resize(ct->size());
+    size_t written = 0;
+    if (!crypto::Aes128Cbc::DecryptInto(token.value_key, *ct, plaintext,
+                                        &written)
+             .ok() ||
+        written == 0) {
+      break;  // wrong token
+    }
+    if (plaintext[0] == kEmmDummyMarker) continue;
+    results.emplace_back(plaintext.begin() + 1,
+                         plaintext.begin() + static_cast<long>(written));
+  }
+}
+
+}  // namespace rsse::sse
+
+#endif  // RSSE_SSE_EMM_CODEC_H_

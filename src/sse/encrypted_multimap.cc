@@ -1,26 +1,13 @@
 #include "sse/encrypted_multimap.h"
 
-#include <thread>
-
 #include "common/env.h"
+#include "common/parallel.h"
 #include "crypto/aes.h"
+#include "sse/emm_codec.h"
 
 namespace rsse::sse {
 
 namespace {
-
-constexpr uint8_t kRealMarker = 0x00;
-constexpr uint8_t kDummyMarker = 0x01;
-
-/// Posting-list length after padding.
-uint64_t PaddedTotal(size_t payload_count, uint64_t pad_quantum) {
-  uint64_t total = payload_count;
-  if (pad_quantum > 0) {
-    total = (total + pad_quantum - 1) / pad_quantum * pad_quantum;
-    if (total == 0) total = pad_quantum;
-  }
-  return total;
-}
 
 /// Encrypted entries of one build shard: labels plus ciphertexts packed
 /// into a contiguous buffer (offsets are implicit — entries are appended
@@ -30,53 +17,6 @@ struct Shard {
   std::vector<uint32_t> value_lens;
   Bytes values;
 };
-
-/// Encrypts the postings of one keyword, reusing `plaintext` as scratch
-/// across entries. Each entry's ciphertext is written directly into the
-/// span returned by `emit(label, exact_ciphertext_size)` — single-threaded
-/// builds hand out table-arena storage (no staging copy), sharded builds a
-/// shard buffer. Steady-state allocation-free apart from the sink's own
-/// amortized growth.
-template <typename Emit>
-Status EncryptKeyword(const Bytes& keyword, const std::vector<Bytes>& payloads,
-                      const KeywordKeyDeriver& deriver, uint64_t pad_quantum,
-                      Bytes& plaintext, Emit&& emit) {
-  const KeywordKeys keys = deriver.Derive(keyword);
-  const crypto::Prf label_prf(keys.label_key);
-  if (!label_prf.ok()) {
-    return Status::Internal("label PRF initialization failed");
-  }
-  const uint64_t total = PaddedTotal(payloads.size(), pad_quantum);
-  uint8_t counter[8];
-  Label label;
-  for (uint64_t c = 0; c < total; ++c) {
-    StoreUint64(counter, c);
-    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
-                            ByteSpan(label.data(), label.size()))) {
-      return Status::Internal("label PRF evaluation failed");
-    }
-    plaintext.clear();
-    if (c < payloads.size()) {
-      plaintext.push_back(kRealMarker);
-      Append(plaintext, payloads[c]);
-    } else {
-      plaintext.push_back(kDummyMarker);
-    }
-    // CBC/PKCS#7 output size is exact, so the sink reserves precisely the
-    // bytes the encryption fills.
-    const size_t ct_size = crypto::Aes128Cbc::CiphertextSize(plaintext.size());
-    ByteSpan dst = emit(label, ct_size);
-    size_t written = 0;
-    Status s =
-        crypto::Aes128Cbc::EncryptInto(keys.value_key, plaintext, dst,
-                                       &written);
-    if (!s.ok()) return s;
-    if (written != ct_size) {
-      return Status::Internal("unexpected AES-CBC ciphertext size");
-    }
-  }
-  return Status::Ok();
-}
 
 }  // namespace
 
@@ -96,27 +36,17 @@ Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
 
   // Exact output size is cheap to precompute, so the table and arena are
   // sized once and never rehash or reallocate during construction.
-  size_t total_entries = 0;
-  size_t total_value_bytes = 0;
-  for (const auto& [keyword, payloads] : postings) {
-    const uint64_t total = PaddedTotal(payloads.size(),
-                                      options.padding.quantum);
-    total_entries += total;
-    for (const Bytes& p : payloads) {
-      total_value_bytes += crypto::Aes128Cbc::CiphertextSize(1 + p.size());
-    }
-    total_value_bytes += (total - payloads.size()) *
-                         crypto::Aes128Cbc::CiphertextSize(1);
-  }
+  const EmmSizing sizing = ComputeEmmSizing(postings,
+                                            options.padding.quantum);
 
   EncryptedMultimap index;
-  index.dict_.Reserve(total_entries, total_value_bytes);
+  index.dict_.Reserve(sizing.entries, sizing.value_bytes);
 
   if (threads == 1) {
     // Hot path: encrypt every ciphertext directly into the table arena.
     Bytes plaintext;
     for (const auto& [keyword, payloads] : postings) {
-      Status s = EncryptKeyword(
+      Status s = EncryptKeywordEntries(
           keyword, payloads, deriver, options.padding.quantum, plaintext,
           [&index](const Label& label, size_t len) {
             return index.dict_.InsertUninit(label, len);
@@ -140,7 +70,7 @@ Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
     Shard& shard = shards[static_cast<size_t>(t)];
     for (size_t i = static_cast<size_t>(t); i < items.size();
          i += static_cast<size_t>(threads)) {
-      Status s = EncryptKeyword(
+      Status s = EncryptKeywordEntries(
           items[i]->first, items[i]->second, deriver, options.padding.quantum,
           plaintext, [&shard](const Label& label, size_t len) {
             shard.labels.push_back(label);
@@ -156,10 +86,7 @@ Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-  for (std::thread& th : pool) th.join();
+  RunWorkers(threads, worker);
   for (const Status& s : shard_status) {
     if (!s.ok()) return s;
   }
@@ -250,32 +177,16 @@ Result<EncryptedMultimap> EncryptedMultimap::Deserialize(const Bytes& blob) {
 }
 
 std::vector<Bytes> EncryptedMultimap::Search(const KeywordKeys& token) const {
+  return Search(token, nullptr, nullptr);
+}
+
+std::vector<Bytes> EncryptedMultimap::Search(const KeywordKeys& token,
+                                             const LabelGate* gate,
+                                             SearchStats* stats) const {
   std::vector<Bytes> results;
-  const crypto::Prf label_prf(token.label_key);
-  if (!label_prf.ok()) return results;
-  uint8_t counter[8];
-  Label label;
-  Bytes plaintext;  // reused across counter probes
-  for (uint64_t c = 0;; ++c) {
-    StoreUint64(counter, c);
-    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
-                            ByteSpan(label.data(), label.size()))) {
-      break;
-    }
-    std::optional<ConstByteSpan> ct = dict_.Find(label);
-    if (!ct.has_value()) break;
-    plaintext.resize(ct->size());
-    size_t written = 0;
-    if (!crypto::Aes128Cbc::DecryptInto(token.value_key, *ct, plaintext,
-                                        &written)
-             .ok() ||
-        written == 0) {
-      break;  // wrong token
-    }
-    if (plaintext[0] == kDummyMarker) continue;
-    results.emplace_back(plaintext.begin() + 1,
-                         plaintext.begin() + static_cast<long>(written));
-  }
+  SearchEntries(
+      token, [this](const Label& label) { return dict_.Find(label); },
+      results, gate, stats);
   return results;
 }
 

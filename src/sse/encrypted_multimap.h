@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "sse/emm_codec.h"
 #include "sse/flat_label_map.h"
 #include "sse/keyword_keys.h"
 
@@ -78,6 +79,12 @@ class EncryptedMultimap {
   /// An unknown keyword yields an empty result (indistinguishable from an
   /// empty posting list, as in the paper's model).
   std::vector<Bytes> Search(const KeywordKeys& token) const;
+
+  /// Instrumented search: a non-null `gate` is consulted per entry before
+  /// decryption (entries it rejects are skipped as padding dummies); a
+  /// non-null `stats` receives probe/decrypt/skip counts.
+  std::vector<Bytes> Search(const KeywordKeys& token, const LabelGate* gate,
+                            SearchStats* stats) const;
 
   /// Serializes the encrypted dictionary for persistence or shipping to
   /// the server. The blob holds only pseudorandom labels and ciphertexts —

@@ -1,0 +1,107 @@
+#include "rsse/bloom_gate.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "rsse/log_src.h"
+#include "rsse/log_src_i.h"
+
+namespace rsse {
+namespace {
+
+Dataset MakeData() {
+  std::vector<Record> records;
+  // Skewed: value 7 heavy, the rest sparse — padded lists on both shapes.
+  for (uint64_t i = 0; i < 60; ++i) records.push_back({i, 7});
+  for (uint64_t i = 60; i < 100; ++i) records.push_back({i, (i * 13) % 256});
+  return Dataset(Domain{256}, std::move(records));
+}
+
+std::vector<uint64_t> SortedIds(const QueryResult& q) {
+  std::vector<uint64_t> ids = q.ids;
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(BloomGateTest, SrcGatedResultsMatchUngated) {
+  Dataset data = MakeData();
+  LogarithmicSrcScheme plain(/*rng_seed=*/9, /*pad_quantum=*/8);
+  LogarithmicSrcScheme gated(/*rng_seed=*/9, /*pad_quantum=*/8);
+  gated.EnableBloomGate(0.01);
+  ASSERT_TRUE(plain.Build(data).ok());
+  ASSERT_TRUE(gated.Build(data).ok());
+  EXPECT_GT(gated.BloomGateSizeBytes(), 0u);
+  EXPECT_EQ(plain.BloomGateSizeBytes(), 0u);
+
+  size_t total_skipped = 0;
+  for (const Range& r : {Range{0, 255}, Range{5, 9}, Range{7, 7},
+                         Range{100, 200}, Range{250, 255}}) {
+    Result<QueryResult> p = plain.Query(r);
+    Result<QueryResult> g = gated.Query(r);
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(SortedIds(*g), SortedIds(*p)) << "[" << r.lo << "," << r.hi
+                                            << "]";
+    EXPECT_EQ(p->skipped_decrypts, 0u);
+    total_skipped += g->skipped_decrypts;
+  }
+  // Padded lists guarantee dummies under the cover nodes; the gate must
+  // have skipped a decryption somewhere across these queries.
+  EXPECT_GT(total_skipped, 0u);
+}
+
+TEST(BloomGateTest, SrcIGatedResultsMatchUngated) {
+  Dataset data = MakeData();
+  LogarithmicSrcIScheme plain(/*rng_seed=*/9, /*pad_quantum=*/8);
+  LogarithmicSrcIScheme gated(/*rng_seed=*/9, /*pad_quantum=*/8);
+  gated.EnableBloomGate(0.01);
+  ASSERT_TRUE(plain.Build(data).ok());
+  ASSERT_TRUE(gated.Build(data).ok());
+  EXPECT_GT(gated.BloomGateSizeBytes(), 0u);
+
+  size_t total_skipped = 0;
+  for (const Range& r : {Range{0, 255}, Range{5, 9}, Range{7, 7},
+                         Range{100, 200}}) {
+    Result<QueryResult> p = plain.Query(r);
+    Result<QueryResult> g = gated.Query(r);
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(SortedIds(*g), SortedIds(*p)) << "[" << r.lo << "," << r.hi
+                                            << "]";
+    total_skipped += g->skipped_decrypts;
+  }
+  EXPECT_GT(total_skipped, 0u);
+}
+
+TEST(BloomGateTest, GateWithoutPaddingSkipsNothing) {
+  Dataset data = MakeData();
+  LogarithmicSrcScheme gated(/*rng_seed=*/3, /*pad_quantum=*/0);
+  gated.EnableBloomGate(0.01);
+  ASSERT_TRUE(gated.Build(data).ok());
+  Result<QueryResult> q = gated.Query(Range{0, 255});
+  ASSERT_TRUE(q.ok());
+  // No dummies exist; false positives cannot *add* skips (FPs decrypt).
+  EXPECT_EQ(q->skipped_decrypts, 0u);
+}
+
+TEST(BloomGateTest, GateNeverDropsRealEntries) {
+  // Aggressive FP rate -> tiny filter; reals must still all survive.
+  Dataset data = MakeData();
+  LogarithmicSrcScheme plain(/*rng_seed=*/4, /*pad_quantum=*/4);
+  LogarithmicSrcScheme gated(/*rng_seed=*/4, /*pad_quantum=*/4);
+  gated.EnableBloomGate(0.5);
+  ASSERT_TRUE(plain.Build(data).ok());
+  ASSERT_TRUE(gated.Build(data).ok());
+  for (const Range& r : {Range{0, 255}, Range{7, 7}, Range{32, 64}}) {
+    Result<QueryResult> p = plain.Query(r);
+    Result<QueryResult> g = gated.Query(r);
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(SortedIds(*g), SortedIds(*p));
+  }
+}
+
+}  // namespace
+}  // namespace rsse

@@ -141,6 +141,31 @@ TEST(GgmPrgBackendTest, BackendsProduceDistinctStreams) {
   EXPECT_NE(GgmPrg::G0(seed), hmac_g0);
 }
 
+TEST(GgmPrgTest, ExpandFrontierMatchesPerNodeExpansion) {
+  // The batched whole-frontier expansion must be bit-identical to per-node
+  // ExpandInto under both backends — the golden GGM vectors and every
+  // outsourced index depend on it. Sized past one AES batch chunk (256
+  // parents) so the chunked path is exercised.
+  for (GgmPrg::Backend backend :
+       {GgmPrg::Backend::kHmac, GgmPrg::Backend::kAes}) {
+    PrgBackendGuard guard(backend);
+    constexpr size_t kParents = 300;
+    std::vector<uint8_t> frontier(2 * kParents * kLambdaBytes, 0);
+    for (size_t i = 0; i < kParents * kLambdaBytes; ++i) {
+      frontier[i] = static_cast<uint8_t>(i * 37 + 11);
+    }
+    std::vector<uint8_t> expected(2 * kParents * kLambdaBytes, 0);
+    for (size_t i = 0; i < kParents; ++i) {
+      GgmPrg::ExpandInto(frontier.data() + i * kLambdaBytes,
+                         expected.data() + 2 * i * kLambdaBytes,
+                         expected.data() + (2 * i + 1) * kLambdaBytes);
+    }
+    GgmPrg::ExpandFrontierInPlace(frontier.data(), kParents);
+    EXPECT_EQ(frontier, expected)
+        << "backend " << (backend == GgmPrg::Backend::kAes ? "aes" : "hmac");
+  }
+}
+
 TEST(GgmPrgBackendTest, SelectorRoundTrips) {
   PrgBackendGuard guard(GgmPrg::Backend::kAes);
   EXPECT_EQ(GgmPrg::backend(), GgmPrg::Backend::kAes);

@@ -1,0 +1,164 @@
+#include "shard/sharded_emm.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "sse/emm_codec.h"
+#include "sse/encrypted_multimap.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse::shard {
+namespace {
+
+Bytes FixedKey(uint8_t fill) { return Bytes(kLabelBytes, fill); }
+
+sse::PlainMultimap MakePostings(int keywords, int per_keyword) {
+  sse::PlainMultimap postings;
+  for (int w = 0; w < keywords; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, static_cast<uint64_t>(w));
+    for (int i = 0; i < per_keyword; ++i) {
+      postings[keyword].push_back(
+          sse::EncodeIdPayload(static_cast<uint64_t>(w * 1000 + i)));
+    }
+  }
+  return postings;
+}
+
+TEST(ShardedEmmTest, MatchesFlatMultimapResults) {
+  sse::PlainMultimap postings = MakePostings(40, 7);
+  sse::PrfKeyDeriver deriver(FixedKey(0x21));
+
+  auto flat = sse::EncryptedMultimap::Build(postings, deriver);
+  ASSERT_TRUE(flat.ok());
+
+  ShardOptions options;
+  options.shards = 4;
+  options.threads = 4;
+  auto sharded = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->shard_count(), 4);
+  EXPECT_EQ(sharded->EntryCount(), flat->EntryCount());
+  EXPECT_EQ(sharded->SizeBytes(), flat->SizeBytes());
+
+  for (const auto& [keyword, payloads] : postings) {
+    sse::KeywordKeys token = deriver.Derive(keyword);
+    EXPECT_EQ(sharded->Search(token), flat->Search(token));
+  }
+}
+
+TEST(ShardedEmmTest, ShardsArePopulatedAndRoutingIsStable) {
+  sse::PlainMultimap postings = MakePostings(64, 4);
+  sse::PrfKeyDeriver deriver(FixedKey(0x07));
+  ShardOptions options;
+  options.shards = 8;
+  options.threads = 3;
+  auto store = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(store.ok());
+
+  // 256 pseudorandom labels across 8 shards: every shard should see some.
+  size_t total = 0;
+  for (int s = 0; s < store->shard_count(); ++s) {
+    EXPECT_GT(store->ShardEntryCount(static_cast<size_t>(s)), 0u);
+    total += store->ShardEntryCount(static_cast<size_t>(s));
+  }
+  EXPECT_EQ(total, store->EntryCount());
+}
+
+TEST(ShardedEmmTest, SerializeRoundTripsAcrossThreadCounts) {
+  sse::PlainMultimap postings = MakePostings(30, 5);
+  sse::PrfKeyDeriver deriver(FixedKey(0x55));
+  ShardOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  options.padding.quantum = 4;
+  auto store = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(store.ok());
+
+  Bytes blob = store->Serialize();
+  for (int load_threads : {1, 4}) {
+    auto restored = ShardedEmm::Deserialize(blob, load_threads);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->shard_count(), store->shard_count());
+    EXPECT_EQ(restored->EntryCount(), store->EntryCount());
+    EXPECT_EQ(restored->SizeBytes(), store->SizeBytes());
+    for (const auto& [keyword, payloads] : postings) {
+      sse::KeywordKeys token = deriver.Derive(keyword);
+      EXPECT_EQ(restored->Search(token), store->Search(token));
+    }
+    EXPECT_EQ(restored->Serialize(), blob);
+  }
+}
+
+TEST(ShardedEmmTest, DeserializeRejectsCorruptBlobs) {
+  sse::PlainMultimap postings = MakePostings(8, 3);
+  sse::PrfKeyDeriver deriver(FixedKey(0x99));
+  ShardOptions options;
+  options.shards = 2;
+  auto store = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(store.ok());
+  Bytes blob = store->Serialize();
+
+  Bytes bad_magic = blob;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(ShardedEmm::Deserialize(bad_magic).ok());
+
+  Bytes truncated(blob.begin(), blob.begin() + static_cast<long>(
+                                                   blob.size() / 2));
+  EXPECT_FALSE(ShardedEmm::Deserialize(truncated).ok());
+
+  Bytes trailing = blob;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(ShardedEmm::Deserialize(trailing).ok());
+
+  EXPECT_FALSE(ShardedEmm::Deserialize(Bytes{}).ok());
+}
+
+TEST(ShardedEmmTest, InsertRoutesPreEncryptedEntries) {
+  sse::PlainMultimap postings = MakePostings(10, 2);
+  sse::PrfKeyDeriver deriver(FixedKey(0x31));
+  ShardOptions options;
+  options.shards = 4;
+  auto store = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(store.ok());
+  const size_t before = store->EntryCount();
+
+  // Client-side: encrypt a fresh keyword's postings into codec-format
+  // entries, then ship the raw (label, ciphertext) pairs — the server
+  // Update path.
+  Bytes keyword = ToBytes("fresh-keyword");
+  std::vector<Bytes> payloads = {sse::EncodeIdPayload(424242)};
+  std::vector<std::pair<Label, Bytes>> entries;
+  Bytes scratch;
+  Status s = sse::EncryptKeywordEntries(
+      keyword, payloads, deriver, /*pad_quantum=*/0, scratch,
+      [&entries](const Label& label, size_t len) {
+        entries.emplace_back(label, Bytes(len));
+        return ByteSpan(entries.back().second.data(), len);
+      });
+  ASSERT_TRUE(s.ok());
+  for (const auto& [label, value] : entries) {
+    store->Insert(label, ConstByteSpan(value.data(), value.size()));
+  }
+
+  EXPECT_EQ(store->EntryCount(), before + entries.size());
+  std::vector<Bytes> hits = store->Search(deriver.Derive(keyword));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(sse::DecodeIdPayload(hits[0]), 424242u);
+}
+
+TEST(ShardedEmmTest, ShardOfUsesRoutingBytesOnly) {
+  Label a{};
+  Label b{};
+  b[0] = 0xff;  // probe-hash byte: must not change the shard
+  EXPECT_EQ(ShardedEmm::ShardOf(a, 16), ShardedEmm::ShardOf(b, 16));
+  Label c = a;
+  c[15] = 0x01;  // low routing byte (big-endian): moves the shard
+  EXPECT_NE(ShardedEmm::ShardOf(a, 16), ShardedEmm::ShardOf(c, 16));
+}
+
+}  // namespace
+}  // namespace rsse::shard

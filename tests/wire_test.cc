@@ -1,0 +1,243 @@
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace rsse::server {
+namespace {
+
+Label MakeLabel(uint8_t fill) {
+  Label l;
+  l.fill(fill);
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------------
+
+TEST(WireFrameTest, RoundTrip) {
+  Bytes stream;
+  const Bytes payload = ToBytes("hello frames");
+  ASSERT_TRUE(EncodeFrame(FrameType::kStatsReq, ConstByteSpan(payload.data(),
+                                                  payload.size()),
+              stream));
+  ASSERT_TRUE(EncodeFrame(FrameType::kSearchDone, {}, stream));
+
+  size_t offset = 0;
+  Frame frame;
+  ASSERT_EQ(DecodeFrame(stream, offset, frame, nullptr), FrameParse::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kStatsReq);
+  EXPECT_EQ(frame.payload, payload);
+  ASSERT_EQ(DecodeFrame(stream, offset, frame, nullptr), FrameParse::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kSearchDone);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(offset, stream.size());
+  EXPECT_EQ(DecodeFrame(stream, offset, frame, nullptr),
+            FrameParse::kNeedMore);
+}
+
+TEST(WireFrameTest, TruncationAtEveryPrefixNeedsMoreNeverCrashes) {
+  Bytes stream;
+  const Bytes payload = ToBytes("some payload bytes");
+  ASSERT_TRUE(EncodeFrame(FrameType::kSetupReq,
+              ConstByteSpan(payload.data(), payload.size()), stream));
+  for (size_t cut = 0; cut < stream.size(); ++cut) {
+    Bytes prefix(stream.begin(), stream.begin() + static_cast<long>(cut));
+    size_t offset = 0;
+    Frame frame;
+    EXPECT_EQ(DecodeFrame(prefix, offset, frame, nullptr),
+              FrameParse::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(WireFrameTest, RejectsOversizedLength) {
+  Bytes stream;
+  AppendUint32(stream, kMaxFrameBytes + 1);
+  stream.push_back(kWireVersion);
+  stream.push_back(static_cast<uint8_t>(FrameType::kStatsReq));
+  size_t offset = 0;
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(stream, offset, frame, &error),
+            FrameParse::kMalformed);
+  EXPECT_NE(error.find("kMaxFrameBytes"), std::string::npos);
+}
+
+TEST(WireFrameTest, RejectsUndersizedLength) {
+  Bytes stream;
+  AppendUint32(stream, 1);  // cannot even hold version + type
+  stream.push_back(kWireVersion);
+  size_t offset = 0;
+  Frame frame;
+  EXPECT_EQ(DecodeFrame(stream, offset, frame, nullptr),
+            FrameParse::kMalformed);
+}
+
+TEST(WireFrameTest, RejectsVersionMismatch) {
+  Bytes stream;
+  ASSERT_TRUE(EncodeFrame(FrameType::kStatsReq, {}, stream));
+  stream[4] = kWireVersion + 1;
+  size_t offset = 0;
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(stream, offset, frame, &error),
+            FrameParse::kMalformed);
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(WireFrameTest, RejectsUnknownType) {
+  Bytes stream;
+  ASSERT_TRUE(EncodeFrame(FrameType::kStatsReq, {}, stream));
+  stream[5] = 200;
+  size_t offset = 0;
+  Frame frame;
+  EXPECT_EQ(DecodeFrame(stream, offset, frame, nullptr),
+            FrameParse::kMalformed);
+}
+
+// ---------------------------------------------------------------------------
+// Typed payloads
+// ---------------------------------------------------------------------------
+
+TEST(WirePayloadTest, SetupRoundTrip) {
+  SetupRequest req;
+  req.index_blob = ToBytes("pretend this is a ShardedEmm blob");
+  auto decoded = SetupRequest::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->index_blob, req.index_blob);
+
+  SetupResponse resp;
+  resp.shards = 8;
+  resp.entries = 123456789;
+  auto decoded_resp = SetupResponse::Decode(resp.Encode());
+  ASSERT_TRUE(decoded_resp.ok());
+  EXPECT_EQ(decoded_resp->shards, 8u);
+  EXPECT_EQ(decoded_resp->entries, 123456789u);
+}
+
+TEST(WirePayloadTest, SearchBatchRoundTrip) {
+  SearchBatchRequest req;
+  for (uint32_t q = 0; q < 3; ++q) {
+    WireQuery query;
+    query.query_id = 100 + q;
+    for (uint8_t t = 0; t < 4; ++t) {
+      query.tokens.push_back(WireToken{static_cast<uint8_t>(t + q),
+                                       MakeLabel(static_cast<uint8_t>(t))});
+    }
+    req.queries.push_back(query);
+  }
+  auto decoded = SearchBatchRequest::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->queries.size(), 3u);
+  for (uint32_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(decoded->queries[q].query_id, 100 + q);
+    EXPECT_EQ(decoded->queries[q].tokens, req.queries[q].tokens);
+  }
+}
+
+TEST(WirePayloadTest, SearchBatchRejectsCorruption) {
+  SearchBatchRequest req;
+  WireQuery query;
+  query.query_id = 7;
+  query.tokens.push_back(WireToken{5, MakeLabel(0xab)});
+  req.queries.push_back(query);
+  const Bytes good = req.Encode();
+
+  // Truncation at every cut point must fail cleanly, never crash.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes bad(good.begin(), good.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SearchBatchRequest::Decode(bad).ok()) << "cut " << cut;
+  }
+
+  // Query count far beyond what the bytes can hold.
+  Bytes inflated = good;
+  inflated[0] = 0xff;
+  EXPECT_FALSE(SearchBatchRequest::Decode(inflated).ok());
+
+  // Token level out of the GGM range.
+  Bytes bad_level = good;
+  bad_level[12] = 63;  // 4 count + 4 id + 4 token count → level byte
+  EXPECT_FALSE(SearchBatchRequest::Decode(bad_level).ok());
+
+  // Trailing garbage.
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(SearchBatchRequest::Decode(trailing).ok());
+}
+
+TEST(WirePayloadTest, SearchResultRoundTripAndCorruption) {
+  SearchResult result;
+  result.query_id = 42;
+  result.ids = {1, 2, 3, 1ull << 60};
+  auto decoded = SearchResult::Decode(result.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_id, 42u);
+  EXPECT_EQ(decoded->ids, result.ids);
+
+  Bytes good = result.Encode();
+  // Claim more ids than the payload holds.
+  good[11] = 0xff;
+  EXPECT_FALSE(SearchResult::Decode(good).ok());
+}
+
+TEST(WirePayloadTest, SearchDoneRoundTrip) {
+  SearchDone done;
+  done.query_count = 9;
+  done.tokens_received = 40;
+  done.unique_nodes_expanded = 25;
+  done.leaves_searched = 4096;
+  done.search_nanos = 123456;
+  auto decoded = SearchDone::Decode(done.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_count, 9u);
+  EXPECT_EQ(decoded->tokens_received, 40u);
+  EXPECT_EQ(decoded->unique_nodes_expanded, 25u);
+  EXPECT_EQ(decoded->leaves_searched, 4096u);
+  EXPECT_EQ(decoded->search_nanos, 123456u);
+  EXPECT_FALSE(SearchDone::Decode(ToBytes("short")).ok());
+}
+
+TEST(WirePayloadTest, UpdateRoundTripAndCorruption) {
+  UpdateRequest req;
+  req.entries.emplace_back(MakeLabel(0x01), ToBytes("ciphertext-one"));
+  req.entries.emplace_back(MakeLabel(0x02), ToBytes("ciphertext-two"));
+  auto decoded = UpdateRequest::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].first, MakeLabel(0x01));
+  EXPECT_EQ(decoded->entries[1].second, ToBytes("ciphertext-two"));
+
+  const Bytes good = req.Encode();
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes bad(good.begin(), good.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(UpdateRequest::Decode(bad).ok()) << "cut " << cut;
+  }
+}
+
+TEST(WirePayloadTest, StatsAndErrorRoundTrip) {
+  StatsResponse stats;
+  stats.entries = 10;
+  stats.size_bytes = 100;
+  stats.shards = 4;
+  stats.batches_served = 3;
+  stats.queries_served = 24;
+  stats.tokens_received = 96;
+  stats.nodes_deduped = 40;
+  auto decoded = StatsResponse::Decode(stats.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->nodes_deduped, 40u);
+  EXPECT_EQ(decoded->shards, 4u);
+
+  ErrorResponse error;
+  error.message = "no index hosted";
+  auto decoded_err = ErrorResponse::Decode(error.Encode());
+  ASSERT_TRUE(decoded_err.ok());
+  EXPECT_EQ(decoded_err->message, "no index hosted");
+}
+
+}  // namespace
+}  // namespace rsse::server
