@@ -20,7 +20,12 @@ times/sizes (ns, ms, s, bytes, MB...) regress upward, rates/throughputs
 either are reported as informational only. Missing baselines (first run,
 renamed rows, new benchmarks) never fail the job.
 
-Exit status: 0 = no regression, 1 = at least one regression, 2 = usage.
+``--require PATTERN`` (repeatable) asserts that at least one row of the
+*current* snapshot matches the regex; a filter typo that silently drops a
+gated benchmark family then fails the job instead of passing vacuously.
+
+Exit status: 0 = no regression, 1 = at least one regression or missing
+required benchmark, 2 = usage.
 """
 
 import argparse
@@ -187,6 +192,11 @@ def main(argv):
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fractional regression gate (default 0.25)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PATTERN",
+                        help="regex that must match at least one current row "
+                             "(repeatable); guards gated benchmark families "
+                             "against silently vanishing from the snapshot")
     args = parser.parse_args(argv)
     for d in (args.baseline, args.current):
         if not os.path.isdir(d):
@@ -200,6 +210,13 @@ def main(argv):
     matched = sum(1 for f in current if f in baseline)
     print("compare_bench: %d/%d snapshot files matched against baseline"
           % (matched, len(current)))
+
+    missing = []
+    for pattern in args.require:
+        regex = re.compile(pattern)
+        if not any(regex.search(row_key)
+                   for rows in current.values() for row_key in rows):
+            missing.append(pattern)
     if improvements:
         print("\nimprovements (> %.0f%%):" % (args.threshold * 100))
         for line in improvements:
@@ -208,6 +225,11 @@ def main(argv):
         print("\nREGRESSIONS (> %.0f%%):" % (args.threshold * 100))
         for line in regressions:
             print("  " + line)
+    if missing:
+        print("\nMISSING required benchmarks (no current row matches):")
+        for pattern in missing:
+            print("  " + pattern)
+    if regressions or missing:
         return 1
     print("\nno regression beyond %.0f%% threshold" % (args.threshold * 100))
     return 0

@@ -2,6 +2,7 @@
 
 #include <openssl/evp.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "crypto/random.h"
@@ -34,6 +35,161 @@ CachedCipherCtx& ThreadEncryptCtx() {
 CachedCipherCtx& ThreadDecryptCtx() {
   thread_local CachedCipherCtx cached;
   return cached;
+}
+
+/// Separate contexts for the batch API's raw AES-ECB passes (the CBC
+/// chaining around them is scalar code): an ECB context never carries
+/// stream state between multiples of the block size, so under an unchanged
+/// key consecutive batches skip EVP init entirely.
+CachedCipherCtx& ThreadEcbEncryptCtx() {
+  thread_local CachedCipherCtx cached;
+  return cached;
+}
+
+CachedCipherCtx& ThreadEcbDecryptCtx() {
+  thread_local CachedCipherCtx cached;
+  return cached;
+}
+
+/// Initializes `cached` as a padding-free AES-128-ECB context for `key`,
+/// reusing the cached key schedule when possible.
+bool InitCachedEcb(CachedCipherCtx& cached, ConstByteSpan key, bool encrypt) {
+  if (cached.ctx == nullptr) {
+    cached.ctx = EVP_CIPHER_CTX_new();
+    if (cached.ctx == nullptr) return false;
+  }
+  if (cached.keyed &&
+      std::memcmp(cached.key, key.data(), Aes128Cbc::kKeyBytes) == 0) {
+    return true;  // ECB: no per-call state to reset
+  }
+  auto init = encrypt ? EVP_EncryptInit_ex : EVP_DecryptInit_ex;
+  if (init(cached.ctx, EVP_aes_128_ecb(), nullptr, key.data(), nullptr) != 1) {
+    cached.keyed = false;
+    return false;
+  }
+  EVP_CIPHER_CTX_set_padding(cached.ctx, 0);
+  std::memcpy(cached.key, key.data(), Aes128Cbc::kKeyBytes);
+  cached.keyed = true;
+  return true;
+}
+
+/// Entries processed per batched column pass: bounds the stack gather
+/// buffer (4 KiB) while amortizing the EVP dispatch overhead.
+constexpr size_t kManyChunk = 256;
+
+inline void Xor16(uint8_t* dst, const uint8_t* src) {
+  uint64_t a;
+  uint64_t b;
+  std::memcpy(&a, dst, 8);
+  std::memcpy(&b, src, 8);
+  a ^= b;
+  std::memcpy(dst, &a, 8);
+  std::memcpy(&a, dst + 8, 8);
+  std::memcpy(&b, src + 8, 8);
+  a ^= b;
+  std::memcpy(dst + 8, &a, 8);
+}
+
+/// Batched CBC encryption core. Assumes argument validation is done and
+/// that block 0 of every entry's `out` slot already holds its IV; fills
+/// the body blocks. Column-wise: column r gathers (plaintext block r XOR
+/// previous ciphertext block) of every entry that has a block r into one
+/// contiguous buffer, encrypts it with a single multi-block ECB
+/// EVP_EncryptUpdate, and scatters the results — for the dominant
+/// single-block-entry case that is one EVP call per kManyChunk entries.
+Status EncryptManyCore(ConstByteSpan key, ConstByteSpan plaintexts,
+                       std::span<const uint32_t> plain_lens, ByteSpan out) {
+  constexpr size_t kB = Aes128Cbc::kBlockBytes;
+  CachedCipherCtx& cached = ThreadEcbEncryptCtx();
+  if (!InitCachedEcb(cached, key, /*encrypt=*/true)) {
+    return Status::Internal("AES-ECB encrypt init failed");
+  }
+  const size_t n = plain_lens.size();
+  size_t base = 0;
+  size_t pt_base = 0;
+  size_t ct_base = 0;
+  while (base < n) {
+    const size_t chunk = std::min(kManyChunk, n - base);
+    // Chunk-local absolute offsets of each entry's plaintext/ciphertext.
+    size_t pt_off[kManyChunk];
+    size_t ct_off[kManyChunk];
+    size_t pt_at = pt_base;
+    size_t ct_at = ct_base;
+    for (size_t j = 0; j < chunk; ++j) {
+      pt_off[j] = pt_at;
+      ct_off[j] = ct_at;
+      pt_at += plain_lens[base + j];
+      ct_at += Aes128Cbc::CiphertextSize(plain_lens[base + j]);
+    }
+    uint8_t gather[kManyChunk * Aes128Cbc::kBlockBytes];
+    uint16_t owner[kManyChunk];
+    for (size_t col = 0;; ++col) {
+      size_t m = 0;
+      for (size_t j = 0; j < chunk; ++j) {
+        const size_t len = plain_lens[base + j];
+        const size_t blocks = len / kB + 1;  // PKCS#7: always >= 1
+        if (col >= blocks) continue;
+        uint8_t* dst = gather + m * kB;
+        const size_t pos = col * kB;
+        if (col + 1 < blocks) {
+          std::memcpy(dst, plaintexts.data() + pt_off[j] + pos, kB);
+        } else {
+          const size_t rem = len - pos;
+          std::memcpy(dst, plaintexts.data() + pt_off[j] + pos, rem);
+          std::memset(dst + rem, static_cast<int>(kB - rem), kB - rem);
+        }
+        // CBC chain: previous ciphertext block of the entry — its IV for
+        // the first body block (the IV is block 0 of the entry slot).
+        Xor16(dst, out.data() + ct_off[j] + col * kB);
+        owner[m++] = static_cast<uint16_t>(j);
+      }
+      if (m == 0) break;
+      int enc_len = 0;
+      if (EVP_EncryptUpdate(cached.ctx, gather, &enc_len, gather,
+                            static_cast<int>(m * kB)) != 1 ||
+          enc_len != static_cast<int>(m * kB)) {
+        cached.keyed = false;
+        EVP_CIPHER_CTX_reset(cached.ctx);
+        return Status::Internal("AES-ECB batch encryption failed");
+      }
+      for (size_t i = 0; i < m; ++i) {
+        std::memcpy(out.data() + ct_off[owner[i]] + (col + 1) * kB,
+                    gather + i * kB, kB);
+      }
+    }
+    base += chunk;
+    pt_base = pt_at;
+    ct_base = ct_at;
+  }
+  return Status::Ok();
+}
+
+/// Shared validation for the batch encrypt entry points. Returns the total
+/// ciphertext size, or 0 with `*status` set.
+size_t ValidateMany(ConstByteSpan key, ConstByteSpan plaintexts,
+                    std::span<const uint32_t> plain_lens, ByteSpan out,
+                    Status* status) {
+  if (key.size() != Aes128Cbc::kKeyBytes) {
+    *status = Status::InvalidArgument("AES-128 key must be 16 bytes");
+    return 0;
+  }
+  size_t pt_total = 0;
+  size_t ct_total = 0;
+  for (const uint32_t len : plain_lens) {
+    pt_total += len;
+    ct_total += Aes128Cbc::CiphertextSize(len);
+  }
+  if (plaintexts.size() != pt_total) {
+    *status =
+        Status::InvalidArgument("plaintext arena does not match the lengths");
+    return 0;
+  }
+  if (out.size() < ct_total) {
+    *status = Status::InvalidArgument("AES-CBC output buffer too small");
+    return 0;
+  }
+  *status = Status::Ok();
+  return ct_total;
 }
 
 /// Initializes `cached` for `key`/`iv` in the given direction, reusing the
@@ -167,6 +323,135 @@ Result<Bytes> Aes128Cbc::Decrypt(const Bytes& key, const Bytes& ciphertext) {
 
 size_t Aes128Cbc::CiphertextSize(size_t plaintext_len) {
   return kBlockBytes + (plaintext_len / kBlockBytes + 1) * kBlockBytes;
+}
+
+Status Aes128Cbc::EncryptManyWithIvsInto(ConstByteSpan key, ConstByteSpan ivs,
+                                         ConstByteSpan plaintexts,
+                                         std::span<const uint32_t> plain_lens,
+                                         ByteSpan out, size_t* written) {
+  Status status;
+  const size_t ct_total = ValidateMany(key, plaintexts, plain_lens, out,
+                                       &status);
+  if (!status.ok()) return status;
+  if (ivs.size() != plain_lens.size() * kBlockBytes) {
+    return Status::InvalidArgument("need one 16-byte IV per entry");
+  }
+  size_t ct_off = 0;
+  for (size_t i = 0; i < plain_lens.size(); ++i) {
+    std::memcpy(out.data() + ct_off, ivs.data() + i * kBlockBytes,
+                kBlockBytes);
+    ct_off += CiphertextSize(plain_lens[i]);
+  }
+  status = EncryptManyCore(key, plaintexts, plain_lens, out);
+  if (!status.ok()) return status;
+  *written = ct_total;
+  return Status::Ok();
+}
+
+Status Aes128Cbc::EncryptManyInto(ConstByteSpan key, ConstByteSpan plaintexts,
+                                  std::span<const uint32_t> plain_lens,
+                                  ByteSpan out, size_t* written) {
+  Status status;
+  const size_t ct_total = ValidateMany(key, plaintexts, plain_lens, out,
+                                       &status);
+  if (!status.ok()) return status;
+  const size_t n = plain_lens.size();
+  // One pooled draw for every IV, staged at the front of `out` (which is
+  // always large enough: each entry contributes >= 32 bytes), then
+  // scattered back to front into the entry headers. Entry i's header lies
+  // at offset >= 32 i >= 16 i + 16, so the scatter never overwrites a
+  // not-yet-moved IV.
+  SecureRandomInto(ByteSpan(out.data(), n * kBlockBytes));
+  size_t ct_off = ct_total;
+  for (size_t i = n; i-- > 0;) {
+    ct_off -= CiphertextSize(plain_lens[i]);
+    if (ct_off != i * kBlockBytes) {
+      std::memmove(out.data() + ct_off, out.data() + i * kBlockBytes,
+                   kBlockBytes);
+    }
+  }
+  status = EncryptManyCore(key, plaintexts, plain_lens, out);
+  if (!status.ok()) return status;
+  *written = ct_total;
+  return Status::Ok();
+}
+
+Status Aes128Cbc::DecryptManyInto(ConstByteSpan key, ConstByteSpan cts,
+                                  std::span<const uint32_t> ct_lens,
+                                  ByteSpan out,
+                                  std::span<uint32_t> plain_lens) {
+  if (key.size() != kKeyBytes) {
+    return Status::InvalidArgument("AES-128 key must be 16 bytes");
+  }
+  const size_t n = ct_lens.size();
+  if (plain_lens.size() < n) {
+    return Status::InvalidArgument("plain_lens must cover every entry");
+  }
+  size_t ct_total = 0;
+  for (const uint32_t len : ct_lens) {
+    if (len < 2 * kBlockBytes || len % kBlockBytes != 0) {
+      return Status::InvalidArgument("malformed AES-CBC ciphertext");
+    }
+    ct_total += len;
+  }
+  if (cts.size() != ct_total) {
+    return Status::InvalidArgument("ciphertext arena does not match lengths");
+  }
+  const size_t body_total = ct_total - n * kBlockBytes;
+  if (out.size() < body_total) {
+    return Status::InvalidArgument("AES-CBC output buffer too small");
+  }
+  // Gather every body block (skipping the IVs) into `out`, packed.
+  size_t ct_off = 0;
+  size_t out_off = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t body = ct_lens[i] - kBlockBytes;
+    std::memcpy(out.data() + out_off, cts.data() + ct_off + kBlockBytes,
+                body);
+    ct_off += ct_lens[i];
+    out_off += body;
+  }
+  // One in-place ECB pass over the whole batch: ECB has no cross-block
+  // state, so entry boundaries are irrelevant here.
+  CachedCipherCtx& cached = ThreadEcbDecryptCtx();
+  if (!InitCachedEcb(cached, key, /*encrypt=*/false)) {
+    return Status::Internal("AES-ECB decrypt init failed");
+  }
+  size_t done = 0;
+  while (done < body_total) {
+    // Chunked only to respect EVP's int length parameter.
+    const size_t step = std::min<size_t>(body_total - done, size_t{1} << 30);
+    int dec_len = 0;
+    if (EVP_DecryptUpdate(cached.ctx, out.data() + done, &dec_len,
+                          out.data() + done, static_cast<int>(step)) != 1 ||
+        dec_len != static_cast<int>(step)) {
+      cached.keyed = false;
+      EVP_CIPHER_CTX_reset(cached.ctx);
+      return Status::Internal("AES-ECB batch decryption failed");
+    }
+    done += step;
+  }
+  // CBC chaining (XOR with the previous ciphertext block — the IV for each
+  // entry's first block) and per-entry PKCS#7 validation.
+  ct_off = 0;
+  out_off = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t body = ct_lens[i] - kBlockBytes;
+    for (size_t b = 0; b < body; b += kBlockBytes) {
+      Xor16(out.data() + out_off + b, cts.data() + ct_off + b);
+    }
+    const uint8_t pad = out[out_off + body - 1];
+    bool valid = pad >= 1 && pad <= kBlockBytes;
+    if (valid) {
+      for (size_t b = body - pad; b < body; ++b) {
+        valid = valid && out[out_off + b] == pad;
+      }
+    }
+    plain_lens[i] = valid ? static_cast<uint32_t>(body - pad) : kBadEntry;
+    ct_off += ct_lens[i];
+    out_off += body;
+  }
+  return Status::Ok();
 }
 
 }  // namespace rsse::crypto

@@ -1,6 +1,8 @@
 #ifndef RSSE_CRYPTO_AES_H_
 #define RSSE_CRYPTO_AES_H_
 
+#include <span>
+
 #include "common/bytes.h"
 #include "common/status.h"
 
@@ -52,6 +54,49 @@ class Aes128Cbc {
   /// Size of the ciphertext produced for `plaintext_len` bytes of input
   /// (IV + padded body).
   static size_t CiphertextSize(size_t plaintext_len);
+
+  // -------------------------------------------------------------------------
+  // Batch (arena-at-a-time) API. All entries of one call share one key —
+  // the SSE pattern, where every posting of a keyword is encrypted under
+  // that keyword's value key — so one cached key schedule and a handful of
+  // multi-block ECB EVP calls replace the per-entry init/update/final
+  // round: CBC chaining is applied in scalar code around a raw AES-ECB
+  // pass, producing ciphertexts byte-identical to the per-entry API.
+  // -------------------------------------------------------------------------
+
+  /// `plain_lens[i]` in a decrypt result marking an entry whose padding
+  /// was invalid (wrong key or corrupt ciphertext).
+  static constexpr uint32_t kBadEntry = 0xffffffffu;
+
+  /// Encrypts `plain_lens.size()` plaintexts, packed back to back in
+  /// `plaintexts` (entry i occupies the next `plain_lens[i]` bytes), into
+  /// `out` as back-to-back IV || CBC-body ciphertexts of exactly
+  /// `CiphertextSize(plain_lens[i])` bytes each. All IVs are filled from
+  /// the pooled RNG in one draw. `*written` receives the total bytes.
+  static Status EncryptManyInto(ConstByteSpan key, ConstByteSpan plaintexts,
+                                std::span<const uint32_t> plain_lens,
+                                ByteSpan out, size_t* written);
+
+  /// `EncryptManyInto` with caller-provided IVs, 16 bytes per entry packed
+  /// in `ivs` (tests / parity fixtures). `ivs` must not alias `out`.
+  static Status EncryptManyWithIvsInto(ConstByteSpan key, ConstByteSpan ivs,
+                                       ConstByteSpan plaintexts,
+                                       std::span<const uint32_t> plain_lens,
+                                       ByteSpan out, size_t* written);
+
+  /// Decrypts `ct_lens.size()` ciphertexts (each IV || body,
+  /// `ct_lens[i]` bytes), packed back to back in `cts`, with ONE ECB pass
+  /// over every body block of the batch. Entry i's plaintext is written at
+  /// offset sum_{k<i}(ct_lens[k] - 16) of `out` (padded spacing — callers
+  /// walk the same offsets) and `plain_lens[i]` receives its length, or
+  /// `kBadEntry` when that entry's PKCS#7 padding is invalid (wrong key);
+  /// other entries still decrypt. Returns InvalidArgument only for
+  /// malformed arguments (bad key size, misaligned lengths, short
+  /// buffers).
+  static Status DecryptManyInto(ConstByteSpan key, ConstByteSpan cts,
+                                std::span<const uint32_t> ct_lens,
+                                ByteSpan out,
+                                std::span<uint32_t> plain_lens);
 };
 
 }  // namespace rsse::crypto

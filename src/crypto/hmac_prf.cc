@@ -12,6 +12,8 @@
 
 #include <cstring>
 
+#include "crypto/sha512_x4.h"
+
 namespace rsse::crypto {
 
 namespace {
@@ -152,6 +154,41 @@ bool Prf::EvalInto(ConstByteSpan input, ByteSpan out) const {
     return false;
   }
   std::memcpy(out.data(), mac, out.size());
+  return true;
+}
+
+bool Prf::EvalCountersInto(uint64_t start, size_t count, ByteSpan out,
+                           size_t out_len) const {
+  if (!ok() || out_len == 0 || out_len > kMaxOutputBytes) return false;
+  if (out.size() < count * out_len) return false;
+  size_t i = 0;
+  if (const size_t lanes = HmacSha512CounterLanes(); lanes != 0) {
+    // The midstates' hash words feed the vector kernel directly; `lanes`
+    // counter MACs per pair of vector compressions. (Copied out because
+    // OpenSSL's SHA_LONG64 is a distinct 64-bit type from uint64_t.)
+    uint64_t inner_h[8];
+    uint64_t outer_h[8];
+    for (int w = 0; w < 8; ++w) {
+      inner_h[w] = impl_->inner.h[w];
+      outer_h[w] = impl_->outer.h[w];
+    }
+    for (; i + lanes <= count; i += lanes) {
+      HmacSha512CounterLanesEval(inner_h, outer_h, start + i,
+                                 out.data() + i * out_len, out_len, out_len);
+    }
+  }
+  // Scalar tail (and the whole run on hosts without the x4 kernel).
+  for (; i < count; ++i) {
+    uint8_t counter[8];
+    const uint64_t c = start + i;
+    for (int b = 0; b < 8; ++b) {
+      counter[b] = static_cast<uint8_t>(c >> (56 - 8 * b));
+    }
+    if (!EvalInto(ConstByteSpan(counter, sizeof(counter)),
+                  ByteSpan(out.data() + i * out_len, out_len))) {
+      return false;
+    }
+  }
   return true;
 }
 

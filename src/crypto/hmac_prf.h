@@ -61,6 +61,18 @@ class Prf {
   /// failure or when `out` is oversized.
   bool EvalInto(ConstByteSpan input, ByteSpan out) const;
 
+  /// Fused counter evaluation: computes F(key, BE64(start + i)) for
+  /// i = 0..count-1 and writes the first `out_len` bytes of each output
+  /// packed at `out[i * out_len]` (`out.size() >= count * out_len`).
+  /// Bit-identical to `EvalInto` on each 8-byte big-endian counter, but the
+  /// key midstates are reused across the whole run and, on x86-64 hosts,
+  /// 8 (AVX-512) or 4 (AVX2) counter MACs are evaluated per pair of vector
+  /// SHA-512 compressions (see crypto/sha512_x4.h) — this is the
+  /// label-derivation hot path of index build and counter-probe search.
+  /// Returns false on failure (no bytes are trustworthy then).
+  bool EvalCountersInto(uint64_t start, size_t count, ByteSpan out,
+                        size_t out_len) const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

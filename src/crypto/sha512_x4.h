@@ -1,0 +1,42 @@
+#ifndef RSSE_CRYPTO_SHA512_X4_H_
+#define RSSE_CRYPTO_SHA512_X4_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsse::crypto {
+
+/// Multi-lane fused HMAC-SHA-512 over consecutive counters, vectorized
+/// with AVX-512 (8 lanes: vprorq rotates, vpternlogq bit-selects) or AVX2
+/// (4 lanes) where the host supports them. This is the engine behind
+/// `Prf::EvalCountersInto`, the label-derivation hot path of index build
+/// and counter-probe search: per keyword the HMAC ipad/opad midstates are
+/// fixed, so F(K1, c) for a run of counters is a pile of independent
+/// single-block SHA-512 compressions — and because SHA-512 reads message
+/// words big-endian, the 8-byte big-endian counter is message word 0
+/// verbatim and the inner digest words are the outer message words
+/// verbatim, so each evaluation stays entirely in registers.
+///
+/// Outputs are bit-identical to scalar HMAC-SHA-512 (pinned against the
+/// OpenSSL-backed `Prf::EvalInto` by the unit tests).
+
+/// Counters evaluated per `HmacSha512CounterLanesEval` call: 8 (AVX-512),
+/// 4 (AVX2) or 0 (no vector kernel on this host — callers must use their
+/// scalar path). Detected once at runtime; RSSE_NO_AVX512=1 caps the tier
+/// at 4 lanes (pins the AVX2 kernel on AVX-512 hosts) and RSSE_NO_AVX2=1
+/// forces 0 (scalar everywhere).
+size_t HmacSha512CounterLanes();
+
+/// Evaluates HMAC-SHA-512 on the 8-byte big-endian encodings of counters
+/// `start .. start + HmacSha512CounterLanes() - 1` under the given SHA-512
+/// midstates (the hash states after absorbing the 128-byte ipad/opad key
+/// blocks). Lane `l`'s leading `out_len` (<= 64) MAC bytes are written at
+/// `out + l * out_stride`. Must not be called when lanes() is 0.
+void HmacSha512CounterLanesEval(const uint64_t inner_state[8],
+                                const uint64_t outer_state[8], uint64_t start,
+                                uint8_t* out, size_t out_len,
+                                size_t out_stride);
+
+}  // namespace rsse::crypto
+
+#endif  // RSSE_CRYPTO_SHA512_X4_H_

@@ -66,8 +66,8 @@ Status EmmServer::Host(const Bytes& index_blob) {
   // builder-side RSSE_BUILD_THREADS).
   const int threads =
       ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS");
-  Result<shard::ShardedEmm> store =
-      shard::ShardedEmm::Deserialize(index_blob, threads);
+  Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
+      index_blob, threads, options_.load_shards);
   if (!store.ok()) return store.status();
   store_ = std::move(store).value();
   hosted_ = true;

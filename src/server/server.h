@@ -24,6 +24,11 @@ struct ServerOptions {
   /// 0 reads RSSE_SHARDS, defaulting to 1. (A Setup blob carries its own
   /// shard count.)
   int shards = 0;
+  /// Shard count a hosted Setup blob is re-partitioned to while loading
+  /// (`ShardedEmm::Deserialize` re-shard on load). The default keeps the
+  /// blob's stored count; 0 re-shards to this host (RSSE_SHARDS, else the
+  /// hardware concurrency); a positive count is used as given.
+  int load_shards = shard::ShardedEmm::kKeepStoredShards;
   /// Worker threads for batch search and index load. 0 reads
   /// RSSE_SEARCH_THREADS, defaulting to 1.
   int search_threads = 0;

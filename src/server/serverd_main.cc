@@ -12,6 +12,9 @@
 //   --port=<port>      TCP port, 0=ephemeral (default 7370)
 //   --shards=<n>       shards for Update-built stores (default RSSE_SHARDS)
 //   --threads=<n>      batch-search workers  (default RSSE_SEARCH_THREADS)
+//   --load-shards=<n>  re-shard hosted Setup blobs while loading:
+//                      auto = this host's core count (RSSE_SHARDS wins),
+//                      <n> = explicit count (default: keep the blob's)
 
 #include <csignal>
 #include <cstdio>
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
       std::printf(
           "rsse_serverd: sharded encrypted-range-search server\n"
           "  --bind=<ipv4>  --port=<port>  --shards=<n>  --threads=<n>\n"
+          "  --load-shards=<n|auto>  (re-shard hosted blobs while loading)\n"
           "  --max-level=<l>  (largest GGM subtree per token, default 26)\n");
       return 0;
     }
@@ -51,6 +55,24 @@ int main(int argc, char** argv) {
   }
   if (const char* v = FlagValue(argc, argv, "shards")) {
     options.shards = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "load-shards")) {
+    // This flag silently changes the hosted data layout, so unparseable
+    // values must fail loudly rather than atoi-ing to "re-shard to host".
+    if (std::strcmp(v, "auto") == 0) {
+      options.load_shards = 0;
+    } else {
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr,
+                     "rsse_serverd: --load-shards must be 'auto' or a "
+                     "positive integer (got '%s')\n",
+                     v);
+        return 2;
+      }
+      options.load_shards = static_cast<int>(parsed);
+    }
   }
   if (const char* v = FlagValue(argc, argv, "threads")) {
     options.search_threads = std::atoi(v);

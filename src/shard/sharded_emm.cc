@@ -60,10 +60,10 @@ Result<ShardedEmm> ShardedEmm::Build(const sse::PlainMultimap& postings,
         sse::ComputeEmmSizing(postings, options.padding.quantum);
     sse::FlatLabelMap& dict = store.shards_[0];
     dict.Reserve(sizing.entries, sizing.value_bytes);
-    Bytes plaintext;
+    sse::EmmBuildScratch scratch;
     for (const auto& [keyword, payloads] : postings) {
       Status s = sse::EncryptKeywordEntries(
-          keyword, payloads, deriver, options.padding.quantum, plaintext,
+          keyword, payloads, deriver, options.padding.quantum, scratch,
           [&dict](const Label& label, size_t len) {
             return dict.InsertUninit(label, len);
           });
@@ -84,13 +84,13 @@ Result<ShardedEmm> ShardedEmm::Build(const sse::PlainMultimap& postings,
   std::vector<Status> worker_status(static_cast<size_t>(threads));
 
   RunWorkers(threads, [&](int t) {
-    Bytes plaintext;
+    sse::EmmBuildScratch scratch;
     std::vector<Bucket>& buckets = staging[static_cast<size_t>(t)];
     for (size_t i = static_cast<size_t>(t); i < items.size();
          i += static_cast<size_t>(threads)) {
       Status s = sse::EncryptKeywordEntries(
           items[i]->first, items[i]->second, deriver, options.padding.quantum,
-          plaintext, [&buckets, shard_count](const Label& label, size_t len) {
+          scratch, [&buckets, shard_count](const Label& label, size_t len) {
             Bucket& b = buckets[ShardOf(label, shard_count)];
             b.labels.push_back(label);
             b.value_lens.push_back(static_cast<uint32_t>(len));
@@ -250,13 +250,73 @@ Bytes ShardedEmm::Serialize() const {
   return out;
 }
 
-Result<ShardedEmm> ShardedEmm::Deserialize(const Bytes& blob, int threads) {
+namespace {
+
+/// One parsed entry of a stored section, referencing the blob (no copy):
+/// the staging unit of the re-shard-on-load path.
+struct EntryRef {
+  Label label;
+  size_t value_at;
+  uint32_t value_len;
+};
+
+/// Parses and validates one stored shard section — the single definition
+/// of what a well-formed section is, shared by the layout-preserving and
+/// the re-shard load paths so their acceptance can never diverge.
+/// `on_count(count, value_bytes_upper_bound)` fires once before the
+/// entries (table reservation); `emit(label, value_at, value_len)` fires
+/// per validated entry.
+template <typename OnCount, typename EmitFn>
+Status ParseShardSection(const Bytes& blob, size_t section_at,
+                         size_t section_len, size_t stored_shard,
+                         size_t shard_count, OnCount&& on_count,
+                         EmitFn&& emit) {
+  const size_t end = section_at + section_len;
+  size_t at = section_at;
+  const uint64_t count = ReadUint64(blob, at);
+  at += 8;
+  // Every entry needs at least label + length prefix + a value byte.
+  if (count > (end - at) / (kLabelBytes + 4 + 1)) {
+    return Status::InvalidArgument("implausible entry count in shard");
+  }
+  on_count(static_cast<size_t>(count), end - at - count * (kLabelBytes + 4));
+  Label label;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (at + kLabelBytes + 4 > end) {
+      return Status::InvalidArgument("truncated shard entry");
+    }
+    std::memcpy(label.data(), blob.data() + at, kLabelBytes);
+    at += kLabelBytes;
+    const uint32_t value_len = ReadUint32(blob, at);
+    at += 4;
+    if (value_len == 0 || value_len > end - at) {
+      return Status::InvalidArgument("truncated shard entry value");
+    }
+    if (ShardedEmm::ShardOf(label, shard_count) != stored_shard) {
+      return Status::InvalidArgument("entry routed to the wrong shard");
+    }
+    emit(label, at, value_len);
+    at += value_len;
+  }
+  if (at != end) {
+    return Status::InvalidArgument("trailing bytes in shard section");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ShardedEmm> ShardedEmm::Deserialize(const Bytes& blob, int threads,
+                                           int target_shards) {
   if (blob.size() < 12 || ReadUint64(blob, 0) != kShardMagic) {
     return Status::InvalidArgument("not a ShardedEmm blob");
   }
   const uint32_t shard_count = ReadUint32(blob, 8);
   if (shard_count == 0 || shard_count > kMaxShards) {
     return Status::InvalidArgument("implausible shard count in blob header");
+  }
+  if (target_shards < kKeepStoredShards) {
+    return Status::InvalidArgument("invalid target shard count");
   }
   const size_t dir_end = 12 + size_t{8} * shard_count;
   if (blob.size() < dir_end) {
@@ -278,60 +338,106 @@ Result<ShardedEmm> ShardedEmm::Deserialize(const Bytes& blob, int threads) {
     return Status::InvalidArgument("trailing bytes after shard sections");
   }
 
-  ShardedEmm store(shard_count);
-  const int workers = static_cast<int>(std::min<size_t>(
-      static_cast<size_t>(ResolveThreadCount(threads, "RSSE_BUILD_THREADS")),
-      shard_count));
-  std::vector<Status> worker_status(static_cast<size_t>(workers));
-  RunWorkers(workers, [&](int w) {
-    Label label;
+  const size_t target =
+      target_shards == kKeepStoredShards
+          ? shard_count
+          : static_cast<size_t>(std::clamp(
+                ResolveThreadCountOrHardware(target_shards, "RSSE_SHARDS"), 1,
+                kMaxShards));
+  ShardedEmm store(target);
+  const int threads_resolved =
+      ResolveThreadCount(threads, "RSSE_BUILD_THREADS");
+
+  if (target == shard_count) {
+    // Layout-preserving load: each stored section IS its shard — parse it
+    // straight into the table, one shard per worker at a time.
+    const int workers = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(threads_resolved), shard_count));
+    std::vector<Status> worker_status(static_cast<size_t>(workers));
+    RunWorkers(workers, [&](int w) {
+      for (size_t s = static_cast<size_t>(w); s < shard_count;
+           s += static_cast<size_t>(workers)) {
+        sse::FlatLabelMap& dict = store.shards_[s];
+        Status status = ParseShardSection(
+            blob, section_at[s], section_len[s], s, shard_count,
+            [&dict](size_t count, size_t value_bytes) {
+              dict.Reserve(count, value_bytes);
+            },
+            [&dict, &blob](const Label& label, size_t value_at,
+                           uint32_t value_len) {
+              dict.Insert(label,
+                          ConstByteSpan(blob.data() + value_at, value_len));
+            });
+        if (!status.ok()) {
+          worker_status[static_cast<size_t>(w)] = status;
+          return;
+        }
+      }
+    });
+    for (const Status& s : worker_status) {
+      if (!s.ok()) return s;
+    }
+    return store;
+  }
+
+  // Re-shard on load: split/merge the stored layout to `target` shards in
+  // the same two-phase shape as Build. Phase A parses stored sections in
+  // parallel, validating each entry against its *stored* routing and
+  // staging a blob reference under its *target* shard; phase B merges the
+  // buckets, one target shard per worker at a time.
+  const int scan_workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads_resolved), shard_count));
+  std::vector<std::vector<std::vector<EntryRef>>> staging(
+      static_cast<size_t>(scan_workers),
+      std::vector<std::vector<EntryRef>>(target));
+  std::vector<Status> scan_status(static_cast<size_t>(scan_workers));
+  RunWorkers(scan_workers, [&](int w) {
+    std::vector<std::vector<EntryRef>>& buckets =
+        staging[static_cast<size_t>(w)];
     for (size_t s = static_cast<size_t>(w); s < shard_count;
-         s += static_cast<size_t>(workers)) {
-      const size_t end = section_at[s] + section_len[s];
-      size_t at = section_at[s];
-      const uint64_t count = ReadUint64(blob, at);
-      at += 8;
-      // Every entry needs at least label + length prefix + one value byte.
-      if (count > (end - at) / (kLabelBytes + 4 + 1)) {
-        worker_status[static_cast<size_t>(w)] =
-            Status::InvalidArgument("implausible entry count in shard");
-        return;
-      }
-      sse::FlatLabelMap& dict = store.shards_[s];
-      dict.Reserve(count, end - at - count * (kLabelBytes + 4));
-      for (uint64_t i = 0; i < count; ++i) {
-        if (at + kLabelBytes + 4 > end) {
-          worker_status[static_cast<size_t>(w)] =
-              Status::InvalidArgument("truncated shard entry");
-          return;
-        }
-        std::memcpy(label.data(), blob.data() + at, kLabelBytes);
-        at += kLabelBytes;
-        const uint32_t value_len = ReadUint32(blob, at);
-        at += 4;
-        if (value_len == 0 || value_len > end - at) {
-          worker_status[static_cast<size_t>(w)] =
-              Status::InvalidArgument("truncated shard entry value");
-          return;
-        }
-        if (ShardOf(label, shard_count) != s) {
-          worker_status[static_cast<size_t>(w)] =
-              Status::InvalidArgument("entry routed to the wrong shard");
-          return;
-        }
-        dict.Insert(label, ConstByteSpan(blob.data() + at, value_len));
-        at += value_len;
-      }
-      if (at != end) {
-        worker_status[static_cast<size_t>(w)] =
-            Status::InvalidArgument("trailing bytes in shard section");
+         s += static_cast<size_t>(scan_workers)) {
+      Status status = ParseShardSection(
+          blob, section_at[s], section_len[s], s, shard_count,
+          [](size_t, size_t) {},
+          [&buckets, target](const Label& label, size_t value_at,
+                             uint32_t value_len) {
+            buckets[ShardOf(label, target)].push_back(
+                EntryRef{label, value_at, value_len});
+          });
+      if (!status.ok()) {
+        scan_status[static_cast<size_t>(w)] = status;
         return;
       }
     }
   });
-  for (const Status& s : worker_status) {
+  for (const Status& s : scan_status) {
     if (!s.ok()) return s;
   }
+
+  const int merge_workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads_resolved), target));
+  RunWorkers(merge_workers, [&](int w) {
+    for (size_t t = static_cast<size_t>(w); t < target;
+         t += static_cast<size_t>(merge_workers)) {
+      size_t entries = 0;
+      size_t value_bytes = 0;
+      for (int sw = 0; sw < scan_workers; ++sw) {
+        for (const EntryRef& ref : staging[static_cast<size_t>(sw)][t]) {
+          ++entries;
+          value_bytes += ref.value_len;
+        }
+      }
+      sse::FlatLabelMap& dict = store.shards_[t];
+      dict.Reserve(entries, value_bytes);
+      for (int sw = 0; sw < scan_workers; ++sw) {
+        for (const EntryRef& ref : staging[static_cast<size_t>(sw)][t]) {
+          dict.Insert(ref.label,
+                      ConstByteSpan(blob.data() + ref.value_at,
+                                    ref.value_len));
+        }
+      }
+    }
+  });
   return store;
 }
 

@@ -74,10 +74,24 @@ class ShardedEmm {
   /// section per shard, so `Deserialize` can restore shards in parallel.
   Bytes Serialize() const;
 
+  /// `target_shards` value asking `Deserialize` to keep the blob's stored
+  /// shard count (the default: a round trip is layout-preserving).
+  static constexpr int kKeepStoredShards = -1;
+
   /// Restores a store from `Serialize` output, loading shards with
   /// `threads` workers (0 → RSSE_BUILD_THREADS → 1). INVALID_ARGUMENT on a
   /// corrupt or foreign blob.
-  static Result<ShardedEmm> Deserialize(const Bytes& blob, int threads = 0);
+  ///
+  /// `target_shards` re-partitions the store while loading: a blob written
+  /// by a 4-core builder can be split across a 32-core server's shards (or
+  /// merged down) in the same parallel pass, instead of serving forever
+  /// with the builder's layout. `kKeepStoredShards` preserves the stored
+  /// count; 0 re-shards to this host (RSSE_SHARDS, else the hardware
+  /// concurrency); a positive count is used as given (clamped to 4096).
+  /// Labels hash-route identically at any count, so re-sharding is
+  /// invisible to search.
+  static Result<ShardedEmm> Deserialize(const Bytes& blob, int threads = 0,
+                                        int target_shards = kKeepStoredShards);
 
   /// Shard index of a label (public so tests can pin the routing).
   static size_t ShardOf(const Label& label, size_t shard_count);

@@ -2,6 +2,7 @@
 #define RSSE_SSE_EMM_CODEC_H_
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,13 @@ namespace rsse::sse {
 /// `shard::ShardedEmm` are two storage layouts over this one entry format,
 /// so the format lives here exactly once — a blob built by either store is
 /// searchable by the other.
+///
+/// Both directions work arena-at-a-time: build stages a whole keyword's
+/// padded posting list into scratch arenas, derives every label in one
+/// fused multi-lane PRF pass and encrypts every value in one batch AES
+/// call; search batch-decrypts runs of consecutive counter hits the same
+/// way. The wire format is byte-identical to the entry-at-a-time codec
+/// (pinned by the golden layout and cross-store conformance tests).
 
 /// First plaintext byte of a stored payload: real posting vs padding dummy.
 inline constexpr uint8_t kEmmRealMarker = 0x00;
@@ -36,26 +44,39 @@ inline uint64_t PaddedPostingTotal(size_t payload_count, uint64_t pad_quantum) {
   return total;
 }
 
-/// Exact storage footprint of an index over `postings`: entry count and
-/// total ciphertext bytes after padding. Both the flat and the sharded
-/// store reserve from this one cost model, so the two can never diverge.
+/// Exact storage footprint of an index: entry count and total ciphertext
+/// bytes after padding. `ComputeKeywordEmmSizing` is the per-keyword cost
+/// model that the batch staging path reserves from; `ComputeEmmSizing`
+/// sums it over an input multimap. Both the flat and the sharded store
+/// reserve from this one model, so the two can never diverge — and the
+/// staging arenas can never diverge from the stores.
 struct EmmSizing {
   size_t entries = 0;
   size_t value_bytes = 0;
 };
+
+inline EmmSizing ComputeKeywordEmmSizing(const std::vector<Bytes>& payloads,
+                                         uint64_t pad_quantum) {
+  EmmSizing sizing;
+  const uint64_t total = PaddedPostingTotal(payloads.size(), pad_quantum);
+  sizing.entries = total;
+  for (const Bytes& p : payloads) {
+    // One marker byte precedes every stored payload.
+    sizing.value_bytes += crypto::Aes128Cbc::CiphertextSize(1 + p.size());
+  }
+  sizing.value_bytes +=
+      (total - payloads.size()) * crypto::Aes128Cbc::CiphertextSize(1);
+  return sizing;
+}
 
 inline EmmSizing ComputeEmmSizing(
     const std::unordered_map<Bytes, std::vector<Bytes>, BytesHash>& postings,
     uint64_t pad_quantum) {
   EmmSizing sizing;
   for (const auto& [keyword, payloads] : postings) {
-    const uint64_t total = PaddedPostingTotal(payloads.size(), pad_quantum);
-    sizing.entries += total;
-    for (const Bytes& p : payloads) {
-      sizing.value_bytes += crypto::Aes128Cbc::CiphertextSize(1 + p.size());
-    }
-    sizing.value_bytes += (total - payloads.size()) *
-                          crypto::Aes128Cbc::CiphertextSize(1);
+    const EmmSizing kw = ComputeKeywordEmmSizing(payloads, pad_quantum);
+    sizing.entries += kw.entries;
+    sizing.value_bytes += kw.value_bytes;
   }
   return sizing;
 }
@@ -89,59 +110,101 @@ struct SearchStats {
   }
 };
 
-/// Encrypts the (padded) postings of one keyword, reusing `plaintext` as
-/// scratch across entries. Each entry's ciphertext is written directly into
-/// the span returned by `emit(label, exact_ciphertext_size)` — callers hand
-/// out table-arena storage (no staging copy) or shard staging buffers.
-/// Steady-state allocation-free apart from the sink's own amortized growth.
+/// Reusable staging arenas for the batch build path: one instance per
+/// build worker, recycled across keywords so the steady state allocates
+/// nothing (the vectors only ever grow to the largest posting list seen).
+struct EmmBuildScratch {
+  std::vector<Label> labels;
+  Bytes plaintexts;
+  std::vector<uint32_t> plain_lens;
+  Bytes ciphertexts;
+};
+
+/// Encrypts the (padded) postings of one keyword arena-at-a-time:
+///   1. every label F(K1, c), c = 0..total, in one fused multi-lane PRF
+///      pass over the cached key midstates;
+///   2. the padded posting list staged into one scratch plaintext arena
+///      (marker byte + payload per entry);
+///   3. one batch AES call — single cached key schedule, IVs from one
+///      pooled draw — into a scratch ciphertext arena reserved from
+///      `ComputeKeywordEmmSizing`, the same cost model the stores use;
+///   4. each ciphertext handed to `emit(label, exact_size)`, which returns
+///      the destination span (table arena or shard staging bucket).
 template <typename Emit>
 Status EncryptKeywordEntries(const Bytes& keyword,
                              const std::vector<Bytes>& payloads,
                              const KeywordKeyDeriver& deriver,
-                             uint64_t pad_quantum, Bytes& plaintext,
+                             uint64_t pad_quantum, EmmBuildScratch& scratch,
                              Emit&& emit) {
   const KeywordKeys keys = deriver.Derive(keyword);
   const crypto::Prf label_prf(keys.label_key);
   if (!label_prf.ok()) {
     return Status::Internal("label PRF initialization failed");
   }
-  const uint64_t total = PaddedPostingTotal(payloads.size(), pad_quantum);
-  uint8_t counter[8];
-  Label label;
-  for (uint64_t c = 0; c < total; ++c) {
-    StoreUint64(counter, c);
-    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
-                            ByteSpan(label.data(), label.size()))) {
-      return Status::Internal("label PRF evaluation failed");
-    }
-    plaintext.clear();
+  const EmmSizing sizing = ComputeKeywordEmmSizing(payloads, pad_quantum);
+  const size_t total = sizing.entries;
+
+  scratch.labels.resize(total);
+  if (total > 0 &&
+      !label_prf.EvalCountersInto(
+          0, total, ByteSpan(scratch.labels[0].data(), total * kLabelBytes),
+          kLabelBytes)) {
+    return Status::Internal("label PRF evaluation failed");
+  }
+
+  scratch.plaintexts.clear();
+  scratch.plaintexts.reserve(sizing.value_bytes);  // over-reserve: no regrow
+  scratch.plain_lens.clear();
+  scratch.plain_lens.reserve(total);
+  for (size_t c = 0; c < total; ++c) {
     if (c < payloads.size()) {
-      plaintext.push_back(kEmmRealMarker);
-      Append(plaintext, payloads[c]);
+      scratch.plaintexts.push_back(kEmmRealMarker);
+      Append(scratch.plaintexts, payloads[c]);
+      scratch.plain_lens.push_back(
+          static_cast<uint32_t>(1 + payloads[c].size()));
     } else {
-      plaintext.push_back(kEmmDummyMarker);
+      scratch.plaintexts.push_back(kEmmDummyMarker);
+      scratch.plain_lens.push_back(1);
     }
-    // CBC/PKCS#7 output size is exact, so the sink reserves precisely the
-    // bytes the encryption fills.
-    const size_t ct_size = crypto::Aes128Cbc::CiphertextSize(plaintext.size());
-    ByteSpan dst = emit(label, ct_size);
-    size_t written = 0;
-    Status s =
-        crypto::Aes128Cbc::EncryptInto(keys.value_key, plaintext, dst,
-                                       &written);
-    if (!s.ok()) return s;
-    if (written != ct_size) {
-      return Status::Internal("unexpected AES-CBC ciphertext size");
+  }
+
+  // Grow-only: shrinking and regrowing would value-initialize (memset) a
+  // region the batch encryption fully overwrites anyway.
+  if (scratch.ciphertexts.size() < sizing.value_bytes) {
+    scratch.ciphertexts.resize(sizing.value_bytes);
+  }
+  size_t written = 0;
+  Status s = crypto::Aes128Cbc::EncryptManyInto(
+      keys.value_key, scratch.plaintexts, scratch.plain_lens,
+      ByteSpan(scratch.ciphertexts.data(), sizing.value_bytes), &written);
+  if (!s.ok()) return s;
+  if (written != sizing.value_bytes) {
+    return Status::Internal("batch encryption diverged from the cost model");
+  }
+
+  size_t offset = 0;
+  for (size_t c = 0; c < total; ++c) {
+    const size_t ct_size =
+        crypto::Aes128Cbc::CiphertextSize(scratch.plain_lens[c]);
+    ByteSpan dst = emit(scratch.labels[c], ct_size);
+    if (dst.size() < ct_size) {
+      return Status::Internal("emit sink returned an undersized span");
     }
+    std::memcpy(dst.data(), scratch.ciphertexts.data() + offset, ct_size);
+    offset += ct_size;
   }
   return Status::Ok();
 }
 
 /// The counter-probe search loop shared by every storage layout: derives
-/// labels F(K1, c) for c = 0, 1, ... and looks each up through `find`
-/// (`std::optional<ConstByteSpan> find(const Label&)`), stopping at the
-/// first miss. Real payloads are appended to `results`; dummies are
-/// dropped. With a `gate`, entries the gate rejects skip decryption.
+/// labels F(K1, c) for c = 0, 1, ... in fused chunks and looks each up
+/// through `find` (`std::optional<ConstByteSpan> find(const Label&)`),
+/// stopping at the first miss. Hits are gathered and decrypted in batches
+/// (all counters of one keyword share the value key, so one ECB pass per
+/// batch replaces a per-probe EVP round). Real payloads are appended to
+/// `results`; dummies are dropped; a failed decryption (wrong token) ends
+/// the search as in the entry-at-a-time loop. With a `gate`, entries the
+/// gate rejects skip decryption.
 template <typename FindFn>
 void SearchEntries(const KeywordKeys& token, FindFn&& find,
                    std::vector<Bytes>& results,
@@ -149,37 +212,79 @@ void SearchEntries(const KeywordKeys& token, FindFn&& find,
                    SearchStats* stats = nullptr) {
   const crypto::Prf label_prf(token.label_key);
   if (!label_prf.ok()) return;
-  uint8_t counter[8];
-  Label label;
-  Bytes plaintext;  // reused across counter probes
-  for (uint64_t c = 0;; ++c) {
-    StoreUint64(counter, c);
-    if (!label_prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
-                            ByteSpan(label.data(), label.size()))) {
+  // 8 labels per fused derivation (two x4 lanes / one x8); up to 32
+  // gathered ciphertexts per batch decryption.
+  constexpr size_t kLabelChunk = 8;
+  constexpr size_t kDecryptBatch = 32;
+  Label labels[kLabelChunk];
+  Bytes cts;                      // gathered ciphertexts, packed
+  std::vector<uint32_t> ct_lens;  // per-gathered-entry ciphertext sizes
+  Bytes plains;                   // batch plaintexts (padded spacing)
+  std::vector<uint32_t> plain_lens;
+
+  // Decrypts the gathered batch and appends its real payloads; false on a
+  // failed decryption (wrong token — the caller stops probing).
+  auto flush = [&]() {
+    if (ct_lens.empty()) return true;
+    if (stats != nullptr) stats->decrypts += ct_lens.size();
+    plains.resize(cts.size() - ct_lens.size() * crypto::Aes128Cbc::kBlockBytes);
+    plain_lens.resize(ct_lens.size());
+    if (!crypto::Aes128Cbc::DecryptManyInto(token.value_key, cts, ct_lens,
+                                            plains, plain_lens)
+             .ok()) {
+      return false;
+    }
+    size_t offset = 0;
+    for (size_t i = 0; i < ct_lens.size(); ++i) {
+      const uint32_t len = plain_lens[i];
+      if (len == crypto::Aes128Cbc::kBadEntry || len == 0) return false;
+      if (plains[offset] != kEmmDummyMarker) {
+        results.emplace_back(
+            plains.begin() + static_cast<long>(offset + 1),
+            plains.begin() + static_cast<long>(offset + len));
+      }
+      offset += ct_lens[i] - crypto::Aes128Cbc::kBlockBytes;
+    }
+    cts.clear();
+    ct_lens.clear();
+    return true;
+  };
+
+  for (uint64_t base = 0;; base += kLabelChunk) {
+    if (!label_prf.EvalCountersInto(
+            base, kLabelChunk, ByteSpan(labels[0].data(), sizeof(labels)),
+            kLabelBytes)) {
       break;
     }
-    if (stats != nullptr) ++stats->probes;
-    std::optional<ConstByteSpan> ct = find(label);
-    if (!ct.has_value()) break;
-    if (gate != nullptr && !gate->MayContainReal(label)) {
-      // The gate has no false negatives, so this entry is a padding dummy;
-      // skip the decryption it would have cost.
-      if (stats != nullptr) ++stats->skipped_decrypts;
-      continue;
+    bool miss = false;
+    for (size_t j = 0; j < kLabelChunk; ++j) {
+      if (stats != nullptr) ++stats->probes;
+      std::optional<ConstByteSpan> ct = find(labels[j]);
+      if (!ct.has_value()) {
+        miss = true;
+        break;
+      }
+      if (gate != nullptr && !gate->MayContainReal(labels[j])) {
+        // The gate has no false negatives, so this entry is a padding
+        // dummy; skip the decryption it would have cost.
+        if (stats != nullptr) ++stats->skipped_decrypts;
+        continue;
+      }
+      if (ct->size() < 2 * crypto::Aes128Cbc::kBlockBytes ||
+          ct->size() % crypto::Aes128Cbc::kBlockBytes != 0) {
+        // Structurally malformed stored value (only reachable via foreign
+        // Update entries): treat it as terminal like the per-entry loop
+        // did, but still deliver the valid entries gathered before it.
+        flush();
+        return;
+      }
+      cts.insert(cts.end(), ct->begin(), ct->end());
+      ct_lens.push_back(static_cast<uint32_t>(ct->size()));
+      if (ct_lens.size() >= kDecryptBatch && !flush()) return;
     }
-    if (stats != nullptr) ++stats->decrypts;
-    plaintext.resize(ct->size());
-    size_t written = 0;
-    if (!crypto::Aes128Cbc::DecryptInto(token.value_key, *ct, plaintext,
-                                        &written)
-             .ok() ||
-        written == 0) {
-      break;  // wrong token
-    }
-    if (plaintext[0] == kEmmDummyMarker) continue;
-    results.emplace_back(plaintext.begin() + 1,
-                         plaintext.begin() + static_cast<long>(written));
+    if (miss) break;
   }
+  flush();
 }
 
 }  // namespace rsse::sse

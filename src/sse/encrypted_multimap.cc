@@ -44,10 +44,10 @@ Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
 
   if (threads == 1) {
     // Hot path: encrypt every ciphertext directly into the table arena.
-    Bytes plaintext;
+    EmmBuildScratch scratch;
     for (const auto& [keyword, payloads] : postings) {
       Status s = EncryptKeywordEntries(
-          keyword, payloads, deriver, options.padding.quantum, plaintext,
+          keyword, payloads, deriver, options.padding.quantum, scratch,
           [&index](const Label& label, size_t len) {
             return index.dict_.InsertUninit(label, len);
           });
@@ -66,13 +66,13 @@ Result<EncryptedMultimap> EncryptedMultimap::BuildWithOptions(
   std::vector<Status> shard_status(static_cast<size_t>(threads));
 
   auto worker = [&](int t) {
-    Bytes plaintext;
+    EmmBuildScratch scratch;
     Shard& shard = shards[static_cast<size_t>(t)];
     for (size_t i = static_cast<size_t>(t); i < items.size();
          i += static_cast<size_t>(threads)) {
       Status s = EncryptKeywordEntries(
           items[i]->first, items[i]->second, deriver, options.padding.quantum,
-          plaintext, [&shard](const Label& label, size_t len) {
+          scratch, [&shard](const Label& label, size_t len) {
             shard.labels.push_back(label);
             shard.value_lens.push_back(static_cast<uint32_t>(len));
             const size_t old_size = shard.values.size();

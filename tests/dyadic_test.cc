@@ -47,11 +47,11 @@ TEST(DyadicNodeTest, ChildrenPartitionParent) {
 }
 
 TEST(DyadicNodeTest, KeywordEncodingsUnique) {
-  std::set<Bytes> keywords;
+  std::set<std::string> keywords;
   int count = 0;
   for (int level = 0; level <= 4; ++level) {
     for (uint64_t index = 0; index < (uint64_t{1} << (4 - level)); ++index) {
-      keywords.insert(DyadicNode{level, index}.EncodeKeyword());
+      keywords.insert(ToHex(DyadicNode{level, index}.EncodeKeyword()));
       ++count;
     }
   }

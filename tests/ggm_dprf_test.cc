@@ -32,8 +32,8 @@ TEST(GgmDprfTest, NodeSeedMatchesPaperDelegation) {
 
 TEST(GgmDprfTest, LeafValuesAllDistinct) {
   GgmDprf dprf(crypto::GenerateKey(), 5);
-  std::set<Bytes> values;
-  for (uint64_t v = 0; v < 32; ++v) values.insert(dprf.Eval(v));
+  std::set<std::string> values;
+  for (uint64_t v = 0; v < 32; ++v) values.insert(ToHex(dprf.Eval(v)));
   EXPECT_EQ(values.size(), 32u);
 }
 
@@ -61,12 +61,16 @@ TEST(GgmDprfTest, DelegationCoversRangeExactly) {
       for (uint64_t hi = lo; hi < 64; hi += 7) {
         std::vector<GgmDprf::Token> tokens =
             dprf.Delegate(Range{lo, hi}, technique, rng);
-        std::set<Bytes> derived;
+        std::set<std::string> derived;
         for (const auto& t : tokens) {
-          for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(leaf);
+          for (const Bytes& leaf : GgmDprf::Expand(t)) {
+            derived.insert(ToHex(leaf));
+          }
         }
-        std::set<Bytes> expected;
-        for (uint64_t v = lo; v <= hi; ++v) expected.insert(dprf.Eval(v));
+        std::set<std::string> expected;
+        for (uint64_t v = lo; v <= hi; ++v) {
+          expected.insert(ToHex(dprf.Eval(v)));
+        }
         EXPECT_EQ(derived, expected)
             << "range [" << lo << "," << hi << "] technique "
             << (technique == CoverTechnique::kBrc ? "BRC" : "URC");
@@ -123,13 +127,13 @@ TEST(GgmDprfTest, LargeDomainDelegationConsistent) {
   const Range r{lo, lo + 40};
   std::vector<GgmDprf::Token> tokens =
       dprf.Delegate(r, CoverTechnique::kUrc, rng);
-  std::set<Bytes> derived;
+  std::set<std::string> derived;
   for (const auto& t : tokens) {
-    for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(leaf);
+    for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(ToHex(leaf));
   }
   EXPECT_EQ(derived.size(), r.Size());
   for (uint64_t v = r.lo; v <= r.hi; ++v) {
-    EXPECT_TRUE(derived.count(dprf.Eval(v))) << "missing leaf " << v;
+    EXPECT_TRUE(derived.count(ToHex(dprf.Eval(v)))) << "missing leaf " << v;
   }
 }
 
@@ -177,12 +181,14 @@ TEST(GgmDprfTest, AesBackendDelegationConsistent) {
   Rng rng(11);
   GgmDprf dprf(crypto::GenerateKey(), 8);
   const Range r{37, 200};
-  std::set<Bytes> derived;
+  std::set<std::string> derived;
   for (const auto& t : dprf.Delegate(r, CoverTechnique::kBrc, rng)) {
-    for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(leaf);
+    for (const Bytes& leaf : GgmDprf::Expand(t)) derived.insert(ToHex(leaf));
   }
-  std::set<Bytes> expected;
-  for (uint64_t v = r.lo; v <= r.hi; ++v) expected.insert(dprf.Eval(v));
+  std::set<std::string> expected;
+  for (uint64_t v = r.lo; v <= r.hi; ++v) {
+    expected.insert(ToHex(dprf.Eval(v)));
+  }
   EXPECT_EQ(derived, expected);
 }
 

@@ -117,5 +117,57 @@ TEST(PrfTest, EvalIntoRejectsOversizedOutput) {
   EXPECT_FALSE(prf.EvalInto(input, ByteSpan(out, sizeof(out))));
 }
 
+
+TEST(PrfTest, EvalCountersIntoMatchesEvalInto) {
+  // The fused (and, where available, multi-lane SIMD) counter path must be
+  // bit-identical to per-counter EvalInto on the 8-byte big-endian
+  // encoding — these are the dictionary labels F(K1, c), pinned by every
+  // serialized index. Counts straddle the 4- and 8-lane groupings so both
+  // the vector body and the scalar tail are exercised.
+  Prf prf(ToBytes("counter-label-key"));
+  for (const uint64_t start : {uint64_t{0}, uint64_t{5}, uint64_t{1} << 40}) {
+    for (const size_t count : {size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                               size_t{8}, size_t{9}, size_t{31}}) {
+      std::vector<uint8_t> fused(count * 16);
+      ASSERT_TRUE(prf.EvalCountersInto(start, count, ByteSpan(fused), 16));
+      for (size_t i = 0; i < count; ++i) {
+        uint8_t counter[8];
+        const uint64_t c = start + i;
+        for (int b = 0; b < 8; ++b) {
+          counter[b] = static_cast<uint8_t>(c >> (56 - 8 * b));
+        }
+        uint8_t expected[16];
+        ASSERT_TRUE(prf.EvalInto(ConstByteSpan(counter, 8),
+                                 ByteSpan(expected, 16)));
+        EXPECT_EQ(std::memcmp(fused.data() + i * 16, expected, 16), 0)
+            << "start " << start << " count " << count << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(PrfTest, EvalCountersIntoFullWidthOutput) {
+  // out_len = 64 returns whole MACs, matching Eval on the encoded counter.
+  Prf prf(ToBytes("full-width"));
+  std::vector<uint8_t> fused(6 * 64);
+  ASSERT_TRUE(prf.EvalCountersInto(100, 6, ByteSpan(fused), 64));
+  for (size_t i = 0; i < 6; ++i) {
+    Bytes counter;
+    AppendUint64(counter, 100 + i);
+    Bytes expected = prf.Eval(counter);
+    EXPECT_EQ(Bytes(fused.begin() + static_cast<long>(i * 64),
+                    fused.begin() + static_cast<long>((i + 1) * 64)),
+              expected);
+  }
+}
+
+TEST(PrfTest, EvalCountersIntoRejectsBadArguments) {
+  Prf prf(ToBytes("key"));
+  std::vector<uint8_t> out(4 * 16);
+  EXPECT_FALSE(prf.EvalCountersInto(0, 4, ByteSpan(out), 65));  // > 64
+  EXPECT_FALSE(prf.EvalCountersInto(0, 4, ByteSpan(out), 0));
+  EXPECT_FALSE(prf.EvalCountersInto(0, 5, ByteSpan(out), 16));  // short out
+}
+
 }  // namespace
 }  // namespace rsse::crypto

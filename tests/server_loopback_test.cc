@@ -166,7 +166,7 @@ TEST(ServerLoopbackTest, UpdateInsertsSearchableEntries) {
   // and the in-process search of a mirrored store instead.
   sse::PrfKeyDeriver deriver(Bytes(kLabelBytes, 0x66));
   std::vector<std::pair<Label, Bytes>> entries;
-  Bytes scratch;
+  sse::EmmBuildScratch scratch;
   std::vector<Bytes> payloads = {sse::EncodeIdPayload(1),
                                  sse::EncodeIdPayload(2)};
   ASSERT_TRUE(sse::EncryptKeywordEntries(

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "crypto/hmac_prf.h"
+#include "crypto/random.h"
 #include "sse/emm_codec.h"
 #include "sse/encrypted_multimap.h"
 #include "sse/keyword_keys.h"
@@ -14,6 +16,17 @@ namespace rsse::shard {
 namespace {
 
 Bytes FixedKey(uint8_t fill) { return Bytes(kLabelBytes, fill); }
+
+// Hex strings rather than raw Bytes: GCC 12's -Werror=stringop-overread
+// misfires on sorting std::vector<std::vector<uint8_t>> in optimized
+// builds.
+std::vector<std::string> Sorted(const std::vector<Bytes>& v) {
+  std::vector<std::string> hex;
+  hex.reserve(v.size());
+  for (const Bytes& b : v) hex.push_back(ToHex(b));
+  std::sort(hex.begin(), hex.end());
+  return hex;
+}
 
 sse::PlainMultimap MakePostings(int keywords, int per_keyword) {
   sse::PlainMultimap postings;
@@ -132,7 +145,7 @@ TEST(ShardedEmmTest, InsertRoutesPreEncryptedEntries) {
   Bytes keyword = ToBytes("fresh-keyword");
   std::vector<Bytes> payloads = {sse::EncodeIdPayload(424242)};
   std::vector<std::pair<Label, Bytes>> entries;
-  Bytes scratch;
+  sse::EmmBuildScratch scratch;
   Status s = sse::EncryptKeywordEntries(
       keyword, payloads, deriver, /*pad_quantum=*/0, scratch,
       [&entries](const Label& label, size_t len) {
@@ -148,6 +161,96 @@ TEST(ShardedEmmTest, InsertRoutesPreEncryptedEntries) {
   std::vector<Bytes> hits = store->Search(deriver.Derive(keyword));
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(sse::DecodeIdPayload(hits[0]), 424242u);
+}
+
+
+TEST(ShardedEmmTest, ReshardOnLoadSplitsAndMerges) {
+  // Re-shard on load: a 4-shard blob split to 8 shards and an 8-shard blob
+  // merged to 2 must preserve every entry and every search result, with
+  // entries routed by the target count.
+  sse::PlainMultimap postings = MakePostings(40, 6);
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  for (const auto& [built_shards, target] :
+       std::vector<std::pair<int, int>>{{4, 8}, {8, 2}}) {
+    ShardOptions options;
+    options.shards = built_shards;
+    auto store = ShardedEmm::Build(postings, deriver, options);
+    ASSERT_TRUE(store.ok());
+    Bytes blob = store->Serialize();
+    auto loaded = ShardedEmm::Deserialize(blob, /*threads=*/2, target);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->shard_count(), target);
+    EXPECT_EQ(loaded->EntryCount(), store->EntryCount());
+    EXPECT_EQ(loaded->SizeBytes(), store->SizeBytes());
+    size_t total = 0;
+    for (int s = 0; s < target; ++s) {
+      total += loaded->ShardEntryCount(static_cast<size_t>(s));
+    }
+    EXPECT_EQ(total, loaded->EntryCount());
+    for (uint64_t w = 0; w < 40; ++w) {
+      Bytes keyword;
+      AppendUint64(keyword, w);
+      const sse::KeywordKeys token = deriver.Derive(keyword);
+      EXPECT_EQ(Sorted(loaded->Search(token)), Sorted(store->Search(token)))
+          << "keyword " << w << " (" << built_shards << " -> " << target
+          << " shards)";
+    }
+    // A re-sharded store serializes as a native blob of the target count
+    // and round-trips layout-preserving from there.
+    auto again = ShardedEmm::Deserialize(loaded->Serialize());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->shard_count(), target);
+    EXPECT_EQ(again->EntryCount(), store->EntryCount());
+  }
+}
+
+
+TEST(ShardedEmmTest, MalformedStoredValueEndsSearchAfterValidPrefix) {
+  // A structurally malformed value (possible only via foreign Update
+  // entries) must terminate the counter probe without losing the valid
+  // entries gathered before it in the same decrypt batch.
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  ShardedEmm store = ShardedEmm::WithShards(2);
+  Bytes keyword = ToBytes("w");
+  std::vector<Bytes> payloads = {sse::EncodeIdPayload(7),
+                                 sse::EncodeIdPayload(8)};
+  sse::EmmBuildScratch scratch;
+  std::vector<std::pair<Label, Bytes>> entries;
+  ASSERT_TRUE(sse::EncryptKeywordEntries(
+                  keyword, payloads, deriver, /*pad_quantum=*/0, scratch,
+                  [&entries](const Label& label, size_t len) {
+                    entries.emplace_back(label, Bytes(len));
+                    return ByteSpan(entries.back().second.data(), len);
+                  })
+                  .ok());
+  for (const auto& [label, value] : entries) {
+    store.Insert(label, ConstByteSpan(value.data(), value.size()));
+  }
+  // Plant a 20-byte (unaligned, sub-minimum) value at counter position 2.
+  const sse::KeywordKeys token = deriver.Derive(keyword);
+  crypto::Prf label_prf(token.label_key);
+  Label bad_label;
+  ASSERT_TRUE(label_prf.EvalCountersInto(
+      2, 1, ByteSpan(bad_label.data(), bad_label.size()), kLabelBytes));
+  const Bytes garbage(20, 0xee);
+  store.Insert(bad_label, ConstByteSpan(garbage.data(), garbage.size()));
+
+  const std::vector<Bytes> hits = store.Search(token);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(sse::DecodeIdPayload(hits[0]), 7u);
+  EXPECT_EQ(sse::DecodeIdPayload(hits[1]), 8u);
+}
+
+TEST(ShardedEmmTest, DeserializeKeepsStoredShardsByDefault) {
+  sse::PlainMultimap postings = MakePostings(10, 3);
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  ShardOptions options;
+  options.shards = 4;
+  auto store = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(store.ok());
+  auto loaded = ShardedEmm::Deserialize(store->Serialize());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->shard_count(), 4);
 }
 
 TEST(ShardedEmmTest, ShardOfUsesRoutingBytesOnly) {

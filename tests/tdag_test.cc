@@ -178,11 +178,11 @@ TEST(TdagTest, NodeCountMatchesManualCount) {
 
 TEST(TdagTest, KeywordEncodingsUniqueAcrossNodeKinds) {
   Tdag tdag(4);
-  std::set<Bytes> keywords;
+  std::set<std::string> keywords;
   size_t total = 0;
   for (uint64_t v = 0; v < tdag.leaf_count(); ++v) {
     for (const TdagNode& n : tdag.Cover(v)) {
-      keywords.insert(n.EncodeKeyword());
+      keywords.insert(ToHex(n.EncodeKeyword()));
       ++total;
     }
   }
