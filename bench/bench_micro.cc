@@ -15,6 +15,7 @@
 #include "crypto/random.h"
 #include "crypto/sha.h"
 #include "dprf/ggm_dprf.h"
+#include "rsse/local_backend.h"
 #include "shard/sharded_emm.h"
 #include "sse/encrypted_multimap.h"
 #include "sse/packed_multimap.h"
@@ -324,6 +325,36 @@ void BM_EmmSearch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EmmSearch)->Arg(10)->Arg(1000)->Arg(10000);
+
+void BM_KeywordTokenSearch(benchmark::State& state) {
+  // Server-side keyword-token resolve path: one LocalBackend::Resolve
+  // over a batch of per-keyword tokens against the sharded dictionary —
+  // exactly what the wire's SearchKeyword handler and every TDAG scheme's
+  // local search run per query. Arg = tokens per batch (16 postings per
+  // keyword); items/s counts retrieved postings.
+  constexpr int64_t kKeywords = 256;
+  constexpr int64_t kPerKeyword = 16;
+  sse::PlainMultimap postings = MakeBuildPostings(kKeywords, kPerKeyword);
+  sse::PrfKeyDeriver deriver(crypto::GenerateKey());
+  shard::ShardOptions options;
+  options.shards = 4;
+  auto store = shard::ShardedEmm::Build(postings, deriver, options);
+  LocalBackend backend;
+  backend.AddEmmStore(kPrimaryStore, &store.value(), nullptr);
+  TokenSet tokens;
+  for (int64_t w = 0; w < state.range(0); ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, static_cast<uint64_t>(w % kKeywords));
+    tokens.keyword.push_back(deriver.Derive(keyword));
+  }
+  for (auto _ : state) {
+    auto resolved = backend.Resolve(tokens);
+    benchmark::DoNotOptimize(resolved);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          kPerKeyword);
+}
+BENCHMARK(BM_KeywordTokenSearch)->Arg(16)->Arg(256);
 
 void BM_PackedSearch(benchmark::State& state) {
   // Ablation: the paper's space-efficient packed SSE backend (TSet-style,

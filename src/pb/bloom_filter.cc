@@ -78,4 +78,42 @@ bool BloomFilter::MayContain(ConstByteSpan trapdoor) const {
   return true;
 }
 
+void BloomFilter::AppendTo(Bytes& out) const {
+  AppendUint64(out, num_bits_);
+  AppendUint32(out, static_cast<uint32_t>(num_hashes_));
+  AppendUint64(out, node_salt_);
+  AppendUint64(out, bits_.size());
+  for (uint64_t word : bits_) AppendUint64(out, word);
+}
+
+Result<BloomFilter> BloomFilter::ReadFrom(const Bytes& blob, size_t& offset) {
+  const auto remaining = [&] { return blob.size() - offset; };
+  if (remaining() < 8 + 4 + 8 + 8) {
+    return Status::InvalidArgument("bloom filter header truncated");
+  }
+  const uint64_t num_bits = ReadUint64(blob, offset);
+  const uint32_t num_hashes = ReadUint32(blob, offset + 8);
+  const uint64_t node_salt = ReadUint64(blob, offset + 12);
+  const uint64_t word_count = ReadUint64(blob, offset + 20);
+  offset += 28;
+  if (num_bits == 0 || num_hashes == 0 || num_hashes > 256) {
+    return Status::InvalidArgument("bloom filter sizing out of range");
+  }
+  // Overflow-safe word-count check: (num_bits + 63) / 64 wraps for
+  // num_bits near 2^64, which would accept an empty bit vector and send
+  // the first probe out of bounds.
+  const uint64_t needed_words = num_bits / 64 + (num_bits % 64 == 0 ? 0 : 1);
+  if (word_count != needed_words || word_count > remaining() / 8) {
+    return Status::InvalidArgument("bloom filter word count inconsistent");
+  }
+  std::vector<uint64_t> bits;
+  bits.reserve(static_cast<size_t>(word_count));
+  for (uint64_t i = 0; i < word_count; ++i) {
+    bits.push_back(ReadUint64(blob, offset));
+    offset += 8;
+  }
+  return BloomFilter(num_bits, static_cast<int>(num_hashes), node_salt,
+                     std::move(bits));
+}
+
 }  // namespace rsse::pb

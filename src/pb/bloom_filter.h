@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/status.h"
 
 namespace rsse::pb {
 
@@ -38,7 +39,23 @@ class BloomFilter {
   /// Number of hash functions the sizing rule picks for `fp_rate`.
   static int HashCountFor(double fp_rate);
 
+  /// Appends the filter's full state (sizing, salt, bit words) to `out`;
+  /// the streaming form used by `FilterTreeIndex::Serialize` and the
+  /// Bloom-gate Setup blobs.
+  void AppendTo(Bytes& out) const;
+
+  /// Reads one filter back from `blob[offset...]`, advancing `offset`.
+  /// INVALID_ARGUMENT on truncated or inconsistent input (the word count
+  /// is validated against both the declared bit count and the remaining
+  /// bytes, so a hostile blob cannot drive an oversized allocation).
+  static Result<BloomFilter> ReadFrom(const Bytes& blob, size_t& offset);
+
  private:
+  BloomFilter(uint64_t num_bits, int num_hashes, uint64_t node_salt,
+              std::vector<uint64_t> bits)
+      : num_bits_(num_bits), num_hashes_(num_hashes), node_salt_(node_salt),
+        bits_(std::move(bits)) {}
+
   /// The i-th probe position for a trapdoor.
   uint64_t Position(uint64_t h1, uint64_t h2, int i) const;
 

@@ -1,0 +1,144 @@
+#include "pb/filter_tree.h"
+
+namespace rsse::pb {
+
+namespace {
+
+/// Blob magic: "RSFT" + format version 1.
+constexpr uint32_t kFilterTreeMagic = 0x52534654;
+constexpr uint32_t kFilterTreeVersion = 1;
+
+}  // namespace
+
+int64_t FilterTreeIndex::AddNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int64_t>(nodes_.size()) - 1;
+}
+
+void FilterTreeIndex::LinkChildren(int64_t parent, int64_t left,
+                                   int64_t right) {
+  nodes_[static_cast<size_t>(parent)].left = left;
+  nodes_[static_cast<size_t>(parent)].right = right;
+}
+
+std::vector<uint64_t> FilterTreeIndex::Search(
+    const std::vector<Bytes>& trapdoors) const {
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> stack;
+  if (root_ >= 0) stack.push_back(root_);
+  while (!stack.empty()) {
+    const int64_t idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    bool match = false;
+    for (const Bytes& t : trapdoors) {
+      if (node.filter.MayContain(t)) {
+        match = true;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (node.is_leaf) {
+      ids.push_back(node.leaf_id);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return ids;
+}
+
+size_t FilterTreeIndex::LeafCount() const {
+  size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) ++leaves;
+  }
+  return leaves;
+}
+
+size_t FilterTreeIndex::SizeBytes() const {
+  size_t bytes = 0;
+  for (const Node& node : nodes_) {
+    bytes += node.filter.SizeBytes();
+    if (node.is_leaf) bytes += sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+Bytes FilterTreeIndex::Serialize() const {
+  Bytes out;
+  AppendUint32(out, kFilterTreeMagic);
+  AppendUint32(out, kFilterTreeVersion);
+  AppendUint64(out, nodes_.size());
+  AppendUint64(out, static_cast<uint64_t>(root_));
+  for (const Node& node : nodes_) {
+    AppendUint64(out, static_cast<uint64_t>(node.left));
+    AppendUint64(out, static_cast<uint64_t>(node.right));
+    AppendUint64(out, node.leaf_id);
+    AppendByte(out, node.is_leaf ? 1 : 0);
+    node.filter.AppendTo(out);
+  }
+  return out;
+}
+
+Result<FilterTreeIndex> FilterTreeIndex::Deserialize(const Bytes& blob) {
+  if (blob.size() < 24) {
+    return Status::InvalidArgument("filter tree blob truncated");
+  }
+  if (ReadUint32(blob, 0) != kFilterTreeMagic ||
+      ReadUint32(blob, 4) != kFilterTreeVersion) {
+    return Status::InvalidArgument("not a filter tree blob");
+  }
+  const uint64_t node_count = ReadUint64(blob, 8);
+  const int64_t root = static_cast<int64_t>(ReadUint64(blob, 16));
+  size_t offset = 24;
+  // Every node costs at least its 25-byte header; reject counts the blob
+  // cannot possibly hold before reserving.
+  if (node_count > (blob.size() - offset) / 25) {
+    return Status::InvalidArgument("filter tree node count inconsistent");
+  }
+  FilterTreeIndex tree;
+  tree.nodes_.reserve(static_cast<size_t>(node_count));
+  for (uint64_t i = 0; i < node_count; ++i) {
+    if (blob.size() - offset < 25) {
+      return Status::InvalidArgument("filter tree node truncated");
+    }
+    const int64_t left = static_cast<int64_t>(ReadUint64(blob, offset));
+    const int64_t right = static_cast<int64_t>(ReadUint64(blob, offset + 8));
+    const uint64_t leaf_id = ReadUint64(blob, offset + 16);
+    const uint8_t is_leaf = blob[offset + 24];
+    offset += 25;
+    if (is_leaf > 1) {
+      return Status::InvalidArgument("filter tree leaf flag out of range");
+    }
+    // Children of an inner node must both exist and point strictly
+    // downward (the build appends children after their parent), so the
+    // descent of a hostile blob terminates and never indexes out of
+    // bounds; leaves must not link children at all.
+    const auto strictly_below = [&](int64_t child) {
+      return child > static_cast<int64_t>(i) &&
+             static_cast<uint64_t>(child) < node_count;
+    };
+    if (is_leaf == 0 && (!strictly_below(left) || !strictly_below(right))) {
+      return Status::InvalidArgument("filter tree node links out of range");
+    }
+    if (is_leaf == 1 && (left != -1 || right != -1)) {
+      return Status::InvalidArgument("filter tree leaf links a child");
+    }
+    Result<BloomFilter> filter = BloomFilter::ReadFrom(blob, offset);
+    if (!filter.ok()) return filter.status();
+    tree.nodes_.push_back(Node{std::move(filter).value(), left, right,
+                               leaf_id, is_leaf == 1});
+  }
+  if (offset != blob.size()) {
+    return Status::InvalidArgument("filter tree trailing bytes");
+  }
+  if (!(root == -1 ||
+        (root >= 0 && static_cast<uint64_t>(root) < node_count))) {
+    return Status::InvalidArgument("filter tree root out of range");
+  }
+  tree.root_ = root;
+  return tree;
+}
+
+}  // namespace rsse::pb

@@ -1,0 +1,74 @@
+#ifndef RSSE_PB_FILTER_TREE_H_
+#define RSSE_PB_FILTER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "pb/bloom_filter.h"
+
+namespace rsse::pb {
+
+/// The *server half* of the Li et al. baseline: the binary tree of keyed
+/// Bloom filters that PB's Setup outsources. The owner half (`PbScheme`)
+/// builds the tree and derives query trapdoors; this object answers them —
+/// descending from the root wherever a node filter claims containment of
+/// any query trapdoor and returning the ids at the reached leaves.
+///
+/// The tree is serializable, so a standalone `rsse_serverd` can host it
+/// (StoreKind::kFilterTree) and resolve PB queries shipped as opaque
+/// trapdoor tokens; the blob holds only salted filter bits and tuple ids —
+/// exactly the server's view in the original protocol.
+class FilterTreeIndex {
+ public:
+  struct Node {
+    BloomFilter filter;
+    /// Children indices into the node vector, or -1. A leaf stores one
+    /// tuple id.
+    int64_t left = -1;
+    int64_t right = -1;
+    uint64_t leaf_id = 0;
+    bool is_leaf = false;
+  };
+
+  FilterTreeIndex() = default;
+
+  /// Appends a node and returns its index (build-side use; children may be
+  /// linked after the fact via `LinkChildren`).
+  int64_t AddNode(Node node);
+  void LinkChildren(int64_t parent, int64_t left, int64_t right);
+  void SetRoot(int64_t root) { root_ = root; }
+  void Reserve(size_t nodes) { nodes_.reserve(nodes); }
+
+  /// Build-side access to a node (the reference is invalidated by the
+  /// next `AddNode`).
+  Node& node(int64_t index) { return nodes_[static_cast<size_t>(index)]; }
+
+  /// Descends wherever a node filter may contain any of `trapdoors`;
+  /// returns the tuple ids at the reached leaves (PB's inherent Bloom
+  /// false positives included).
+  std::vector<uint64_t> Search(const std::vector<Bytes>& trapdoors) const;
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t LeafCount() const;
+
+  /// Filter bits + per-leaf ids; the index-size metric of Fig. 5.
+  size_t SizeBytes() const;
+
+  /// Serializes the tree for shipping to a standalone server.
+  Bytes Serialize() const;
+
+  /// Restores a tree from `Serialize` output; INVALID_ARGUMENT on a
+  /// corrupt or foreign blob (child indices are validated, so a hostile
+  /// blob cannot drive the descent out of bounds).
+  static Result<FilterTreeIndex> Deserialize(const Bytes& blob);
+
+ private:
+  std::vector<Node> nodes_;
+  int64_t root_ = -1;
+};
+
+}  // namespace rsse::pb
+
+#endif  // RSSE_PB_FILTER_TREE_H_

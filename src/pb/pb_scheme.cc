@@ -1,6 +1,5 @@
 #include "pb/pb_scheme.h"
 
-#include "common/stats.h"
 #include "cover/brc.h"
 #include "cover/dyadic.h"
 #include "crypto/random.h"
@@ -10,32 +9,32 @@ namespace rsse::pb {
 PbScheme::PbScheme(uint64_t rng_seed, double fp_rate)
     : rng_(rng_seed), fp_rate_(fp_rate) {}
 
-Bytes PbScheme::Trapdoor(const Bytes& element) const {
+Bytes PbScheme::ElementTrapdoor(const Bytes& element) const {
   return trapdoor_prf_->EvalTrunc(element, crypto::kLambdaBytes);
 }
 
 int64_t PbScheme::BuildNode(const std::vector<std::vector<Bytes>>& trapdoors,
                             size_t lo, size_t hi,
                             const std::vector<Record>& records) {
-  const int64_t index = static_cast<int64_t>(nodes_.size());
   const uint64_t expected =
       static_cast<uint64_t>(hi - lo) * trapdoors[lo].size();
-  nodes_.push_back(TreeNode{
-      BloomFilter(expected, fp_rate_, /*node_salt=*/static_cast<uint64_t>(index)),
+  const int64_t index = tree_.AddNode(FilterTreeIndex::Node{
+      BloomFilter(expected, fp_rate_,
+                  /*node_salt=*/static_cast<uint64_t>(tree_.NodeCount())),
       -1, -1, 0, false});
+  FilterTreeIndex::Node& node = tree_.node(index);
   for (size_t i = lo; i < hi; ++i) {
-    for (const Bytes& t : trapdoors[i]) nodes_[index].filter.Insert(t);
+    for (const Bytes& t : trapdoors[i]) node.filter.Insert(t);
   }
   if (hi - lo == 1) {
-    nodes_[index].is_leaf = true;
-    nodes_[index].leaf_id = records[lo].id;
+    node.is_leaf = true;
+    node.leaf_id = records[lo].id;
     return index;
   }
   const size_t mid = lo + (hi - lo) / 2;
   int64_t left = BuildNode(trapdoors, lo, mid, records);
   int64_t right = BuildNode(trapdoors, mid, hi, records);
-  nodes_[index].left = left;
-  nodes_[index].right = right;
+  tree_.LinkChildren(index, left, right);
   return index;
 }
 
@@ -55,67 +54,41 @@ Status PbScheme::Build(const Dataset& dataset) {
   std::vector<std::vector<Bytes>> trapdoors(records.size());
   for (size_t i = 0; i < records.size(); ++i) {
     for (const DyadicNode& dr : PathToRoot(records[i].attr, bits_)) {
-      trapdoors[i].push_back(Trapdoor(dr.EncodeKeyword()));
+      trapdoors[i].push_back(ElementTrapdoor(dr.EncodeKeyword()));
     }
   }
 
-  nodes_.clear();
-  nodes_.reserve(2 * records.size());
-  root_ = records.empty() ? -1
-                          : BuildNode(trapdoors, 0, records.size(), records);
-
-  index_size_bytes_ = 0;
-  for (const TreeNode& node : nodes_) {
-    index_size_bytes_ += node.filter.SizeBytes();
-    if (node.is_leaf) index_size_bytes_ += sizeof(uint64_t);
-  }
+  tree_ = FilterTreeIndex();
+  tree_.Reserve(2 * records.size());
+  tree_.SetRoot(records.empty()
+                    ? -1
+                    : BuildNode(trapdoors, 0, records.size(), records));
   built_ = true;
   return Status::Ok();
 }
 
-Result<QueryResult> PbScheme::Query(const Range& query) {
-  if (!built_) return Status::FailedPrecondition("Build() not called");
-  Range r = query;
-  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
-
-  QueryResult result;
-
-  // Owner: one trapdoor per minimal dyadic range of the query.
-  WallTimer trapdoor_timer;
-  std::vector<Bytes> query_trapdoors;
+Result<rsse::TokenSet> PbScheme::Trapdoor(const Range& r) {
+  rsse::TokenSet tokens;
   for (const DyadicNode& node : BestRangeCover(r, bits_)) {
-    query_trapdoors.push_back(Trapdoor(node.EncodeKeyword()));
+    tokens.opaque.push_back(ElementTrapdoor(node.EncodeKeyword()));
   }
-  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
-  result.token_count = query_trapdoors.size();
-  for (const Bytes& t : query_trapdoors) result.token_bytes += t.size();
+  return tokens;
+}
 
-  // Server: descend wherever a node filter claims containment of any
-  // query dyadic range.
-  WallTimer search_timer;
-  std::vector<int64_t> stack;
-  if (root_ >= 0) stack.push_back(root_);
-  while (!stack.empty()) {
-    int64_t idx = stack.back();
-    stack.pop_back();
-    const TreeNode& node = nodes_[static_cast<size_t>(idx)];
-    bool match = false;
-    for (const Bytes& t : query_trapdoors) {
-      if (node.filter.MayContain(t)) {
-        match = true;
-        break;
-      }
-    }
-    if (!match) continue;
-    if (node.is_leaf) {
-      result.ids.push_back(node.leaf_id);
-    } else {
-      stack.push_back(node.left);
-      stack.push_back(node.right);
-    }
-  }
-  result.search_nanos = search_timer.ElapsedNanos();
-  return result;
+SearchBackend& PbScheme::local_backend() {
+  backend_.Clear();
+  backend_.AddFilterTreeStore(rsse::kPrimaryStore, &tree_);
+  return backend_;
+}
+
+Result<ServerSetup> PbScheme::ExportServerSetup() const {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  ServerSetup setup;
+  setup.stores.push_back(StoreSetup{rsse::kPrimaryStore,
+                                    StoreKind::kFilterTree,
+                                    tree_.Serialize(),
+                                    {}});
+  return setup;
 }
 
 std::unique_ptr<RangeScheme> MakePbScheme(uint64_t rng_seed, double fp_rate) {

@@ -8,7 +8,8 @@
 #include "common/rng.h"
 #include "crypto/hmac_prf.h"
 #include "data/dataset.h"
-#include "pb/bloom_filter.h"
+#include "pb/filter_tree.h"
+#include "rsse/local_backend.h"
 #include "rsse/scheme.h"
 
 namespace rsse::pb {
@@ -22,11 +23,16 @@ namespace rsse::pb {
 /// from the root wherever a node filter claims containment of any query
 /// range, returning the ids at the reached leaves.
 ///
+/// The party split mirrors the other schemes: the owner half derives one
+/// keyed trapdoor per minimal dyadic range (shipped as opaque tokens); the
+/// server half is a `FilterTreeIndex` — serializable, so `rsse_serverd`
+/// can host PB alongside the encrypted dictionaries.
+///
 /// Costs (Table 1): O(n log n log m) storage, query size O(log R), search
 /// Ω(log n log R + r), O(r) false positives (inherent to Bloom filters),
 /// no updates. Security: non-adaptive, trapdoor privacy not protected —
 /// strictly weaker than every scheme in this library (Section 2.1).
-class PbScheme : public RangeScheme {
+class PbScheme : public RangeScheme, public TrapdoorGenerator {
  public:
   /// `fp_rate` is the per-node Bloom filter false-positive ratio ([26]
   /// fixes this ratio at each node). The default keeps overall false
@@ -36,21 +42,17 @@ class PbScheme : public RangeScheme {
 
   SchemeId id() const override { return SchemeId::kPb; }
   Status Build(const Dataset& dataset) override;
-  size_t IndexSizeBytes() const override { return index_size_bytes_; }
-  Result<QueryResult> Query(const Range& r) override;
+  size_t IndexSizeBytes() const override { return tree_.SizeBytes(); }
+
+  /// Owner half: one keyed trapdoor per minimal dyadic range.
+  Result<rsse::TokenSet> Trapdoor(const Range& r) override;
+  TrapdoorGenerator& trapdoors() override { return *this; }
+  SearchBackend& local_backend() override;
+  Result<ServerSetup> ExportServerSetup() const override;
 
  private:
-  struct TreeNode {
-    BloomFilter filter;
-    // Children indices into nodes_, or -1. A leaf stores one tuple id.
-    int64_t left = -1;
-    int64_t right = -1;
-    uint64_t leaf_id = 0;
-    bool is_leaf = false;
-  };
-
   /// The keyed trapdoor for one dyadic-range element.
-  Bytes Trapdoor(const Bytes& element) const;
+  Bytes ElementTrapdoor(const Bytes& element) const;
 
   /// Recursively builds the node for `records[lo, hi)`; `trapdoors[i]` are
   /// the precomputed DR trapdoors of `records[i]`. Returns the node index.
@@ -60,13 +62,10 @@ class PbScheme : public RangeScheme {
 
   Rng rng_;
   double fp_rate_;
-  Domain domain_;
   int bits_ = 0;
   std::unique_ptr<crypto::Prf> trapdoor_prf_;
-  std::vector<TreeNode> nodes_;
-  int64_t root_ = -1;
-  size_t index_size_bytes_ = 0;
-  bool built_ = false;
+  FilterTreeIndex tree_;
+  LocalBackend backend_;
 };
 
 /// Factory mirroring rsse::MakeScheme for the baseline.

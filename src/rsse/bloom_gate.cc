@@ -36,4 +36,34 @@ bool BloomLabelGate::MayContainReal(const Label& label) const {
   return bloom_.MayContain(ConstByteSpan(label.data(), label.size()));
 }
 
+namespace {
+
+/// Gate blob magic: "RSBG" + format version 1.
+constexpr uint32_t kBloomGateMagic = 0x52534247;
+constexpr uint32_t kBloomGateVersion = 1;
+
+}  // namespace
+
+Bytes BloomLabelGate::Serialize() const {
+  Bytes out;
+  AppendUint32(out, kBloomGateMagic);
+  AppendUint32(out, kBloomGateVersion);
+  bloom_.AppendTo(out);
+  return out;
+}
+
+Result<BloomLabelGate> BloomLabelGate::Deserialize(const Bytes& blob) {
+  if (blob.size() < 8 || ReadUint32(blob, 0) != kBloomGateMagic ||
+      ReadUint32(blob, 4) != kBloomGateVersion) {
+    return Status::InvalidArgument("not a bloom gate blob");
+  }
+  size_t offset = 8;
+  Result<pb::BloomFilter> bloom = pb::BloomFilter::ReadFrom(blob, offset);
+  if (!bloom.ok()) return bloom.status();
+  if (offset != blob.size()) {
+    return Status::InvalidArgument("bloom gate trailing bytes");
+  }
+  return BloomLabelGate(std::move(bloom).value());
+}
+
 }  // namespace rsse

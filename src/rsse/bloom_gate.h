@@ -45,7 +45,18 @@ class BloomLabelGate : public sse::LabelGate {
 
   size_t SizeBytes() const { return bloom_.SizeBytes(); }
 
+  /// Serializes the populated gate so Setup can ship it alongside the
+  /// index blob (the gate is server-side state: it holds only filter bits
+  /// over pseudorandom labels).
+  Bytes Serialize() const;
+
+  /// Restores a gate from `Serialize` output; INVALID_ARGUMENT on a
+  /// corrupt or foreign blob.
+  static Result<BloomLabelGate> Deserialize(const Bytes& blob);
+
  private:
+  explicit BloomLabelGate(pb::BloomFilter bloom) : bloom_(std::move(bloom)) {}
+
   pb::BloomFilter bloom_;
 };
 

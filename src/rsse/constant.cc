@@ -1,10 +1,5 @@
 #include "rsse/constant.h"
 
-#include <algorithm>
-
-#include "common/env.h"
-#include "common/parallel.h"
-#include "common/stats.h"
 #include "crypto/random.h"
 #include "sse/keyword_keys.h"
 
@@ -69,10 +64,7 @@ std::vector<GgmDprf::Token> ConstantScheme::Delegate(const Range& r) {
   return dprf_->Delegate(r, technique_, rng_);
 }
 
-Result<QueryResult> ConstantScheme::Query(const Range& query) {
-  if (!built_) return Status::FailedPrecondition("Build() not called");
-  Range r = query;
-  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
+Result<TokenSet> ConstantScheme::Trapdoor(const Range& r) {
   if (guard_enabled_) {
     for (const Range& past : history_) {
       if (r.Intersects(past)) {
@@ -82,51 +74,18 @@ Result<QueryResult> ConstantScheme::Query(const Range& query) {
     }
     history_.push_back(r);
   }
+  TokenSet tokens;
+  tokens.ggm = Delegate(r);
+  return tokens;
+}
 
-  QueryResult result;
+SearchBackend& ConstantScheme::local_backend() {
+  return ConfigureSingleEmmBackend(backend_, index_, nullptr,
+                                   search_threads_);
+}
 
-  // Owner: delegate the GGM seeds for the BRC/URC cover of r.
-  WallTimer trapdoor_timer;
-  std::vector<GgmDprf::Token> tokens = Delegate(r);
-  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
-  result.token_count = tokens.size();
-  for (const GgmDprf::Token& t : tokens) {
-    result.token_bytes += t.seed.size() + 1;  // seed + level byte
-  }
-
-  // Server: expand each token to the leaf DPRF values and run SSE search
-  // per derived per-value token. Covering nodes are independent, so they
-  // shard across worker threads; within a worker, the leaf buffer and key
-  // pair are reused across expansions (zero steady-state allocation).
-  WallTimer search_timer;
-  const int threads = static_cast<int>(std::min<size_t>(
-      static_cast<size_t>(
-          ResolveThreadCount(search_threads_, "RSSE_SEARCH_THREADS")),
-      tokens.size()));
-  std::vector<std::vector<uint64_t>> per_token(tokens.size());
-  auto worker = [&](int t) {
-    std::vector<Label> leaves;
-    sse::KeywordKeys keys;
-    for (size_t i = static_cast<size_t>(t); i < tokens.size();
-         i += static_cast<size_t>(threads)) {
-      if (!GgmDprf::ExpandInto(tokens[i], leaves)) continue;
-      for (const Label& leaf : leaves) {
-        sse::KeysFromSharedSecretInto(ConstByteSpan(leaf.data(), leaf.size()),
-                                      keys);
-        for (const Bytes& payload : index_.Search(keys)) {
-          if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
-            per_token[i].push_back(*id);
-          }
-        }
-      }
-    }
-  };
-  RunWorkers(threads, worker);
-  for (const std::vector<uint64_t>& ids : per_token) {
-    result.ids.insert(result.ids.end(), ids.begin(), ids.end());
-  }
-  result.search_nanos = search_timer.ElapsedNanos();
-  return result;
+Result<ServerSetup> ConstantScheme::ExportServerSetup() const {
+  return SingleEmmServerSetup(built_, index_);
 }
 
 }  // namespace rsse

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "dprf/ggm_dprf.h"
+#include "rsse/local_backend.h"
 #include "rsse/scheme.h"
 #include "shard/sharded_emm.h"
 
@@ -22,7 +23,7 @@ namespace rsse {
 /// The schemes are secure only for non-intersecting queries (an inherent
 /// DPRF limitation, Section 5); `EnableIntersectionGuard` turns on the
 /// application-level history check the paper suggests.
-class ConstantScheme : public RangeScheme {
+class ConstantScheme : public RangeScheme, public TrapdoorGenerator {
  public:
   ConstantScheme(CoverTechnique technique, uint64_t rng_seed = 1);
 
@@ -32,7 +33,13 @@ class ConstantScheme : public RangeScheme {
   }
   Status Build(const Dataset& dataset) override;
   size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
-  Result<QueryResult> Query(const Range& r) override;
+
+  /// Owner half: delegates the GGM seeds of the BRC/URC cover (and runs
+  /// the intersection guard, when enabled, before any token leaves).
+  Result<TokenSet> Trapdoor(const Range& r) override;
+  TrapdoorGenerator& trapdoors() override { return *this; }
+  SearchBackend& local_backend() override;
+  Result<ServerSetup> ExportServerSetup() const override;
 
   /// Enforce the paper's non-intersecting-query constraint: a query that
   /// intersects any previously issued one fails with FAILED_PRECONDITION.
@@ -62,11 +69,10 @@ class ConstantScheme : public RangeScheme {
  private:
   CoverTechnique technique_;
   Rng rng_;
-  Domain domain_;
   int bits_ = 0;
   std::unique_ptr<GgmDprf> dprf_;
   shard::ShardedEmm index_;
-  bool built_ = false;
+  LocalBackend backend_;
   bool guard_enabled_ = false;
   int search_threads_ = 0;
   int shards_ = 0;

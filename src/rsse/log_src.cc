@@ -1,6 +1,5 @@
 #include "rsse/log_src.h"
 
-#include "common/stats.h"
 #include "crypto/random.h"
 #include "sse/keyword_keys.h"
 
@@ -27,9 +26,10 @@ Status LogarithmicSrcScheme::Build(const Dataset& dataset) {
   for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
 
   sse::PrfKeyDeriver deriver(master_key_);
-  sse::PaddingPolicy padding{pad_quantum_};
-  Result<sse::EncryptedMultimap> index =
-      sse::EncryptedMultimap::Build(postings, deriver, padding);
+  shard::ShardOptions options;
+  options.padding = sse::PaddingPolicy{pad_quantum_};
+  Result<shard::ShardedEmm> index =
+      shard::ShardedEmm::Build(postings, deriver, options);
   if (!index.ok()) return index.status();
   index_ = std::move(index).value();
 
@@ -47,31 +47,20 @@ Status LogarithmicSrcScheme::Build(const Dataset& dataset) {
   return Status::Ok();
 }
 
-Result<QueryResult> LogarithmicSrcScheme::Query(const Range& query) {
-  if (!built_) return Status::FailedPrecondition("Build() not called");
-  Range r = query;
-  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
-
-  QueryResult result;
-
-  WallTimer trapdoor_timer;
+Result<TokenSet> LogarithmicSrcScheme::Trapdoor(const Range& r) {
+  TokenSet tokens;
   sse::PrfKeyDeriver deriver(master_key_);
-  const TdagNode node = tdag_->SingleRangeCover(r);
-  sse::KeywordKeys token = deriver.Derive(node.EncodeKeyword());
-  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
-  result.token_count = 1;
-  result.token_bytes = token.label_key.size() + token.value_key.size();
+  tokens.keyword.push_back(
+      deriver.Derive(tdag_->SingleRangeCover(r).EncodeKeyword()));
+  return tokens;
+}
 
-  WallTimer search_timer;
-  sse::SearchStats stats;
-  for (const Bytes& payload : index_.Search(token, gate_.get(), &stats)) {
-    if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
-      result.ids.push_back(*id);
-    }
-  }
-  result.search_nanos = search_timer.ElapsedNanos();
-  result.skipped_decrypts = stats.skipped_decrypts;
-  return result;
+SearchBackend& LogarithmicSrcScheme::local_backend() {
+  return ConfigureSingleEmmBackend(backend_, index_, gate_.get());
+}
+
+Result<ServerSetup> LogarithmicSrcScheme::ExportServerSetup() const {
+  return SingleEmmServerSetup(built_, index_, gate_.get());
 }
 
 }  // namespace rsse

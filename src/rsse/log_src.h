@@ -8,8 +8,9 @@
 #include "cover/tdag.h"
 #include "data/dataset.h"
 #include "rsse/bloom_gate.h"
+#include "rsse/local_backend.h"
 #include "rsse/scheme.h"
-#include "sse/encrypted_multimap.h"
+#include "shard/sharded_emm.h"
 
 namespace rsse {
 
@@ -19,7 +20,7 @@ namespace rsse {
 /// SSE search — constant query size and no result-partitioning or ordering
 /// leakage. The price is false positives: O(R) on uniform data (Lemma 1)
 /// but up to O(n) under heavy skew, which motivates Logarithmic-SRC-i.
-class LogarithmicSrcScheme : public RangeScheme {
+class LogarithmicSrcScheme : public RangeScheme, public TrapdoorGenerator {
  public:
   /// `pad_quantum` > 0 enables the padding the paper's security argument
   /// assumes ("the scheme degenerates to SSE, inheriting its security —
@@ -32,7 +33,12 @@ class LogarithmicSrcScheme : public RangeScheme {
   SchemeId id() const override { return SchemeId::kLogarithmicSrc; }
   Status Build(const Dataset& dataset) override;
   size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
-  Result<QueryResult> Query(const Range& r) override;
+
+  /// Owner half: the single-keyword SRC token.
+  Result<TokenSet> Trapdoor(const Range& r) override;
+  TrapdoorGenerator& trapdoors() override { return *this; }
+  SearchBackend& local_backend() override;
+  Result<ServerSetup> ExportServerSetup() const override;
 
   /// The single TDAG cover node for `r` (exposed for tests).
   TdagNode CoverNode(const Range& r) const { return tdag_->SingleRangeCover(r); }
@@ -43,7 +49,8 @@ class LogarithmicSrcScheme : public RangeScheme {
   /// `QueryResult::skipped_decrypts`. Results are unchanged (no false
   /// negatives); the server learns which entries are padding, so this is
   /// an opt-in perf/leakage trade (see BloomLabelGate). Only effective
-  /// with `pad_quantum` > 0. Call before `Build`.
+  /// with `pad_quantum` > 0. Call before `Build`. The gate ships with the
+  /// index in `ExportServerSetup`, so a remote server gates identically.
   void EnableBloomGate(double fp_rate = 0.01) { bloom_fp_rate_ = fp_rate; }
 
   /// Bytes of the shipped Bloom gate (0 when disabled).
@@ -54,13 +61,12 @@ class LogarithmicSrcScheme : public RangeScheme {
  private:
   Rng rng_;
   uint64_t pad_quantum_;
-  Domain domain_;
   std::unique_ptr<Tdag> tdag_;
   Bytes master_key_;
-  sse::EncryptedMultimap index_;
+  shard::ShardedEmm index_;
+  LocalBackend backend_;
   double bloom_fp_rate_ = 0.0;  // 0 disables the gate
   std::unique_ptr<BloomLabelGate> gate_;
-  bool built_ = false;
 };
 
 }  // namespace rsse

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/stats.h"
 #include "crypto/random.h"
 #include "sse/keyword_keys.h"
 
@@ -89,16 +88,17 @@ Status LogarithmicSrcIScheme::Build(const Dataset& dataset) {
   }
   for (auto& [keyword, payloads] : postings2) rng_.Shuffle(payloads);
 
-  sse::PaddingPolicy padding{pad_quantum_};
+  shard::ShardOptions options;
+  options.padding = sse::PaddingPolicy{pad_quantum_};
   sse::PrfKeyDeriver deriver1(key1_);
-  Result<sse::EncryptedMultimap> i1 =
-      sse::EncryptedMultimap::Build(postings1, deriver1, padding);
+  Result<shard::ShardedEmm> i1 =
+      shard::ShardedEmm::Build(postings1, deriver1, options);
   if (!i1.ok()) return i1.status();
   i1_ = std::move(i1).value();
 
   sse::PrfKeyDeriver deriver2(key2_);
-  Result<sse::EncryptedMultimap> i2 =
-      sse::EncryptedMultimap::Build(postings2, deriver2, padding);
+  Result<shard::ShardedEmm> i2 =
+      shard::ShardedEmm::Build(postings2, deriver2, options);
   if (!i2.ok()) return i2.status();
   i2_ = std::move(i2).value();
 
@@ -123,36 +123,26 @@ Status LogarithmicSrcIScheme::Build(const Dataset& dataset) {
   return Status::Ok();
 }
 
-Result<QueryResult> LogarithmicSrcIScheme::Query(const Range& query) {
-  if (!built_) return Status::FailedPrecondition("Build() not called");
-  Range r = query;
-  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
-
-  QueryResult result;
-
-  // Round 1 — owner: SRC token on TDAG1 for the query range.
-  WallTimer trapdoor_timer;
+Result<TokenSet> LogarithmicSrcIScheme::Trapdoor(const Range& r) {
+  // Round 1: SRC token on TDAG1 for the query range, probing I1.
+  TokenSet tokens;
+  tokens.store = kPrimaryStore;
   sse::PrfKeyDeriver deriver1(key1_);
-  sse::KeywordKeys token1 =
-      deriver1.Derive(tdag1_->SingleRangeCover(r).EncodeKeyword());
-  result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
-  result.token_count = 1;
-  result.token_bytes = token1.label_key.size() + token1.value_key.size();
-  result.rounds = 1;
+  tokens.keyword.push_back(
+      deriver1.Derive(tdag1_->SingleRangeCover(r).EncodeKeyword()));
+  return tokens;
+}
 
-  // Round 1 — server: search I1.
-  WallTimer search_timer;
-  sse::SearchStats stats;
-  std::vector<Bytes> round1 = i1_.Search(token1, gate1_.get(), &stats);
-  result.search_nanos += search_timer.ElapsedNanos();
+Result<std::optional<TokenSet>> LogarithmicSrcIScheme::ContinueTrapdoor(
+    const Range& r, int completed_rounds, const ResolvedIds& prev) {
+  if (completed_rounds != 1) return std::optional<TokenSet>();
 
-  // Owner: keep qualifying (value, position-range) pairs and merge them
-  // into the single contiguous position range w'.
-  trapdoor_timer.Reset();
+  // Keep qualifying (value, position-range) documents and merge them into
+  // the single contiguous position range w'.
   bool any = false;
   uint64_t first = 0;
   uint64_t last = 0;
-  for (const Bytes& payload : round1) {
+  for (const Bytes& payload : prev.payloads) {
     ValueRange vr;
     if (!DecodeValueRange(payload, vr)) continue;
     if (!r.Contains(vr.value)) continue;
@@ -168,30 +158,41 @@ Result<QueryResult> LogarithmicSrcIScheme::Query(const Range& query) {
   if (!any) {
     // No distinct value of the dataset falls in the range: done after one
     // round with an empty (exact) result.
-    result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
-    result.skipped_decrypts = stats.skipped_decrypts;
-    return result;
+    return std::optional<TokenSet>();
   }
 
-  // Round 2 — owner: SRC token on TDAG2 for the merged position range.
+  // Round 2: SRC token on TDAG2 for w', probing I2.
+  TokenSet tokens;
+  tokens.store = kSecondaryStore;
   sse::PrfKeyDeriver deriver2(key2_);
-  sse::KeywordKeys token2 =
-      deriver2.Derive(tdag2_->SingleRangeCover(Range{first, last}).EncodeKeyword());
-  result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
-  result.token_count += 1;
-  result.token_bytes += token2.label_key.size() + token2.value_key.size();
-  result.rounds = 2;
+  tokens.keyword.push_back(deriver2.Derive(
+      tdag2_->SingleRangeCover(Range{first, last}).EncodeKeyword()));
+  return std::optional<TokenSet>(std::move(tokens));
+}
 
-  // Round 2 — server: search I2 for the tuple ids.
-  search_timer.Reset();
-  for (const Bytes& payload : i2_.Search(token2, gate2_.get(), &stats)) {
-    if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
-      result.ids.push_back(*id);
-    }
-  }
-  result.search_nanos += search_timer.ElapsedNanos();
-  result.skipped_decrypts = stats.skipped_decrypts;
-  return result;
+SearchBackend& LogarithmicSrcIScheme::local_backend() {
+  backend_.Clear();
+  backend_.AddEmmStore(kPrimaryStore, &i1_, gate1_.get());
+  backend_.AddEmmStore(kSecondaryStore, &i2_, gate2_.get());
+  return backend_;
+}
+
+Result<ServerSetup> LogarithmicSrcIScheme::ExportServerSetup() const {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  ServerSetup setup;
+  StoreSetup s1;
+  s1.store = kPrimaryStore;
+  s1.kind = StoreKind::kEmm;
+  s1.index_blob = i1_.Serialize();
+  if (gate1_ != nullptr) s1.gate_blob = gate1_->Serialize();
+  setup.stores.push_back(std::move(s1));
+  StoreSetup s2;
+  s2.store = kSecondaryStore;
+  s2.kind = StoreKind::kEmm;
+  s2.index_blob = i2_.Serialize();
+  if (gate2_ != nullptr) s2.gate_blob = gate2_->Serialize();
+  setup.stores.push_back(std::move(s2));
+  return setup;
 }
 
 }  // namespace rsse

@@ -8,8 +8,9 @@
 #include "cover/tdag.h"
 #include "data/dataset.h"
 #include "rsse/bloom_gate.h"
+#include "rsse/local_backend.h"
 #include "rsse/scheme.h"
-#include "sse/encrypted_multimap.h"
+#include "shard/sharded_emm.h"
 
 namespace rsse {
 
@@ -27,7 +28,10 @@ namespace rsse {
 /// owner decrypts the (value, position-range) pairs, keeps those whose
 /// value satisfies the query, merges them into one contiguous position
 /// range w' → SRC token for w' on I2 → server returns the tuple ids.
-class LogarithmicSrcIScheme : public RangeScheme {
+/// I1 is hosted at the primary store slot, I2 at the secondary one; the
+/// round-2 token set is the dependent batch `ContinueTrapdoor` derives
+/// from round 1's resolved documents.
+class LogarithmicSrcIScheme : public RangeScheme, public TrapdoorGenerator {
  public:
   /// `pad_quantum` > 0 pads every posting list of both indexes to a
   /// multiple of the quantum with dummy entries, as in Logarithmic-SRC.
@@ -39,7 +43,19 @@ class LogarithmicSrcIScheme : public RangeScheme {
   size_t IndexSizeBytes() const override {
     return i1_.SizeBytes() + i2_.SizeBytes();
   }
-  Result<QueryResult> Query(const Range& r) override;
+
+  /// Owner half, round 1: the SRC token for the query range on I1.
+  Result<TokenSet> Trapdoor(const Range& r) override;
+
+  /// Owner half, round 2: refine round 1's (value, position-range)
+  /// documents into the merged position range w' and emit the dependent
+  /// SRC token on I2 — or end the protocol when no value qualified.
+  Result<std::optional<TokenSet>> ContinueTrapdoor(
+      const Range& r, int completed_rounds, const ResolvedIds& prev) override;
+
+  TrapdoorGenerator& trapdoors() override { return *this; }
+  SearchBackend& local_backend() override;
+  Result<ServerSetup> ExportServerSetup() const override;
 
   /// Size of the auxiliary index I1 alone; its dependence on the number of
   /// distinct values explains the Gowalla-vs-USPS gap in Fig. 5 / Table 2.
@@ -50,7 +66,7 @@ class LogarithmicSrcIScheme : public RangeScheme {
   /// filters reject (padding dummies); `QueryResult::skipped_decrypts`
   /// totals the savings across both rounds. Same opt-in perf/leakage trade
   /// as Logarithmic-SRC's gate; only effective with `pad_quantum` > 0.
-  /// Call before `Build`.
+  /// Call before `Build`. Both gates ship with `ExportServerSetup`.
   void EnableBloomGate(double fp_rate = 0.01) { bloom_fp_rate_ = fp_rate; }
 
   /// Bytes of the shipped Bloom gates (0 when disabled).
@@ -62,18 +78,17 @@ class LogarithmicSrcIScheme : public RangeScheme {
  private:
   Rng rng_;
   uint64_t pad_quantum_;
-  Domain domain_;
   std::unique_ptr<Tdag> tdag1_;  // over the domain
   std::unique_ptr<Tdag> tdag2_;  // over sorted tuple positions
   Bytes key1_;
   Bytes key2_;
-  sse::EncryptedMultimap i1_;
-  sse::EncryptedMultimap i2_;
+  shard::ShardedEmm i1_;
+  shard::ShardedEmm i2_;
+  LocalBackend backend_;
   double bloom_fp_rate_ = 0.0;  // 0 disables the gates
   std::unique_ptr<BloomLabelGate> gate1_;
   std::unique_ptr<BloomLabelGate> gate2_;
   uint64_t n_ = 0;
-  bool built_ = false;
 };
 
 }  // namespace rsse

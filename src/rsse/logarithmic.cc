@@ -1,6 +1,5 @@
 #include "rsse/logarithmic.h"
 
-#include "common/stats.h"
 #include "cover/brc.h"
 #include "cover/urc.h"
 #include "crypto/random.h"
@@ -29,8 +28,8 @@ Status LogarithmicScheme::Build(const Dataset& dataset) {
   for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
 
   sse::PrfKeyDeriver deriver(master_key_);
-  Result<sse::EncryptedMultimap> index =
-      sse::EncryptedMultimap::Build(postings, deriver);
+  Result<shard::ShardedEmm> index =
+      shard::ShardedEmm::Build(postings, deriver);
   if (!index.ok()) return index.status();
   index_ = std::move(index).value();
   built_ = true;
@@ -42,38 +41,22 @@ std::vector<DyadicNode> LogarithmicScheme::Cover(const Range& r) const {
                                             : UniformRangeCover(r, bits_);
 }
 
-Result<QueryResult> LogarithmicScheme::Query(const Range& query) {
-  if (!built_) return Status::FailedPrecondition("Build() not called");
-  Range r = query;
-  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
-
-  QueryResult result;
-
-  // Owner: one SSE token per cover node, randomly permuted before leaving.
-  WallTimer trapdoor_timer;
+Result<TokenSet> LogarithmicScheme::Trapdoor(const Range& r) {
+  TokenSet tokens;
   sse::PrfKeyDeriver deriver(master_key_);
-  std::vector<sse::KeywordKeys> tokens;
   for (const DyadicNode& node : Cover(r)) {
-    tokens.push_back(deriver.Derive(node.EncodeKeyword()));
+    tokens.keyword.push_back(deriver.Derive(node.EncodeKeyword()));
   }
-  rng_.Shuffle(tokens);
-  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
-  result.token_count = tokens.size();
-  for (const sse::KeywordKeys& t : tokens) {
-    result.token_bytes += t.label_key.size() + t.value_key.size();
-  }
+  rng_.Shuffle(tokens.keyword);
+  return tokens;
+}
 
-  // Server: standard SSE search per token; union of results.
-  WallTimer search_timer;
-  for (const sse::KeywordKeys& token : tokens) {
-    for (const Bytes& payload : index_.Search(token)) {
-      if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
-        result.ids.push_back(*id);
-      }
-    }
-  }
-  result.search_nanos = search_timer.ElapsedNanos();
-  return result;
+SearchBackend& LogarithmicScheme::local_backend() {
+  return ConfigureSingleEmmBackend(backend_, index_);
+}
+
+Result<ServerSetup> LogarithmicScheme::ExportServerSetup() const {
+  return SingleEmmServerSetup(built_, index_);
 }
 
 }  // namespace rsse

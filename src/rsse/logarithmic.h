@@ -7,9 +7,9 @@
 #include "common/rng.h"
 #include "cover/dyadic.h"
 #include "data/dataset.h"
-#include "dprf/ggm_dprf.h"
+#include "rsse/local_backend.h"
 #include "rsse/scheme.h"
-#include "sse/encrypted_multimap.h"
+#include "shard/sharded_emm.h"
 
 namespace rsse {
 
@@ -20,7 +20,7 @@ namespace rsse {
 /// positives, and — unlike the Constant schemes — no DPRF, so the only
 /// structural leakage is the partitioning of the result ids into
 /// per-cover-node groups.
-class LogarithmicScheme : public RangeScheme {
+class LogarithmicScheme : public RangeScheme, public TrapdoorGenerator {
  public:
   LogarithmicScheme(CoverTechnique technique, uint64_t rng_seed = 1);
 
@@ -30,7 +30,13 @@ class LogarithmicScheme : public RangeScheme {
   }
   Status Build(const Dataset& dataset) override;
   size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
-  Result<QueryResult> Query(const Range& r) override;
+
+  /// Owner half: one SSE token per cover node, randomly permuted before
+  /// leaving.
+  Result<TokenSet> Trapdoor(const Range& r) override;
+  TrapdoorGenerator& trapdoors() override { return *this; }
+  SearchBackend& local_backend() override;
+  Result<ServerSetup> ExportServerSetup() const override;
 
   /// The cover this scheme would use for `r` (exposed for leakage tests).
   std::vector<DyadicNode> Cover(const Range& r) const;
@@ -38,11 +44,10 @@ class LogarithmicScheme : public RangeScheme {
  private:
   CoverTechnique technique_;
   Rng rng_;
-  Domain domain_;
   int bits_ = 0;
   Bytes master_key_;
-  sse::EncryptedMultimap index_;
-  bool built_ = false;
+  shard::ShardedEmm index_;
+  LocalBackend backend_;
 };
 
 }  // namespace rsse

@@ -1,6 +1,5 @@
 #include "rsse/naive_value.h"
 
-#include "common/stats.h"
 #include "crypto/random.h"
 #include "sse/keyword_keys.h"
 
@@ -30,46 +29,31 @@ Status NaiveValueScheme::Build(const Dataset& dataset) {
   for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
 
   sse::PrfKeyDeriver deriver(master_key_);
-  Result<sse::EncryptedMultimap> index =
-      sse::EncryptedMultimap::Build(postings, deriver);
+  Result<shard::ShardedEmm> index =
+      shard::ShardedEmm::Build(postings, deriver);
   if (!index.ok()) return index.status();
   index_ = std::move(index).value();
   built_ = true;
   return Status::Ok();
 }
 
-Result<QueryResult> NaiveValueScheme::Query(const Range& query) {
-  if (!built_) return Status::FailedPrecondition("Build() not called");
-  Range r = query;
-  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
-
-  QueryResult result;
-
-  // Owner: one token per covered value — the O(R) query size.
-  WallTimer trapdoor_timer;
+Result<TokenSet> NaiveValueScheme::Trapdoor(const Range& r) {
+  TokenSet tokens;
   sse::PrfKeyDeriver deriver(master_key_);
-  std::vector<sse::KeywordKeys> tokens;
-  tokens.reserve(r.Size());
+  tokens.keyword.reserve(r.Size());
   for (uint64_t v = r.lo; v <= r.hi; ++v) {
-    tokens.push_back(deriver.Derive(ValueKeyword(v)));
+    tokens.keyword.push_back(deriver.Derive(ValueKeyword(v)));
   }
-  rng_.Shuffle(tokens);
-  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
-  result.token_count = tokens.size();
-  for (const sse::KeywordKeys& t : tokens) {
-    result.token_bytes += t.label_key.size() + t.value_key.size();
-  }
+  rng_.Shuffle(tokens.keyword);
+  return tokens;
+}
 
-  WallTimer search_timer;
-  for (const sse::KeywordKeys& token : tokens) {
-    for (const Bytes& payload : index_.Search(token)) {
-      if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
-        result.ids.push_back(*id);
-      }
-    }
-  }
-  result.search_nanos = search_timer.ElapsedNanos();
-  return result;
+SearchBackend& NaiveValueScheme::local_backend() {
+  return ConfigureSingleEmmBackend(backend_, index_);
+}
+
+Result<ServerSetup> NaiveValueScheme::ExportServerSetup() const {
+  return SingleEmmServerSetup(built_, index_);
 }
 
 }  // namespace rsse

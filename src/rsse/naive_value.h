@@ -4,8 +4,9 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "rsse/local_backend.h"
 #include "rsse/scheme.h"
-#include "sse/encrypted_multimap.h"
+#include "shard/sharded_emm.h"
 
 namespace rsse {
 
@@ -15,21 +16,25 @@ namespace rsse {
 /// but query size O(R), which is exactly the drawback the DPRF-based
 /// Constant schemes remove (they ship O(log R) GGM seeds instead).
 /// Kept as an ablation baseline for the query-cost experiments.
-class NaiveValueScheme : public RangeScheme {
+class NaiveValueScheme : public RangeScheme, public TrapdoorGenerator {
  public:
   explicit NaiveValueScheme(uint64_t rng_seed = 1);
 
   SchemeId id() const override { return SchemeId::kNaivePerValue; }
   Status Build(const Dataset& dataset) override;
   size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
-  Result<QueryResult> Query(const Range& r) override;
+
+  /// Owner half: one token per covered value — the O(R) query size.
+  Result<TokenSet> Trapdoor(const Range& r) override;
+  TrapdoorGenerator& trapdoors() override { return *this; }
+  SearchBackend& local_backend() override;
+  Result<ServerSetup> ExportServerSetup() const override;
 
  private:
   Rng rng_;
-  Domain domain_;
   Bytes master_key_;
-  sse::EncryptedMultimap index_;
-  bool built_ = false;
+  shard::ShardedEmm index_;
+  LocalBackend backend_;
 };
 
 }  // namespace rsse

@@ -1,0 +1,27 @@
+#include "rsse/party.h"
+
+namespace rsse {
+
+size_t TokenSet::TokenCount() const {
+  return ggm.size() + keyword.size() + opaque.size();
+}
+
+size_t TokenSet::TokenBytes() const {
+  size_t bytes = 0;
+  for (const GgmDprf::Token& t : ggm) bytes += t.seed.size() + 1;
+  for (const sse::KeywordKeys& t : keyword) {
+    bytes += t.label_key.size() + t.value_key.size();
+  }
+  for (const Bytes& t : opaque) bytes += t.size();
+  return bytes;
+}
+
+Result<std::optional<TokenSet>> TrapdoorGenerator::ContinueTrapdoor(
+    const Range& r, int completed_rounds, const ResolvedIds& prev) {
+  (void)r;
+  (void)completed_rounds;
+  (void)prev;
+  return std::optional<TokenSet>();
+}
+
+}  // namespace rsse

@@ -1,6 +1,5 @@
 #include "rsse/quadratic.h"
 
-#include "common/stats.h"
 #include "crypto/random.h"
 #include "sse/keyword_keys.h"
 
@@ -41,36 +40,29 @@ Status QuadraticScheme::Build(const Dataset& dataset) {
   for (auto& [keyword, payloads] : postings) rng_.Shuffle(payloads);
 
   sse::PrfKeyDeriver deriver(master_key_);
-  sse::PaddingPolicy padding{pad_quantum_};
-  Result<sse::EncryptedMultimap> index =
-      sse::EncryptedMultimap::Build(postings, deriver, padding);
+  shard::ShardOptions options;
+  options.padding = sse::PaddingPolicy{pad_quantum_};
+  Result<shard::ShardedEmm> index =
+      shard::ShardedEmm::Build(postings, deriver, options);
   if (!index.ok()) return index.status();
   index_ = std::move(index).value();
   built_ = true;
   return Status::Ok();
 }
 
-Result<QueryResult> QuadraticScheme::Query(const Range& query) {
-  if (!built_) return Status::FailedPrecondition("Build() not called");
-  Range r = query;
-  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
-
-  QueryResult result;
-  WallTimer trapdoor_timer;
+Result<TokenSet> QuadraticScheme::Trapdoor(const Range& r) {
+  TokenSet tokens;
   sse::PrfKeyDeriver deriver(master_key_);
-  sse::KeywordKeys token = deriver.Derive(RangeKeyword(r));
-  result.trapdoor_nanos = trapdoor_timer.ElapsedNanos();
-  result.token_count = 1;
-  result.token_bytes = token.label_key.size() + token.value_key.size();
+  tokens.keyword.push_back(deriver.Derive(RangeKeyword(r)));
+  return tokens;
+}
 
-  WallTimer search_timer;
-  for (const Bytes& payload : index_.Search(token)) {
-    if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
-      result.ids.push_back(*id);
-    }
-  }
-  result.search_nanos = search_timer.ElapsedNanos();
-  return result;
+SearchBackend& QuadraticScheme::local_backend() {
+  return ConfigureSingleEmmBackend(backend_, index_);
+}
+
+Result<ServerSetup> QuadraticScheme::ExportServerSetup() const {
+  return SingleEmmServerSetup(built_, index_);
 }
 
 }  // namespace rsse

@@ -7,8 +7,9 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "rsse/local_backend.h"
 #include "rsse/scheme.h"
-#include "sse/encrypted_multimap.h"
+#include "shard/sharded_emm.h"
 
 namespace rsse {
 
@@ -20,7 +21,7 @@ namespace rsse {
 /// when padding is enabled) but storage is O(n * m^2) — the scheme exists
 /// to convey the framework and as a tiny-domain reference; `Build` rejects
 /// domains larger than `kMaxDomain`.
-class QuadraticScheme : public RangeScheme {
+class QuadraticScheme : public RangeScheme, public TrapdoorGenerator {
  public:
   /// Guardrail against accidentally materializing an O(n m^2) index.
   static constexpr uint64_t kMaxDomain = 4096;
@@ -33,17 +34,21 @@ class QuadraticScheme : public RangeScheme {
   SchemeId id() const override { return SchemeId::kQuadratic; }
   Status Build(const Dataset& dataset) override;
   size_t IndexSizeBytes() const override { return index_.SizeBytes(); }
-  Result<QueryResult> Query(const Range& r) override;
+
+  /// Owner half: the query range itself is the single keyword.
+  Result<TokenSet> Trapdoor(const Range& r) override;
+  TrapdoorGenerator& trapdoors() override { return *this; }
+  SearchBackend& local_backend() override;
+  Result<ServerSetup> ExportServerSetup() const override;
 
  private:
   static Bytes RangeKeyword(const Range& r);
 
   Rng rng_;
   uint64_t pad_quantum_;
-  Domain domain_;
   Bytes master_key_;
-  sse::EncryptedMultimap index_;
-  bool built_ = false;
+  shard::ShardedEmm index_;
+  LocalBackend backend_;
 };
 
 }  // namespace rsse

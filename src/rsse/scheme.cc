@@ -1,7 +1,12 @@
 #include "rsse/scheme.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
+#include <utility>
+
+#include "common/stats.h"
+#include "sse/encrypted_multimap.h"
 
 namespace rsse {
 
@@ -27,6 +32,67 @@ const char* SchemeName(SchemeId id) {
       return "Naive-PerValue";
   }
   return "Unknown";
+}
+
+Result<ServerSetup> RangeScheme::ExportServerSetup() const {
+  return Status::Unimplemented(std::string(SchemeName(id())) +
+                               " is local-only (no shippable server half)");
+}
+
+Result<QueryResult> RangeScheme::Query(const Range& r) {
+  return QueryVia(local_backend(), r);
+}
+
+Result<QueryResult> RangeScheme::QueryVia(SearchBackend& backend,
+                                          const Range& query) {
+  if (!built_) return Status::FailedPrecondition("Build() not called");
+  Range r = query;
+  if (!ClipRangeToDomain(domain_, r)) return QueryResult{};
+
+  QueryResult result;
+  TrapdoorGenerator& owner = trapdoors();
+
+  // Owner: round-1 trapdoors.
+  WallTimer trapdoor_timer;
+  Result<TokenSet> first = owner.Trapdoor(r);
+  result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
+  if (!first.ok()) return first.status();
+
+  // Protocol rounds: resolve at the server, then ask the owner for the
+  // dependent next round (SRC-i's refinement) until it declines.
+  ResolvedIds last;
+  std::optional<TokenSet> tokens = std::move(*first);
+  int rounds = 0;
+  while (tokens.has_value()) {
+    ++rounds;
+    result.rounds = rounds;
+    result.token_count += tokens->TokenCount();
+    result.token_bytes += tokens->TokenBytes();
+
+    WallTimer search_timer;
+    Result<ResolvedIds> resolved = backend.Resolve(*tokens);
+    result.search_nanos += search_timer.ElapsedNanos();
+    if (!resolved.ok()) return resolved.status();
+    result.skipped_decrypts += resolved->skipped_decrypts;
+    last = std::move(*resolved);
+
+    trapdoor_timer.Reset();
+    Result<std::optional<TokenSet>> next =
+        owner.ContinueTrapdoor(r, rounds, last);
+    result.trapdoor_nanos += trapdoor_timer.ElapsedNanos();
+    if (!next.ok()) return next.status();
+    tokens = std::move(*next);
+  }
+
+  // Owner post-filter: the final round's payloads decode to tuple ids
+  // (non-id payloads — e.g. SRC-i round-1 documents when no value
+  // qualified — decode to nothing).
+  for (const Bytes& payload : last.payloads) {
+    if (auto id = sse::DecodeIdPayload(payload); id.has_value()) {
+      result.ids.push_back(*id);
+    }
+  }
+  return result;
 }
 
 std::vector<uint64_t> FilterIdsToRange(const Dataset& dataset,

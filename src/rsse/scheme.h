@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "rsse/party.h"
 
 namespace rsse {
 
@@ -57,11 +58,17 @@ struct QueryResult {
   size_t skipped_decrypts = 0;
 };
 
-/// Uniform facade over all RSSE constructions. One object models both
-/// parties of the in-memory protocol while keeping the boundary explicit:
-/// `Build` runs the owner's Setup+BuildIndex and installs the encrypted
-/// index at the (simulated) server; `Query` runs the full trapdoor/search
-/// protocol and reports per-party costs. Concrete classes expose additional
+/// Uniform facade over all RSSE constructions, split along the paper's
+/// two-party protocol boundary: the owner half is the scheme's
+/// `TrapdoorGenerator` (trapdoor generation and, for SRC-i, the round-2
+/// refinement), the server half is a `SearchBackend` resolving token sets
+/// against the hosted stores. `Build` runs the owner's Setup+BuildIndex
+/// and installs the encrypted index at the in-process `local_backend()`;
+/// `Query` composes trapdoor -> backend resolve -> owner post-filter and
+/// reports per-party costs. `QueryVia` runs the identical protocol over
+/// any other backend — in particular a `server::RemoteBackend` speaking to
+/// a standalone `rsse_serverd` hosting this scheme's
+/// `ExportServerSetup()` blobs. Concrete classes expose additional
 /// scheme-specific surface (e.g. leakage accessors) for tests.
 class RangeScheme {
  public:
@@ -76,8 +83,33 @@ class RangeScheme {
   /// Size of the outsourced encrypted index in bytes (Fig. 5a metric).
   virtual size_t IndexSizeBytes() const = 0;
 
-  /// Executes the query protocol for range `r` (clipped to the domain).
-  virtual Result<QueryResult> Query(const Range& r) = 0;
+  /// The owner half of the protocol (valid after `Build`).
+  virtual TrapdoorGenerator& trapdoors() = 0;
+
+  /// The in-process server half over this scheme's own stores (valid
+  /// after `Build`).
+  virtual SearchBackend& local_backend() = 0;
+
+  /// Serialized server-side state (index blobs, pre-decryption gates) for
+  /// hosting this scheme on a standalone server. Schemes without a
+  /// shippable server half stay local-only and return UNIMPLEMENTED.
+  virtual Result<ServerSetup> ExportServerSetup() const;
+
+  /// Executes the query protocol for range `r` (clipped to the domain)
+  /// against the in-process backend.
+  Result<QueryResult> Query(const Range& r);
+
+  /// Executes the query protocol against an arbitrary backend: rounds of
+  /// owner trapdoor generation and server resolution, then the owner-side
+  /// decode of the final round's payloads. `QueryResult` cost accounting
+  /// is identical to `Query`; `search_nanos` covers the backend call (for
+  /// a remote backend this includes the wire round trip).
+  Result<QueryResult> QueryVia(SearchBackend& backend, const Range& r);
+
+ protected:
+  /// Set by every scheme's `Build`; `Query` clips against it.
+  Domain domain_;
+  bool built_ = false;
 };
 
 /// Owner-side post-filtering: after retrieving and decrypting the tuples

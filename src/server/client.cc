@@ -149,6 +149,49 @@ Result<SetupResponse> EmmClient::Setup(const Bytes& index_blob) {
   return SetupResponse::Decode(frame->payload);
 }
 
+Result<SetupResponse> EmmClient::SetupStore(const SetupStoreRequest& req) {
+  const Bytes payload = req.Encode();
+  RSSE_RETURN_IF_ERROR(SendFrame(
+      FrameType::kSetupStoreReq,
+      {ConstByteSpan(payload.data(), payload.size())}));
+  Result<Frame> frame = RecvFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) return ServerError(frame->payload);
+  if (frame->type != FrameType::kSetupResp) {
+    return Status::Internal("unexpected response frame to SetupStore");
+  }
+  return SetupResponse::Decode(frame->payload);
+}
+
+Result<EmmClient::KeywordOutcome> EmmClient::SearchKeyword(
+    const SearchKeywordRequest& req) {
+  const Bytes payload = req.Encode();
+  RSSE_RETURN_IF_ERROR(SendFrame(
+      FrameType::kSearchKeywordReq,
+      {ConstByteSpan(payload.data(), payload.size())}));
+  KeywordOutcome outcome;
+  for (;;) {
+    Result<Frame> frame = RecvFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kError) return ServerError(frame->payload);
+    if (frame->type == FrameType::kSearchPayload) {
+      Result<SearchPayloadResult> result =
+          SearchPayloadResult::Decode(frame->payload);
+      if (!result.ok()) return result.status();
+      std::vector<Bytes>& payloads = outcome.payloads[result->query_id];
+      for (Bytes& p : result->payloads) payloads.push_back(std::move(p));
+      continue;
+    }
+    if (frame->type == FrameType::kSearchDone) {
+      Result<SearchDone> done = SearchDone::Decode(frame->payload);
+      if (!done.ok()) return done.status();
+      outcome.done = *done;
+      return outcome;
+    }
+    return Status::Internal("unexpected frame type in keyword response");
+  }
+}
+
 Result<EmmClient::BatchOutcome> EmmClient::SearchBatch(
     const std::vector<BatchQuery>& queries) {
   SearchBatchRequest req;

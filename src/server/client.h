@@ -31,8 +31,15 @@ class EmmClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  /// Ships a serialized ShardedEmm index for the server to host.
+  /// Ships a serialized ShardedEmm index for the server to host at the
+  /// primary store slot (the legacy single-store frame: no store id, no
+  /// gate; every frame still carries the current wire version).
   Result<SetupResponse> Setup(const Bytes& index_blob);
+
+  /// Ships one store slot of a scheme's ServerSetup (index blob, store
+  /// kind, optional Bloom gate). See `InstallServerSetup` in
+  /// remote_backend.h for the whole-scheme helper.
+  Result<SetupResponse> SetupStore(const SetupStoreRequest& req);
 
   /// One range query of a batch: caller-chosen id plus the delegated
   /// covering tokens (`ConstantScheme::Delegate` output).
@@ -48,9 +55,22 @@ class EmmClient {
     SearchDone done;
   };
 
-  /// Sends every query in one SearchBatch frame and collects the streamed
-  /// per-query results until the terminating SearchDone.
+  /// Sends every query in one SearchBatch frame and reassembles the
+  /// streamed per-query result chunks until the terminating SearchDone.
   Result<BatchOutcome> SearchBatch(const std::vector<BatchQuery>& queries);
+
+  /// Result of one keyword-token batch: decrypted payloads per query id
+  /// (reassembled from interleaved SearchPayload chunks) plus the server's
+  /// report.
+  struct KeywordOutcome {
+    std::map<uint32_t, std::vector<Bytes>> payloads;
+    SearchDone done;
+  };
+
+  /// Sends one SearchKeyword batch (keyword tokens / opaque trapdoors
+  /// against one store slot) and collects the streamed payload chunks
+  /// until SearchDone.
+  Result<KeywordOutcome> SearchKeyword(const SearchKeywordRequest& req);
 
   /// Inserts pre-encrypted (label, ciphertext) entries.
   Result<UpdateResponse> Update(

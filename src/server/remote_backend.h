@@ -1,0 +1,34 @@
+#ifndef RSSE_SERVER_REMOTE_BACKEND_H_
+#define RSSE_SERVER_REMOTE_BACKEND_H_
+
+#include "rsse/party.h"
+#include "server/client.h"
+
+namespace rsse::server {
+
+/// The wire-backed `SearchBackend`: resolves a scheme's token sets against
+/// a standalone `rsse_serverd` through an `EmmClient` connection. GGM
+/// subtree tokens ride the batched SearchBatch path (server-side dedupe
+/// and expansion); keyword tokens and opaque trapdoors ride SearchKeyword
+/// against the token set's store slot. Plugging this into
+/// `RangeScheme::QueryVia` runs the identical two-party protocol as the
+/// in-process `LocalBackend` — same rounds, same tokens, same ids.
+class RemoteBackend : public rsse::SearchBackend {
+ public:
+  /// `client` must stay connected for the backend's lifetime. One backend
+  /// per connection; not thread-safe (as EmmClient).
+  explicit RemoteBackend(EmmClient& client) : client_(client) {}
+
+  Result<rsse::ResolvedIds> Resolve(const rsse::TokenSet& tokens) override;
+
+ private:
+  EmmClient& client_;
+};
+
+/// Ships every store of a scheme's `ExportServerSetup()` to the connected
+/// server (one SetupStore frame per slot).
+Status InstallServerSetup(EmmClient& client, const rsse::ServerSetup& setup);
+
+}  // namespace rsse::server
+
+#endif  // RSSE_SERVER_REMOTE_BACKEND_H_

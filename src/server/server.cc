@@ -11,8 +11,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <map>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/env.h"
 #include "common/parallel.h"
@@ -48,10 +49,39 @@ NodeKey KeyOf(const WireToken& t) {
   return key;
 }
 
+/// Round-robin chunk scheduler shared by the id and payload result
+/// streams: every query gets a first frame (possibly empty, so the
+/// client learns about empty results), then capped chunks alternate
+/// across queries until all are drained. `emit(q, first, count)` encodes
+/// and appends one frame for `count` elements of query `q` starting at
+/// `first`; a false return aborts the stream.
+template <typename Emit>
+bool StreamChunksInterleaved(const std::vector<size_t>& totals, size_t cap,
+                             Emit&& emit) {
+  std::vector<size_t> offset(totals.size(), 0);
+  for (size_t round = 0;; ++round) {
+    bool emitted = false;
+    for (size_t q = 0; q < totals.size(); ++q) {
+      const size_t remaining = totals[q] - offset[q];
+      if (round > 0 && remaining == 0) continue;
+      const size_t chunk = std::min(remaining, cap);
+      if (!emit(q, offset[q], chunk)) return false;
+      offset[q] += chunk;
+      emitted = true;
+    }
+    if (!emitted) return true;
+  }
+}
+
 }  // namespace
 
-EmmServer::EmmServer(const ServerOptions& options)
-    : options_(options), store_(shard::ShardedEmm::WithShards(options.shards)) {}
+EmmServer::EmmServer(const ServerOptions& options) : options_(options) {
+  // The primary slot exists from the start so the Update path can
+  // populate a store before any Setup arrives.
+  HostedStore& primary = stores_[rsse::kPrimaryStore];
+  primary.kind = rsse::StoreKind::kEmm;
+  primary.emm = shard::ShardedEmm::WithShards(options.shards);
+}
 
 EmmServer::~EmmServer() {
   CloseAll();
@@ -69,9 +99,20 @@ Status EmmServer::Host(const Bytes& index_blob) {
   Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
       index_blob, threads, options_.load_shards);
   if (!store.ok()) return store.status();
-  store_ = std::move(store).value();
+  std::unique_lock lock(store_mutex_);
+  HostedStore& primary = stores_[rsse::kPrimaryStore];
+  primary.kind = rsse::StoreKind::kEmm;
+  primary.emm = std::move(store).value();
+  primary.gate.reset();
+  primary.tree.reset();
   hosted_ = true;
   return Status::Ok();
+}
+
+size_t EmmServer::EntryCount() const {
+  std::shared_lock lock(store_mutex_);
+  auto it = stores_.find(rsse::kPrimaryStore);
+  return it == stores_.end() ? 0 : it->second.emm.EntryCount();
 }
 
 Status EmmServer::Listen() {
@@ -269,8 +310,14 @@ void EmmServer::HandleFrame(Connection& conn, const Frame& frame) {
     case FrameType::kSetupReq:
       HandleSetup(conn, frame.payload);
       return;
+    case FrameType::kSetupStoreReq:
+      HandleSetupStore(conn, frame.payload);
+      return;
     case FrameType::kSearchBatchReq:
       HandleSearchBatch(conn, frame.payload);
+      return;
+    case FrameType::kSearchKeywordReq:
+      HandleSearchKeyword(conn, frame.payload);
       return;
     case FrameType::kUpdateReq:
       HandleUpdate(conn, frame.payload);
@@ -298,12 +345,130 @@ void EmmServer::HandleSetup(Connection& conn, const Bytes& payload) {
     return;
   }
   SetupResponse resp;
-  resp.shards = static_cast<uint32_t>(store_.shard_count());
-  resp.entries = store_.EntryCount();
+  {
+    std::shared_lock lock(store_mutex_);
+    const HostedStore& primary = stores_.at(rsse::kPrimaryStore);
+    resp.shards = static_cast<uint32_t>(primary.emm.shard_count());
+    resp.entries = primary.emm.EntryCount();
+  }
   const Bytes out = resp.Encode();
   if (!EncodeFrame(FrameType::kSetupResp, out, conn.out)) {
     SendError(conn, "setup response exceeds frame limit");
   }
+}
+
+void EmmServer::HandleSetupStore(Connection& conn, const Bytes& payload) {
+  Result<SetupStoreRequest> req = SetupStoreRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status().message());
+    return;
+  }
+  // Slot ids are capped so a hostile client cannot grow the store table
+  // without bound by cycling distinct ids.
+  if (req->store_id > options_.max_store_id) {
+    SendError(conn, "store id exceeds the server's slot limit");
+    return;
+  }
+  HostedStore incoming;
+  incoming.kind = static_cast<rsse::StoreKind>(req->kind);
+  SetupResponse resp;
+  if (req->kind == static_cast<uint8_t>(rsse::StoreKind::kEmm)) {
+    const int threads =
+        ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS");
+    Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
+        req->index_blob, threads, options_.load_shards);
+    if (!store.ok()) {
+      SendError(conn, store.status().message());
+      return;
+    }
+    incoming.emm = std::move(store).value();
+    if (!req->gate_blob.empty()) {
+      Result<rsse::BloomLabelGate> gate =
+          rsse::BloomLabelGate::Deserialize(req->gate_blob);
+      if (!gate.ok()) {
+        SendError(conn, gate.status().message());
+        return;
+      }
+      incoming.gate = std::make_unique<rsse::BloomLabelGate>(
+          std::move(gate).value());
+    }
+    resp.shards = static_cast<uint32_t>(incoming.emm.shard_count());
+    resp.entries = incoming.emm.EntryCount();
+  } else if (req->kind ==
+             static_cast<uint8_t>(rsse::StoreKind::kFilterTree)) {
+    if (!req->gate_blob.empty()) {
+      SendError(conn, "filter-tree stores take no bloom gate");
+      return;
+    }
+    Result<pb::FilterTreeIndex> tree =
+        pb::FilterTreeIndex::Deserialize(req->index_blob);
+    if (!tree.ok()) {
+      SendError(conn, tree.status().message());
+      return;
+    }
+    incoming.tree =
+        std::make_unique<pb::FilterTreeIndex>(std::move(tree).value());
+    resp.shards = 0;
+    resp.entries = incoming.tree->LeafCount();
+  } else {
+    SendError(conn, "unknown store kind");
+    return;
+  }
+  {
+    std::unique_lock lock(store_mutex_);
+    stores_[req->store_id] = std::move(incoming);
+    hosted_ = true;
+  }
+  const Bytes out = resp.Encode();
+  if (!EncodeFrame(FrameType::kSetupResp, out, conn.out)) {
+    SendError(conn, "setup response exceeds frame limit");
+  }
+}
+
+bool EmmServer::StreamIdResults(
+    Connection& conn, const std::vector<uint32_t>& query_ids,
+    const std::vector<std::vector<uint64_t>>& ids) {
+  std::vector<size_t> totals(ids.size());
+  for (size_t q = 0; q < ids.size(); ++q) totals[q] = ids[q].size();
+  return StreamChunksInterleaved(
+      totals, std::max<size_t>(options_.max_ids_per_result_frame, 1),
+      [&](size_t q, size_t first, size_t count) {
+        SearchResult result;
+        result.query_id = query_ids[q];
+        result.ids.assign(
+            ids[q].begin() + static_cast<long>(first),
+            ids[q].begin() + static_cast<long>(first + count));
+        if (!EncodeFrame(FrameType::kSearchResult, result.Encode(),
+                         conn.out)) {
+          SendError(conn, "result chunk exceeds frame limit");
+          return false;
+        }
+        return true;
+      });
+}
+
+bool EmmServer::StreamPayloadResults(
+    Connection& conn, const std::vector<uint32_t>& query_ids,
+    std::vector<std::vector<Bytes>>& payloads) {
+  std::vector<size_t> totals(payloads.size());
+  for (size_t q = 0; q < payloads.size(); ++q) totals[q] = payloads[q].size();
+  return StreamChunksInterleaved(
+      totals, std::max<size_t>(options_.max_payloads_per_result_frame, 1),
+      [&](size_t q, size_t first, size_t count) {
+        SearchPayloadResult result;
+        result.query_id = query_ids[q];
+        result.payloads.assign(
+            std::make_move_iterator(payloads[q].begin() +
+                                    static_cast<long>(first)),
+            std::make_move_iterator(payloads[q].begin() +
+                                    static_cast<long>(first + count)));
+        if (!EncodeFrame(FrameType::kSearchPayload, result.Encode(),
+                         conn.out)) {
+          SendError(conn, "payload chunk exceeds frame limit");
+          return false;
+        }
+        return true;
+      });
 }
 
 void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
@@ -312,10 +477,20 @@ void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
     SendError(conn, req.status().message());
     return;
   }
+  // Searches hold the store lock shared: an Update or Setup racing this
+  // batch serializes against it instead of mutating the store mid-probe.
+  std::shared_lock lock(store_mutex_);
   if (!hosted_) {
     SendError(conn, "no index hosted (send Setup first)");
     return;
   }
+  auto slot = stores_.find(rsse::kPrimaryStore);
+  if (slot == stores_.end() ||
+      slot->second.kind != rsse::StoreKind::kEmm) {
+    SendError(conn, "primary store is not an encrypted dictionary");
+    return;
+  }
+  const HostedStore& store = slot->second;
 
   WallTimer timer;
 
@@ -341,13 +516,15 @@ void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
   }
 
   // Expand + probe each distinct subtree once, sharded across workers
-  // (same strided layout as ConstantScheme's in-process search).
+  // (same strided layout as the in-process LocalBackend search).
   const int threads = static_cast<int>(std::min<size_t>(
       static_cast<size_t>(
           ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS")),
       std::max<size_t>(unique_tokens.size(), 1)));
   std::vector<std::vector<uint64_t>> unique_ids(unique_tokens.size());
   std::vector<uint64_t> leaves_per_worker(static_cast<size_t>(threads), 0);
+  std::vector<sse::SearchStats> stats_per_worker(
+      static_cast<size_t>(threads));
   auto worker = [&](int t) {
     std::vector<Label> leaves;
     sse::KeywordKeys keys;
@@ -362,7 +539,9 @@ void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
       for (const Label& leaf : leaves) {
         sse::KeysFromSharedSecretInto(ConstByteSpan(leaf.data(), leaf.size()),
                                       keys);
-        for (const Bytes& payload_bytes : store_.Search(keys)) {
+        for (const Bytes& payload_bytes :
+             store.emm.Search(keys, store.gate.get(),
+                              &stats_per_worker[static_cast<size_t>(t)])) {
           if (auto id = sse::DecodeIdPayload(payload_bytes); id.has_value()) {
             unique_ids[i].push_back(*id);
           }
@@ -372,23 +551,24 @@ void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
   };
   RunWorkers(threads, worker);
 
-  // Stream one result frame per query id, fanning shared expansions back
-  // out to every subscriber.
+  // Fan shared expansions back out to every subscriber, then stream the
+  // per-query ids in capped chunks interleaved across query ids.
   uint64_t leaves_searched = 0;
   for (uint64_t n : leaves_per_worker) leaves_searched += n;
+  uint64_t skipped_decrypts = 0;
+  for (const sse::SearchStats& s : stats_per_worker) {
+    skipped_decrypts += s.skipped_decrypts;
+  }
+  std::vector<uint32_t> query_ids(req->queries.size());
+  std::vector<std::vector<uint64_t>> per_query(req->queries.size());
   for (size_t q = 0; q < req->queries.size(); ++q) {
-    SearchResult result;
-    result.query_id = req->queries[q].query_id;
+    query_ids[q] = req->queries[q].query_id;
     for (size_t idx : query_token_refs[q]) {
-      result.ids.insert(result.ids.end(), unique_ids[idx].begin(),
-                        unique_ids[idx].end());
-    }
-    const Bytes out = result.Encode();
-    if (!EncodeFrame(FrameType::kSearchResult, out, conn.out)) {
-      SendError(conn, "result set exceeds frame limit");
-      return;
+      per_query[q].insert(per_query[q].end(), unique_ids[idx].begin(),
+                          unique_ids[idx].end());
     }
   }
+  if (!StreamIdResults(conn, query_ids, per_query)) return;
 
   SearchDone done;
   done.query_count = static_cast<uint32_t>(req->queries.size());
@@ -396,6 +576,7 @@ void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
   done.unique_nodes_expanded = unique_tokens.size();
   done.leaves_searched = leaves_searched;
   done.search_nanos = timer.ElapsedNanos();
+  done.skipped_decrypts = skipped_decrypts;
   const Bytes out = done.Encode();
   if (!EncodeFrame(FrameType::kSearchDone, out, conn.out)) {
     SendError(conn, "search done frame failed to encode");
@@ -408,18 +589,150 @@ void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
   stats_.nodes_deduped += tokens_received - unique_tokens.size();
 }
 
+void EmmServer::HandleSearchKeyword(Connection& conn, const Bytes& payload) {
+  Result<SearchKeywordRequest> req = SearchKeywordRequest::Decode(payload);
+  if (!req.ok()) {
+    SendError(conn, req.status().message());
+    return;
+  }
+  // The keyword-path equivalent of max_token_level: bound the total work
+  // and allocation one hostile frame can demand before touching a store.
+  uint64_t tokens_received = 0;
+  for (const SearchKeywordRequest::Query& q : req->queries) {
+    tokens_received += q.tokens.size();
+  }
+  if (tokens_received > options_.max_keyword_tokens) {
+    SendError(conn, "keyword token batch exceeds the server's limit");
+    return;
+  }
+
+  std::shared_lock lock(store_mutex_);
+  if (!hosted_) {
+    SendError(conn, "no index hosted (send Setup first)");
+    return;
+  }
+  auto slot = stores_.find(req->store_id);
+  if (slot == stores_.end()) {
+    SendError(conn, "no store hosted at the requested slot");
+    return;
+  }
+  const HostedStore& store = slot->second;
+
+  WallTimer timer;
+  std::vector<uint32_t> query_ids(req->queries.size());
+  std::vector<std::vector<Bytes>> per_query(req->queries.size());
+  uint64_t skipped_decrypts = 0;
+
+  if (store.kind == rsse::StoreKind::kFilterTree) {
+    for (size_t q = 0; q < req->queries.size(); ++q) {
+      query_ids[q] = req->queries[q].query_id;
+      std::vector<Bytes> trapdoors;
+      trapdoors.reserve(req->queries[q].tokens.size());
+      for (const WireKeywordToken& t : req->queries[q].tokens) {
+        if (t.kind != 1) {
+          SendError(conn, "filter-tree stores resolve opaque trapdoors only");
+          return;
+        }
+        trapdoors.push_back(t.a);
+      }
+      for (uint64_t id : store.tree->Search(trapdoors)) {
+        per_query[q].push_back(sse::EncodeIdPayload(id));
+      }
+    }
+  } else {
+    // Flatten the batch's (query, token) pairs and stride them across the
+    // search workers; per-pair hit lists keep the reassembly ordered.
+    struct Probe {
+      size_t query = 0;
+      const WireKeywordToken* token = nullptr;
+    };
+    std::vector<Probe> probes;
+    probes.reserve(static_cast<size_t>(tokens_received));
+    for (size_t q = 0; q < req->queries.size(); ++q) {
+      query_ids[q] = req->queries[q].query_id;
+      for (const WireKeywordToken& t : req->queries[q].tokens) {
+        if (t.kind != 0) {
+          SendError(conn,
+                    "encrypted dictionaries resolve keyword tokens only");
+          return;
+        }
+        probes.push_back(Probe{q, &t});
+      }
+    }
+    const int threads = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(ResolveThreadCount(options_.search_threads,
+                                               "RSSE_SEARCH_THREADS")),
+        std::max<size_t>(probes.size(), 1)));
+    std::vector<std::vector<Bytes>> per_probe(probes.size());
+    std::vector<sse::SearchStats> stats_per_worker(
+        static_cast<size_t>(threads));
+    auto worker = [&](int t) {
+      sse::KeywordKeys keys;
+      for (size_t i = static_cast<size_t>(t); i < probes.size();
+           i += static_cast<size_t>(threads)) {
+        keys.label_key = probes[i].token->a;
+        keys.value_key = probes[i].token->b;
+        per_probe[i] =
+            store.emm.Search(keys, store.gate.get(),
+                             &stats_per_worker[static_cast<size_t>(t)]);
+      }
+    };
+    RunWorkers(threads, worker);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      for (Bytes& hit : per_probe[i]) {
+        per_query[probes[i].query].push_back(std::move(hit));
+      }
+    }
+    for (const sse::SearchStats& s : stats_per_worker) {
+      skipped_decrypts += s.skipped_decrypts;
+    }
+  }
+
+  if (!StreamPayloadResults(conn, query_ids, per_query)) return;
+
+  SearchDone done;
+  done.query_count = static_cast<uint32_t>(req->queries.size());
+  done.tokens_received = tokens_received;
+  done.search_nanos = timer.ElapsedNanos();
+  done.skipped_decrypts = skipped_decrypts;
+  const Bytes out = done.Encode();
+  if (!EncodeFrame(FrameType::kSearchDone, out, conn.out)) {
+    SendError(conn, "search done frame failed to encode");
+    return;
+  }
+
+  stats_.batches_served += 1;
+  stats_.queries_served += req->queries.size();
+  stats_.tokens_received += tokens_received;
+}
+
 void EmmServer::HandleUpdate(Connection& conn, const Bytes& payload) {
   Result<UpdateRequest> req = UpdateRequest::Decode(payload);
   if (!req.ok()) {
     SendError(conn, req.status().message());
     return;
   }
-  for (const auto& [label, value] : req->entries) {
-    store_.Insert(label, ConstByteSpan(value.data(), value.size()));
-  }
-  hosted_ = true;
   UpdateResponse resp;
-  resp.entries = store_.EntryCount();
+  {
+    // Updates mutate the store table: exclusive lock, so a racing search
+    // sees the dictionary entirely before or entirely after this batch.
+    std::unique_lock lock(store_mutex_);
+    HostedStore& primary = stores_[rsse::kPrimaryStore];
+    if (primary.kind != rsse::StoreKind::kEmm) {
+      SendError(conn, "primary store is not an encrypted dictionary");
+      return;
+    }
+    // A shipped Bloom gate was built over the setup-time labels only;
+    // keeping it would silently skip-decrypt (drop) every updated entry.
+    // Correctness wins: drop the gate, the owner re-ships one with the
+    // next SetupStore if desired.
+    primary.gate.reset();
+    for (const auto& [label, value] : req->entries) {
+      primary.emm.Insert(label, ConstByteSpan(value.data(), value.size()));
+    }
+    hosted_ = true;
+    resp.entries = primary.emm.EntryCount();
+  }
   const Bytes out = resp.Encode();
   if (!EncodeFrame(FrameType::kUpdateResp, out, conn.out)) {
     SendError(conn, "update response exceeds frame limit");
@@ -428,9 +741,21 @@ void EmmServer::HandleUpdate(Connection& conn, const Bytes& payload) {
 
 void EmmServer::HandleStats(Connection& conn) {
   StatsResponse resp;
-  resp.entries = store_.EntryCount();
-  resp.size_bytes = store_.SizeBytes();
-  resp.shards = static_cast<uint32_t>(store_.shard_count());
+  {
+    std::shared_lock lock(store_mutex_);
+    const auto it = stores_.find(rsse::kPrimaryStore);
+    if (it != stores_.end()) {
+      const HostedStore& primary = it->second;
+      if (primary.kind == rsse::StoreKind::kEmm) {
+        resp.entries = primary.emm.EntryCount();
+        resp.size_bytes = primary.emm.SizeBytes();
+        resp.shards = static_cast<uint32_t>(primary.emm.shard_count());
+      } else if (primary.tree != nullptr) {
+        resp.entries = primary.tree->LeafCount();
+        resp.size_bytes = primary.tree->SizeBytes();
+      }
+    }
+  }
   resp.batches_served = stats_.batches_served;
   resp.queries_served = stats_.queries_served;
   resp.tokens_received = stats_.tokens_received;

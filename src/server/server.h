@@ -3,11 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "pb/filter_tree.h"
+#include "rsse/bloom_gate.h"
+#include "rsse/party.h"
 #include "server/wire.h"
 #include "shard/sharded_emm.h"
 
@@ -37,6 +43,21 @@ struct ServerOptions {
   /// peak). The wire format allows up to 62; without this cap one hostile
   /// token could drive an astronomically large allocation.
   int max_token_level = 26;
+  /// Largest keyword-token batch one SearchKeyword frame may carry —
+  /// the keyword-path equivalent of `max_token_level`: per-token bytes
+  /// are already capped by the decoder (kMaxKeywordTokenPartBytes), so
+  /// this bounds the total work/allocation one hostile frame can demand.
+  size_t max_keyword_tokens = size_t{1} << 16;
+  /// Highest SetupStore slot id the server accepts, bounding the store
+  /// table a client can grow (the scheme family needs two slots; 16
+  /// leaves room for multi-index compositions).
+  uint32_t max_store_id = 15;
+  /// Result chunking: at most this many ids per SearchResult frame and
+  /// payloads per SearchPayload frame. Chunks are interleaved round-robin
+  /// across the batch's query ids, so a huge range no longer buffers one
+  /// query's ids wholesale and first results of every query arrive early.
+  size_t max_ids_per_result_frame = size_t{1} << 14;
+  size_t max_payloads_per_result_frame = size_t{1} << 12;
 };
 
 /// Cumulative serving statistics (reported through StatsResponse).
@@ -48,9 +69,13 @@ struct ServerStats {
   uint64_t nodes_deduped = 0;
 };
 
-/// The server side of the Constant schemes as a standalone process: hosts a
-/// `shard::ShardedEmm` (the flat encrypted dictionary, hash-sharded across
-/// cores) and serves the batched binary protocol of wire.h over TCP.
+/// The server side of the whole scheme family as a standalone process:
+/// hosts one store slot per `SetupStore` frame — `shard::ShardedEmm`
+/// encrypted dictionaries (with optional Bloom pre-decryption gates) and
+/// PB filter trees — and serves the batched binary protocol of wire.h
+/// over TCP. The Constant schemes' GGM batches probe the primary slot;
+/// SearchKeyword batches name their slot explicitly (SRC-i's round 2 goes
+/// to the secondary slot holding I2).
 ///
 /// `SearchBatch` is the reason this exists as a protocol rather than one
 /// request per range: queries whose BRC/URC covers share GGM nodes are
@@ -63,6 +88,10 @@ struct ServerStats {
 /// Single-threaded poll event loop (nonblocking sockets, length-prefixed
 /// frames, partial read/write tolerant); the batch handler itself fans out
 /// across worker threads, so the loop stays simple while search scales.
+/// The store table is guarded by a reader/writer lock: searches take the
+/// lock shared, Update/Setup take it exclusive, so an Update racing a
+/// SearchBatch is well-defined (each sees the table before or after, never
+/// mid-mutation) even as handlers move onto worker pools.
 class EmmServer {
  public:
   explicit EmmServer(const ServerOptions& options = {});
@@ -84,11 +113,11 @@ class EmmServer {
   void Shutdown();
 
   /// In-process equivalent of a Setup frame (tools/tests): hosts the
-  /// serialized ShardedEmm blob.
+  /// serialized ShardedEmm blob at the primary store slot.
   Status Host(const Bytes& index_blob);
 
   const ServerStats& stats() const { return stats_; }
-  size_t EntryCount() const { return store_.EntryCount(); }
+  size_t EntryCount() const;
 
  private:
   struct Connection {
@@ -100,12 +129,33 @@ class EmmServer {
     bool closing = false;   // flush `out`, then close
   };
 
+  /// One hosted store slot: an encrypted dictionary (plus optional gate)
+  /// or a PB filter tree, per its `kind`.
+  struct HostedStore {
+    rsse::StoreKind kind = rsse::StoreKind::kEmm;
+    shard::ShardedEmm emm;
+    std::unique_ptr<rsse::BloomLabelGate> gate;
+    std::unique_ptr<pb::FilterTreeIndex> tree;
+  };
+
   void HandleFrame(Connection& conn, const Frame& frame);
   void HandleSetup(Connection& conn, const Bytes& payload);
+  void HandleSetupStore(Connection& conn, const Bytes& payload);
   void HandleSearchBatch(Connection& conn, const Bytes& payload);
+  void HandleSearchKeyword(Connection& conn, const Bytes& payload);
   void HandleUpdate(Connection& conn, const Bytes& payload);
   void HandleStats(Connection& conn);
   void SendError(Connection& conn, const std::string& message);
+
+  /// Emits per-query result chunks (ids or payloads) interleaved
+  /// round-robin: every query gets a first frame (possibly empty), then
+  /// capped chunks alternate across queries until all are drained.
+  bool StreamIdResults(Connection& conn,
+                       const std::vector<uint32_t>& query_ids,
+                       const std::vector<std::vector<uint64_t>>& ids);
+  bool StreamPayloadResults(Connection& conn,
+                            const std::vector<uint32_t>& query_ids,
+                            std::vector<std::vector<Bytes>>& payloads);
 
   void AcceptPending();
   /// Returns false when the connection should be dropped.
@@ -120,7 +170,10 @@ class EmmServer {
   /// One-way stop latch: a Shutdown that lands before Serve starts must
   /// still win, so Serve never resets it.
   std::atomic<bool> stop_{false};
-  shard::ShardedEmm store_;
+  /// Store table, keyed by store slot. Guarded by `store_mutex_`:
+  /// searches shared, Setup/Update exclusive.
+  mutable std::shared_mutex store_mutex_;
+  std::map<uint32_t, HostedStore> stores_;
   bool hosted_ = false;
   ServerStats stats_;
   std::vector<Connection> conns_;

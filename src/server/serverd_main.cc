@@ -1,8 +1,11 @@
-// rsse_serverd: standalone sharded encrypted-range-search server.
+// rsse_serverd: standalone encrypted-range-search server for the whole
+// scheme family.
 //
-// Hosts the flat encrypted dictionary of the Constant schemes (shipped by a
-// client via the Setup frame) and serves batched range searches over the
-// length-prefixed binary protocol of server/wire.h.
+// Hosts the store blobs a scheme's ExportServerSetup ships (sharded
+// encrypted dictionaries with optional Bloom pre-decryption gates, the PB
+// baseline's filter tree — one SetupStore frame per slot, SRC-i's I1/I2
+// included) and serves batched GGM-token and keyword-token searches over
+// the length-prefixed binary protocol of server/wire.h.
 //
 //   rsse_serverd --port=7370 --threads=8
 //   rsse_serverd --port=0              # ephemeral; the bound port is printed
@@ -15,6 +18,8 @@
 //   --load-shards=<n>  re-shard hosted Setup blobs while loading:
 //                      auto = this host's core count (RSSE_SHARDS wins),
 //                      <n> = explicit count (default: keep the blob's)
+//   --max-level=<l>    largest GGM subtree per token (default 26)
+//   --max-keyword-tokens=<n>  largest keyword-token batch (default 65536)
 
 #include <csignal>
 #include <cstdio>
@@ -40,10 +45,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "rsse_serverd: sharded encrypted-range-search server\n"
+          "rsse_serverd: encrypted-range-search server (all schemes)\n"
           "  --bind=<ipv4>  --port=<port>  --shards=<n>  --threads=<n>\n"
           "  --load-shards=<n|auto>  (re-shard hosted blobs while loading)\n"
-          "  --max-level=<l>  (largest GGM subtree per token, default 26)\n");
+          "  --max-level=<l>  (largest GGM subtree per token, default 26)\n"
+          "  --max-keyword-tokens=<n>  (largest keyword batch, "
+          "default 65536)\n");
       return 0;
     }
   }
@@ -79,6 +86,10 @@ int main(int argc, char** argv) {
   }
   if (const char* v = FlagValue(argc, argv, "max-level")) {
     options.max_token_level = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "max-keyword-tokens")) {
+    options.max_keyword_tokens =
+        static_cast<size_t>(std::strtoull(v, nullptr, 10));
   }
 
   rsse::server::EmmServer server(options);

@@ -101,7 +101,7 @@ FrameParse DecodeFrame(const Bytes& buf, size_t& offset, Frame& frame,
   }
   const uint8_t type = buf[offset + 5];
   if (type < static_cast<uint8_t>(FrameType::kSetupReq) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
+      type > static_cast<uint8_t>(FrameType::kSearchPayload)) {
     if (error != nullptr) *error = "unknown frame type";
     return FrameParse::kMalformed;
   }
@@ -232,6 +232,7 @@ Bytes SearchDone::Encode() const {
   AppendUint64(out, unique_nodes_expanded);
   AppendUint64(out, leaves_searched);
   AppendUint64(out, search_nanos);
+  AppendUint64(out, skipped_decrypts);
   return out;
 }
 
@@ -243,8 +244,144 @@ Result<SearchDone> SearchDone::Decode(const Bytes& payload) {
   done.unique_nodes_expanded = r.U64();
   done.leaves_searched = r.U64();
   done.search_nanos = r.U64();
+  done.skipped_decrypts = r.U64();
   if (!r.AtEnd()) return Malformed("search done");
   return done;
+}
+
+// --------------------------------------------------------------------------
+// SetupStore / SearchKeyword / SearchPayload (wire v2)
+// --------------------------------------------------------------------------
+
+Bytes SetupStoreRequest::Encode() const {
+  Bytes out;
+  out.reserve(4 + 1 + 16 + index_blob.size() + gate_blob.size());
+  AppendUint32(out, store_id);
+  AppendByte(out, kind);
+  AppendUint64(out, index_blob.size());
+  Append(out, index_blob);
+  AppendUint64(out, gate_blob.size());
+  Append(out, gate_blob);
+  return out;
+}
+
+Result<SetupStoreRequest> SetupStoreRequest::Decode(const Bytes& payload) {
+  Reader r(payload);
+  SetupStoreRequest req;
+  req.store_id = r.U32();
+  req.kind = r.U8();
+  const uint64_t index_len = r.U64();
+  if (!r.ok() || index_len > r.remaining()) {
+    return Malformed("setup store index blob length");
+  }
+  req.index_blob = r.Blob(static_cast<size_t>(index_len));
+  const uint64_t gate_len = r.U64();
+  if (!r.ok() || gate_len != r.remaining()) {
+    return Malformed("setup store gate blob length");
+  }
+  req.gate_blob = r.Blob(static_cast<size_t>(gate_len));
+  if (!r.AtEnd()) return Malformed("setup store trailing bytes");
+  return req;
+}
+
+Bytes SearchKeywordRequest::Encode() const {
+  Bytes out;
+  AppendUint32(out, store_id);
+  AppendUint32(out, static_cast<uint32_t>(queries.size()));
+  for (const Query& q : queries) {
+    AppendUint32(out, q.query_id);
+    AppendUint32(out, static_cast<uint32_t>(q.tokens.size()));
+    for (const WireKeywordToken& t : q.tokens) {
+      AppendByte(out, t.kind);
+      AppendUint32(out, static_cast<uint32_t>(t.a.size()));
+      Append(out, t.a);
+      AppendUint32(out, static_cast<uint32_t>(t.b.size()));
+      Append(out, t.b);
+    }
+  }
+  return out;
+}
+
+Result<SearchKeywordRequest> SearchKeywordRequest::Decode(
+    const Bytes& payload) {
+  Reader r(payload);
+  SearchKeywordRequest req;
+  req.store_id = r.U32();
+  const uint32_t query_count = r.U32();
+  // Each query needs at least its 8-byte header; reject counts the
+  // remaining bytes cannot possibly hold before reserving.
+  if (!r.ok() || query_count > r.remaining() / 8) {
+    return Malformed("keyword batch query count");
+  }
+  req.queries.reserve(query_count);
+  for (uint32_t q = 0; q < query_count; ++q) {
+    Query query;
+    query.query_id = r.U32();
+    const uint32_t token_count = r.U32();
+    // Minimal token: kind byte + two empty length-prefixed parts.
+    if (!r.ok() || token_count > r.remaining() / 9) {
+      return Malformed("keyword batch token count");
+    }
+    query.tokens.reserve(token_count);
+    for (uint32_t t = 0; t < token_count; ++t) {
+      WireKeywordToken token;
+      token.kind = r.U8();
+      if (token.kind > 1) return Malformed("keyword token kind");
+      const uint32_t a_len = r.U32();
+      if (!r.ok() || a_len > kMaxKeywordTokenPartBytes ||
+          a_len > r.remaining()) {
+        return Malformed("keyword token part length");
+      }
+      token.a = r.Blob(a_len);
+      const uint32_t b_len = r.U32();
+      if (!r.ok() || b_len > kMaxKeywordTokenPartBytes ||
+          b_len > r.remaining()) {
+        return Malformed("keyword token part length");
+      }
+      token.b = r.Blob(b_len);
+      if (!r.ok()) return Malformed("keyword token");
+      query.tokens.push_back(std::move(token));
+    }
+    req.queries.push_back(std::move(query));
+  }
+  if (!r.AtEnd()) return Malformed("keyword batch trailing bytes");
+  return req;
+}
+
+Bytes SearchPayloadResult::Encode() const {
+  Bytes out;
+  size_t total = 12;
+  for (const Bytes& p : payloads) total += 4 + p.size();
+  out.reserve(total);
+  AppendUint32(out, query_id);
+  AppendUint64(out, payloads.size());
+  for (const Bytes& p : payloads) {
+    AppendUint32(out, static_cast<uint32_t>(p.size()));
+    Append(out, p);
+  }
+  return out;
+}
+
+Result<SearchPayloadResult> SearchPayloadResult::Decode(
+    const Bytes& payload) {
+  Reader r(payload);
+  SearchPayloadResult res;
+  res.query_id = r.U32();
+  const uint64_t count = r.U64();
+  // Each payload needs at least its 4-byte length prefix.
+  if (!r.ok() || count > r.remaining() / 4) {
+    return Malformed("search payload count");
+  }
+  res.payloads.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t len = r.U32();
+    if (!r.ok() || len > r.remaining()) {
+      return Malformed("search payload length");
+    }
+    res.payloads.push_back(r.Blob(len));
+  }
+  if (!r.AtEnd()) return Malformed("search payload trailing bytes");
+  return res;
 }
 
 // --------------------------------------------------------------------------

@@ -20,8 +20,21 @@ namespace rsse::server {
 /// self-delimiting, so a stream parser needs no lookahead beyond the
 /// 4-byte prefix; `frame_len` is capped to keep a corrupt or hostile
 /// prefix from driving allocation.
-inline constexpr uint8_t kWireVersion = 1;
+///
+/// Version 2 extends the protocol from the Constant schemes to the whole
+/// scheme family: SetupStore hosts multiple stores per server (SRC-i's
+/// I1/I2, PB's filter tree) with optional Bloom pre-decryption gates,
+/// SearchKeyword resolves keyword/trapdoor token batches, SearchPayload
+/// streams decrypted payloads back, and result frames are chunked —
+/// capped ids/payloads per frame, interleaved across the batch's query
+/// ids, reassembled by the client until SearchDone.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr uint32_t kMaxFrameBytes = uint32_t{1} << 30;
+
+/// Per-part byte cap for keyword/trapdoor tokens (a keyword token part is
+/// a λ-byte key; PB trapdoors are λ bytes too). The decoder rejects
+/// anything larger, bounding what one hostile token can allocate.
+inline constexpr size_t kMaxKeywordTokenPartBytes = 4096;
 
 enum class FrameType : uint8_t {
   /// Client -> server: host a serialized ShardedEmm index.
@@ -30,8 +43,8 @@ enum class FrameType : uint8_t {
   /// Client -> server: many range queries, each many GGM tokens, in one
   /// round trip.
   kSearchBatchReq = 3,
-  /// Server -> client: the ids of one query of the batch (streamed per
-  /// query id, in request order).
+  /// Server -> client: a chunk of ids of one query of the batch (chunked
+  /// and interleaved across query ids; reassemble until SearchDone).
   kSearchResult = 4,
   /// Server -> client: end of batch + dedupe/expansion statistics.
   kSearchDone = 5,
@@ -42,6 +55,15 @@ enum class FrameType : uint8_t {
   kStatsResp = 9,
   /// Server -> client: request-level failure (bad frame, no index, ...).
   kError = 10,
+  /// Client -> server: host one store slot (index blob + optional Bloom
+  /// gate) of a scheme's ServerSetup. Answered with kSetupResp.
+  kSetupStoreReq = 11,
+  /// Client -> server: a batch of keyword/trapdoor token queries against
+  /// one store slot (the TDAG schemes' SSE tokens, PB's trapdoors).
+  kSearchKeywordReq = 12,
+  /// Server -> client: a chunk of decrypted payloads of one query of a
+  /// keyword batch (chunked + interleaved like kSearchResult).
+  kSearchPayload = 13,
 };
 
 /// One decoded frame: type plus raw payload (still to be parsed by the
@@ -132,9 +154,63 @@ struct SearchDone {
   uint64_t unique_nodes_expanded = 0;
   uint64_t leaves_searched = 0;
   uint64_t search_nanos = 0;
+  /// Candidate decryptions the store's Bloom gate skipped (keyword
+  /// batches against gated SRC/SRC-i stores; new in wire v2).
+  uint64_t skipped_decrypts = 0;
 
   Bytes Encode() const;
   static Result<SearchDone> Decode(const Bytes& payload);
+};
+
+/// Hosts one store slot of a scheme's ServerSetup: the serialized index
+/// (`kind` selects the blob format and the tokens it resolves) plus an
+/// optional serialized BloomLabelGate consulted before candidate
+/// decryptions.
+struct SetupStoreRequest {
+  uint32_t store_id = 0;
+  /// Raw `rsse::StoreKind`: 0 = encrypted dictionary, 1 = PB filter tree.
+  uint8_t kind = 0;
+  Bytes index_blob;
+  /// Empty = no gate.
+  Bytes gate_blob;
+
+  Bytes Encode() const;
+  static Result<SetupStoreRequest> Decode(const Bytes& payload);
+};
+
+/// One keyword/trapdoor token as shipped to the server. kind 0 is a
+/// standard SSE token (`a` = label key K1, `b` = value key K2); kind 1 is
+/// a scheme-opaque trapdoor in `a` (`b` empty) — PB's filter-tree probes.
+struct WireKeywordToken {
+  uint8_t kind = 0;
+  Bytes a;
+  Bytes b;
+
+  friend bool operator==(const WireKeywordToken&,
+                         const WireKeywordToken&) = default;
+};
+
+/// A batch of keyword-token queries against one hosted store slot.
+struct SearchKeywordRequest {
+  struct Query {
+    uint32_t query_id = 0;
+    std::vector<WireKeywordToken> tokens;
+  };
+
+  uint32_t store_id = 0;
+  std::vector<Query> queries;
+
+  Bytes Encode() const;
+  static Result<SearchKeywordRequest> Decode(const Bytes& payload);
+};
+
+/// A chunk of decrypted payloads for one query of a keyword batch.
+struct SearchPayloadResult {
+  uint32_t query_id = 0;
+  std::vector<Bytes> payloads;
+
+  Bytes Encode() const;
+  static Result<SearchPayloadResult> Decode(const Bytes& payload);
 };
 
 struct UpdateRequest {

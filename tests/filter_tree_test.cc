@@ -1,0 +1,163 @@
+// FilterTreeIndex: the PB baseline's serializable server half. Round-trip
+// fidelity, descent correctness, and hostile-blob rejection (out-of-range
+// child links, truncations, inflated counts) — the decoder feeds
+// rsse_serverd, so it must never over-read or loop.
+
+#include <gtest/gtest.h>
+
+#include "pb/filter_tree.h"
+#include "rsse/bloom_gate.h"
+#include "sse/encrypted_multimap.h"
+#include "sse/keyword_keys.h"
+
+namespace rsse::pb {
+namespace {
+
+Bytes Trapdoor(uint8_t fill) { return Bytes(16, fill); }
+
+/// A 3-node tree: root with two leaves; leaf ids 10 and 20. The left
+/// subtree holds trapdoor 0xAA, the right 0xBB.
+FilterTreeIndex MakeTree() {
+  FilterTreeIndex tree;
+  const int64_t root = tree.AddNode(FilterTreeIndex::Node{
+      BloomFilter(2, 1e-6, 0), -1, -1, 0, false});
+  tree.node(root).filter.Insert(ConstByteSpan(Trapdoor(0xAA)));
+  tree.node(root).filter.Insert(ConstByteSpan(Trapdoor(0xBB)));
+  const int64_t left = tree.AddNode(FilterTreeIndex::Node{
+      BloomFilter(1, 1e-6, 1), -1, -1, 10, true});
+  tree.node(left).filter.Insert(ConstByteSpan(Trapdoor(0xAA)));
+  const int64_t right = tree.AddNode(FilterTreeIndex::Node{
+      BloomFilter(1, 1e-6, 2), -1, -1, 20, true});
+  tree.node(right).filter.Insert(ConstByteSpan(Trapdoor(0xBB)));
+  tree.LinkChildren(root, left, right);
+  tree.SetRoot(root);
+  return tree;
+}
+
+TEST(FilterTreeTest, SerializeRoundTripPreservesSearch) {
+  FilterTreeIndex tree = MakeTree();
+  EXPECT_EQ(tree.Search({Trapdoor(0xAA)}), std::vector<uint64_t>{10});
+  EXPECT_EQ(tree.Search({Trapdoor(0xBB)}), std::vector<uint64_t>{20});
+  EXPECT_TRUE(tree.Search({Trapdoor(0x77)}).empty());
+
+  auto restored = FilterTreeIndex::Deserialize(tree.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NodeCount(), 3u);
+  EXPECT_EQ(restored->LeafCount(), 2u);
+  EXPECT_EQ(restored->SizeBytes(), tree.SizeBytes());
+  EXPECT_EQ(restored->Search({Trapdoor(0xAA)}), std::vector<uint64_t>{10});
+  EXPECT_EQ(restored->Search({Trapdoor(0xBB)}), std::vector<uint64_t>{20});
+  EXPECT_EQ(restored->Serialize(), tree.Serialize());
+}
+
+TEST(FilterTreeTest, EmptyTreeRoundTrips) {
+  FilterTreeIndex tree;
+  tree.SetRoot(-1);
+  auto restored = FilterTreeIndex::Deserialize(tree.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NodeCount(), 0u);
+  EXPECT_TRUE(restored->Search({Trapdoor(0xAA)}).empty());
+}
+
+TEST(FilterTreeTest, TruncationAtEveryCutFailsCleanly) {
+  const Bytes good = MakeTree().Serialize();
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes bad(good.begin(), good.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(FilterTreeIndex::Deserialize(bad).ok()) << "cut " << cut;
+  }
+}
+
+TEST(FilterTreeTest, RejectsHostileLinks) {
+  FilterTreeIndex tree = MakeTree();
+  const Bytes good = tree.Serialize();
+
+  // Upward child link (would cycle the descent): root's left -> root.
+  Bytes cyclic = good;
+  for (int i = 0; i < 8; ++i) cyclic[24 + i] = 0;  // node 0 left = 0
+  EXPECT_FALSE(FilterTreeIndex::Deserialize(cyclic).ok());
+
+  // Child index past the node count.
+  Bytes oob = good;
+  oob[24 + 7] = 9;  // node 0 left = 9 of 3
+  EXPECT_FALSE(FilterTreeIndex::Deserialize(oob).ok());
+
+  // Inflated node count.
+  Bytes inflated = good;
+  inflated[8] = 0xff;
+  EXPECT_FALSE(FilterTreeIndex::Deserialize(inflated).ok());
+
+  // Foreign magic.
+  Bytes foreign = good;
+  foreign[0] ^= 0x5A;
+  EXPECT_FALSE(FilterTreeIndex::Deserialize(foreign).ok());
+
+  // Trailing garbage.
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(FilterTreeIndex::Deserialize(trailing).ok());
+}
+
+}  // namespace
+}  // namespace rsse::pb
+
+namespace rsse {
+namespace {
+
+TEST(BloomGateSerializeTest, RoundTripPreservesMembership) {
+  sse::PrfKeyDeriver deriver(Bytes(16, 0x42));
+  sse::PlainMultimap postings;
+  for (int w = 0; w < 8; ++w) {
+    Bytes keyword;
+    AppendUint64(keyword, static_cast<uint64_t>(w));
+    for (int i = 0; i < 5; ++i) {
+      postings[keyword].push_back(sse::EncodeIdPayload(
+          static_cast<uint64_t>(w * 100 + i)));
+    }
+  }
+  BloomLabelGate gate(/*expected_real_entries=*/40, /*fp_rate=*/0.01,
+                      /*salt=*/99);
+  ASSERT_TRUE(gate.Populate(postings, deriver).ok());
+
+  auto restored = BloomLabelGate::Deserialize(gate.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->SizeBytes(), gate.SizeBytes());
+
+  // Every real label answers identically through the restored gate.
+  uint8_t counter[8];
+  Label label;
+  for (const auto& [keyword, payloads] : postings) {
+    const sse::KeywordKeys keys = deriver.Derive(keyword);
+    const crypto::Prf prf(keys.label_key);
+    for (uint64_t c = 0; c < payloads.size(); ++c) {
+      StoreUint64(counter, c);
+      ASSERT_TRUE(prf.EvalInto(ConstByteSpan(counter, sizeof(counter)),
+                               ByteSpan(label.data(), label.size())));
+      EXPECT_TRUE(restored->MayContainReal(label));
+    }
+  }
+
+  // Corruption is rejected.
+  Bytes bad = gate.Serialize();
+  bad[0] ^= 1;
+  EXPECT_FALSE(BloomLabelGate::Deserialize(bad).ok());
+  bad = gate.Serialize();
+  bad.pop_back();
+  EXPECT_FALSE(BloomLabelGate::Deserialize(bad).ok());
+}
+
+TEST(BloomGateSerializeTest, RejectsOverflowingBitCount) {
+  // num_bits near 2^64 once wrapped the (num_bits + 63) / 64 word-count
+  // check, accepting an empty bit vector whose first probe then read out
+  // of bounds. The blob must be rejected, never hosted.
+  Bytes blob;
+  AppendUint32(blob, 0x52534247);  // gate magic
+  AppendUint32(blob, 1);           // gate version
+  AppendUint64(blob, ~uint64_t{0});  // num_bits = 2^64 - 1
+  AppendUint32(blob, 1);             // num_hashes
+  AppendUint64(blob, 7);             // salt
+  AppendUint64(blob, 0);             // word_count = 0 (wrapped check)
+  EXPECT_FALSE(BloomLabelGate::Deserialize(blob).ok());
+}
+
+}  // namespace
+}  // namespace rsse

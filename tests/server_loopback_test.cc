@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 #include <thread>
@@ -210,6 +211,187 @@ TEST(ServerLoopbackTest, OversizedTokenLevelIsRejectedNotExpanded) {
   ASSERT_FALSE(outcome.ok());
   EXPECT_NE(outcome.status().message().find("expansion limit"),
             std::string::npos);
+}
+
+TEST(ServerLoopbackTest, UpdateRacingSearchBatchIsWellDefined) {
+  // Two connections hammer the server concurrently: one streams Update
+  // batches while the other runs SearchBatch queries. The store table's
+  // reader/writer lock must keep every search consistent (the inserted
+  // labels are random, so search results never change) and every update
+  // counted exactly once.
+  Rng rng(11);
+  Dataset data = GenerateUniform(/*n=*/2000, /*domain_size=*/1 << 10, rng);
+  ConstantScheme scheme(CoverTechnique::kBrc, /*rng_seed=*/3);
+  ASSERT_TRUE(scheme.Build(data).ok());
+
+  LoopbackServer loopback([] {
+    ServerOptions options;
+    options.search_threads = 2;
+    return options;
+  }());
+  {
+    EmmClient setup_client;
+    ASSERT_TRUE(setup_client.Connect("127.0.0.1", loopback.port()).ok());
+    ASSERT_TRUE(setup_client.Setup(scheme.SerializeIndex()).ok());
+  }
+  const size_t base_entries = scheme.index().EntryCount();
+
+  const Range range{100, 900};
+  Result<QueryResult> expected = scheme.Query(range);
+  ASSERT_TRUE(expected.ok());
+  std::vector<uint64_t> expected_ids = Sorted(expected->ids);
+
+  constexpr int kUpdateBatches = 40;
+  constexpr int kEntriesPerBatch = 8;
+  constexpr int kSearches = 40;
+  std::atomic<int> failures{0};
+
+  std::thread updater([&] {
+    EmmClient client;
+    if (!client.Connect("127.0.0.1", loopback.port()).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    Rng label_rng(77);
+    for (int b = 0; b < kUpdateBatches; ++b) {
+      std::vector<std::pair<Label, Bytes>> entries;
+      for (int i = 0; i < kEntriesPerBatch; ++i) {
+        Label label;
+        for (uint8_t& byte : label) {
+          byte = static_cast<uint8_t>(label_rng.Uniform(0, 255));
+        }
+        entries.emplace_back(label, Bytes(24, 0x5A));
+      }
+      if (!client.Update(entries).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+
+  std::thread searcher([&] {
+    EmmClient client;
+    if (!client.Connect("127.0.0.1", loopback.port()).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    for (int i = 0; i < kSearches; ++i) {
+      EmmClient::BatchQuery q;
+      q.query_id = static_cast<uint32_t>(i);
+      q.tokens = scheme.Delegate(range);
+      auto outcome = client.SearchBatch({q});
+      if (!outcome.ok() ||
+          Sorted(outcome->ids[q.query_id]) != expected_ids) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+
+  updater.join();
+  searcher.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(loopback.server().EntryCount(),
+            base_entries + kUpdateBatches * kEntriesPerBatch);
+}
+
+TEST(ServerLoopbackTest, ResultFramesAreCappedAndInterleaved) {
+  // With a tiny per-frame id cap, a two-query batch must stream many
+  // SearchResult chunks alternating between the query ids (no query's ids
+  // are buffered wholesale), terminated by one SearchDone.
+  Rng rng(13);
+  Dataset data = GenerateUniform(/*n=*/600, /*domain_size=*/256, rng);
+  ConstantScheme scheme(CoverTechnique::kBrc, /*rng_seed=*/3);
+  ASSERT_TRUE(scheme.Build(data).ok());
+
+  LoopbackServer loopback([] {
+    ServerOptions options;
+    options.max_ids_per_result_frame = 4;
+    return options;
+  }());
+
+  // Raw socket so individual frames stay observable.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(loopback.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  const auto send_frame = [&](FrameType type, const Bytes& payload) {
+    Bytes frame;
+    ASSERT_TRUE(EncodeFrame(type, payload, frame));
+    ASSERT_EQ(send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+  };
+  Bytes in;
+  size_t offset = 0;
+  const auto recv_frame = [&](Frame& frame) {
+    for (;;) {
+      const FrameParse parse = DecodeFrame(in, offset, frame, nullptr);
+      if (parse == FrameParse::kFrame) return true;
+      if (parse == FrameParse::kMalformed) return false;
+      uint8_t chunk[4096];
+      const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      in.insert(in.end(), chunk, chunk + n);
+    }
+  };
+
+  SetupRequest setup;
+  setup.index_blob = scheme.SerializeIndex();
+  send_frame(FrameType::kSetupReq, setup.Encode());
+  Frame frame;
+  ASSERT_TRUE(recv_frame(frame));
+  ASSERT_EQ(frame.type, FrameType::kSetupResp);
+
+  // Two ranges with plenty of results each.
+  SearchBatchRequest batch;
+  for (uint32_t q = 0; q < 2; ++q) {
+    WireQuery query;
+    query.query_id = 100 + q;
+    for (const GgmDprf::Token& t :
+         scheme.Delegate(Range{q * 128, q * 128 + 127})) {
+      WireToken wt;
+      wt.level = static_cast<uint8_t>(t.level);
+      std::memcpy(wt.seed.data(), t.seed.data(), kLabelBytes);
+      query.tokens.push_back(wt);
+    }
+    batch.queries.push_back(std::move(query));
+  }
+  send_frame(FrameType::kSearchBatchReq, batch.Encode());
+
+  std::map<uint32_t, std::vector<uint64_t>> ids;
+  std::vector<uint32_t> frame_order;
+  size_t result_frames = 0;
+  for (;;) {
+    ASSERT_TRUE(recv_frame(frame));
+    if (frame.type == FrameType::kSearchDone) break;
+    ASSERT_EQ(frame.type, FrameType::kSearchResult);
+    auto result = SearchResult::Decode(frame.payload);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->ids.size(), 4u) << "frame exceeds the id cap";
+    ids[result->query_id].insert(ids[result->query_id].end(),
+                                 result->ids.begin(), result->ids.end());
+    frame_order.push_back(result->query_id);
+    ++result_frames;
+  }
+  close(fd);
+
+  // Both queries return ~300 ids; at <=4 per frame that is many chunks,
+  // and the round-robin emission alternates the two query ids.
+  EXPECT_GT(result_frames, 20u);
+  ASSERT_GE(frame_order.size(), 4u);
+  EXPECT_NE(frame_order[0], frame_order[1])
+      << "chunks must interleave across query ids";
+  for (uint32_t q = 0; q < 2; ++q) {
+    Result<QueryResult> expected =
+        scheme.Query(Range{q * 128, q * 128 + 127});
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(Sorted(ids[100 + q]), Sorted(expected->ids));
+  }
 }
 
 TEST(ServerLoopbackTest, MalformedFrameGetsErrorThenDisconnect) {

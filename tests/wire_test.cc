@@ -201,6 +201,131 @@ TEST(WirePayloadTest, SearchDoneRoundTrip) {
   EXPECT_FALSE(SearchDone::Decode(ToBytes("short")).ok());
 }
 
+TEST(WirePayloadTest, SearchDoneCarriesSkippedDecrypts) {
+  SearchDone done;
+  done.query_count = 1;
+  done.skipped_decrypts = 77;
+  auto decoded = SearchDone::Decode(done.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->skipped_decrypts, 77u);
+}
+
+TEST(WirePayloadTest, SetupStoreRoundTripAndCorruption) {
+  SetupStoreRequest req;
+  req.store_id = 1;
+  req.kind = 1;
+  req.index_blob = Bytes(37, 0xCD);
+  req.gate_blob = Bytes(9, 0x11);
+  const Bytes good = req.Encode();
+  auto decoded = SetupStoreRequest::Decode(good);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->store_id, 1u);
+  EXPECT_EQ(decoded->kind, 1);
+  EXPECT_EQ(decoded->index_blob, req.index_blob);
+  EXPECT_EQ(decoded->gate_blob, req.gate_blob);
+
+  // Empty gate blob round-trips too.
+  req.gate_blob.clear();
+  auto no_gate = SetupStoreRequest::Decode(req.Encode());
+  ASSERT_TRUE(no_gate.ok());
+  EXPECT_TRUE(no_gate->gate_blob.empty());
+
+  // Truncation at every cut point must fail cleanly, never crash.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes bad(good.begin(), good.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SetupStoreRequest::Decode(bad).ok()) << "cut " << cut;
+  }
+
+  // Index blob length far beyond the payload.
+  Bytes inflated = good;
+  inflated[5] = 0xff;  // high byte of the u64 index length
+  EXPECT_FALSE(SetupStoreRequest::Decode(inflated).ok());
+
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(SetupStoreRequest::Decode(trailing).ok());
+}
+
+TEST(WirePayloadTest, SearchKeywordRoundTripAndCorruption) {
+  SearchKeywordRequest req;
+  req.store_id = 1;
+  SearchKeywordRequest::Query query;
+  query.query_id = 5;
+  WireKeywordToken keyword;
+  keyword.kind = 0;
+  keyword.a = Bytes(16, 0xA1);
+  keyword.b = Bytes(16, 0xB2);
+  query.tokens.push_back(keyword);
+  WireKeywordToken trapdoor;
+  trapdoor.kind = 1;
+  trapdoor.a = Bytes(16, 0xC3);
+  query.tokens.push_back(trapdoor);
+  req.queries.push_back(query);
+
+  const Bytes good = req.Encode();
+  auto decoded = SearchKeywordRequest::Decode(good);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->store_id, 1u);
+  ASSERT_EQ(decoded->queries.size(), 1u);
+  EXPECT_EQ(decoded->queries[0].query_id, 5u);
+  EXPECT_EQ(decoded->queries[0].tokens, query.tokens);
+
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes bad(good.begin(), good.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SearchKeywordRequest::Decode(bad).ok()) << "cut " << cut;
+  }
+
+  // Query count beyond what the bytes can hold.
+  Bytes inflated = good;
+  inflated[4] = 0xff;
+  EXPECT_FALSE(SearchKeywordRequest::Decode(inflated).ok());
+
+  // Token kind outside {0, 1}.
+  Bytes bad_kind = good;
+  bad_kind[16] = 7;  // 4 store + 4 count + 4 id + 4 token count → kind
+  EXPECT_FALSE(SearchKeywordRequest::Decode(bad_kind).ok());
+
+  // Token part length above the per-part cap.
+  SearchKeywordRequest big;
+  SearchKeywordRequest::Query big_query;
+  big_query.query_id = 1;
+  WireKeywordToken big_token;
+  big_token.kind = 1;
+  big_token.a = Bytes(kMaxKeywordTokenPartBytes + 1, 0xEE);
+  big_query.tokens.push_back(big_token);
+  big.queries.push_back(big_query);
+  EXPECT_FALSE(SearchKeywordRequest::Decode(big.Encode()).ok());
+
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(SearchKeywordRequest::Decode(trailing).ok());
+}
+
+TEST(WirePayloadTest, SearchPayloadRoundTripAndCorruption) {
+  SearchPayloadResult result;
+  result.query_id = 9;
+  result.payloads = {Bytes(8, 0x01), Bytes(24, 0x02), Bytes{}};
+  const Bytes good = result.Encode();
+  auto decoded = SearchPayloadResult::Decode(good);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_id, 9u);
+  EXPECT_EQ(decoded->payloads, result.payloads);
+
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes bad(good.begin(), good.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SearchPayloadResult::Decode(bad).ok()) << "cut " << cut;
+  }
+
+  // Payload count far beyond what the bytes can hold.
+  Bytes inflated = good;
+  inflated[4] = 0xff;
+  EXPECT_FALSE(SearchPayloadResult::Decode(inflated).ok());
+
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(SearchPayloadResult::Decode(trailing).ok());
+}
+
 TEST(WirePayloadTest, UpdateRoundTripAndCorruption) {
   UpdateRequest req;
   req.entries.emplace_back(MakeLabel(0x01), ToBytes("ciphertext-one"));
