@@ -1,11 +1,32 @@
 #ifndef RSSE_COMMON_STATS_H_
 #define RSSE_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace rsse {
+
+/// Lock-free running maximum: many threads Observe(), any thread reads
+/// value(). The CAS loop only retries while the observed value is still
+/// the largest seen, so contention is bounded by genuine new maxima.
+class AtomicMaxGauge {
+ public:
+  void Observe(uint64_t v) {
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t value() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset() { max_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> max_{0};
+};
 
 /// Streaming accumulator for benchmark/experiment statistics: count, mean,
 /// min, max, and exact percentiles (values are retained).

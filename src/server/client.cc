@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,6 +12,12 @@
 namespace rsse::server {
 
 namespace {
+
+/// Parsed-prefix bytes kept in the receive buffer before it is shifted
+/// down (same threshold as the server's input path): pipelined result
+/// chunks keep a long-lived connection's buffer bounded instead of
+/// retaining every frame ever received.
+constexpr size_t kCompactThreshold = 1 << 20;
 
 Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
@@ -59,6 +66,11 @@ Status EmmClient::Connect(const std::string& host, uint16_t port,
     tv.tv_sec = recv_timeout_seconds;
     setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
+  // Request frames are small and latency-bound; without this every
+  // ping-pong exchange risks a Nagle/delayed-ACK stall. Failure is
+  // harmless, so the result is ignored.
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Status::Ok();
 }
 
@@ -70,8 +82,20 @@ Status EmmClient::WriteAll(const uint8_t* data, size_t len) {
       sent += static_cast<size_t>(n);
       continue;
     }
+    if (n == 0) {
+      // send() does not return 0 for nonzero lengths on a live socket,
+      // and a 0 return sets no errno — checking errno here would act on
+      // whatever the previous syscall left behind (a stale EINTR means
+      // an infinite retry loop). Treat it as a dead peer.
+      Close();
+      return Status::Internal("send: connection closed by peer");
+    }
     if (errno == EINTR) continue;
-    return Errno("send");
+    // A partial frame may be on the wire: the connection is desynced and
+    // unusable for further requests.
+    Status status = Errno("send");
+    Close();
+    return status;
   }
   return Status::Ok();
 }
@@ -107,27 +131,46 @@ Result<Frame> EmmClient::RecvFrame() {
     std::string error;
     const FrameParse parse = DecodeFrame(in_, in_offset_, frame, &error);
     if (parse == FrameParse::kFrame) {
+      // Reclaim the parsed prefix: clearing only on an exact buffer
+      // boundary would let pipelined result chunks grow `in_` without
+      // bound across a long stream.
       if (in_offset_ == in_.size()) {
         in_.clear();
+        in_offset_ = 0;
+      } else if (in_offset_ >= kCompactThreshold) {
+        in_.erase(in_.begin(), in_.begin() + static_cast<long>(in_offset_));
         in_offset_ = 0;
       }
       return frame;
     }
     if (parse == FrameParse::kMalformed) {
+      Close();
       return Status::Internal("malformed server frame: " + error);
     }
     uint8_t chunk[64 * 1024];
     const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
       in_.insert(in_.end(), chunk, chunk + n);
+      if (in_.size() > peak_recv_buffer_bytes_) {
+        peak_recv_buffer_bytes_ = in_.size();
+      }
       continue;
     }
-    if (n == 0) return Status::Internal("server closed the connection");
+    if (n == 0) {
+      Close();
+      return Status::Internal("server closed the connection");
+    }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // The response may still land after the deadline: a partial frame
+      // (or a late whole one) would desync every request that follows.
+      // The connection is broken, not just slow.
+      Close();
       return Status::Internal("timed out waiting for server response");
     }
-    return Errno("recv");
+    Status status = Errno("recv");
+    Close();
+    return status;
   }
 }
 

@@ -78,6 +78,12 @@ class EmmClient {
 
   Result<StatsResponse> Stats();
 
+  /// Bytes buffered but not yet parsed (diagnostics/tests).
+  size_t BufferedBytes() const { return in_.size() - in_offset_; }
+  /// High-water mark of the receive buffer over the connection's life —
+  /// the number the RecvFrame compaction keeps bounded.
+  size_t PeakRecvBufferBytes() const { return peak_recv_buffer_bytes_; }
+
  private:
   /// Sends one frame whose payload is the concatenation of `parts`,
   /// streaming each part straight from the caller's buffer — Setup ships
@@ -90,6 +96,7 @@ class EmmClient {
   int fd_ = -1;
   Bytes in_;
   size_t in_offset_ = 0;
+  size_t peak_recv_buffer_bytes_ = 0;
 };
 
 }  // namespace rsse::server

@@ -3,20 +3,22 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <iterator>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/env.h"
-#include "common/parallel.h"
 #include "common/stats.h"
 #include "dprf/ggm_dprf.h"
 #include "sse/keyword_keys.h"
@@ -25,9 +27,13 @@ namespace rsse::server {
 
 namespace {
 
-/// Input buffer compaction threshold: parsed-prefix bytes kept around
-/// before the buffer is shifted down.
+/// Input/output buffer compaction threshold: consumed-prefix bytes kept
+/// around before the buffer is shifted down.
 constexpr size_t kCompactThreshold = 1 << 20;
+
+/// Parsed-but-unexecuted requests per connection before the poll thread
+/// stops reading from it (job completion frees slots and resumes reads).
+constexpr size_t kMaxQueuedJobs = 64;
 
 Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " +
@@ -39,6 +45,14 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// Request frames are small and latency-bound; leaving Nagle on stacks a
+/// delayed-ACK stall onto every ping-pong exchange. Failure is harmless
+/// (the socket just keeps default batching), so the result is ignored.
+void SetNoDelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 /// Dedupe key of a delegated GGM node: level byte followed by the seed.
 using NodeKey = std::array<uint8_t, 1 + kLabelBytes>;
 
@@ -47,30 +61,6 @@ NodeKey KeyOf(const WireToken& t) {
   key[0] = t.level;
   std::memcpy(key.data() + 1, t.seed.data(), kLabelBytes);
   return key;
-}
-
-/// Round-robin chunk scheduler shared by the id and payload result
-/// streams: every query gets a first frame (possibly empty, so the
-/// client learns about empty results), then capped chunks alternate
-/// across queries until all are drained. `emit(q, first, count)` encodes
-/// and appends one frame for `count` elements of query `q` starting at
-/// `first`; a false return aborts the stream.
-template <typename Emit>
-bool StreamChunksInterleaved(const std::vector<size_t>& totals, size_t cap,
-                             Emit&& emit) {
-  std::vector<size_t> offset(totals.size(), 0);
-  for (size_t round = 0;; ++round) {
-    bool emitted = false;
-    for (size_t q = 0; q < totals.size(); ++q) {
-      const size_t remaining = totals[q] - offset[q];
-      if (round > 0 && remaining == 0) continue;
-      const size_t chunk = std::min(remaining, cap);
-      if (!emit(q, offset[q], chunk)) return false;
-      offset[q] += chunk;
-      emitted = true;
-    }
-    if (!emitted) return true;
-  }
 }
 
 }  // namespace
@@ -148,36 +138,49 @@ Status EmmServer::Listen() {
 
 void EmmServer::Shutdown() {
   stop_.store(true, std::memory_order_relaxed);
+  WakePoll();
+}
+
+void EmmServer::WakePoll() {
   if (wake_fds_[1] >= 0) {
     const uint8_t b = 0;
     [[maybe_unused]] ssize_t n = write(wake_fds_[1], &b, 1);
   }
 }
 
-void EmmServer::CloseAll() {
-  for (Connection& c : conns_) {
-    if (c.fd >= 0) close(c.fd);
-  }
-  conns_.clear();
-}
+// ---------------------------------------------------------------------------
+// Poll thread: accept, read, write, and the staged-output/unpark sweep.
+// ---------------------------------------------------------------------------
 
 Status EmmServer::Serve() {
   if (listen_fd_ < 0) return Status::FailedPrecondition("Listen() not called");
+  StartWorkers();
   std::vector<pollfd> fds;
   while (!stop_.load(std::memory_order_relaxed)) {
+    // Sweep every connection first: move worker-staged frames into the
+    // socket buffer, unpark drained streams, refresh read-pause state,
+    // and drop closing connections that have fully finished.
+    for (size_t i = conns_.size(); i-- > 0;) {
+      if (PumpConnection(conns_[i])) DropConnection(i);
+    }
     fds.clear();
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_fds_[0], POLLIN, 0});
-    for (const Connection& c : conns_) {
-      // A closing connection only flushes: registering POLLIN for it
-      // would level-trigger forever on unread input and spin the loop.
-      short events = c.closing ? 0 : POLLIN;
-      if (c.out.size() > c.out_offset) events |= POLLOUT;
-      fds.push_back({c.fd, events, 0});
+    for (const std::shared_ptr<Connection>& c : conns_) {
+      // A closing connection only flushes (re-reading would re-handle the
+      // same malformed prefix); a paused one has a full job queue and
+      // resumes once completions drain it. Either way no POLLIN, or a
+      // level-triggered socket would spin the loop.
+      short events = 0;
+      if (!c->closing && !c->input_paused) events |= POLLIN;
+      if (c->out.size() > c->out_offset) events |= POLLOUT;
+      fds.push_back({c->fd, events, 0});
     }
     const int rc = poll(fds.data(), fds.size(), /*timeout_ms=*/-1);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      StopWorkers();
+      CloseAll();
       return Errno("poll");
     }
     if ((fds[1].revents & POLLIN) != 0) {
@@ -195,17 +198,14 @@ Status EmmServer::Serve() {
     for (size_t i = polled; i-- > 0;) {
       const short revents = fds[2 + i].revents;
       if (revents == 0) continue;
-      Connection& c = conns_[i];
       bool alive = true;
       if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) alive = false;
-      if (alive && (revents & POLLIN) != 0) alive = ReadPending(c);
-      if (alive && (revents & POLLOUT) != 0) alive = WritePending(c);
-      if (!alive) {
-        close(c.fd);
-        conns_.erase(conns_.begin() + static_cast<long>(i));
-      }
+      if (alive && (revents & POLLIN) != 0) alive = ReadPending(conns_[i]);
+      if (alive && (revents & POLLOUT) != 0) alive = WritePending(*conns_[i]);
+      if (!alive) DropConnection(i);
     }
   }
+  StopWorkers();
   CloseAll();
   return Status::Ok();
 }
@@ -228,16 +228,16 @@ void EmmServer::AcceptPending() {
       close(fd);
       continue;
     }
-    Connection c;
-    c.fd = fd;
-    conns_.push_back(std::move(c));
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
   }
 }
 
-bool EmmServer::ReadPending(Connection& conn) {
-  // A closing connection only flushes; re-parsing would re-handle the
-  // same malformed prefix and emit duplicate Error frames.
-  if (conn.closing) return WritePending(conn);
+bool EmmServer::ReadPending(const std::shared_ptr<Connection>& cp) {
+  Connection& conn = *cp;
+  if (conn.closing) return true;  // flush-only; not polled for POLLIN
   uint8_t chunk[64 * 1024];
   // Read and parse alternately: handling complete frames between recv
   // calls keeps conn.in bounded by one in-flight frame (plus a chunk)
@@ -259,12 +259,18 @@ bool EmmServer::ReadPending(Connection& conn) {
           DecodeFrame(conn.in, conn.in_offset, frame, &error);
       if (parse == FrameParse::kNeedMore) break;
       if (parse == FrameParse::kMalformed) {
-        SendError(conn, "malformed frame: " + error);
+        // The error must leave in sequence, after the responses of the
+        // well-formed frames already queued: it rides the job queue too.
+        Job job;
+        job.protocol_error = "malformed frame: " + error;
+        EnqueueJob(cp, std::move(job));
         conn.closing = true;
         break;
       }
-      HandleFrame(conn, frame);
-      if (conn.closing) break;
+      Job job;
+      job.type = frame.type;
+      job.payload = std::move(frame.payload);
+      EnqueueJob(cp, std::move(job));
     }
     if (conn.closing) break;
     if (conn.in_offset >= kCompactThreshold ||
@@ -274,74 +280,303 @@ bool EmmServer::ReadPending(Connection& conn) {
       conn.in_offset = 0;
     }
   }
-  // Try to flush immediately; otherwise POLLOUT takes over.
-  return WritePending(conn);
+  return true;
 }
 
 bool EmmServer::WritePending(Connection& conn) {
+  size_t sent = 0;
+  bool alive = true;
   while (conn.out_offset < conn.out.size()) {
     const ssize_t n =
         send(conn.fd, conn.out.data() + conn.out_offset,
              conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_offset += static_cast<size_t>(n);
+      sent += static_cast<size_t>(n);
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (n == 0) {
+      // send() does not return 0 for nonzero lengths on a live socket,
+      // and a 0 return sets no errno — falling through to the errno
+      // checks below would act on whatever the previous syscall left
+      // (a stale EINTR means an infinite retry loop). Dead peer.
+      alive = false;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    return false;
+    alive = false;
+    break;
   }
-  conn.out.clear();
-  conn.out_offset = 0;
-  return !conn.closing;
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  }
+  if (sent > 0) {
+    conn.outbound_bytes.fetch_sub(sent, std::memory_order_release);
+  }
+  return alive;
 }
 
-void EmmServer::SendError(Connection& conn, const std::string& message) {
+bool EmmServer::PumpConnection(const std::shared_ptr<Connection>& cp) {
+  Connection& conn = *cp;
+  std::lock_guard<std::mutex> lock(conn.mu);
+  if (conn.close_requested.load(std::memory_order_relaxed)) {
+    conn.closing = true;
+  }
+  if (!conn.staged.empty()) {
+    // Reclaim the sent prefix before appending: a connection that stays
+    // partially unflushed while workers keep staging must not grow its
+    // consumed prefix without bound.
+    if (conn.out_offset > 0 &&
+        (conn.out_offset == conn.out.size() ||
+         conn.out_offset >= kCompactThreshold)) {
+      conn.out.erase(conn.out.begin(),
+                     conn.out.begin() + static_cast<long>(conn.out_offset));
+      conn.out_offset = 0;
+    }
+    conn.out.insert(conn.out.end(), conn.staged.begin(), conn.staged.end());
+    conn.staged.clear();
+    conn.staged.shrink_to_fit();
+  }
+  // Unpark with hysteresis: the stream parked at the high-water mark
+  // resumes once the socket has drained to half of it, so a borderline
+  // reader does not bounce the job on and off the worker pool per frame.
+  if (conn.state == ExecState::kParked &&
+      conn.outbound_bytes.load(std::memory_order_acquire) <=
+          options_.max_outbound_bytes / 2) {
+    conn.state = ExecState::kQueued;
+    PushReadyLocked(cp);
+  }
+  conn.input_paused = conn.jobs.size() >= kMaxQueuedJobs;
+  return conn.closing && conn.jobs.empty() &&
+         conn.state == ExecState::kIdle && conn.staged.empty() &&
+         conn.out_offset == conn.out.size();
+}
+
+void EmmServer::DropConnection(size_t index) {
+  std::shared_ptr<Connection> conn = conns_[index];
+  conns_.erase(conns_.begin() + static_cast<long>(index));
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed.store(true, std::memory_order_relaxed);
+    // A worker mid-job still holds a reference through the ready queue's
+    // shared_ptr and cleans up at its next transition; anything merely
+    // queued or parked dies here.
+    if (conn->state != ExecState::kRunning) {
+      conn->jobs.clear();
+      conn->state = ExecState::kIdle;
+    }
+  }
+  if (conn->fd >= 0) {
+    close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void EmmServer::CloseAll() {
+  while (!conns_.empty()) DropConnection(conns_.size() - 1);
+}
+
+void EmmServer::EnqueueJob(const std::shared_ptr<Connection>& cp,
+                           Job&& job) {
+  Connection& conn = *cp;
+  std::lock_guard<std::mutex> lock(conn.mu);
+  conn.jobs.push_back(std::move(job));
+  if (conn.state == ExecState::kIdle) {
+    conn.state = ExecState::kQueued;
+    PushReadyLocked(cp);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: one connection's head job at a time, responses in request
+// order, search jobs parked and resumed across backpressure.
+// ---------------------------------------------------------------------------
+
+int EmmServer::ResolveWorkerCount() const {
+  if (options_.search_workers > 0) return options_.search_workers;
+  return ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS");
+}
+
+void EmmServer::StartWorkers() {
+  const int count = std::max(ResolveWorkerCount(), 1);
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = false;
+  }
+  workers_.reserve(static_cast<size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void EmmServer::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  ready_.clear();
+}
+
+void EmmServer::PushReadyLocked(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    ready_.push_back(conn);
+  }
+  work_cv_.notify_one();
+}
+
+void EmmServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock,
+                    [this] { return workers_stop_ || !ready_.empty(); });
+      if (workers_stop_) return;
+      conn = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    RunHeadJob(conn);
+  }
+}
+
+void EmmServer::RunHeadJob(const std::shared_ptr<Connection>& cp) {
+  Connection& conn = *cp;
+  Job* job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.closed.load(std::memory_order_relaxed)) {
+      conn.jobs.clear();
+      conn.state = ExecState::kIdle;
+      return;
+    }
+    // A ready entry can go stale (the connection was dropped and its
+    // queue cleared, or an unpark raced a completion); only a queued
+    // head job runs.
+    if (conn.state != ExecState::kQueued || conn.jobs.empty()) return;
+    conn.state = ExecState::kRunning;
+    // deque::push_back never invalidates references to existing
+    // elements, so the poll thread may append while this one executes.
+    job = &conn.jobs.front();
+  }
+  const JobResult result = ExecuteJob(conn, *job);
+  std::lock_guard<std::mutex> lock(conn.mu);
+  if (conn.closed.load(std::memory_order_relaxed)) {
+    conn.jobs.clear();
+    conn.state = ExecState::kIdle;
+    return;
+  }
+  if (result == JobResult::kParked) {
+    // Head job stays queued with its stream state; the poll thread
+    // requeues the connection once the socket drains below the
+    // low-water mark.
+    conn.state = ExecState::kParked;
+    return;
+  }
+  conn.jobs.pop_front();
+  if (conn.jobs.empty()) {
+    conn.state = ExecState::kIdle;
+  } else {
+    conn.state = ExecState::kQueued;
+    PushReadyLocked(cp);
+  }
+}
+
+EmmServer::JobResult EmmServer::ExecuteJob(Connection& conn, Job& job) {
+  if (!job.protocol_error.empty()) {
+    EmitError(conn, job.protocol_error);
+    return JobResult::kDone;
+  }
+  if (job.stream != nullptr) return ResumeStream(conn, job);
+  switch (job.type) {
+    case FrameType::kSetupReq:
+      RunSetup(conn, job.payload);
+      return JobResult::kDone;
+    case FrameType::kSetupStoreReq:
+      RunSetupStore(conn, job.payload);
+      return JobResult::kDone;
+    case FrameType::kSearchBatchReq:
+      return StartSearchBatch(conn, job);
+    case FrameType::kSearchKeywordReq:
+      return StartSearchKeyword(conn, job);
+    case FrameType::kUpdateReq:
+      RunUpdate(conn, job.payload);
+      return JobResult::kDone;
+    case FrameType::kStatsReq:
+      RunStats(conn);
+      return JobResult::kDone;
+    default:
+      // Response-only types arriving at the server are a protocol breach.
+      EmitError(conn, "unexpected frame type at server");
+      conn.close_requested.store(true, std::memory_order_relaxed);
+      WakePoll();
+      return JobResult::kDone;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Emission: workers stage encoded frames under conn.mu; the poll thread
+// moves them to the socket on its next sweep.
+// ---------------------------------------------------------------------------
+
+bool EmmServer::EmitEncoded(Connection& conn, const Bytes& frame) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.closed.load(std::memory_order_relaxed)) return false;
+    wake = conn.staged.empty();
+    conn.staged.insert(conn.staged.end(), frame.begin(), frame.end());
+    const size_t outbound =
+        conn.outbound_bytes.fetch_add(frame.size(),
+                                      std::memory_order_release) +
+        frame.size();
+    stats_.peak_outbound_bytes.Observe(outbound);
+  }
+  // First staged frame since the last sweep: the poll thread may be
+  // blocked with no POLLOUT registered for this socket.
+  if (wake) WakePoll();
+  return true;
+}
+
+bool EmmServer::EmitFrame(Connection& conn, FrameType type,
+                          ConstByteSpan payload, const char* oversize_error) {
+  Bytes frame;
+  if (!EncodeFrame(type, payload, frame)) {
+    EmitError(conn, oversize_error);
+    return false;
+  }
+  return EmitEncoded(conn, frame);
+}
+
+void EmmServer::EmitError(Connection& conn, const std::string& message) {
   ErrorResponse resp;
   resp.message = message;
   const Bytes payload = resp.Encode();
-  if (!EncodeFrame(FrameType::kError, payload, conn.out)) {
-    conn.closing = true;  // cannot even frame the error: drop the peer
-  }
+  Bytes frame;
+  // Our own error strings are tiny; encoding cannot overflow the frame
+  // cap. If it somehow does there is nothing sensible left to send.
+  if (!EncodeFrame(FrameType::kError, payload, frame)) return;
+  EmitEncoded(conn, frame);
 }
 
-void EmmServer::HandleFrame(Connection& conn, const Frame& frame) {
-  switch (frame.type) {
-    case FrameType::kSetupReq:
-      HandleSetup(conn, frame.payload);
-      return;
-    case FrameType::kSetupStoreReq:
-      HandleSetupStore(conn, frame.payload);
-      return;
-    case FrameType::kSearchBatchReq:
-      HandleSearchBatch(conn, frame.payload);
-      return;
-    case FrameType::kSearchKeywordReq:
-      HandleSearchKeyword(conn, frame.payload);
-      return;
-    case FrameType::kUpdateReq:
-      HandleUpdate(conn, frame.payload);
-      return;
-    case FrameType::kStatsReq:
-      HandleStats(conn);
-      return;
-    default:
-      // Response-only types arriving at the server are a protocol breach.
-      SendError(conn, "unexpected frame type at server");
-      conn.closing = true;
-      return;
-  }
-}
+// ---------------------------------------------------------------------------
+// Request handlers (worker side).
+// ---------------------------------------------------------------------------
 
-void EmmServer::HandleSetup(Connection& conn, const Bytes& payload) {
+void EmmServer::RunSetup(Connection& conn, const Bytes& payload) {
   Result<SetupRequest> req = SetupRequest::Decode(payload);
   if (!req.ok()) {
-    SendError(conn, req.status().message());
+    EmitError(conn, req.status().message());
     return;
   }
   Status hosted = Host(req->index_blob);
   if (!hosted.ok()) {
-    SendError(conn, hosted.message());
+    EmitError(conn, hosted.message());
     return;
   }
   SetupResponse resp;
@@ -351,22 +586,20 @@ void EmmServer::HandleSetup(Connection& conn, const Bytes& payload) {
     resp.shards = static_cast<uint32_t>(primary.emm.shard_count());
     resp.entries = primary.emm.EntryCount();
   }
-  const Bytes out = resp.Encode();
-  if (!EncodeFrame(FrameType::kSetupResp, out, conn.out)) {
-    SendError(conn, "setup response exceeds frame limit");
-  }
+  EmitFrame(conn, FrameType::kSetupResp, resp.Encode(),
+            "setup response exceeds frame limit");
 }
 
-void EmmServer::HandleSetupStore(Connection& conn, const Bytes& payload) {
+void EmmServer::RunSetupStore(Connection& conn, const Bytes& payload) {
   Result<SetupStoreRequest> req = SetupStoreRequest::Decode(payload);
   if (!req.ok()) {
-    SendError(conn, req.status().message());
+    EmitError(conn, req.status().message());
     return;
   }
   // Slot ids are capped so a hostile client cannot grow the store table
   // without bound by cycling distinct ids.
   if (req->store_id > options_.max_store_id) {
-    SendError(conn, "store id exceeds the server's slot limit");
+    EmitError(conn, "store id exceeds the server's slot limit");
     return;
   }
   HostedStore incoming;
@@ -378,7 +611,7 @@ void EmmServer::HandleSetupStore(Connection& conn, const Bytes& payload) {
     Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
         req->index_blob, threads, options_.load_shards);
     if (!store.ok()) {
-      SendError(conn, store.status().message());
+      EmitError(conn, store.status().message());
       return;
     }
     incoming.emm = std::move(store).value();
@@ -386,7 +619,7 @@ void EmmServer::HandleSetupStore(Connection& conn, const Bytes& payload) {
       Result<rsse::BloomLabelGate> gate =
           rsse::BloomLabelGate::Deserialize(req->gate_blob);
       if (!gate.ok()) {
-        SendError(conn, gate.status().message());
+        EmitError(conn, gate.status().message());
         return;
       }
       incoming.gate = std::make_unique<rsse::BloomLabelGate>(
@@ -397,13 +630,13 @@ void EmmServer::HandleSetupStore(Connection& conn, const Bytes& payload) {
   } else if (req->kind ==
              static_cast<uint8_t>(rsse::StoreKind::kFilterTree)) {
     if (!req->gate_blob.empty()) {
-      SendError(conn, "filter-tree stores take no bloom gate");
+      EmitError(conn, "filter-tree stores take no bloom gate");
       return;
     }
     Result<pb::FilterTreeIndex> tree =
         pb::FilterTreeIndex::Deserialize(req->index_blob);
     if (!tree.ok()) {
-      SendError(conn, tree.status().message());
+      EmitError(conn, tree.status().message());
       return;
     }
     incoming.tree =
@@ -411,7 +644,7 @@ void EmmServer::HandleSetupStore(Connection& conn, const Bytes& payload) {
     resp.shards = 0;
     resp.entries = incoming.tree->LeafCount();
   } else {
-    SendError(conn, "unknown store kind");
+    EmitError(conn, "unknown store kind");
     return;
   }
   {
@@ -419,307 +652,25 @@ void EmmServer::HandleSetupStore(Connection& conn, const Bytes& payload) {
     stores_[req->store_id] = std::move(incoming);
     hosted_ = true;
   }
-  const Bytes out = resp.Encode();
-  if (!EncodeFrame(FrameType::kSetupResp, out, conn.out)) {
-    SendError(conn, "setup response exceeds frame limit");
-  }
+  EmitFrame(conn, FrameType::kSetupResp, resp.Encode(),
+            "setup response exceeds frame limit");
 }
 
-bool EmmServer::StreamIdResults(
-    Connection& conn, const std::vector<uint32_t>& query_ids,
-    const std::vector<std::vector<uint64_t>>& ids) {
-  std::vector<size_t> totals(ids.size());
-  for (size_t q = 0; q < ids.size(); ++q) totals[q] = ids[q].size();
-  return StreamChunksInterleaved(
-      totals, std::max<size_t>(options_.max_ids_per_result_frame, 1),
-      [&](size_t q, size_t first, size_t count) {
-        SearchResult result;
-        result.query_id = query_ids[q];
-        result.ids.assign(
-            ids[q].begin() + static_cast<long>(first),
-            ids[q].begin() + static_cast<long>(first + count));
-        if (!EncodeFrame(FrameType::kSearchResult, result.Encode(),
-                         conn.out)) {
-          SendError(conn, "result chunk exceeds frame limit");
-          return false;
-        }
-        return true;
-      });
-}
-
-bool EmmServer::StreamPayloadResults(
-    Connection& conn, const std::vector<uint32_t>& query_ids,
-    std::vector<std::vector<Bytes>>& payloads) {
-  std::vector<size_t> totals(payloads.size());
-  for (size_t q = 0; q < payloads.size(); ++q) totals[q] = payloads[q].size();
-  return StreamChunksInterleaved(
-      totals, std::max<size_t>(options_.max_payloads_per_result_frame, 1),
-      [&](size_t q, size_t first, size_t count) {
-        SearchPayloadResult result;
-        result.query_id = query_ids[q];
-        result.payloads.assign(
-            std::make_move_iterator(payloads[q].begin() +
-                                    static_cast<long>(first)),
-            std::make_move_iterator(payloads[q].begin() +
-                                    static_cast<long>(first + count)));
-        if (!EncodeFrame(FrameType::kSearchPayload, result.Encode(),
-                         conn.out)) {
-          SendError(conn, "payload chunk exceeds frame limit");
-          return false;
-        }
-        return true;
-      });
-}
-
-void EmmServer::HandleSearchBatch(Connection& conn, const Bytes& payload) {
-  Result<SearchBatchRequest> req = SearchBatchRequest::Decode(payload);
-  if (!req.ok()) {
-    SendError(conn, req.status().message());
-    return;
-  }
-  // Searches hold the store lock shared: an Update or Setup racing this
-  // batch serializes against it instead of mutating the store mid-probe.
-  std::shared_lock lock(store_mutex_);
-  if (!hosted_) {
-    SendError(conn, "no index hosted (send Setup first)");
-    return;
-  }
-  auto slot = stores_.find(rsse::kPrimaryStore);
-  if (slot == stores_.end() ||
-      slot->second.kind != rsse::StoreKind::kEmm) {
-    SendError(conn, "primary store is not an encrypted dictionary");
-    return;
-  }
-  const HostedStore& store = slot->second;
-
-  WallTimer timer;
-
-  // Dedupe covering nodes across every query of the batch: queries over
-  // overlapping ranges share dyadic nodes, and each distinct GGM subtree
-  // is expanded and probed exactly once.
-  std::map<NodeKey, size_t> unique_index;
-  std::vector<const WireToken*> unique_tokens;
-  std::vector<std::vector<size_t>> query_token_refs(req->queries.size());
-  uint64_t tokens_received = 0;
-  for (size_t q = 0; q < req->queries.size(); ++q) {
-    for (const WireToken& t : req->queries[q].tokens) {
-      if (t.level > options_.max_token_level) {
-        SendError(conn, "token level exceeds the server's expansion limit");
-        return;
-      }
-      ++tokens_received;
-      auto [it, inserted] =
-          unique_index.try_emplace(KeyOf(t), unique_tokens.size());
-      if (inserted) unique_tokens.push_back(&t);
-      query_token_refs[q].push_back(it->second);
-    }
-  }
-
-  // Expand + probe each distinct subtree once, sharded across workers
-  // (same strided layout as the in-process LocalBackend search).
-  const int threads = static_cast<int>(std::min<size_t>(
-      static_cast<size_t>(
-          ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS")),
-      std::max<size_t>(unique_tokens.size(), 1)));
-  std::vector<std::vector<uint64_t>> unique_ids(unique_tokens.size());
-  std::vector<uint64_t> leaves_per_worker(static_cast<size_t>(threads), 0);
-  std::vector<sse::SearchStats> stats_per_worker(
-      static_cast<size_t>(threads));
-  auto worker = [&](int t) {
-    std::vector<Label> leaves;
-    sse::KeywordKeys keys;
-    for (size_t i = static_cast<size_t>(t); i < unique_tokens.size();
-         i += static_cast<size_t>(threads)) {
-      GgmDprf::Token token;
-      token.level = unique_tokens[i]->level;
-      token.seed.assign(unique_tokens[i]->seed.begin(),
-                        unique_tokens[i]->seed.end());
-      if (!GgmDprf::ExpandInto(token, leaves)) continue;
-      leaves_per_worker[static_cast<size_t>(t)] += leaves.size();
-      for (const Label& leaf : leaves) {
-        sse::KeysFromSharedSecretInto(ConstByteSpan(leaf.data(), leaf.size()),
-                                      keys);
-        for (const Bytes& payload_bytes :
-             store.emm.Search(keys, store.gate.get(),
-                              &stats_per_worker[static_cast<size_t>(t)])) {
-          if (auto id = sse::DecodeIdPayload(payload_bytes); id.has_value()) {
-            unique_ids[i].push_back(*id);
-          }
-        }
-      }
-    }
-  };
-  RunWorkers(threads, worker);
-
-  // Fan shared expansions back out to every subscriber, then stream the
-  // per-query ids in capped chunks interleaved across query ids.
-  uint64_t leaves_searched = 0;
-  for (uint64_t n : leaves_per_worker) leaves_searched += n;
-  uint64_t skipped_decrypts = 0;
-  for (const sse::SearchStats& s : stats_per_worker) {
-    skipped_decrypts += s.skipped_decrypts;
-  }
-  std::vector<uint32_t> query_ids(req->queries.size());
-  std::vector<std::vector<uint64_t>> per_query(req->queries.size());
-  for (size_t q = 0; q < req->queries.size(); ++q) {
-    query_ids[q] = req->queries[q].query_id;
-    for (size_t idx : query_token_refs[q]) {
-      per_query[q].insert(per_query[q].end(), unique_ids[idx].begin(),
-                          unique_ids[idx].end());
-    }
-  }
-  if (!StreamIdResults(conn, query_ids, per_query)) return;
-
-  SearchDone done;
-  done.query_count = static_cast<uint32_t>(req->queries.size());
-  done.tokens_received = tokens_received;
-  done.unique_nodes_expanded = unique_tokens.size();
-  done.leaves_searched = leaves_searched;
-  done.search_nanos = timer.ElapsedNanos();
-  done.skipped_decrypts = skipped_decrypts;
-  const Bytes out = done.Encode();
-  if (!EncodeFrame(FrameType::kSearchDone, out, conn.out)) {
-    SendError(conn, "search done frame failed to encode");
-    return;
-  }
-
-  stats_.batches_served += 1;
-  stats_.queries_served += req->queries.size();
-  stats_.tokens_received += tokens_received;
-  stats_.nodes_deduped += tokens_received - unique_tokens.size();
-}
-
-void EmmServer::HandleSearchKeyword(Connection& conn, const Bytes& payload) {
-  Result<SearchKeywordRequest> req = SearchKeywordRequest::Decode(payload);
-  if (!req.ok()) {
-    SendError(conn, req.status().message());
-    return;
-  }
-  // The keyword-path equivalent of max_token_level: bound the total work
-  // and allocation one hostile frame can demand before touching a store.
-  uint64_t tokens_received = 0;
-  for (const SearchKeywordRequest::Query& q : req->queries) {
-    tokens_received += q.tokens.size();
-  }
-  if (tokens_received > options_.max_keyword_tokens) {
-    SendError(conn, "keyword token batch exceeds the server's limit");
-    return;
-  }
-
-  std::shared_lock lock(store_mutex_);
-  if (!hosted_) {
-    SendError(conn, "no index hosted (send Setup first)");
-    return;
-  }
-  auto slot = stores_.find(req->store_id);
-  if (slot == stores_.end()) {
-    SendError(conn, "no store hosted at the requested slot");
-    return;
-  }
-  const HostedStore& store = slot->second;
-
-  WallTimer timer;
-  std::vector<uint32_t> query_ids(req->queries.size());
-  std::vector<std::vector<Bytes>> per_query(req->queries.size());
-  uint64_t skipped_decrypts = 0;
-
-  if (store.kind == rsse::StoreKind::kFilterTree) {
-    for (size_t q = 0; q < req->queries.size(); ++q) {
-      query_ids[q] = req->queries[q].query_id;
-      std::vector<Bytes> trapdoors;
-      trapdoors.reserve(req->queries[q].tokens.size());
-      for (const WireKeywordToken& t : req->queries[q].tokens) {
-        if (t.kind != 1) {
-          SendError(conn, "filter-tree stores resolve opaque trapdoors only");
-          return;
-        }
-        trapdoors.push_back(t.a);
-      }
-      for (uint64_t id : store.tree->Search(trapdoors)) {
-        per_query[q].push_back(sse::EncodeIdPayload(id));
-      }
-    }
-  } else {
-    // Flatten the batch's (query, token) pairs and stride them across the
-    // search workers; per-pair hit lists keep the reassembly ordered.
-    struct Probe {
-      size_t query = 0;
-      const WireKeywordToken* token = nullptr;
-    };
-    std::vector<Probe> probes;
-    probes.reserve(static_cast<size_t>(tokens_received));
-    for (size_t q = 0; q < req->queries.size(); ++q) {
-      query_ids[q] = req->queries[q].query_id;
-      for (const WireKeywordToken& t : req->queries[q].tokens) {
-        if (t.kind != 0) {
-          SendError(conn,
-                    "encrypted dictionaries resolve keyword tokens only");
-          return;
-        }
-        probes.push_back(Probe{q, &t});
-      }
-    }
-    const int threads = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(ResolveThreadCount(options_.search_threads,
-                                               "RSSE_SEARCH_THREADS")),
-        std::max<size_t>(probes.size(), 1)));
-    std::vector<std::vector<Bytes>> per_probe(probes.size());
-    std::vector<sse::SearchStats> stats_per_worker(
-        static_cast<size_t>(threads));
-    auto worker = [&](int t) {
-      sse::KeywordKeys keys;
-      for (size_t i = static_cast<size_t>(t); i < probes.size();
-           i += static_cast<size_t>(threads)) {
-        keys.label_key = probes[i].token->a;
-        keys.value_key = probes[i].token->b;
-        per_probe[i] =
-            store.emm.Search(keys, store.gate.get(),
-                             &stats_per_worker[static_cast<size_t>(t)]);
-      }
-    };
-    RunWorkers(threads, worker);
-    for (size_t i = 0; i < probes.size(); ++i) {
-      for (Bytes& hit : per_probe[i]) {
-        per_query[probes[i].query].push_back(std::move(hit));
-      }
-    }
-    for (const sse::SearchStats& s : stats_per_worker) {
-      skipped_decrypts += s.skipped_decrypts;
-    }
-  }
-
-  if (!StreamPayloadResults(conn, query_ids, per_query)) return;
-
-  SearchDone done;
-  done.query_count = static_cast<uint32_t>(req->queries.size());
-  done.tokens_received = tokens_received;
-  done.search_nanos = timer.ElapsedNanos();
-  done.skipped_decrypts = skipped_decrypts;
-  const Bytes out = done.Encode();
-  if (!EncodeFrame(FrameType::kSearchDone, out, conn.out)) {
-    SendError(conn, "search done frame failed to encode");
-    return;
-  }
-
-  stats_.batches_served += 1;
-  stats_.queries_served += req->queries.size();
-  stats_.tokens_received += tokens_received;
-}
-
-void EmmServer::HandleUpdate(Connection& conn, const Bytes& payload) {
+void EmmServer::RunUpdate(Connection& conn, const Bytes& payload) {
   Result<UpdateRequest> req = UpdateRequest::Decode(payload);
   if (!req.ok()) {
-    SendError(conn, req.status().message());
+    EmitError(conn, req.status().message());
     return;
   }
   UpdateResponse resp;
   {
     // Updates mutate the store table: exclusive lock, so a racing search
-    // sees the dictionary entirely before or entirely after this batch.
+    // segment sees the dictionary entirely before or entirely after this
+    // batch.
     std::unique_lock lock(store_mutex_);
     HostedStore& primary = stores_[rsse::kPrimaryStore];
     if (primary.kind != rsse::StoreKind::kEmm) {
-      SendError(conn, "primary store is not an encrypted dictionary");
+      EmitError(conn, "primary store is not an encrypted dictionary");
       return;
     }
     // A shipped Bloom gate was built over the setup-time labels only;
@@ -733,13 +684,11 @@ void EmmServer::HandleUpdate(Connection& conn, const Bytes& payload) {
     hosted_ = true;
     resp.entries = primary.emm.EntryCount();
   }
-  const Bytes out = resp.Encode();
-  if (!EncodeFrame(FrameType::kUpdateResp, out, conn.out)) {
-    SendError(conn, "update response exceeds frame limit");
-  }
+  EmitFrame(conn, FrameType::kUpdateResp, resp.Encode(),
+            "update response exceeds frame limit");
 }
 
-void EmmServer::HandleStats(Connection& conn) {
+void EmmServer::RunStats(Connection& conn) {
   StatsResponse resp;
   {
     std::shared_lock lock(store_mutex_);
@@ -756,13 +705,399 @@ void EmmServer::HandleStats(Connection& conn) {
       }
     }
   }
-  resp.batches_served = stats_.batches_served;
-  resp.queries_served = stats_.queries_served;
-  resp.tokens_received = stats_.tokens_received;
-  resp.nodes_deduped = stats_.nodes_deduped;
-  const Bytes out = resp.Encode();
-  if (!EncodeFrame(FrameType::kStatsResp, out, conn.out)) {
-    SendError(conn, "stats response exceeds frame limit");
+  resp.batches_served = stats_.batches_served.load(std::memory_order_relaxed);
+  resp.queries_served = stats_.queries_served.load(std::memory_order_relaxed);
+  resp.tokens_received =
+      stats_.tokens_received.load(std::memory_order_relaxed);
+  resp.nodes_deduped = stats_.nodes_deduped.load(std::memory_order_relaxed);
+  EmitFrame(conn, FrameType::kStatsResp, resp.Encode(),
+            "stats response exceeds frame limit");
+}
+
+// ---------------------------------------------------------------------------
+// Streamed searches.
+// ---------------------------------------------------------------------------
+
+EmmServer::JobResult EmmServer::StartSearchBatch(Connection& conn, Job& job) {
+  Result<SearchBatchRequest> req = SearchBatchRequest::Decode(job.payload);
+  if (!req.ok()) {
+    EmitError(conn, req.status().message());
+    return JobResult::kDone;
+  }
+  auto stream = std::make_unique<ResultStream>();
+  ResultStream& s = *stream;
+  s.payload_mode = false;
+  s.producer = ResultStream::Producer::kGgm;
+  const size_t nq = req->queries.size();
+  s.query_ids.resize(nq);
+  s.ids.resize(nq);
+  s.open_parts.assign(nq, 0);
+  s.offset.assign(nq, 0);
+  // Dedupe covering nodes across every query of the batch: queries over
+  // overlapping ranges share dyadic nodes, and each distinct GGM subtree
+  // is expanded and probed exactly once, its ids fanned back out to every
+  // subscriber.
+  std::map<NodeKey, size_t> unique_index;
+  uint64_t tokens_received = 0;
+  for (size_t q = 0; q < nq; ++q) {
+    s.query_ids[q] = req->queries[q].query_id;
+    for (const WireToken& t : req->queries[q].tokens) {
+      if (t.level > options_.max_token_level) {
+        EmitError(conn, "token level exceeds the server's expansion limit");
+        return JobResult::kDone;
+      }
+      ++tokens_received;
+      auto [it, inserted] =
+          unique_index.try_emplace(KeyOf(t), s.tokens.size());
+      if (inserted) {
+        GgmDprf::Token token;
+        token.level = t.level;
+        token.seed.assign(t.seed.begin(), t.seed.end());
+        s.tokens.push_back(std::move(token));
+        s.token_queries.emplace_back();
+      }
+      s.token_queries[it->second].push_back(static_cast<uint32_t>(q));
+      ++s.open_parts[q];
+    }
+  }
+  s.work_count = s.tokens.size();
+  s.done.query_count = static_cast<uint32_t>(nq);
+  s.done.tokens_received = tokens_received;
+  s.done.unique_nodes_expanded = s.tokens.size();
+  // The request is fully decoded into the stream; keeping the raw payload
+  // alive across parks would double the batch's footprint.
+  job.payload.clear();
+  job.payload.shrink_to_fit();
+  job.stream = std::move(stream);
+  return ResumeStream(conn, job);
+}
+
+EmmServer::JobResult EmmServer::StartSearchKeyword(Connection& conn,
+                                                   Job& job) {
+  Result<SearchKeywordRequest> req = SearchKeywordRequest::Decode(job.payload);
+  if (!req.ok()) {
+    EmitError(conn, req.status().message());
+    return JobResult::kDone;
+  }
+  // The keyword-path equivalent of max_token_level: bound the total work
+  // and allocation one hostile frame can demand before touching a store.
+  uint64_t tokens_received = 0;
+  for (const SearchKeywordRequest::Query& q : req->queries) {
+    tokens_received += q.tokens.size();
+  }
+  if (tokens_received > options_.max_keyword_tokens) {
+    EmitError(conn, "keyword token batch exceeds the server's limit");
+    return JobResult::kDone;
+  }
+  // The slot's kind decides which work units to build; the store itself
+  // is re-resolved under the lock each run segment.
+  rsse::StoreKind kind;
+  {
+    std::shared_lock lock(store_mutex_);
+    if (!hosted_) {
+      EmitError(conn, "no index hosted (send Setup first)");
+      return JobResult::kDone;
+    }
+    auto slot = stores_.find(req->store_id);
+    if (slot == stores_.end()) {
+      EmitError(conn, "no store hosted at the requested slot");
+      return JobResult::kDone;
+    }
+    kind = slot->second.kind;
+  }
+  auto stream = std::make_unique<ResultStream>();
+  ResultStream& s = *stream;
+  s.payload_mode = true;
+  s.store_id = req->store_id;
+  const size_t nq = req->queries.size();
+  s.query_ids.resize(nq);
+  s.payloads.resize(nq);
+  s.open_parts.assign(nq, 0);
+  s.offset.assign(nq, 0);
+  if (kind == rsse::StoreKind::kFilterTree) {
+    s.producer = ResultStream::Producer::kFilterTree;
+    s.trapdoors.resize(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      s.query_ids[q] = req->queries[q].query_id;
+      s.trapdoors[q].reserve(req->queries[q].tokens.size());
+      for (const WireKeywordToken& t : req->queries[q].tokens) {
+        if (t.kind != 1) {
+          EmitError(conn, "filter-tree stores resolve opaque trapdoors only");
+          return JobResult::kDone;
+        }
+        s.trapdoors[q].push_back(t.a);
+      }
+      s.open_parts[q] = 1;  // one tree probe per query
+    }
+    s.work_count = nq;
+  } else {
+    s.producer = ResultStream::Producer::kKeyword;
+    s.probes.reserve(static_cast<size_t>(tokens_received));
+    for (size_t q = 0; q < nq; ++q) {
+      s.query_ids[q] = req->queries[q].query_id;
+      for (const WireKeywordToken& t : req->queries[q].tokens) {
+        if (t.kind != 0) {
+          EmitError(conn,
+                    "encrypted dictionaries resolve keyword tokens only");
+          return JobResult::kDone;
+        }
+        ResultStream::KeywordProbe probe;
+        probe.query = static_cast<uint32_t>(q);
+        probe.keys.label_key = t.a;
+        probe.keys.value_key = t.b;
+        s.probes.push_back(std::move(probe));
+        ++s.open_parts[q];
+      }
+    }
+    s.work_count = s.probes.size();
+  }
+  s.done.query_count = static_cast<uint32_t>(nq);
+  s.done.tokens_received = tokens_received;
+  job.payload.clear();
+  job.payload.shrink_to_fit();
+  job.stream = std::move(stream);
+  return ResumeStream(conn, job);
+}
+
+EmmServer::JobResult EmmServer::ResumeStream(Connection& conn, Job& job) {
+  ResultStream& s = *job.stream;
+  WallTimer timer;
+  // One shared store-table lock per run segment: the lock drops with the
+  // segment when the job parks, so a batch stalled behind a slow reader
+  // never blocks an Update or Setup. The flip side, re-resolved here, is
+  // that a long-streamed batch may observe a store swap at work-unit
+  // granularity.
+  std::shared_lock lock(store_mutex_);
+  const HostedStore* store = nullptr;
+  // The first segment validates even when the batch carries no work at
+  // all (an empty batch against an unhosted server is still an error);
+  // later segments re-resolve only while production remains.
+  if (s.next_work < s.work_count || s.next_work == 0) {
+    if (!hosted_) {
+      EmitError(conn, "no index hosted (send Setup first)");
+      return JobResult::kDone;
+    }
+    const uint32_t slot_id = s.producer == ResultStream::Producer::kGgm
+                                 ? rsse::kPrimaryStore
+                                 : s.store_id;
+    auto slot = stores_.find(slot_id);
+    switch (s.producer) {
+      case ResultStream::Producer::kGgm:
+        if (slot == stores_.end() ||
+            slot->second.kind != rsse::StoreKind::kEmm) {
+          EmitError(conn, "primary store is not an encrypted dictionary");
+          return JobResult::kDone;
+        }
+        break;
+      case ResultStream::Producer::kKeyword:
+        if (slot == stores_.end()) {
+          EmitError(conn, "no store hosted at the requested slot");
+          return JobResult::kDone;
+        }
+        if (slot->second.kind != rsse::StoreKind::kEmm) {
+          EmitError(conn, "store kind changed during a streamed search");
+          return JobResult::kDone;
+        }
+        break;
+      case ResultStream::Producer::kFilterTree:
+        if (slot == stores_.end()) {
+          EmitError(conn, "no store hosted at the requested slot");
+          return JobResult::kDone;
+        }
+        if (slot->second.kind != rsse::StoreKind::kFilterTree ||
+            slot->second.tree == nullptr) {
+          EmitError(conn, "store kind changed during a streamed search");
+          return JobResult::kDone;
+        }
+        break;
+    }
+    store = &slot->second;
+  }
+  // Scratch reused across this segment's work units.
+  std::vector<Label> leaves;
+  sse::KeywordKeys leaf_keys;
+  for (;;) {
+    const EmitResult emit = PumpEmission(conn, s);
+    if (emit == EmitResult::kAbort) return JobResult::kDone;
+    if (emit == EmitResult::kPark) {
+      s.done.search_nanos += timer.ElapsedNanos();
+      return JobResult::kParked;
+    }
+    if (emit == EmitResult::kFinished) {
+      s.done.search_nanos += timer.ElapsedNanos();
+      // The terminating frame honours the high-water mark like any chunk
+      // (so `peak outbound <= cap` holds exactly), except into an empty
+      // queue. Re-entry lands back here: the cursor is fully drained, so
+      // PumpEmission returns kFinished again immediately.
+      if (options_.max_outbound_bytes > 0) {
+        constexpr size_t kDoneEstimate = 96;
+        const size_t outbound =
+            conn.outbound_bytes.load(std::memory_order_acquire);
+        if (outbound > 0 &&
+            outbound + kDoneEstimate > options_.max_outbound_bytes) {
+          return JobResult::kParked;
+        }
+      }
+      EmitFrame(conn, FrameType::kSearchDone, s.done.Encode(),
+                "search done frame failed to encode");
+      stats_.batches_served.fetch_add(1, std::memory_order_relaxed);
+      stats_.queries_served.fetch_add(s.done.query_count,
+                                      std::memory_order_relaxed);
+      stats_.tokens_received.fetch_add(s.done.tokens_received,
+                                       std::memory_order_relaxed);
+      if (s.producer == ResultStream::Producer::kGgm) {
+        stats_.nodes_deduped.fetch_add(
+            s.done.tokens_received - s.done.unique_nodes_expanded,
+            std::memory_order_relaxed);
+      }
+      return JobResult::kDone;
+    }
+    // kStall: the cursor needs data the producers have not resolved yet.
+    if (s.next_work >= s.work_count) {
+      // Unreachable by construction (all open_parts are 0 once work runs
+      // dry); bail rather than spin if an invariant ever breaks.
+      EmitError(conn, "internal: stream stalled with no work left");
+      return JobResult::kDone;
+    }
+    switch (s.producer) {
+      case ResultStream::Producer::kGgm: {
+        const GgmDprf::Token& token = s.tokens[s.next_work];
+        std::vector<uint64_t> unit_ids;
+        sse::SearchStats search_stats;
+        if (GgmDprf::ExpandInto(token, leaves)) {
+          s.done.leaves_searched += leaves.size();
+          for (const Label& leaf : leaves) {
+            sse::KeysFromSharedSecretInto(
+                ConstByteSpan(leaf.data(), leaf.size()), leaf_keys);
+            for (const Bytes& payload_bytes :
+                 store->emm.Search(leaf_keys, store->gate.get(),
+                                   &search_stats)) {
+              if (auto id = sse::DecodeIdPayload(payload_bytes);
+                  id.has_value()) {
+                unit_ids.push_back(*id);
+              }
+            }
+          }
+        }
+        s.done.skipped_decrypts += search_stats.skipped_decrypts;
+        for (uint32_t qi : s.token_queries[s.next_work]) {
+          s.ids[qi].insert(s.ids[qi].end(), unit_ids.begin(),
+                           unit_ids.end());
+          --s.open_parts[qi];
+        }
+        break;
+      }
+      case ResultStream::Producer::kKeyword: {
+        const ResultStream::KeywordProbe& probe = s.probes[s.next_work];
+        sse::SearchStats search_stats;
+        std::vector<Bytes> hits =
+            store->emm.Search(probe.keys, store->gate.get(), &search_stats);
+        s.done.skipped_decrypts += search_stats.skipped_decrypts;
+        std::vector<Bytes>& dst = s.payloads[probe.query];
+        for (Bytes& hit : hits) dst.push_back(std::move(hit));
+        --s.open_parts[probe.query];
+        break;
+      }
+      case ResultStream::Producer::kFilterTree: {
+        const size_t q = s.next_work;
+        for (uint64_t id : store->tree->Search(s.trapdoors[q])) {
+          s.payloads[q].push_back(sse::EncodeIdPayload(id));
+        }
+        s.open_parts[q] = 0;
+        break;
+      }
+    }
+    ++s.next_work;
+  }
+}
+
+EmmServer::EmitResult EmmServer::PumpEmission(Connection& conn,
+                                              ResultStream& s) {
+  const size_t cap = std::max<size_t>(
+      s.payload_mode ? options_.max_payloads_per_result_frame
+                     : options_.max_ids_per_result_frame,
+      1);
+  const size_t n = s.query_ids.size();
+  for (;;) {
+    if (s.q == n) {
+      // A full rotation without a single frame means every query is
+      // complete and drained (stalls return mid-rotation): done.
+      if (!s.round_emitted) return EmitResult::kFinished;
+      s.q = 0;
+      ++s.round;
+      s.round_emitted = false;
+      continue;
+    }
+    const bool complete = s.open_parts[s.q] == 0;
+    const size_t total =
+        s.payload_mode ? s.payloads[s.q].size() : s.ids[s.q].size();
+    const size_t avail = total - s.offset[s.q];
+    if (complete && avail == 0 && s.round > 0) {
+      ++s.q;
+      continue;
+    }
+    // Round 0 still owes this query its first (possibly empty) frame;
+    // later rounds owe a frame only once a full chunk (or the tail) is
+    // ready — a partial chunk of an unfinished query waits for the
+    // producers.
+    if (!complete && avail < cap) return EmitResult::kStall;
+    const size_t count = std::min(avail, cap);
+    // Backpressure check before encoding: 32 bytes generously covers the
+    // frame header plus the chunk's fixed fields, so the estimate only
+    // overshoots. An empty outbound queue always accepts one frame —
+    // that keeps progress guaranteed whatever the configured mark.
+    size_t estimate = 32;
+    if (s.payload_mode) {
+      for (size_t i = 0; i < count; ++i) {
+        estimate += s.payloads[s.q][s.offset[s.q] + i].size() + 4;
+      }
+    } else {
+      estimate += count * 8;
+    }
+    if (options_.max_outbound_bytes > 0) {
+      const size_t outbound =
+          conn.outbound_bytes.load(std::memory_order_acquire);
+      if (outbound > 0 &&
+          outbound + estimate > options_.max_outbound_bytes) {
+        return EmitResult::kPark;
+      }
+    }
+    bool ok = false;
+    if (s.payload_mode) {
+      SearchPayloadResult result;
+      result.query_id = s.query_ids[s.q];
+      const auto first =
+          s.payloads[s.q].begin() + static_cast<long>(s.offset[s.q]);
+      result.payloads.assign(std::make_move_iterator(first),
+                             std::make_move_iterator(
+                                 first + static_cast<long>(count)));
+      ok = EmitFrame(conn, FrameType::kSearchPayload, result.Encode(),
+                     "payload chunk exceeds frame limit");
+    } else {
+      SearchResult result;
+      result.query_id = s.query_ids[s.q];
+      const auto first = s.ids[s.q].begin() + static_cast<long>(s.offset[s.q]);
+      result.ids.assign(first, first + static_cast<long>(count));
+      ok = EmitFrame(conn, FrameType::kSearchResult, result.Encode(),
+                     "result chunk exceeds frame limit");
+    }
+    if (!ok) return EmitResult::kAbort;
+    s.offset[s.q] += count;
+    s.round_emitted = true;
+    // Reclaim the emitted prefix: a stream parked behind a slow reader
+    // must not keep already-framed results resident on top of the
+    // bounded outbound queue.
+    if (s.offset[s.q] >= std::max<size_t>(4 * cap, size_t{4096})) {
+      if (s.payload_mode) {
+        std::vector<Bytes>& v = s.payloads[s.q];
+        v.erase(v.begin(), v.begin() + static_cast<long>(s.offset[s.q]));
+      } else {
+        std::vector<uint64_t>& v = s.ids[s.q];
+        v.erase(v.begin(), v.begin() + static_cast<long>(s.offset[s.q]));
+      }
+      s.offset[s.q] = 0;
+    }
+    ++s.q;
   }
 }
 

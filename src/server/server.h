@@ -2,20 +2,27 @@
 #define RSSE_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/stats.h"
 #include "common/status.h"
+#include "dprf/ggm_dprf.h"
 #include "pb/filter_tree.h"
 #include "rsse/bloom_gate.h"
 #include "rsse/party.h"
 #include "server/wire.h"
 #include "shard/sharded_emm.h"
+#include "sse/keyword_keys.h"
 
 namespace rsse::server {
 
@@ -35,9 +42,21 @@ struct ServerOptions {
   /// blob's stored count; 0 re-shards to this host (RSSE_SHARDS, else the
   /// hardware concurrency); a positive count is used as given.
   int load_shards = shard::ShardedEmm::kKeepStoredShards;
-  /// Worker threads for batch search and index load. 0 reads
-  /// RSSE_SEARCH_THREADS, defaulting to 1.
+  /// Worker threads for index load parallelism. 0 reads
+  /// RSSE_SEARCH_THREADS, defaulting to 1. Also the fallback for
+  /// `search_workers` below, so existing deployments keep their pool size.
   int search_threads = 0;
+  /// Size of the persistent search-worker pool that executes every request
+  /// off the poll thread (search batches stream from here). 0 falls back
+  /// to `search_threads` resolution.
+  int search_workers = 0;
+  /// Per-connection outbound high-water mark, in bytes. A worker streaming
+  /// result chunks parks its cursor when the connection's unsent output
+  /// (staged + poll-side buffer) would cross this mark, and resumes once
+  /// the socket drains below half of it — a slow reader on a huge range
+  /// throttles its own query instead of growing the buffer without bound.
+  /// 0 disables backpressure (unbounded buffering, the pre-v3 behaviour).
+  size_t max_outbound_bytes = size_t{8} << 20;
   /// Largest GGM subtree a SearchBatch token may request (the expansion
   /// buffer is 16 bytes per leaf, so 2^26 leaves = 1 GiB per worker at
   /// peak). The wire format allows up to 62; without this cap one hostile
@@ -60,13 +79,19 @@ struct ServerOptions {
   size_t max_payloads_per_result_frame = size_t{1} << 12;
 };
 
-/// Cumulative serving statistics (reported through StatsResponse).
+/// Cumulative serving statistics (reported through StatsResponse). Fields
+/// are atomic: handlers run on the worker pool, and `stats()` may be read
+/// from any thread while the server serves.
 struct ServerStats {
-  uint64_t batches_served = 0;
-  uint64_t queries_served = 0;
-  uint64_t tokens_received = 0;
+  std::atomic<uint64_t> batches_served{0};
+  std::atomic<uint64_t> queries_served{0};
+  std::atomic<uint64_t> tokens_received{0};
   /// Tokens answered from another query's expansion in the same batch.
-  uint64_t nodes_deduped = 0;
+  std::atomic<uint64_t> nodes_deduped{0};
+  /// High-water mark of any single connection's outbound queue (staged +
+  /// unsent bytes) — the number the `max_outbound_bytes` backpressure cap
+  /// bounds.
+  AtomicMaxGauge peak_outbound_bytes;
 };
 
 /// The server side of the whole scheme family as a standalone process:
@@ -81,17 +106,22 @@ struct ServerStats {
 /// request per range: queries whose BRC/URC covers share GGM nodes are
 /// deduplicated server-side — each distinct (level, seed) subtree is
 /// expanded once, its leaf tokens probed once, and the resulting ids fanned
-/// back out to every subscribed query id. Distinct subtrees then shard
-/// across `search_threads` workers exactly like the in-process multi-token
-/// search.
+/// back out to every subscribed query id.
 ///
-/// Single-threaded poll event loop (nonblocking sockets, length-prefixed
-/// frames, partial read/write tolerant); the batch handler itself fans out
-/// across worker threads, so the loop stays simple while search scales.
-/// The store table is guarded by a reader/writer lock: searches take the
-/// lock shared, Update/Setup take it exclusive, so an Update racing a
-/// SearchBatch is well-defined (each sees the table before or after, never
-/// mid-mutation) even as handlers move onto worker pools.
+/// Threading model (v3): the poll thread only accepts, reads, and writes
+/// sockets. Every parsed frame becomes a job on its connection's FIFO
+/// queue, executed by a persistent pool of `search_workers` threads — so a
+/// heavy batch on one connection never head-of-line blocks another
+/// connection's requests. Search jobs stream: the worker expands GGM
+/// subtrees (or resolves keyword probes) one unit at a time and emits
+/// capped result chunks into the connection's staged output as expansion
+/// completes, waking the poll loop through the wake pipe; when the
+/// connection's outbound queue crosses `max_outbound_bytes` the worker
+/// parks the job (stream cursor and expansion progress saved) and the poll
+/// thread reschedules it once the socket drains. The store table is
+/// guarded by a reader/writer lock: searches take the lock shared per run
+/// segment, Update/Setup take it exclusive — a batch parked behind a slow
+/// reader holds no lock, so it never stalls writers.
 class EmmServer {
  public:
   explicit EmmServer(const ServerOptions& options = {});
@@ -106,7 +136,8 @@ class EmmServer {
   /// Bound port (valid after `Listen`).
   uint16_t port() const { return port_; }
 
-  /// Runs the event loop on the calling thread until `Shutdown`.
+  /// Runs the event loop on the calling thread (and the worker pool on
+  /// background threads) until `Shutdown`.
   Status Serve();
 
   /// Stops `Serve` from any thread (idempotent).
@@ -120,13 +151,95 @@ class EmmServer {
   size_t EntryCount() const;
 
  private:
+  /// Scheduling state of one connection's job queue. At most one job of a
+  /// connection executes at a time (responses must leave in request
+  /// order); kParked means the head job is paused on backpressure and
+  /// waits for the poll thread to drain the socket.
+  enum class ExecState : uint8_t { kIdle, kQueued, kRunning, kParked };
+
+  /// Resumable state of one streamed search response. The producer side
+  /// resolves one work unit at a time (a deduped GGM subtree for
+  /// SearchBatch, one keyword probe or one filter-tree query for
+  /// SearchKeyword) and appends results per subscribed query; the emission
+  /// cursor replays the round-robin chunk schedule — every query one frame
+  /// per round (the first possibly empty), capped chunks alternating —
+  /// stalling back into production when the next query in rotation has
+  /// neither a full chunk nor a complete result, and parking off the
+  /// worker when the connection's outbound queue is over the high-water
+  /// mark.
+  struct ResultStream {
+    bool payload_mode = false;  // ids (SearchBatch) vs payloads (keyword)
+    uint32_t store_id = 0;      // keyword path: the slot probed
+    std::vector<uint32_t> query_ids;
+    std::vector<std::vector<uint64_t>> ids;
+    std::vector<std::vector<Bytes>> payloads;
+    /// Per query: work units still unresolved (0 = result complete).
+    std::vector<size_t> open_parts;
+
+    enum class Producer : uint8_t { kGgm, kKeyword, kFilterTree };
+    Producer producer = Producer::kGgm;
+
+    // Producer work units (exactly one of the three is populated).
+    std::vector<GgmDprf::Token> tokens;  // SearchBatch: deduped subtrees
+    /// Per token: subscribed query indices (with multiplicity, mirroring
+    /// the query's token list).
+    std::vector<std::vector<uint32_t>> token_queries;
+    struct KeywordProbe {
+      uint32_t query = 0;
+      sse::KeywordKeys keys;
+    };
+    std::vector<KeywordProbe> probes;          // keyword path, EMM stores
+    std::vector<std::vector<Bytes>> trapdoors; // keyword path, filter tree
+    size_t next_work = 0;
+    size_t work_count = 0;
+
+    // Emission cursor.
+    size_t round = 0;
+    size_t q = 0;
+    bool round_emitted = false;
+    std::vector<size_t> offset;
+
+    /// Accumulated terminating-frame statistics (search_nanos counts
+    /// active worker segments, not parked time).
+    SearchDone done;
+  };
+
+  /// One parsed request awaiting (or undergoing) execution.
+  struct Job {
+    FrameType type = FrameType::kError;
+    Bytes payload;
+    /// Non-empty: a poll-thread protocol error to report in sequence
+    /// (malformed frame) instead of dispatching `type`.
+    std::string protocol_error;
+    /// Search jobs: streaming state once execution has started.
+    std::unique_ptr<ResultStream> stream;
+  };
+
   struct Connection {
+    // Poll-thread-owned socket state.
     int fd = -1;
     Bytes in;
     size_t in_offset = 0;  // bytes of `in` already parsed
     Bytes out;
     size_t out_offset = 0;  // bytes of `out` already sent
-    bool closing = false;   // flush `out`, then close
+    bool closing = false;   // no more reads; flush, finish jobs, close
+    bool input_paused = false;  // job queue full: stop POLLIN until it drains
+
+    // Shared with the worker pool; guarded by `mu`.
+    std::mutex mu;
+    Bytes staged;  // worker-emitted frames awaiting the poll thread
+    std::deque<Job> jobs;
+    ExecState state = ExecState::kIdle;
+    /// Unsent output in bytes (staged + out past out_offset). Written
+    /// under `mu`; atomic so the emitting worker can check the high-water
+    /// mark without the lock.
+    std::atomic<size_t> outbound_bytes{0};
+    /// Set by the poll thread when the connection is dropped; a worker
+    /// mid-job aborts at its next emission.
+    std::atomic<bool> closed{false};
+    /// Set by a worker that hit a protocol breach (response-only frame
+    /// type); the poll thread folds it into `closing` on its next sweep.
+    std::atomic<bool> close_requested{false};
   };
 
   /// One hosted store slot: an encrypted dictionary (plus optional gate)
@@ -138,30 +251,52 @@ class EmmServer {
     std::unique_ptr<pb::FilterTreeIndex> tree;
   };
 
-  void HandleFrame(Connection& conn, const Frame& frame);
-  void HandleSetup(Connection& conn, const Bytes& payload);
-  void HandleSetupStore(Connection& conn, const Bytes& payload);
-  void HandleSearchBatch(Connection& conn, const Bytes& payload);
-  void HandleSearchKeyword(Connection& conn, const Bytes& payload);
-  void HandleUpdate(Connection& conn, const Bytes& payload);
-  void HandleStats(Connection& conn);
-  void SendError(Connection& conn, const std::string& message);
-
-  /// Emits per-query result chunks (ids or payloads) interleaved
-  /// round-robin: every query gets a first frame (possibly empty), then
-  /// capped chunks alternate across queries until all are drained.
-  bool StreamIdResults(Connection& conn,
-                       const std::vector<uint32_t>& query_ids,
-                       const std::vector<std::vector<uint64_t>>& ids);
-  bool StreamPayloadResults(Connection& conn,
-                            const std::vector<uint32_t>& query_ids,
-                            std::vector<std::vector<Bytes>>& payloads);
-
+  // --- poll thread ---
   void AcceptPending();
   /// Returns false when the connection should be dropped.
-  bool ReadPending(Connection& conn);
+  bool ReadPending(const std::shared_ptr<Connection>& conn);
   bool WritePending(Connection& conn);
+  /// Staged-output pump + unpark + closing-drain check; returns true when
+  /// a closing connection has fully finished and should be dropped.
+  bool PumpConnection(const std::shared_ptr<Connection>& conn);
+  void DropConnection(size_t index);
   void CloseAll();
+  void EnqueueJob(const std::shared_ptr<Connection>& conn, Job&& job);
+
+  // --- worker pool ---
+  void StartWorkers();
+  void StopWorkers();
+  void WorkerLoop();
+  /// Requires `conn->mu` held by the caller.
+  void PushReadyLocked(const std::shared_ptr<Connection>& conn);
+  void RunHeadJob(const std::shared_ptr<Connection>& conn);
+
+  enum class JobResult { kDone, kParked };
+  JobResult ExecuteJob(Connection& conn, Job& job);
+  JobResult StartSearchBatch(Connection& conn, Job& job);
+  JobResult StartSearchKeyword(Connection& conn, Job& job);
+  /// Runs one producer/emitter segment of a streamed search (under one
+  /// shared store-table lock); returns kParked on backpressure.
+  JobResult ResumeStream(Connection& conn, Job& job);
+  void RunSetup(Connection& conn, const Bytes& payload);
+  void RunSetupStore(Connection& conn, const Bytes& payload);
+  void RunUpdate(Connection& conn, const Bytes& payload);
+  void RunStats(Connection& conn);
+
+  // --- emission (worker side) ---
+  enum class EmitResult { kStall, kPark, kFinished, kAbort };
+  /// Advances the emission cursor as far as available data and the
+  /// outbound high-water mark allow.
+  EmitResult PumpEmission(Connection& conn, ResultStream& s);
+  /// Encodes and stages one frame; false when the connection is gone or
+  /// the payload cannot be framed (`oversize_error` is staged instead).
+  bool EmitFrame(Connection& conn, FrameType type, ConstByteSpan payload,
+                 const char* oversize_error);
+  bool EmitEncoded(Connection& conn, const Bytes& frame);
+  void EmitError(Connection& conn, const std::string& message);
+  void WakePoll();
+
+  int ResolveWorkerCount() const;
 
   ServerOptions options_;
   int listen_fd_ = -1;
@@ -176,7 +311,14 @@ class EmmServer {
   std::map<uint32_t, HostedStore> stores_;
   bool hosted_ = false;
   ServerStats stats_;
-  std::vector<Connection> conns_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  // Worker pool + ready queue (connections with a runnable head job).
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Connection>> ready_;
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace rsse::server

@@ -20,6 +20,12 @@
 //                      <n> = explicit count (default: keep the blob's)
 //   --max-level=<l>    largest GGM subtree per token (default 26)
 //   --max-keyword-tokens=<n>  largest keyword-token batch (default 65536)
+//   --search-workers=<n>  persistent search-worker pool size
+//                      (default: the --threads resolution)
+//   --max-outbound-bytes=<n>  per-connection outbound high-water mark;
+//                      a search job parks when its connection's unsent
+//                      output would cross it, and resumes once the
+//                      socket drains (0 = unbounded; default 8 MiB)
 
 #include <csignal>
 #include <cstdio>
@@ -50,7 +56,11 @@ int main(int argc, char** argv) {
           "  --load-shards=<n|auto>  (re-shard hosted blobs while loading)\n"
           "  --max-level=<l>  (largest GGM subtree per token, default 26)\n"
           "  --max-keyword-tokens=<n>  (largest keyword batch, "
-          "default 65536)\n");
+          "default 65536)\n"
+          "  --search-workers=<n>  (search-worker pool size, default: "
+          "the --threads resolution)\n"
+          "  --max-outbound-bytes=<n>  (per-connection outbound "
+          "high-water mark, 0 = unbounded, default 8 MiB)\n");
       return 0;
     }
   }
@@ -89,6 +99,13 @@ int main(int argc, char** argv) {
   }
   if (const char* v = FlagValue(argc, argv, "max-keyword-tokens")) {
     options.max_keyword_tokens =
+        static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  }
+  if (const char* v = FlagValue(argc, argv, "search-workers")) {
+    options.search_workers = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "max-outbound-bytes")) {
+    options.max_outbound_bytes =
         static_cast<size_t>(std::strtoull(v, nullptr, 10));
   }
 

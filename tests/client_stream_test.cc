@@ -1,0 +1,205 @@
+// Client socket-path regressions against a scripted fake server: response
+// timeouts must close the (now desynced) connection instead of leaving a
+// partial frame to corrupt the next request, a mid-stream disconnect must
+// surface as an error, and a long pipelined result stream must not grow
+// the receive buffer without bound.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+#include "server/wire.h"
+
+namespace rsse::server {
+namespace {
+
+/// A scripted TCP peer on an ephemeral loopback port: accepts exactly one
+/// connection and hands its fd to the test's script.
+class FakePeer {
+ public:
+  explicit FakePeer(std::function<void(int fd)> script) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(
+        bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    EXPECT_EQ(listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(
+        getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+        0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, script = std::move(script)] {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        script(fd);
+        close(fd);
+      }
+    });
+  }
+
+  ~FakePeer() {
+    thread_.join();
+    close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Reads and discards bytes until one full request frame has arrived.
+void DrainOneRequest(int fd) {
+  Bytes in;
+  size_t offset = 0;
+  Frame frame;
+  for (;;) {
+    const FrameParse parse = DecodeFrame(in, offset, frame, nullptr);
+    if (parse == FrameParse::kFrame) return;
+    if (parse == FrameParse::kMalformed) return;
+    uint8_t chunk[4096];
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;
+    in.insert(in.end(), chunk, chunk + n);
+  }
+}
+
+void SendAll(int fd, const Bytes& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::vector<GgmDprf::Token> OneToken() {
+  GgmDprf::Token token;
+  token.seed = Bytes(kLabelBytes, 0xab);
+  token.level = 3;
+  return {token};
+}
+
+TEST(ClientStreamTest, TimeoutClosesDesyncedConnection) {
+  // The peer answers with a partial frame and stalls: after SO_RCVTIMEO
+  // fires, the connection holds half a response and is unusable — the
+  // client must close it, not leave it to desync the next request.
+  FakePeer peer([](int fd) {
+    DrainOneRequest(fd);
+    Bytes partial;
+    ASSERT_TRUE(EncodeFrame(FrameType::kStatsResp, Bytes(44, 0), partial));
+    partial.resize(10);  // header + 4 payload bytes of a 50-byte frame
+    SendAll(fd, partial);
+    // Hold the socket open well past the client's 1 s timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1800));
+  });
+
+  EmmClient client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", peer.port(), /*recv_timeout_seconds=*/1)
+          .ok());
+  auto stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().ToString().find("timed out"), std::string::npos)
+      << stats.status().ToString();
+  EXPECT_FALSE(client.connected())
+      << "a timed-out connection must be closed, not reused desynced";
+
+  // The next call fails fast on the closed handle — it must not read the
+  // stalled response's leftover bytes as its own.
+  auto again = client.Stats();
+  ASSERT_FALSE(again.ok());
+  EXPECT_NE(again.status().ToString().find("not connected"),
+            std::string::npos)
+      << again.status().ToString();
+}
+
+TEST(ClientStreamTest, ServerCloseMidStreamSurfacesError) {
+  FakePeer peer([](int fd) {
+    DrainOneRequest(fd);
+    SearchResult chunk;
+    chunk.query_id = 1;
+    chunk.ids = {4, 5, 6};
+    Bytes frame;
+    ASSERT_TRUE(
+        EncodeFrame(FrameType::kSearchResult, chunk.Encode(), frame));
+    SendAll(fd, frame);
+    // Close without the terminating SearchDone.
+  });
+
+  EmmClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", peer.port()).ok());
+  EmmClient::BatchQuery query;
+  query.query_id = 1;
+  query.tokens = OneToken();
+  auto outcome = client.SearchBatch({query});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status().ToString().find("closed"), std::string::npos)
+      << outcome.status().ToString();
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(ClientStreamTest, LongResultStreamKeepsRecvBufferBounded) {
+  // ~6 MB of result chunks before the terminating frame: the client's
+  // receive buffer must reclaim its parsed prefix along the way instead
+  // of retaining the whole stream.
+  constexpr size_t kFrames = 1500;
+  constexpr size_t kIdsPerFrame = 512;
+  FakePeer peer([](int fd) {
+    DrainOneRequest(fd);
+    Bytes out;
+    SearchResult chunk;
+    chunk.query_id = 9;
+    chunk.ids.resize(kIdsPerFrame);
+    for (size_t i = 0; i < kFrames; ++i) {
+      for (size_t j = 0; j < kIdsPerFrame; ++j) {
+        chunk.ids[j] = i * kIdsPerFrame + j;
+      }
+      ASSERT_TRUE(EncodeFrame(FrameType::kSearchResult, chunk.Encode(), out));
+      // Batched sends keep the script fast while still delivering far
+      // more data than one frame per recv().
+      if (out.size() >= (256u << 10)) {
+        SendAll(fd, out);
+        out.clear();
+      }
+    }
+    SearchDone done;
+    done.query_count = 1;
+    ASSERT_TRUE(EncodeFrame(FrameType::kSearchDone, done.Encode(), out));
+    SendAll(fd, out);
+  });
+
+  EmmClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", peer.port()).ok());
+  EmmClient::BatchQuery query;
+  query.query_id = 9;
+  query.tokens = OneToken();
+  auto outcome = client.SearchBatch({query});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(outcome->ids[9].size(), kFrames * kIdsPerFrame);
+  EXPECT_EQ(outcome->ids[9].back(), kFrames * kIdsPerFrame - 1);
+
+  // Compaction threshold (1 MB) plus one 64 KB read chunk and frame-size
+  // slack — far below the ~6 MB that crossed the connection.
+  EXPECT_LE(client.PeakRecvBufferBytes(), (1u << 20) + (192u << 10));
+  EXPECT_EQ(client.BufferedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rsse::server

@@ -437,5 +437,220 @@ TEST(ServerLoopbackTest, MalformedFrameGetsErrorThenDisconnect) {
   EXPECT_TRUE(client.Stats().ok());
 }
 
+TEST(ServerLoopbackTest, SlowReaderIsBackpressuredNotBuffered) {
+  // The backpressure acceptance case, deliberately on a ONE-worker pool:
+  // a drip-reading client stuck mid-stream must park (releasing its
+  // worker and capping its outbound queue) rather than buffer the whole
+  // result set — otherwise the fast client below would hang forever.
+  Rng rng(29);
+  // Big enough that the full-domain result overflows the kernel's socket
+  // buffers, so unsent output accumulates server-side where the cap
+  // applies.
+  Dataset data = GenerateUniform(/*n=*/40000, /*domain_size=*/1 << 16, rng);
+  ConstantScheme scheme(CoverTechnique::kBrc, /*rng_seed=*/3);
+  scheme.SetShards(2);
+  ASSERT_TRUE(scheme.Build(data).ok());
+
+  constexpr size_t kMaxOutbound = 32 * 1024;
+  LoopbackServer loopback([] {
+    ServerOptions options;
+    options.search_workers = 1;
+    options.max_outbound_bytes = kMaxOutbound;
+    options.max_ids_per_result_frame = 512;  // frames well under the cap
+    return options;
+  }());
+  {
+    EmmClient setup;
+    ASSERT_TRUE(setup.Connect("127.0.0.1", loopback.port()).ok());
+    ASSERT_TRUE(setup.Setup(scheme.SerializeIndex()).ok());
+  }
+
+  // The slow reader: tiny receive window, one full-domain query, and no
+  // reads until the end of the test.
+  const int slow_fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(slow_fd, 0);
+  const int rcvbuf = 4096;
+  setsockopt(slow_fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(loopback.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      connect(slow_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+  {
+    SearchBatchRequest req;
+    WireQuery query;
+    query.query_id = 7;
+    for (const GgmDprf::Token& t :
+         scheme.Delegate(Range{0, (1 << 16) - 1})) {
+      WireToken wt;
+      wt.level = static_cast<uint8_t>(t.level);
+      std::memcpy(wt.seed.data(), t.seed.data(), kLabelBytes);
+      query.tokens.push_back(wt);
+    }
+    req.queries.push_back(std::move(query));
+    Bytes frame;
+    ASSERT_TRUE(EncodeFrame(FrameType::kSearchBatchReq, req.Encode(), frame));
+    ASSERT_EQ(send(slow_fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+  }
+
+  // While the slow stream is stalled, a well-behaved client's queries
+  // must still be served — with one worker, that is only possible if the
+  // stalled job parks instead of holding it. (If parking were broken,
+  // these calls would block until the 30 s client timeout.)
+  EmmClient fast;
+  ASSERT_TRUE(fast.Connect("127.0.0.1", loopback.port()).ok());
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t lo = static_cast<uint64_t>(i) * 1024;
+    EmmClient::BatchQuery q;
+    q.query_id = static_cast<uint32_t>(i);
+    q.tokens = scheme.Delegate(Range{lo, lo + 1023});
+    auto outcome = fast.SearchBatch({q});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    Result<QueryResult> expected = scheme.Query(Range{lo, lo + 1023});
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(Sorted(outcome->ids[q.query_id]), Sorted(expected->ids));
+  }
+
+  // The stalled connection's unsent output stayed under the high-water
+  // mark the whole time (the gauge records the running maximum).
+  EXPECT_LE(loopback.server().stats().peak_outbound_bytes.value(),
+            kMaxOutbound);
+
+  // Now drain the slow socket: the parked stream must resume through
+  // park/unpark cycles and deliver the exact full-domain result.
+  Bytes in;
+  size_t offset = 0;
+  std::vector<uint64_t> slow_ids;
+  bool done = false;
+  while (!done) {
+    Frame frame;
+    const FrameParse parse = DecodeFrame(in, offset, frame, nullptr);
+    if (parse == FrameParse::kNeedMore) {
+      uint8_t chunk[4096];
+      const ssize_t n = recv(slow_fd, chunk, sizeof(chunk), 0);
+      ASSERT_GT(n, 0) << "server closed mid-stream";
+      in.insert(in.end(), chunk, chunk + n);
+      continue;
+    }
+    ASSERT_EQ(parse, FrameParse::kFrame);
+    if (frame.type == FrameType::kSearchDone) {
+      done = true;
+      break;
+    }
+    ASSERT_EQ(frame.type, FrameType::kSearchResult);
+    auto result = SearchResult::Decode(frame.payload);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->query_id, 7u);
+    slow_ids.insert(slow_ids.end(), result->ids.begin(), result->ids.end());
+  }
+  close(slow_fd);
+
+  Result<QueryResult> expected = scheme.Query(Range{0, (1 << 16) - 1});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Sorted(std::move(slow_ids)), Sorted(expected->ids));
+  EXPECT_LE(loopback.server().stats().peak_outbound_bytes.value(),
+            kMaxOutbound);
+}
+
+TEST(ServerLoopbackTest, PipelinedRequestsAnswerInOrder) {
+  // Requests pipelined onto one connection (no waiting for responses)
+  // must come back strictly in request order: the per-connection job
+  // queue runs one job at a time, FIFO.
+  Rng rng(31);
+  Dataset data = GenerateUniform(/*n=*/2000, /*domain_size=*/1 << 12, rng);
+  ConstantScheme scheme(CoverTechnique::kBrc, /*rng_seed=*/3);
+  ASSERT_TRUE(scheme.Build(data).ok());
+
+  LoopbackServer loopback([] {
+    ServerOptions options;
+    options.search_workers = 4;
+    return options;
+  }());
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(loopback.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // One buffer, four frames, one send: Setup, two searches, Stats.
+  Bytes wire;
+  {
+    SetupRequest setup;
+    setup.index_blob = scheme.SerializeIndex();
+    ASSERT_TRUE(EncodeFrame(FrameType::kSetupReq, setup.Encode(), wire));
+    for (uint32_t q = 0; q < 2; ++q) {
+      SearchBatchRequest req;
+      WireQuery query;
+      query.query_id = 500 + q;
+      for (const GgmDprf::Token& t :
+           scheme.Delegate(Range{q * 1024, q * 1024 + 1023})) {
+        WireToken wt;
+        wt.level = static_cast<uint8_t>(t.level);
+        std::memcpy(wt.seed.data(), t.seed.data(), kLabelBytes);
+        query.tokens.push_back(wt);
+      }
+      req.queries.push_back(std::move(query));
+      ASSERT_TRUE(
+          EncodeFrame(FrameType::kSearchBatchReq, req.Encode(), wire));
+    }
+    ASSERT_TRUE(EncodeFrame(FrameType::kStatsReq, {}, wire));
+  }
+  ASSERT_EQ(send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  Bytes in;
+  size_t offset = 0;
+  Frame frame;
+  const auto recv_frame = [&]() {
+    for (;;) {
+      const FrameParse parse = DecodeFrame(in, offset, frame, nullptr);
+      if (parse == FrameParse::kFrame) return true;
+      if (parse == FrameParse::kMalformed) return false;
+      uint8_t chunk[4096];
+      const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      in.insert(in.end(), chunk, chunk + n);
+    }
+  };
+
+  // Response 1: the setup ack.
+  ASSERT_TRUE(recv_frame());
+  ASSERT_EQ(frame.type, FrameType::kSetupResp);
+  // Responses 2 and 3: each search's full stream (results, then its
+  // done), in request order, with no frames of the other search
+  // interleaved between them.
+  for (uint32_t q = 0; q < 2; ++q) {
+    std::vector<uint64_t> ids;
+    for (;;) {
+      ASSERT_TRUE(recv_frame());
+      if (frame.type == FrameType::kSearchDone) break;
+      ASSERT_EQ(frame.type, FrameType::kSearchResult);
+      auto result = SearchResult::Decode(frame.payload);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->query_id, 500 + q)
+          << "pipelined responses out of request order";
+      ids.insert(ids.end(), result->ids.begin(), result->ids.end());
+    }
+    Result<QueryResult> expected =
+        scheme.Query(Range{q * 1024, q * 1024 + 1023});
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(Sorted(std::move(ids)), Sorted(expected->ids));
+  }
+  // Response 4: the stats snapshot, reflecting both served batches.
+  ASSERT_TRUE(recv_frame());
+  ASSERT_EQ(frame.type, FrameType::kStatsResp);
+  auto stats = StatsResponse::Decode(frame.payload);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->batches_served, 2u);
+  close(fd);
+}
+
 }  // namespace
 }  // namespace rsse::server

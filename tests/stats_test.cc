@@ -1,9 +1,42 @@
 #include "common/stats.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace rsse {
 namespace {
+
+TEST(AtomicMaxGaugeTest, TracksRunningMax) {
+  AtomicMaxGauge g;
+  EXPECT_EQ(g.value(), 0u);
+  g.Observe(7);
+  g.Observe(3);  // smaller observations never lower the max
+  EXPECT_EQ(g.value(), 7u);
+  g.Observe(7);
+  EXPECT_EQ(g.value(), 7u);
+  g.Observe(19);
+  EXPECT_EQ(g.value(), 19u);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0u);
+}
+
+TEST(AtomicMaxGaugeTest, ConcurrentObserversConvergeOnGlobalMax) {
+  AtomicMaxGauge g;
+  constexpr uint64_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      // Interleaved ascending sequences: every thread repeatedly loses
+      // and retries the CAS against the others' larger observations.
+      for (uint64_t i = 1; i <= kPerThread; ++i) g.Observe(i * kThreads + t);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.value(), kPerThread * kThreads + (kThreads - 1));
+}
 
 TEST(StatsAccumulatorTest, EmptyIsZero) {
   StatsAccumulator s;
