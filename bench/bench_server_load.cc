@@ -13,11 +13,17 @@
 //                vs on (requests split across two send() calls, the
 //                pattern that eats Nagle/delayed-ACK stalls)
 //
+// plus a restart_recovery row: the index and a WAL of update batches are
+// persisted into a --data-dir, the server dies without a drain, and the
+// successor's cold Listen() (snapshot load + WAL replay) is timed. The
+// row is also a gate — dropped stores or WAL records fail the run.
+//
 // The driver exits non-zero when the server's peak per-connection outbound
 // queue exceeds --max-outbound-bytes, so the ctest smoke run doubles as a
 // backpressure regression gate.
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -26,7 +32,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -373,6 +381,86 @@ int Run(int argc, char** argv) {
   const uint64_t peak = server.stats().peak_outbound_bytes.value();
   server.Shutdown();
   serve_thread.join();
+
+  // Restart-recovery timing: persist the same index plus a WAL of update
+  // batches into a --data-dir, kill the server without a drain, and time
+  // the successor's cold Listen() (snapshot load + WAL replay). The row
+  // doubles as a correctness gate: a recovery that drops stores or WAL
+  // records fails the smoke run.
+  {
+    char dir_template[] = "/tmp/rsse_bench_recover_XXXXXX";
+    if (mkdtemp(dir_template) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+    const std::string data_dir = dir_template;
+    ServerOptions durable = options;
+    durable.data_dir = data_dir;
+    const uint64_t wal_batches = smoke ? 8 : 64;
+    {
+      EmmServer writer(durable);
+      if (!writer.Listen().ok()) {
+        std::fprintf(stderr, "durable listen failed\n");
+        return 1;
+      }
+      std::thread writer_thread([&writer] { (void)writer.Serve(); });
+      EmmClient setup;
+      bool ok = setup.Connect("127.0.0.1", writer.port()).ok() &&
+                setup.Setup(scheme.SerializeIndex()).ok();
+      for (uint64_t b = 0; ok && b < wal_batches; ++b) {
+        std::vector<std::pair<Label, Bytes>> entries;
+        for (int e = 0; e < 16; ++e) {
+          Label label;
+          for (size_t i = 0; i < label.size(); ++i) {
+            label[i] = static_cast<uint8_t>(rng.Uniform(0, 255));
+          }
+          entries.emplace_back(label, Bytes(48, static_cast<uint8_t>(b)));
+        }
+        ok = setup.Update(entries).ok();
+      }
+      writer.Shutdown();
+      writer_thread.join();
+      if (!ok) {
+        std::fprintf(stderr, "durable workload failed\n");
+        return 1;
+      }
+    }
+    const Clock::time_point recover_start = Clock::now();
+    EmmServer recovered(durable);
+    const bool recover_ok = recovered.Listen().ok();
+    const double recover_ms = std::chrono::duration<double, std::milli>(
+                                  Clock::now() - recover_start)
+                                  .count();
+    const auto& rstats = recovered.recovery_stats();
+    const bool exact = recover_ok && rstats.stores_recovered == 1 &&
+                       rstats.wal_records_applied == wal_batches;
+    char wal_buf[24];
+    char ms_buf[24];
+    std::snprintf(wal_buf, sizeof(wal_buf), "%llu",
+                  static_cast<unsigned long long>(rstats.wal_records_applied));
+    std::snprintf(ms_buf, sizeof(ms_buf), "%.3f", recover_ms);
+    PrintRow({"restart_recovery", "1", wal_buf, "-", ms_buf, "-",
+              exact ? "0" : "1", "-"});
+    // Best-effort cleanup of the flat data dir.
+    if (DIR* d = opendir(data_dir.c_str())) {
+      while (dirent* entry = readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..") {
+          unlink((data_dir + "/" + name).c_str());
+        }
+      }
+      closedir(d);
+    }
+    rmdir(data_dir.c_str());
+    if (!exact) {
+      std::fprintf(stderr,
+                   "FAIL: restart recovery dropped state (stores %zu, wal "
+                   "records %zu/%llu)\n",
+                   rstats.stores_recovered, rstats.wal_records_applied,
+                   static_cast<unsigned long long>(wal_batches));
+      return 1;
+    }
+  }
 
   if (max_outbound > 0 && peak > max_outbound) {
     std::fprintf(stderr,

@@ -1,0 +1,63 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace rsse {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+
+/// Slice-by-8 tables, built once at static-init time: table[0] is the
+/// classic byte-at-a-time table, table[k] advances a CRC past k additional
+/// zero bytes — eight table lookups retire eight input bytes per step.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xffu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto& t = tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (len >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+          t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace rsse

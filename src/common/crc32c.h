@@ -1,0 +1,25 @@
+#ifndef RSSE_COMMON_CRC32C_H_
+#define RSSE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace rsse {
+
+/// CRC32C (Castagnoli polynomial, the iSCSI/ext4 checksum) over `data`,
+/// continuing from `seed` (0 for a fresh checksum). Used to checksum the
+/// server's snapshot files and WAL records: the Castagnoli polynomial has
+/// the best published error-detection properties for short records, and a
+/// software slice-by-8 table keeps it fast enough that fsync, not the
+/// checksum, dominates every durable write.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32c(ConstByteSpan data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace rsse
+
+#endif  // RSSE_COMMON_CRC32C_H_

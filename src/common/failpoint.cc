@@ -1,0 +1,161 @@
+#include "common/failpoint.h"
+
+#ifdef RSSE_FAILPOINTS_ENABLED
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace rsse::failpoint {
+
+namespace {
+
+struct State {
+  Action action;
+  /// Firings left before auto-disarm; -1 = unlimited.
+  long remaining = -1;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, State> points;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+bool ParseSpec(const std::string& spec, State& out) {
+  std::string body = spec;
+  out.remaining = -1;
+  if (const size_t star = body.rfind('*'); star != std::string::npos) {
+    const std::string count = body.substr(star + 1);
+    body = body.substr(0, star);
+    char* end = nullptr;
+    const long parsed = std::strtol(count.c_str(), &end, 10);
+    if (end == count.c_str() || *end != '\0' || parsed < 0) return false;
+    out.remaining = parsed;
+  }
+  int arg = 0;
+  if (const size_t colon = body.find(':'); colon != std::string::npos) {
+    const std::string arg_str = body.substr(colon + 1);
+    body = body.substr(0, colon);
+    char* end = nullptr;
+    const long parsed = std::strtol(arg_str.c_str(), &end, 10);
+    if (end == arg_str.c_str() || *end != '\0' || parsed < 0) return false;
+    arg = static_cast<int>(parsed);
+  }
+  if (body == "off") {
+    out.action = Action{};
+  } else if (body == "error") {
+    out.action.kind = ActionKind::kError;
+  } else if (body == "short" || body == "torn") {
+    out.action.kind = ActionKind::kShortWrite;
+  } else if (body == "reset") {
+    out.action.kind = ActionKind::kReset;
+  } else if (body == "stall") {
+    out.action.kind = ActionKind::kStall;
+    if (arg == 0) arg = 100;
+  } else {
+    return false;
+  }
+  out.action.arg = arg;
+  return true;
+}
+
+/// Requires `registry().mu` held.
+bool SetListLocked(Registry& r, const std::string& list) {
+  bool ok = true;
+  size_t at = 0;
+  while (at < list.size()) {
+    size_t end = list.find_first_of(";,", at);
+    if (end == std::string::npos) end = list.size();
+    const std::string item = list.substr(at, end - at);
+    at = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      ok = false;
+      continue;
+    }
+    State state;
+    if (!ParseSpec(item.substr(eq + 1), state)) {
+      ok = false;
+      continue;
+    }
+    State& slot = r.points[item.substr(0, eq)];
+    state.hits = slot.hits;
+    slot = state;
+  }
+  return ok;
+}
+
+/// Requires `registry().mu` held.
+void LoadEnvLocked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  if (const char* env = std::getenv("RSSE_FAILPOINTS")) {
+    SetListLocked(r, env);
+  }
+}
+
+}  // namespace
+
+Action Hit(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  LoadEnvLocked(r);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) return {};
+  State& state = it->second;
+  if (!state.action.armed() || state.remaining == 0) return {};
+  if (state.remaining > 0) --state.remaining;
+  ++state.hits;
+  return state.action;
+}
+
+bool Set(const std::string& name, const std::string& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  LoadEnvLocked(r);
+  State state;
+  if (!ParseSpec(spec, state)) return false;
+  State& slot = r.points[name];
+  state.hits = slot.hits;
+  slot = state;
+  return true;
+}
+
+bool SetList(const std::string& list) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  LoadEnvLocked(r);
+  return SetListLocked(r, list);
+}
+
+void Clear(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it != r.points.end()) it->second = State{.hits = it->second.hits};
+}
+
+void ClearAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, state] : r.points) state = State{.hits = state.hits};
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace rsse::failpoint
+
+#endif  // RSSE_FAILPOINTS_ENABLED

@@ -1,0 +1,88 @@
+#ifndef RSSE_COMMON_FAILPOINT_H_
+#define RSSE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rsse::failpoint {
+
+/// Fault-injection registry for the crash-recovery and flaky-network
+/// suites. Code sprinkles named hooks into its failure-prone paths —
+///
+///   const failpoint::Action fp = failpoint::Hit("persist_wal_append");
+///   if (fp.kind == failpoint::ActionKind::kError) return InjectedError();
+///
+/// — and a test (or the environment) arms them. Compiled out unless the
+/// build defines RSSE_FAILPOINTS_ENABLED (-DRSSE_FAILPOINTS=ON in CMake):
+/// a disarmed build's Hit() is an inline constant, so production binaries
+/// carry no registry, no locks, and no env parsing.
+///
+/// Spec syntax, programmatic (`Set`) or via the RSSE_FAILPOINTS env var
+/// (parsed once, at the first Hit):
+///
+///   RSSE_FAILPOINTS="name=action[:arg][*count][;name2=...]"
+///
+///   actions:  error        fail the call site outright
+///             short        perform a partial write, then fail
+///             torn         alias of short (a torn tail on disk)
+///             reset        fail a socket call as if ECONNRESET
+///             stall[:ms]   sleep `ms` (default 100), then continue
+///             off          disarm
+///   *count:   fire this many times, then disarm (default: every hit)
+///
+/// Example: RSSE_FAILPOINTS="persist_wal_append=torn*1;client_recv=reset"
+
+enum class ActionKind : uint8_t {
+  kOff = 0,
+  kError,
+  kShortWrite,
+  kReset,
+  kStall,
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kOff;
+  /// kStall: milliseconds to sleep (Hit() itself never sleeps; the call
+  /// site decides how to apply the stall).
+  int arg = 0;
+
+  bool armed() const { return kind != ActionKind::kOff; }
+};
+
+#ifdef RSSE_FAILPOINTS_ENABLED
+
+inline constexpr bool kCompiledIn = true;
+
+/// Consumes one firing of `name` (decrementing a finite count) and returns
+/// the armed action, or kOff. Thread-safe.
+Action Hit(const char* name);
+
+/// Arms `name` with `spec` ("action[:arg][*count]"). Returns false on an
+/// unparseable spec. Thread-safe.
+bool Set(const std::string& name, const std::string& spec);
+
+/// Arms every "name=spec" pair in a full RSSE_FAILPOINTS-style list.
+bool SetList(const std::string& list);
+
+void Clear(const std::string& name);
+void ClearAll();
+
+/// Total times `name` has fired (armed hits only) — test instrumentation.
+uint64_t HitCount(const std::string& name);
+
+#else
+
+inline constexpr bool kCompiledIn = false;
+
+inline Action Hit(const char*) { return {}; }
+inline bool Set(const std::string&, const std::string&) { return false; }
+inline bool SetList(const std::string&) { return false; }
+inline void Clear(const std::string&) {}
+inline void ClearAll() {}
+inline uint64_t HitCount(const std::string&) { return 0; }
+
+#endif  // RSSE_FAILPOINTS_ENABLED
+
+}  // namespace rsse::failpoint
+
+#endif  // RSSE_COMMON_FAILPOINT_H_

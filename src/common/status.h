@@ -17,6 +17,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// Transient transport-level failure (peer gone, connection reset,
+  /// server draining): safe to retry after reconnect/backoff, unlike
+  /// kInternal which marks a genuine fault.
+  kUnavailable,
 };
 
 /// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -45,6 +49,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

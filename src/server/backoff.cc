@@ -1,0 +1,53 @@
+#include "server/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace rsse::server {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  int64_t NowMillis() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMillis(int64_t ms) override {
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock instance;
+  return &instance;
+}
+
+Backoff::Backoff(const BackoffPolicy& policy, uint64_t seed)
+    : policy_(policy),
+      rng_state_(seed | 1),
+      base_ms_(std::max(policy.initial_delay_ms, 1)) {}
+
+int64_t Backoff::NextDelayMillis() {
+  const double capped =
+      std::min(base_ms_, static_cast<double>(
+                             std::max(policy_.max_delay_ms, 1)));
+  double delay = capped;
+  if (policy_.jitter > 0) {
+    // Top 53 bits of a 64-bit LCG step -> uniform double in [0, 1).
+    rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+    const double u =
+        static_cast<double>(rng_state_ >> 11) / 9007199254740992.0;
+    delay = capped * (1.0 - policy_.jitter + 2.0 * policy_.jitter * u);
+  }
+  base_ms_ = capped * std::max(policy_.multiplier, 1.0);
+  ++attempts_;
+  return std::max<int64_t>(static_cast<int64_t>(delay), 1);
+}
+
+}  // namespace rsse::server

@@ -1,0 +1,64 @@
+#ifndef RSSE_SERVER_BACKOFF_H_
+#define RSSE_SERVER_BACKOFF_H_
+
+#include <cstdint>
+
+namespace rsse::server {
+
+/// Retry schedule for the resilient client: exponential growth from
+/// `initial_delay_ms` by `multiplier` per attempt, capped at
+/// `max_delay_ms`, with symmetric multiplicative jitter so a fleet of
+/// clients reconnecting to a restarted server does not stampede in
+/// lockstep.
+struct BackoffPolicy {
+  int initial_delay_ms = 50;
+  int max_delay_ms = 2000;
+  double multiplier = 2.0;
+  /// Jitter fraction: each delay is drawn uniformly from
+  /// [base * (1 - jitter), base * (1 + jitter)]. 0 disables jitter.
+  double jitter = 0.2;
+  /// Retries after the first attempt (so a request is tried at most
+  /// `1 + max_retries` times). 0 disables retrying entirely.
+  int max_retries = 4;
+};
+
+/// Time source for the client's deadlines and backoff sleeps. Virtual so
+/// tests drive retries under a fake clock instead of real wall time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds (steady clock; no relation to wall time).
+  virtual int64_t NowMillis() = 0;
+  virtual void SleepMillis(int64_t ms) = 0;
+
+  /// Process-wide real clock singleton.
+  static Clock* Real();
+};
+
+/// One request's retry state: hands out successive jittered delays. The
+/// jitter stream is a deterministic LCG seeded per instance, so tests can
+/// pin exact sequences while distinct clients (seeded differently) still
+/// spread out.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy, uint64_t seed = 1);
+
+  /// Delay to sleep before the next retry; advances the attempt counter.
+  int64_t NextDelayMillis();
+
+  /// Retries handed out so far.
+  int attempts() const { return attempts_; }
+
+  bool Exhausted() const { return attempts_ >= policy_.max_retries; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t rng_state_;
+  int attempts_ = 0;
+  double base_ms_;
+};
+
+}  // namespace rsse::server
+
+#endif  // RSSE_SERVER_BACKOFF_H_

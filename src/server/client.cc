@@ -3,11 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "common/failpoint.h"
 
 namespace rsse::server {
 
@@ -19,11 +23,15 @@ namespace {
 /// retaining every frame ever received.
 constexpr size_t kCompactThreshold = 1 << 20;
 
+/// Transport-level syscall failure: the request may be retried against a
+/// fresh connection, so it surfaces as kUnavailable.
 Status Errno(const char* what) {
-  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
 }
 
-/// An Error frame from the server, surfaced as a Status.
+/// An Error frame from the server, surfaced as a Status. The server
+/// executed (or decoded) the request and rejected it — not retryable.
 Status ServerError(const Bytes& payload) {
   Result<ErrorResponse> resp = ErrorResponse::Decode(payload);
   return Status::Internal("server error: " +
@@ -31,7 +39,19 @@ Status ServerError(const Bytes& payload) {
                                      : std::string("<unparseable>")));
 }
 
+/// A Draining frame: the server refused the request before starting it,
+/// so an idempotent caller may retry against the restarted server.
+Status DrainingError(const Bytes& payload) {
+  Result<ErrorResponse> resp = ErrorResponse::Decode(payload);
+  return Status::Unavailable("server draining: " +
+                             (resp.ok() ? resp->message
+                                        : std::string("<unparseable>")));
+}
+
 }  // namespace
+
+EmmClient::EmmClient(const ClientOptions& options, Clock* clock)
+    : options_(options), clock_(clock != nullptr ? clock : Clock::Real()) {}
 
 EmmClient::~EmmClient() { Close(); }
 
@@ -44,26 +64,44 @@ void EmmClient::Close() {
   in_offset_ = 0;
 }
 
-Status EmmClient::Connect(const std::string& host, uint16_t port,
-                          int recv_timeout_seconds) {
-  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+Status EmmClient::DialLocked() {
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Errno("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     Close();
     return Status::InvalidArgument("host must be numeric IPv4");
   }
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Errno("connect");
-    Close();
-    return s;
+    if (errno == EINTR) {
+      // An interrupted connect() keeps going in the kernel; retrying the
+      // call would fail with EALREADY. Wait for the outcome instead.
+      pollfd pfd{fd_, POLLOUT, 0};
+      int rc;
+      do {
+        rc = poll(&pfd, 1, /*timeout_ms=*/-1);
+      } while (rc < 0 && errno == EINTR);
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (rc < 0 ||
+          getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        errno = err != 0 ? err : errno;
+        Status s = Errno("connect");
+        Close();
+        return s;
+      }
+    } else {
+      Status s = Errno("connect");
+      Close();
+      return s;
+    }
   }
-  if (recv_timeout_seconds > 0) {
+  if (options_.recv_timeout_seconds > 0) {
     timeval tv{};
-    tv.tv_sec = recv_timeout_seconds;
+    tv.tv_sec = options_.recv_timeout_seconds;
     setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   // Request frames are small and latency-bound; without this every
@@ -74,7 +112,29 @@ Status EmmClient::Connect(const std::string& host, uint16_t port,
   return Status::Ok();
 }
 
+Status EmmClient::Connect(const std::string& host, uint16_t port,
+                          int recv_timeout_seconds) {
+  options_.recv_timeout_seconds = recv_timeout_seconds;
+  return Connect(host, port);
+}
+
+Status EmmClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  // Record the endpoint before dialing: even a failed first attempt gives
+  // the retry machinery somewhere to reconnect to.
+  host_ = host;
+  port_ = port;
+  endpoint_known_ = true;
+  return DialLocked();
+}
+
 Status EmmClient::WriteAll(const uint8_t* data, size_t len) {
+  const failpoint::Action fp = failpoint::Hit("client_send");
+  if (fp.kind == failpoint::ActionKind::kReset) {
+    Close();
+    errno = ECONNRESET;
+    return Errno("send");
+  }
   size_t sent = 0;
   while (sent < len) {
     const ssize_t n = send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
@@ -88,7 +148,7 @@ Status EmmClient::WriteAll(const uint8_t* data, size_t len) {
       // whatever the previous syscall left behind (a stale EINTR means
       // an infinite retry loop). Treat it as a dead peer.
       Close();
-      return Status::Internal("send: connection closed by peer");
+      return Status::Unavailable("send: connection closed by peer");
     }
     if (errno == EINTR) continue;
     // A partial frame may be on the wire: the connection is desynced and
@@ -126,6 +186,12 @@ Status EmmClient::SendFrame(FrameType type,
 
 Result<Frame> EmmClient::RecvFrame() {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const failpoint::Action fp = failpoint::Hit("client_recv");
+  if (fp.kind == failpoint::ActionKind::kReset) {
+    Close();
+    errno = ECONNRESET;
+    return Errno("recv");
+  }
   for (;;) {
     Frame frame;
     std::string error;
@@ -145,6 +211,8 @@ Result<Frame> EmmClient::RecvFrame() {
     }
     if (parse == FrameParse::kMalformed) {
       Close();
+      // A garbled stream is a bug or an attack, not a transient glitch:
+      // kInternal, so no retry masks it.
       return Status::Internal("malformed server frame: " + error);
     }
     uint8_t chunk[64 * 1024];
@@ -158,7 +226,7 @@ Result<Frame> EmmClient::RecvFrame() {
     }
     if (n == 0) {
       Close();
-      return Status::Internal("server closed the connection");
+      return Status::Unavailable("server closed the connection");
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -166,7 +234,7 @@ Result<Frame> EmmClient::RecvFrame() {
       // (or a late whole one) would desync every request that follows.
       // The connection is broken, not just slow.
       Close();
-      return Status::Internal("timed out waiting for server response");
+      return Status::Unavailable("timed out waiting for server response");
     }
     Status status = Errno("recv");
     Close();
@@ -174,65 +242,127 @@ Result<Frame> EmmClient::RecvFrame() {
   }
 }
 
-Result<SetupResponse> EmmClient::Setup(const Bytes& index_blob) {
-  // Same payload layout as SetupRequest::Encode (u64 length + blob), but
-  // streamed from the caller's buffer instead of copied through it.
-  uint8_t prefix[8];
-  StoreUint64(prefix, index_blob.size());
-  RSSE_RETURN_IF_ERROR(SendFrame(
-      FrameType::kSetupReq,
-      {ConstByteSpan(prefix, sizeof(prefix)),
-       ConstByteSpan(index_blob.data(), index_blob.size())}));
-  Result<Frame> frame = RecvFrame();
-  if (!frame.ok()) return frame.status();
-  if (frame->type == FrameType::kError) return ServerError(frame->payload);
-  if (frame->type != FrameType::kSetupResp) {
-    return Status::Internal("unexpected response frame to Setup");
+template <typename T>
+Result<T> EmmClient::RetryIdempotent(
+    const std::function<Result<T>()>& attempt) {
+  if (!options_.retry_idempotent) return attempt();
+  const int64_t deadline =
+      options_.request_deadline_ms > 0
+          ? clock_->NowMillis() + options_.request_deadline_ms
+          : 0;
+  Backoff backoff(options_.backoff, options_.backoff_seed);
+  for (;;) {
+    Result<T> outcome = [&]() -> Result<T> {
+      if (fd_ < 0) {
+        if (!endpoint_known_) {
+          return Status::FailedPrecondition("not connected");
+        }
+        RSSE_RETURN_IF_ERROR(DialLocked());
+        ++reconnect_count_;
+      }
+      return attempt();
+    }();
+    if (outcome.ok() ||
+        outcome.status().code() != StatusCode::kUnavailable) {
+      return outcome;
+    }
+    if (backoff.Exhausted()) return outcome;
+    int64_t delay = backoff.NextDelayMillis();
+    if (deadline > 0) {
+      const int64_t now = clock_->NowMillis();
+      if (now >= deadline) {
+        return Status::Unavailable("request deadline exceeded; last error: " +
+                                   outcome.status().message());
+      }
+      delay = std::min(delay, deadline - now);
+    }
+    clock_->SleepMillis(delay);
+    if (deadline > 0 && clock_->NowMillis() >= deadline) {
+      return Status::Unavailable("request deadline exceeded; last error: " +
+                                 outcome.status().message());
+    }
   }
-  return SetupResponse::Decode(frame->payload);
+}
+
+Result<SetupResponse> EmmClient::Setup(const Bytes& index_blob) {
+  return RetryIdempotent<SetupResponse>([&]() -> Result<SetupResponse> {
+    // Same payload layout as SetupRequest::Encode (u64 length + blob), but
+    // streamed from the caller's buffer instead of copied through it.
+    uint8_t prefix[8];
+    StoreUint64(prefix, index_blob.size());
+    RSSE_RETURN_IF_ERROR(SendFrame(
+        FrameType::kSetupReq,
+        {ConstByteSpan(prefix, sizeof(prefix)),
+         ConstByteSpan(index_blob.data(), index_blob.size())}));
+    Result<Frame> frame = RecvFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kError) return ServerError(frame->payload);
+    if (frame->type == FrameType::kErrorDraining) {
+      Close();
+      return DrainingError(frame->payload);
+    }
+    if (frame->type != FrameType::kSetupResp) {
+      return Status::Internal("unexpected response frame to Setup");
+    }
+    return SetupResponse::Decode(frame->payload);
+  });
 }
 
 Result<SetupResponse> EmmClient::SetupStore(const SetupStoreRequest& req) {
-  const Bytes payload = req.Encode();
-  RSSE_RETURN_IF_ERROR(SendFrame(
-      FrameType::kSetupStoreReq,
-      {ConstByteSpan(payload.data(), payload.size())}));
-  Result<Frame> frame = RecvFrame();
-  if (!frame.ok()) return frame.status();
-  if (frame->type == FrameType::kError) return ServerError(frame->payload);
-  if (frame->type != FrameType::kSetupResp) {
-    return Status::Internal("unexpected response frame to SetupStore");
-  }
-  return SetupResponse::Decode(frame->payload);
+  return RetryIdempotent<SetupResponse>([&]() -> Result<SetupResponse> {
+    const Bytes payload = req.Encode();
+    RSSE_RETURN_IF_ERROR(SendFrame(
+        FrameType::kSetupStoreReq,
+        {ConstByteSpan(payload.data(), payload.size())}));
+    Result<Frame> frame = RecvFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kError) return ServerError(frame->payload);
+    if (frame->type == FrameType::kErrorDraining) {
+      Close();
+      return DrainingError(frame->payload);
+    }
+    if (frame->type != FrameType::kSetupResp) {
+      return Status::Internal("unexpected response frame to SetupStore");
+    }
+    return SetupResponse::Decode(frame->payload);
+  });
 }
 
 Result<EmmClient::KeywordOutcome> EmmClient::SearchKeyword(
     const SearchKeywordRequest& req) {
-  const Bytes payload = req.Encode();
-  RSSE_RETURN_IF_ERROR(SendFrame(
-      FrameType::kSearchKeywordReq,
-      {ConstByteSpan(payload.data(), payload.size())}));
-  KeywordOutcome outcome;
-  for (;;) {
-    Result<Frame> frame = RecvFrame();
-    if (!frame.ok()) return frame.status();
-    if (frame->type == FrameType::kError) return ServerError(frame->payload);
-    if (frame->type == FrameType::kSearchPayload) {
-      Result<SearchPayloadResult> result =
-          SearchPayloadResult::Decode(frame->payload);
-      if (!result.ok()) return result.status();
-      std::vector<Bytes>& payloads = outcome.payloads[result->query_id];
-      for (Bytes& p : result->payloads) payloads.push_back(std::move(p));
-      continue;
+  return RetryIdempotent<KeywordOutcome>([&]() -> Result<KeywordOutcome> {
+    const Bytes payload = req.Encode();
+    RSSE_RETURN_IF_ERROR(SendFrame(
+        FrameType::kSearchKeywordReq,
+        {ConstByteSpan(payload.data(), payload.size())}));
+    KeywordOutcome outcome;
+    for (;;) {
+      Result<Frame> frame = RecvFrame();
+      if (!frame.ok()) return frame.status();
+      if (frame->type == FrameType::kError) {
+        return ServerError(frame->payload);
+      }
+      if (frame->type == FrameType::kErrorDraining) {
+        Close();
+        return DrainingError(frame->payload);
+      }
+      if (frame->type == FrameType::kSearchPayload) {
+        Result<SearchPayloadResult> result =
+            SearchPayloadResult::Decode(frame->payload);
+        if (!result.ok()) return result.status();
+        std::vector<Bytes>& payloads = outcome.payloads[result->query_id];
+        for (Bytes& p : result->payloads) payloads.push_back(std::move(p));
+        continue;
+      }
+      if (frame->type == FrameType::kSearchDone) {
+        Result<SearchDone> done = SearchDone::Decode(frame->payload);
+        if (!done.ok()) return done.status();
+        outcome.done = *done;
+        return outcome;
+      }
+      return Status::Internal("unexpected frame type in keyword response");
     }
-    if (frame->type == FrameType::kSearchDone) {
-      Result<SearchDone> done = SearchDone::Decode(frame->payload);
-      if (!done.ok()) return done.status();
-      outcome.done = *done;
-      return outcome;
-    }
-    return Status::Internal("unexpected frame type in keyword response");
-  }
+  });
 }
 
 Result<EmmClient::BatchOutcome> EmmClient::SearchBatch(
@@ -255,34 +385,43 @@ Result<EmmClient::BatchOutcome> EmmClient::SearchBatch(
     req.queries.push_back(std::move(wq));
   }
   const Bytes payload = req.Encode();
-  RSSE_RETURN_IF_ERROR(SendFrame(
-      FrameType::kSearchBatchReq,
-      {ConstByteSpan(payload.data(), payload.size())}));
-
-  BatchOutcome outcome;
-  for (;;) {
-    Result<Frame> frame = RecvFrame();
-    if (!frame.ok()) return frame.status();
-    if (frame->type == FrameType::kError) return ServerError(frame->payload);
-    if (frame->type == FrameType::kSearchResult) {
-      Result<SearchResult> result = SearchResult::Decode(frame->payload);
-      if (!result.ok()) return result.status();
-      std::vector<uint64_t>& ids = outcome.ids[result->query_id];
-      ids.insert(ids.end(), result->ids.begin(), result->ids.end());
-      continue;
+  return RetryIdempotent<BatchOutcome>([&]() -> Result<BatchOutcome> {
+    RSSE_RETURN_IF_ERROR(SendFrame(
+        FrameType::kSearchBatchReq,
+        {ConstByteSpan(payload.data(), payload.size())}));
+    BatchOutcome outcome;
+    for (;;) {
+      Result<Frame> frame = RecvFrame();
+      if (!frame.ok()) return frame.status();
+      if (frame->type == FrameType::kError) {
+        return ServerError(frame->payload);
+      }
+      if (frame->type == FrameType::kErrorDraining) {
+        Close();
+        return DrainingError(frame->payload);
+      }
+      if (frame->type == FrameType::kSearchResult) {
+        Result<SearchResult> result = SearchResult::Decode(frame->payload);
+        if (!result.ok()) return result.status();
+        std::vector<uint64_t>& ids = outcome.ids[result->query_id];
+        ids.insert(ids.end(), result->ids.begin(), result->ids.end());
+        continue;
+      }
+      if (frame->type == FrameType::kSearchDone) {
+        Result<SearchDone> done = SearchDone::Decode(frame->payload);
+        if (!done.ok()) return done.status();
+        outcome.done = *done;
+        return outcome;
+      }
+      return Status::Internal("unexpected frame type in batch response");
     }
-    if (frame->type == FrameType::kSearchDone) {
-      Result<SearchDone> done = SearchDone::Decode(frame->payload);
-      if (!done.ok()) return done.status();
-      outcome.done = *done;
-      return outcome;
-    }
-    return Status::Internal("unexpected frame type in batch response");
-  }
+  });
 }
 
 Result<UpdateResponse> EmmClient::Update(
     const std::vector<std::pair<Label, Bytes>>& entries) {
+  // Deliberately not retried: if the connection dies after the frame was
+  // sent, the server may already have applied (and logged) the batch.
   UpdateRequest req;
   req.entries = entries;
   const Bytes payload = req.Encode();
@@ -291,6 +430,10 @@ Result<UpdateResponse> EmmClient::Update(
   Result<Frame> frame = RecvFrame();
   if (!frame.ok()) return frame.status();
   if (frame->type == FrameType::kError) return ServerError(frame->payload);
+  if (frame->type == FrameType::kErrorDraining) {
+    Close();
+    return DrainingError(frame->payload);
+  }
   if (frame->type != FrameType::kUpdateResp) {
     return Status::Internal("unexpected response frame to Update");
   }
@@ -298,14 +441,20 @@ Result<UpdateResponse> EmmClient::Update(
 }
 
 Result<StatsResponse> EmmClient::Stats() {
-  RSSE_RETURN_IF_ERROR(SendFrame(FrameType::kStatsReq, {}));
-  Result<Frame> frame = RecvFrame();
-  if (!frame.ok()) return frame.status();
-  if (frame->type == FrameType::kError) return ServerError(frame->payload);
-  if (frame->type != FrameType::kStatsResp) {
-    return Status::Internal("unexpected response frame to Stats");
-  }
-  return StatsResponse::Decode(frame->payload);
+  return RetryIdempotent<StatsResponse>([&]() -> Result<StatsResponse> {
+    RSSE_RETURN_IF_ERROR(SendFrame(FrameType::kStatsReq, {}));
+    Result<Frame> frame = RecvFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kError) return ServerError(frame->payload);
+    if (frame->type == FrameType::kErrorDraining) {
+      Close();
+      return DrainingError(frame->payload);
+    }
+    if (frame->type != FrameType::kStatsResp) {
+      return Status::Internal("unexpected response frame to Stats");
+    }
+    return StatsResponse::Decode(frame->payload);
+  });
 }
 
 }  // namespace rsse::server

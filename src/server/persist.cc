@@ -1,0 +1,411 @@
+#include "server/persist.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+
+namespace rsse::server {
+
+namespace {
+
+/// "RSSESNP1", big-endian, as the snapshot file magic.
+constexpr uint64_t kSnapshotMagic = 0x52535345534e5031ull;
+/// Fixed snapshot bytes around the blobs: magic + kind + epoch +
+/// index_len + gate_len before them, CRC32C after.
+constexpr size_t kSnapshotHeaderBytes = 8 + 1 + 8 + 8 + 8;
+constexpr size_t kSnapshotTrailerBytes = 4;
+/// WAL record framing: [u32 len][u32 crc] then len bytes (epoch+payload).
+constexpr size_t kWalRecordHeaderBytes = 8;
+constexpr uint32_t kMaxWalRecordBytes = uint32_t{1} << 30;
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  int fd;
+  do {
+    fd = open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+Status FsyncRetry(int fd, const std::string& what) {
+  int rc;
+  do {
+    rc = fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0 ? Status::Ok() : Errno(what);
+}
+
+/// Writes all of `data`, retrying short writes and EINTR. `failpoint_name`
+/// hooks fault injection: kError fails before writing a byte, kShortWrite
+/// writes half the buffer and then fails (a torn tail on disk).
+Status WriteFull(int fd, const uint8_t* data, size_t len,
+                 const char* failpoint_name) {
+  const failpoint::Action fp = failpoint::Hit(failpoint_name);
+  if (fp.kind == failpoint::ActionKind::kError) {
+    return Status::Internal(std::string("injected write failure at ") +
+                            failpoint_name);
+  }
+  bool fail_after_prefix = false;
+  if (fp.kind == failpoint::ActionKind::kShortWrite) {
+    len /= 2;
+    fail_after_prefix = true;
+  }
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (fail_after_prefix) {
+    return Status::Internal(std::string("injected short write at ") +
+                            failpoint_name);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadWholeFile(const std::string& path) {
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open " + path);
+  Bytes out;
+  uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("read " + path);
+      close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  close(fd);
+  return out;
+}
+
+/// Parses "store-<id>.<suffix>"; returns true and fills `id` on match.
+bool ParseStoreFile(const char* name, const char* suffix, uint32_t& id) {
+  static constexpr char kPrefix[] = "store-";
+  if (std::strncmp(name, kPrefix, sizeof(kPrefix) - 1) != 0) return false;
+  const char* at = name + sizeof(kPrefix) - 1;
+  if (*at < '0' || *at > '9') return false;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(at, &end, 10);
+  if (end == at || parsed > UINT32_MAX) return false;
+  if (std::strcmp(end, suffix) != 0) return false;
+  id = static_cast<uint32_t>(parsed);
+  return true;
+}
+
+bool HasSuffix(const char* name, const char* suffix) {
+  const size_t n = std::strlen(name);
+  const size_t s = std::strlen(suffix);
+  return n >= s && std::strcmp(name + n - s, suffix) == 0;
+}
+
+}  // namespace
+
+StorePersistence::~StorePersistence() {
+  for (auto& [id, fd] : wal_fds_) {
+    if (fd >= 0) close(fd);
+  }
+  if (dir_fd_ >= 0) close(dir_fd_);
+}
+
+Result<std::unique_ptr<StorePersistence>> StorePersistence::Open(
+    const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("data dir must be named");
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir " + dir);
+  }
+  const int dir_fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) return Errno("open " + dir);
+  auto persistence = std::unique_ptr<StorePersistence>(new StorePersistence());
+  persistence->dir_ = dir;
+  persistence->dir_fd_ = dir_fd;
+  return persistence;
+}
+
+std::string StorePersistence::SnapshotPath(uint32_t store_id) const {
+  return dir_ + "/store-" + std::to_string(store_id) + ".snap";
+}
+
+std::string StorePersistence::WalPath(uint32_t store_id) const {
+  return dir_ + "/store-" + std::to_string(store_id) + ".wal";
+}
+
+Result<int> StorePersistence::WalFd(uint32_t store_id) {
+  auto it = wal_fds_.find(store_id);
+  if (it != wal_fds_.end() && it->second >= 0) return it->second;
+  const std::string path = WalPath(store_id);
+  const int fd = OpenRetry(path.c_str(),
+                           O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + path);
+  wal_fds_[store_id] = fd;
+  return fd;
+}
+
+// ---------------------------------------------------------------------------
+// WAL record codec.
+// ---------------------------------------------------------------------------
+
+void StorePersistence::EncodeWalRecord(uint64_t epoch, ConstByteSpan payload,
+                                       Bytes& out) {
+  const size_t body_at = out.size() + kWalRecordHeaderBytes;
+  AppendUint32(out, static_cast<uint32_t>(8 + payload.size()));
+  AppendUint32(out, 0);  // crc patched below, once the body is in place
+  AppendUint64(out, epoch);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32c(out.data() + body_at, out.size() - body_at);
+  out[body_at - 4] = static_cast<uint8_t>(crc >> 24);
+  out[body_at - 3] = static_cast<uint8_t>(crc >> 16);
+  out[body_at - 2] = static_cast<uint8_t>(crc >> 8);
+  out[body_at - 1] = static_cast<uint8_t>(crc);
+}
+
+size_t StorePersistence::DecodeWalRecords(const Bytes& buf,
+                                          std::vector<WalRecord>& out) {
+  size_t at = 0;
+  while (buf.size() - at >= kWalRecordHeaderBytes) {
+    const uint32_t len = ReadUint32(buf, at);
+    if (len < 8 || len > kMaxWalRecordBytes) break;
+    if (buf.size() - at - kWalRecordHeaderBytes < len) break;  // torn tail
+    const uint32_t stored_crc = ReadUint32(buf, at + 4);
+    const size_t body = at + kWalRecordHeaderBytes;
+    if (Crc32c(buf.data() + body, len) != stored_crc) break;
+    WalRecord record;
+    record.epoch = ReadUint64(buf, body);
+    record.payload.assign(buf.begin() + static_cast<long>(body + 8),
+                          buf.begin() + static_cast<long>(body + len));
+    out.push_back(std::move(record));
+    at = body + len;
+  }
+  return at;
+}
+
+// ---------------------------------------------------------------------------
+// Durable writes.
+// ---------------------------------------------------------------------------
+
+Status StorePersistence::PersistSnapshot(uint32_t store_id, uint64_t epoch,
+                                         uint8_t kind,
+                                         ConstByteSpan index_blob,
+                                         ConstByteSpan gate_blob) {
+  Bytes file;
+  file.reserve(kSnapshotHeaderBytes + index_blob.size() + gate_blob.size() +
+               kSnapshotTrailerBytes);
+  AppendUint64(file, kSnapshotMagic);
+  AppendByte(file, kind);
+  AppendUint64(file, epoch);
+  AppendUint64(file, index_blob.size());
+  AppendUint64(file, gate_blob.size());
+  file.insert(file.end(), index_blob.begin(), index_blob.end());
+  file.insert(file.end(), gate_blob.begin(), gate_blob.end());
+  AppendUint32(file, Crc32c(file.data(), file.size()));
+
+  const std::string path = SnapshotPath(store_id);
+  const std::string tmp = path + ".tmp";
+  const int fd = OpenRetry(tmp.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + tmp);
+  Status written =
+      WriteFull(fd, file.data(), file.size(), "persist_snapshot_write");
+  if (written.ok()) {
+    if (failpoint::Hit("persist_snapshot_fsync").kind ==
+        failpoint::ActionKind::kError) {
+      written = Status::Internal("injected fsync failure on snapshot");
+    } else {
+      written = FsyncRetry(fd, "fsync " + tmp);
+    }
+  }
+  close(fd);
+  if (!written.ok()) {
+    unlink(tmp.c_str());
+    return written;
+  }
+  if (failpoint::Hit("persist_snapshot_rename").kind ==
+      failpoint::ActionKind::kError) {
+    unlink(tmp.c_str());
+    return Status::Internal("injected rename failure on snapshot");
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Errno("rename " + tmp);
+    unlink(tmp.c_str());
+    return s;
+  }
+  // The rename is only durable once the directory entry is: without this
+  // fsync a crash can resurrect the old snapshot after the WAL was
+  // truncated for the new one.
+  RSSE_RETURN_IF_ERROR(FsyncRetry(dir_fd_, "fsync " + dir_));
+
+  // The previous generation's WAL records are superseded; truncating here
+  // is an optimization, not a correctness need — their epoch no longer
+  // matches, so a crash landing between rename and truncate just leaves
+  // stale records for recovery to skip.
+  Result<int> wal_fd = WalFd(store_id);
+  if (wal_fd.ok()) {
+    int rc;
+    do {
+      rc = ftruncate(*wal_fd, 0);
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) RSSE_RETURN_IF_ERROR(FsyncRetry(*wal_fd, "fsync wal"));
+  }
+  return Status::Ok();
+}
+
+Status StorePersistence::AppendUpdate(uint32_t store_id, uint64_t epoch,
+                                      ConstByteSpan payload) {
+  Result<int> fd = WalFd(store_id);
+  if (!fd.ok()) return fd.status();
+  Bytes record;
+  EncodeWalRecord(epoch, payload, record);
+  RSSE_RETURN_IF_ERROR(
+      WriteFull(*fd, record.data(), record.size(), "persist_wal_append"));
+  if (failpoint::Hit("persist_wal_fsync").kind ==
+      failpoint::ActionKind::kError) {
+    return Status::Internal("injected fsync failure on wal");
+  }
+  return FsyncRetry(*fd, "fsync " + WalPath(store_id));
+}
+
+Status StorePersistence::Sync() {
+  for (auto& [id, fd] : wal_fds_) {
+    if (fd >= 0) RSSE_RETURN_IF_ERROR(FsyncRetry(fd, "fsync wal"));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+Result<StorePersistence::RecoveryReport> StorePersistence::Recover() {
+  RecoveryReport report;
+  std::set<uint32_t> slots;
+  std::vector<std::string> stray_tmp;
+  {
+    DIR* d = opendir(dir_.c_str());
+    if (d == nullptr) return Errno("opendir " + dir_);
+    while (dirent* entry = readdir(d)) {
+      uint32_t id = 0;
+      if (ParseStoreFile(entry->d_name, ".snap", id) ||
+          ParseStoreFile(entry->d_name, ".wal", id)) {
+        slots.insert(id);
+      } else if (HasSuffix(entry->d_name, ".tmp")) {
+        stray_tmp.push_back(dir_ + "/" + entry->d_name);
+      }
+    }
+    closedir(d);
+  }
+  // A .tmp is a snapshot whose write never completed; the rename never
+  // happened, so it holds nothing durable.
+  for (const std::string& tmp : stray_tmp) unlink(tmp.c_str());
+
+  for (uint32_t id : slots) {
+    RecoveredStore store;
+    store.store_id = id;
+    const std::string snap_path = SnapshotPath(id);
+    bool drop_wal = false;
+    if (access(snap_path.c_str(), F_OK) == 0) {
+      Result<Bytes> file = ReadWholeFile(snap_path);
+      if (!file.ok()) return file.status();
+      const Bytes& buf = *file;
+      bool valid =
+          buf.size() >= kSnapshotHeaderBytes + kSnapshotTrailerBytes &&
+          ReadUint64(buf, 0) == kSnapshotMagic;
+      if (valid) {
+        const uint32_t stored_crc = ReadUint32(buf, buf.size() - 4);
+        valid = Crc32c(buf.data(), buf.size() - 4) == stored_crc;
+      }
+      if (valid) {
+        const uint64_t index_len = ReadUint64(buf, 17);
+        const uint64_t gate_len = ReadUint64(buf, 25);
+        const uint64_t blob_bytes =
+            buf.size() - kSnapshotHeaderBytes - kSnapshotTrailerBytes;
+        valid = index_len <= blob_bytes && gate_len <= blob_bytes &&
+                index_len + gate_len == blob_bytes;
+        if (valid) {
+          store.has_snapshot = true;
+          store.kind = buf[8];
+          store.epoch = ReadUint64(buf, 9);
+          const auto index_begin =
+              buf.begin() + static_cast<long>(kSnapshotHeaderBytes);
+          store.index_blob.assign(index_begin,
+                                  index_begin + static_cast<long>(index_len));
+          store.gate_blob.assign(
+              index_begin + static_cast<long>(index_len),
+              index_begin + static_cast<long>(index_len + gate_len));
+        }
+      }
+      if (!valid) {
+        // The slot's base index is gone; its WAL applies on top of that
+        // base, so it is unreplayable too. Set the bad file aside (kept
+        // for forensics, ignored by future recoveries) and restart the
+        // slot empty rather than refusing to serve every other slot.
+        ++report.corrupt_snapshots;
+        rename(snap_path.c_str(), (snap_path + ".corrupt").c_str());
+        drop_wal = true;
+      }
+    }
+
+    const std::string wal_path = WalPath(id);
+    if (access(wal_path.c_str(), F_OK) == 0) {
+      if (drop_wal) {
+        const int fd =
+            OpenRetry(wal_path.c_str(), O_WRONLY | O_TRUNC | O_CLOEXEC);
+        if (fd >= 0) close(fd);
+      } else {
+        Result<Bytes> file = ReadWholeFile(wal_path);
+        if (!file.ok()) return file.status();
+        std::vector<WalRecord> records;
+        const size_t good_end = DecodeWalRecords(*file, records);
+        if (good_end < file->size()) {
+          report.wal_bytes_truncated += file->size() - good_end;
+          const int fd =
+              OpenRetry(wal_path.c_str(), O_WRONLY | O_CLOEXEC);
+          if (fd < 0) return Errno("open " + wal_path);
+          int rc;
+          do {
+            rc = ftruncate(fd, static_cast<off_t>(good_end));
+          } while (rc != 0 && errno == EINTR);
+          Status synced = rc == 0 ? FsyncRetry(fd, "fsync " + wal_path)
+                                  : Errno("ftruncate " + wal_path);
+          close(fd);
+          RSSE_RETURN_IF_ERROR(synced);
+        }
+        for (WalRecord& record : records) {
+          if (record.epoch == store.epoch) {
+            store.updates.push_back(std::move(record.payload));
+          } else {
+            ++report.stale_wal_records;
+          }
+        }
+      }
+    }
+
+    if (store.has_snapshot || !store.updates.empty()) {
+      report.stores.push_back(std::move(store));
+    }
+  }
+  return report;
+}
+
+}  // namespace rsse::server

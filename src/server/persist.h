@@ -1,0 +1,126 @@
+#ifndef RSSE_SERVER_PERSIST_H_
+#define RSSE_SERVER_PERSIST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rsse::server {
+
+/// Crash-safe on-disk state for the server's store table (`--data-dir`).
+/// Layout, one pair of files per hosted slot:
+///
+///   store-<id>.snap   checksummed snapshot of the slot's SetupStore blobs
+///   store-<id>.wal    length-prefixed log of raw Update payloads
+///
+/// Snapshots are written tmp-file + fsync + atomic-rename + directory
+/// fsync, so a crash mid-write leaves the previous snapshot intact. Every
+/// snapshot carries an *epoch* (monotonic per slot), and every WAL record
+/// is tagged with the epoch of the snapshot it applies on top of: recovery
+/// replays only the records matching the recovered snapshot's epoch, so the
+/// crash window between "snapshot renamed" and "stale WAL truncated" can
+/// never replay an old generation's updates onto a new index. WAL records
+/// are CRC32C-checksummed and the log self-truncates at the first torn or
+/// corrupt record — the durable prefix survives, the torn tail is cut.
+///
+/// Thread-compatibility: the server calls every mutating method under its
+/// exclusive store lock, so this class does no locking of its own.
+class StorePersistence {
+ public:
+  ~StorePersistence();
+
+  StorePersistence(const StorePersistence&) = delete;
+  StorePersistence& operator=(const StorePersistence&) = delete;
+
+  /// Opens (creating if needed) the data directory.
+  static Result<std::unique_ptr<StorePersistence>> Open(
+      const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// One slot's durable state as read back at boot.
+  struct RecoveredStore {
+    uint32_t store_id = 0;
+    bool has_snapshot = false;
+    uint8_t kind = 0;
+    /// Snapshot epoch (0 when the slot is WAL-only).
+    uint64_t epoch = 0;
+    Bytes index_blob;
+    Bytes gate_blob;
+    /// WAL payloads of this epoch, in append order (raw UpdateRequest
+    /// encodings, exactly as the wire delivered them).
+    std::vector<Bytes> updates;
+  };
+
+  struct RecoveryReport {
+    std::vector<RecoveredStore> stores;
+    /// Slots dropped because their snapshot failed its checksum (the bad
+    /// file is set aside as .corrupt and the slot restarts empty).
+    size_t corrupt_snapshots = 0;
+    /// Torn/corrupt WAL tail bytes cut during replay.
+    size_t wal_bytes_truncated = 0;
+    /// Epoch-mismatched WAL records skipped (updates superseded by a
+    /// later snapshot that crashed before truncating the log).
+    size_t stale_wal_records = 0;
+  };
+
+  /// Scans the directory and rebuilds every slot's durable state. Also
+  /// truncates torn WAL tails and removes stray .tmp files, so the
+  /// directory is clean once recovery returns. Call once, before serving.
+  Result<RecoveryReport> Recover();
+
+  /// Durably replaces slot `store_id`'s snapshot (tmp + fsync + rename +
+  /// dir fsync) under the given epoch, which must exceed every epoch the
+  /// slot has used before (the server passes recovered-or-last + 1). On
+  /// success the slot's now-stale WAL is truncated.
+  Status PersistSnapshot(uint32_t store_id, uint64_t epoch, uint8_t kind,
+                         ConstByteSpan index_blob, ConstByteSpan gate_blob);
+
+  /// Durably appends one Update payload to slot `store_id`'s WAL (fsync'd
+  /// before returning, so the server may ack the batch).
+  Status AppendUpdate(uint32_t store_id, uint64_t epoch,
+                      ConstByteSpan payload);
+
+  /// Fsyncs every open WAL (drain-time belt and braces; appends are
+  /// already fsync'd individually).
+  Status Sync();
+
+  // --- record codec, exposed for tests and fuzzing ---
+
+  struct WalRecord {
+    uint64_t epoch = 0;
+    Bytes payload;
+  };
+
+  /// Appends one encoded WAL record ([u32 len][u32 crc][u64 epoch]
+  /// [payload], big-endian, crc over epoch + payload) to `out`.
+  static void EncodeWalRecord(uint64_t epoch, ConstByteSpan payload,
+                              Bytes& out);
+
+  /// Decodes consecutive records from `buf`, stopping at the first torn or
+  /// corrupt one. Returns the byte offset just past the last good record
+  /// (== buf.size() iff the whole buffer parsed cleanly).
+  static size_t DecodeWalRecords(const Bytes& buf,
+                                 std::vector<WalRecord>& out);
+
+ private:
+  StorePersistence() = default;
+
+  std::string SnapshotPath(uint32_t store_id) const;
+  std::string WalPath(uint32_t store_id) const;
+  /// Append fd for a slot's WAL, opened (and cached) on first use.
+  Result<int> WalFd(uint32_t store_id);
+
+  std::string dir_;
+  int dir_fd_ = -1;
+  std::map<uint32_t, int> wal_fds_;
+};
+
+}  // namespace rsse::server
+
+#endif  // RSSE_SERVER_PERSIST_H_

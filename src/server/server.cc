@@ -90,6 +90,16 @@ Status EmmServer::Host(const Bytes& index_blob) {
       index_blob, threads, options_.load_shards);
   if (!store.ok()) return store.status();
   std::unique_lock lock(store_mutex_);
+  // Persist before apply: if the snapshot cannot be made durable the
+  // in-memory table keeps its previous (still-recoverable) contents.
+  if (persist_ != nullptr) {
+    const uint64_t epoch = store_epochs_[rsse::kPrimaryStore] + 1;
+    RSSE_RETURN_IF_ERROR(persist_->PersistSnapshot(
+        rsse::kPrimaryStore, epoch,
+        static_cast<uint8_t>(rsse::StoreKind::kEmm),
+        ConstByteSpan(index_blob.data(), index_blob.size()), {}));
+    store_epochs_[rsse::kPrimaryStore] = epoch;
+  }
   HostedStore& primary = stores_[rsse::kPrimaryStore];
   primary.kind = rsse::StoreKind::kEmm;
   primary.emm = std::move(store).value();
@@ -105,8 +115,91 @@ size_t EmmServer::EntryCount() const {
   return it == stores_.end() ? 0 : it->second.emm.EntryCount();
 }
 
+Status EmmServer::RecoverStores() {
+  if (recovered_ || options_.data_dir.empty()) return Status::Ok();
+  Result<std::unique_ptr<StorePersistence>> persistence =
+      StorePersistence::Open(options_.data_dir);
+  if (!persistence.ok()) return persistence.status();
+  Result<StorePersistence::RecoveryReport> report = (*persistence)->Recover();
+  if (!report.ok()) return report.status();
+  {
+    std::unique_lock lock(store_mutex_);
+    for (const StorePersistence::RecoveredStore& rec : report->stores) {
+      Status installed = InstallRecoveredStore(rec);
+      if (!installed.ok()) {
+        // The checksum held but the blob would not deserialize (a bug in
+        // whatever wrote it): drop the slot like a corrupt snapshot and
+        // keep serving the rest rather than refusing to start.
+        ++recovery_stats_.corrupt_snapshots_dropped;
+      }
+    }
+  }
+  recovery_stats_.corrupt_snapshots_dropped += report->corrupt_snapshots;
+  recovery_stats_.wal_bytes_truncated = report->wal_bytes_truncated;
+  persist_ = std::move(*persistence);
+  recovered_ = true;
+  return Status::Ok();
+}
+
+Status EmmServer::InstallRecoveredStore(
+    const StorePersistence::RecoveredStore& rec) {
+  HostedStore incoming;
+  incoming.kind = static_cast<rsse::StoreKind>(rec.kind);
+  if (rec.kind == static_cast<uint8_t>(rsse::StoreKind::kEmm)) {
+    if (rec.has_snapshot) {
+      const int threads =
+          ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS");
+      Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
+          rec.index_blob, threads, options_.load_shards);
+      if (!store.ok()) return store.status();
+      incoming.emm = std::move(store).value();
+      if (!rec.gate_blob.empty()) {
+        Result<rsse::BloomLabelGate> gate =
+            rsse::BloomLabelGate::Deserialize(rec.gate_blob);
+        if (!gate.ok()) return gate.status();
+        incoming.gate =
+            std::make_unique<rsse::BloomLabelGate>(std::move(gate).value());
+      }
+    } else {
+      // WAL-only slot: updates arrived before any Setup.
+      incoming.emm = shard::ShardedEmm::WithShards(options_.shards);
+    }
+    for (const Bytes& payload : rec.updates) {
+      Result<UpdateRequest> update = UpdateRequest::Decode(payload);
+      // The record passed its CRC, so a decode failure means the payload
+      // was bad before it hit the disk; the durable prefix ends here.
+      if (!update.ok()) break;
+      // Replayed updates invalidate a setup-time gate exactly like live
+      // ones (see RunUpdate).
+      incoming.gate.reset();
+      for (const auto& [label, value] : update->entries) {
+        incoming.emm.Insert(label,
+                            ConstByteSpan(value.data(), value.size()));
+      }
+      ++recovery_stats_.wal_records_applied;
+    }
+  } else if (rec.kind == static_cast<uint8_t>(rsse::StoreKind::kFilterTree)) {
+    if (!rec.has_snapshot) {
+      return Status::InvalidArgument("filter-tree slot without snapshot");
+    }
+    Result<pb::FilterTreeIndex> tree =
+        pb::FilterTreeIndex::Deserialize(rec.index_blob);
+    if (!tree.ok()) return tree.status();
+    incoming.tree =
+        std::make_unique<pb::FilterTreeIndex>(std::move(tree).value());
+  } else {
+    return Status::InvalidArgument("unknown store kind in snapshot");
+  }
+  stores_[rec.store_id] = std::move(incoming);
+  store_epochs_[rec.store_id] = rec.epoch;
+  hosted_ = true;
+  ++recovery_stats_.stores_recovered;
+  return Status::Ok();
+}
+
 Status EmmServer::Listen() {
   if (listen_fd_ >= 0) return Status::FailedPrecondition("already listening");
+  RSSE_RETURN_IF_ERROR(RecoverStores());
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Errno("socket");
   const int one = 1;
@@ -141,10 +234,19 @@ void EmmServer::Shutdown() {
   WakePoll();
 }
 
+void EmmServer::BeginDrain() {
+  // atomic store + pipe write only: safe to call from a signal handler.
+  draining_.store(true, std::memory_order_relaxed);
+  WakePoll();
+}
+
 void EmmServer::WakePoll() {
   if (wake_fds_[1] >= 0) {
     const uint8_t b = 0;
-    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &b, 1);
+    ssize_t n;
+    do {
+      n = write(wake_fds_[1], &b, 1);
+    } while (n < 0 && errno == EINTR);
   }
 }
 
@@ -156,15 +258,34 @@ Status EmmServer::Serve() {
   if (listen_fd_ < 0) return Status::FailedPrecondition("Listen() not called");
   StartWorkers();
   std::vector<pollfd> fds;
+  bool drain_started = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
   while (!stop_.load(std::memory_order_relaxed)) {
+    if (!drain_started && draining_.load(std::memory_order_relaxed)) {
+      drain_started = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(
+                           std::max(options_.drain_timeout_ms, 0));
+    }
     // Sweep every connection first: move worker-staged frames into the
     // socket buffer, unpark drained streams, refresh read-pause state,
     // and drop closing connections that have fully finished.
     for (size_t i = conns_.size(); i-- > 0;) {
       if (PumpConnection(conns_[i])) DropConnection(i);
     }
+    // Draining exits once every in-flight stream has finished and
+    // flushed — or at the deadline, cutting whoever is still reading.
+    if (drain_started &&
+        (AllConnectionsQuiesced() ||
+         std::chrono::steady_clock::now() >= drain_deadline)) {
+      break;
+    }
     fds.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
+    // A draining server stops accepting: the listen fd stays in slot 0
+    // (the fds[2 + i] <-> conns_[i] mapping depends on it) but asks for
+    // no events.
+    fds.push_back(
+        {listen_fd_, static_cast<short>(drain_started ? 0 : POLLIN), 0});
     fds.push_back({wake_fds_[0], POLLIN, 0});
     for (const std::shared_ptr<Connection>& c : conns_) {
       // A closing connection only flushes (re-reading would re-handle the
@@ -176,7 +297,15 @@ Status EmmServer::Serve() {
       if (c->out.size() > c->out_offset) events |= POLLOUT;
       fds.push_back({c->fd, events, 0});
     }
-    const int rc = poll(fds.data(), fds.size(), /*timeout_ms=*/-1);
+    int timeout_ms = -1;
+    if (drain_started) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(drain_deadline -
+                                     std::chrono::steady_clock::now());
+      timeout_ms = static_cast<int>(
+          std::clamp<int64_t>(remaining.count() + 1, 1, 1000));
+    }
+    const int rc = poll(fds.data(), fds.size(), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       StopWorkers();
@@ -185,7 +314,11 @@ Status EmmServer::Serve() {
     }
     if ((fds[1].revents & POLLIN) != 0) {
       uint8_t drain[64];
-      while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      for (;;) {
+        const ssize_t n = read(wake_fds_[0], drain, sizeof(drain));
+        if (n > 0) continue;
+        if (n < 0 && errno == EINTR) continue;
+        break;
       }
     }
     // fds[2 + i] maps to conns_[i] only for the connections that existed
@@ -207,6 +340,20 @@ Status EmmServer::Serve() {
   }
   StopWorkers();
   CloseAll();
+  // Release the port before returning: a successor process (or a second
+  // server object in the same process) must be able to bind it while this
+  // object still exists. The wake pipe stays open so a late Shutdown()
+  // from another thread writes into a valid fd.
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (persist_ != nullptr) {
+    // Belt and braces: appends fsync individually, but a drain should
+    // leave nothing for the kernel to owe.
+    const Status synced = persist_->Sync();
+    if (!synced.ok()) return synced;
+  }
   return Status::Ok();
 }
 
@@ -266,6 +413,22 @@ bool EmmServer::ReadPending(const std::shared_ptr<Connection>& cp) {
         EnqueueJob(cp, std::move(job));
         conn.closing = true;
         break;
+      }
+      if (draining_.load(std::memory_order_relaxed)) {
+        bool idle;
+        {
+          std::lock_guard<std::mutex> lock(conn.mu);
+          idle = conn.state == ExecState::kIdle && conn.jobs.empty();
+        }
+        if (idle) {
+          // Refuse right here on the poll thread: a draining refusal must
+          // not wait for worker capacity (every worker may be pinned to an
+          // in-flight stream). A connection with queued work keeps FIFO
+          // response order instead — its refusal rides the job queue and
+          // the worker's own draining check.
+          EmitDrainingError(conn);
+          continue;
+        }
       }
       Job job;
       job.type = frame.type;
@@ -493,6 +656,13 @@ EmmServer::JobResult EmmServer::ExecuteJob(Connection& conn, Job& job) {
     return JobResult::kDone;
   }
   if (job.stream != nullptr) return ResumeStream(conn, job);
+  // A draining server finishes streams already started (above) but takes
+  // no fresh work: the request has had no effect, so an idempotent client
+  // may safely retry it against the restarted server.
+  if (draining_.load(std::memory_order_relaxed)) {
+    EmitDrainingError(conn);
+    return JobResult::kDone;
+  }
   switch (job.type) {
     case FrameType::kSetupReq:
       RunSetup(conn, job.payload);
@@ -562,6 +732,25 @@ void EmmServer::EmitError(Connection& conn, const std::string& message) {
   // cap. If it somehow does there is nothing sensible left to send.
   if (!EncodeFrame(FrameType::kError, payload, frame)) return;
   EmitEncoded(conn, frame);
+}
+
+void EmmServer::EmitDrainingError(Connection& conn) {
+  ErrorResponse resp;
+  resp.message = "server draining; retry against the restarted server";
+  const Bytes payload = resp.Encode();
+  Bytes frame;
+  if (!EncodeFrame(FrameType::kErrorDraining, payload, frame)) return;
+  EmitEncoded(conn, frame);
+}
+
+bool EmmServer::AllConnectionsQuiesced() {
+  for (const std::shared_ptr<Connection>& c : conns_) {
+    if (c->out_offset < c->out.size()) return false;
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->state != ExecState::kIdle) return false;
+    if (!c->jobs.empty() || !c->staged.empty()) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -649,6 +838,20 @@ void EmmServer::RunSetupStore(Connection& conn, const Bytes& payload) {
   }
   {
     std::unique_lock lock(store_mutex_);
+    // Durability before visibility: a slot the server acked must survive
+    // a crash, so the snapshot reaches disk before the table swap.
+    if (persist_ != nullptr) {
+      const uint64_t epoch = store_epochs_[req->store_id] + 1;
+      const Status persisted = persist_->PersistSnapshot(
+          req->store_id, epoch, req->kind,
+          ConstByteSpan(req->index_blob.data(), req->index_blob.size()),
+          ConstByteSpan(req->gate_blob.data(), req->gate_blob.size()));
+      if (!persisted.ok()) {
+        EmitError(conn, "store not persisted: " + persisted.message());
+        return;
+      }
+      store_epochs_[req->store_id] = epoch;
+    }
     stores_[req->store_id] = std::move(incoming);
     hosted_ = true;
   }
@@ -672,6 +875,18 @@ void EmmServer::RunUpdate(Connection& conn, const Bytes& payload) {
     if (primary.kind != rsse::StoreKind::kEmm) {
       EmitError(conn, "primary store is not an encrypted dictionary");
       return;
+    }
+    // WAL-before-apply: the batch is fsync'd (tagged with the live
+    // snapshot's epoch) before any entry lands in memory, so an acked
+    // update can never be lost and a nacked one is never applied.
+    if (persist_ != nullptr) {
+      const Status logged = persist_->AppendUpdate(
+          rsse::kPrimaryStore, store_epochs_[rsse::kPrimaryStore],
+          ConstByteSpan(payload.data(), payload.size()));
+      if (!logged.ok()) {
+        EmitError(conn, "update not persisted: " + logged.message());
+        return;
+      }
     }
     // A shipped Bloom gate was built over the setup-time labels only;
     // keeping it would silently skip-decrypt (drop) every updated entry.

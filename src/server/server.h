@@ -20,6 +20,7 @@
 #include "pb/filter_tree.h"
 #include "rsse/bloom_gate.h"
 #include "rsse/party.h"
+#include "server/persist.h"
 #include "server/wire.h"
 #include "shard/sharded_emm.h"
 #include "sse/keyword_keys.h"
@@ -77,6 +78,16 @@ struct ServerOptions {
   /// query's ids wholesale and first results of every query arrive early.
   size_t max_ids_per_result_frame = size_t{1} << 14;
   size_t max_payloads_per_result_frame = size_t{1} << 12;
+  /// Durable store directory. Empty = in-memory only (the pre-v4
+  /// behaviour). When set, SetupStore blobs persist as checksummed
+  /// snapshot files, Update batches append to a per-store WAL, and
+  /// Listen() replays both so a restarted daemon serves the exact store
+  /// table it held at the crash.
+  std::string data_dir;
+  /// Graceful-drain budget: after BeginDrain(), in-flight streaming
+  /// cursors get this long to finish before Serve() exits anyway
+  /// (connections cut mid-stream). <= 0 exits as soon as output flushes.
+  int drain_timeout_ms = 10000;
 };
 
 /// Cumulative serving statistics (reported through StatsResponse). Fields
@@ -142,6 +153,32 @@ class EmmServer {
 
   /// Stops `Serve` from any thread (idempotent).
   void Shutdown();
+
+  /// Flips the server into graceful drain (async-signal-safe, idempotent):
+  /// stop accepting, reject new requests with kErrorDraining, let
+  /// in-flight streaming cursors finish up to `drain_timeout_ms`, fsync
+  /// the data dir, then Serve() returns OK.
+  void BeginDrain();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// What Listen()'s recovery pass rebuilt from `data_dir` (zeros when no
+  /// data dir is configured or nothing was on disk).
+  struct RecoveryStats {
+    size_t stores_recovered = 0;
+    size_t wal_records_applied = 0;
+    size_t corrupt_snapshots_dropped = 0;
+    size_t wal_bytes_truncated = 0;
+  };
+
+  /// Opens `data_dir` and rebuilds the store table from its snapshots and
+  /// WALs. Listen() calls this when it has not run yet; it is public so
+  /// the daemon can run (and time) recovery before binding the port.
+  Status RecoverStores();
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
   /// In-process equivalent of a Setup frame (tools/tests): hosts the
   /// serialized ShardedEmm blob at the primary store slot.
@@ -294,7 +331,16 @@ class EmmServer {
                  const char* oversize_error);
   bool EmitEncoded(Connection& conn, const Bytes& frame);
   void EmitError(Connection& conn, const std::string& message);
+  void EmitDrainingError(Connection& conn);
   void WakePoll();
+
+  /// True when every connection is fully quiesced (no queued or running
+  /// jobs, all output flushed) — the drain loop's exit condition.
+  bool AllConnectionsQuiesced();
+
+  /// Rebuilds one recovered slot (deserialize + WAL replay) into the
+  /// store table.
+  Status InstallRecoveredStore(const StorePersistence::RecoveredStore& rec);
 
   int ResolveWorkerCount() const;
 
@@ -305,6 +351,17 @@ class EmmServer {
   /// One-way stop latch: a Shutdown that lands before Serve starts must
   /// still win, so Serve never resets it.
   std::atomic<bool> stop_{false};
+  /// One-way drain latch (BeginDrain); checked by workers when deciding
+  /// whether to start new requests.
+  std::atomic<bool> draining_{false};
+  /// Durable store table (nullptr when data_dir is empty). The pointer is
+  /// written once during RecoverStores (before Serve) and only read
+  /// afterwards; mutating calls happen under the exclusive store lock.
+  std::unique_ptr<StorePersistence> persist_;
+  bool recovered_ = false;
+  RecoveryStats recovery_stats_;
+  /// Per-slot snapshot epoch (see persist.h); guarded by `store_mutex_`.
+  std::map<uint32_t, uint64_t> store_epochs_;
   /// Store table, keyed by store slot. Guarded by `store_mutex_`:
   /// searches shared, Setup/Update exclusive.
   mutable std::shared_mutex store_mutex_;

@@ -9,6 +9,7 @@
 //
 //   rsse_serverd --port=7370 --threads=8
 //   rsse_serverd --port=0              # ephemeral; the bound port is printed
+//   rsse_serverd --data-dir=/var/lib/rsse  # crash-safe store persistence
 //
 // Flags:
 //   --bind=<ipv4>      listen address        (default 127.0.0.1)
@@ -26,7 +27,16 @@
 //                      a search job parks when its connection's unsent
 //                      output would cross it, and resumes once the
 //                      socket drains (0 = unbounded; default 8 MiB)
+//   --data-dir=<path>  durable store directory: SetupStore blobs persist
+//                      as checksummed snapshots, Update batches append to
+//                      a write-ahead log, and boot replays both so a
+//                      restarted server answers exactly as before
+//   --drain-timeout-ms=<ms>  graceful-drain budget: the first
+//                      SIGTERM/SIGINT stops accepting and lets in-flight
+//                      streams finish up to this long before exiting
+//                      (default 10000; a second signal aborts immediately)
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -40,9 +50,20 @@ namespace {
 using rsse::server::FlagValue;
 
 rsse::server::EmmServer* g_server = nullptr;
+volatile std::sig_atomic_t g_signals_seen = 0;
 
+// First signal: drain (stop accepting, finish in-flight streams, exit 0).
+// Second: hard shutdown. Both paths are async-signal-safe — an atomic
+// store plus one write() to the server's self-wake pipe.
 void HandleSignal(int) {
-  if (g_server != nullptr) g_server->Shutdown();
+  if (g_server == nullptr) return;
+  const std::sig_atomic_t seen = g_signals_seen;
+  g_signals_seen = seen + 1;
+  if (seen == 0) {
+    g_server->BeginDrain();
+  } else {
+    g_server->Shutdown();
+  }
 }
 
 }  // namespace
@@ -60,7 +81,11 @@ int main(int argc, char** argv) {
           "  --search-workers=<n>  (search-worker pool size, default: "
           "the --threads resolution)\n"
           "  --max-outbound-bytes=<n>  (per-connection outbound "
-          "high-water mark, 0 = unbounded, default 8 MiB)\n");
+          "high-water mark, 0 = unbounded, default 8 MiB)\n"
+          "  --data-dir=<path>  (durable store snapshots + update WAL, "
+          "replayed on boot)\n"
+          "  --drain-timeout-ms=<ms>  (graceful-drain budget after "
+          "SIGTERM/SIGINT, default 10000)\n");
       return 0;
     }
   }
@@ -108,12 +133,32 @@ int main(int argc, char** argv) {
     options.max_outbound_bytes =
         static_cast<size_t>(std::strtoull(v, nullptr, 10));
   }
+  if (const char* v = FlagValue(argc, argv, "data-dir")) {
+    options.data_dir = v;
+  }
+  if (const char* v = FlagValue(argc, argv, "drain-timeout-ms")) {
+    options.drain_timeout_ms = std::atoi(v);
+  }
 
   rsse::server::EmmServer server(options);
+  const auto recover_start = std::chrono::steady_clock::now();
   rsse::Status s = server.Listen();
   if (!s.ok()) {
     std::fprintf(stderr, "rsse_serverd: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (!options.data_dir.empty()) {
+    const auto& rec = server.recovery_stats();
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - recover_start)
+            .count();
+    std::printf(
+        "rsse_serverd: recovered %zu store(s), %zu wal record(s) in %lld ms"
+        " (%zu corrupt snapshot(s) dropped, %zu torn wal byte(s) cut)\n",
+        rec.stores_recovered, rec.wal_records_applied,
+        static_cast<long long>(elapsed_ms), rec.corrupt_snapshots_dropped,
+        rec.wal_bytes_truncated);
   }
   g_server = &server;
   std::signal(SIGINT, HandleSignal);

@@ -101,7 +101,7 @@ FrameParse DecodeFrame(const Bytes& buf, size_t& offset, Frame& frame,
   }
   const uint8_t type = buf[offset + 5];
   if (type < static_cast<uint8_t>(FrameType::kSetupReq) ||
-      type > static_cast<uint8_t>(FrameType::kSearchPayload)) {
+      type > static_cast<uint8_t>(FrameType::kErrorDraining)) {
     if (error != nullptr) *error = "unknown frame type";
     return FrameParse::kMalformed;
   }

@@ -64,6 +64,11 @@ enum class FrameType : uint8_t {
   /// Server -> client: a chunk of decrypted payloads of one query of a
   /// keyword batch (chunked + interleaved like kSearchResult).
   kSearchPayload = 13,
+  /// Server -> client: the server is draining (graceful shutdown) and
+  /// rejected this request. Payload is an ErrorResponse; unlike kError the
+  /// request was never started, so an idempotent client may safely retry
+  /// it against the restarted server.
+  kErrorDraining = 14,
 };
 
 /// One decoded frame: type plus raw payload (still to be parsed by the

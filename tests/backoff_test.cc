@@ -1,0 +1,205 @@
+// Client failure handling under a fake clock: the jittered exponential
+// backoff schedule, the retry cap, transparent reconnect after a lost
+// connection, and the per-request deadline — all deterministic, no real
+// sleeps, driven against dead ports and scripted peers.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/backoff.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace rsse::server {
+namespace {
+
+/// Records every sleep instead of sleeping; time advances by the slept
+/// amount, so deadline math behaves as if the waits were real.
+class FakeClock : public Clock {
+ public:
+  int64_t NowMillis() override { return now_ms_; }
+  void SleepMillis(int64_t ms) override {
+    sleeps.push_back(ms);
+    now_ms_ += ms;
+  }
+
+  std::vector<int64_t> sleeps;
+
+ private:
+  int64_t now_ms_ = 1000;
+};
+
+/// Binds an ephemeral port, then closes the socket: connecting to it is
+/// refused immediately (nothing re-binds a just-released ephemeral port
+/// mid-test), so every retry fails fast without real waiting.
+uint16_t DeadPort() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(BackoffTest, DelaysGrowExponentiallyWithinJitterBounds) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.max_delay_ms = 1000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.2;
+  policy.max_retries = 6;
+  Backoff backoff(policy, /*seed=*/42);
+
+  // Base sequence 100, 200, 400, 800, 1000 (capped), 1000; each delay
+  // lands within ±20% of its base.
+  const int64_t bases[] = {100, 200, 400, 800, 1000, 1000};
+  for (int64_t base : bases) {
+    const int64_t d = backoff.NextDelayMillis();
+    EXPECT_GE(d, base * 8 / 10) << "base " << base;
+    EXPECT_LE(d, base * 12 / 10) << "base " << base;
+  }
+  EXPECT_TRUE(backoff.Exhausted());
+}
+
+TEST(BackoffTest, ZeroJitterIsDeterministic) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 50;
+  policy.max_delay_ms = 400;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Backoff backoff(policy);
+  EXPECT_EQ(backoff.NextDelayMillis(), 50);
+  EXPECT_EQ(backoff.NextDelayMillis(), 100);
+  EXPECT_EQ(backoff.NextDelayMillis(), 200);
+  EXPECT_EQ(backoff.NextDelayMillis(), 400);
+  EXPECT_EQ(backoff.NextDelayMillis(), 400);
+}
+
+TEST(BackoffTest, DistinctSeedsProduceDistinctSchedules) {
+  BackoffPolicy policy;
+  policy.jitter = 0.2;
+  Backoff a(policy, 1), b(policy, 2);
+  bool differed = false;
+  for (int i = 0; i < 4; ++i) {
+    if (a.NextDelayMillis() != b.NextDelayMillis()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(ClientRetryClockTest, RetriesThenReportsAfterCapAgainstDeadPort) {
+  ClientOptions options;
+  options.backoff.initial_delay_ms = 10;
+  options.backoff.max_delay_ms = 80;
+  options.backoff.jitter = 0.0;
+  options.backoff.max_retries = 3;
+  FakeClock clock;
+  EmmClient client(options, &clock);
+  // The endpoint is recorded even though this first dial fails, giving
+  // the retry loop something to redial.
+  EXPECT_FALSE(client.Connect("127.0.0.1", DeadPort()).ok());
+
+  auto stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable)
+      << stats.status().ToString();
+  // 1 initial attempt + 3 retries, each separated by a recorded sleep.
+  ASSERT_EQ(clock.sleeps.size(), 3u);
+  EXPECT_EQ(clock.sleeps[0], 10);
+  EXPECT_EQ(clock.sleeps[1], 20);
+  EXPECT_EQ(clock.sleeps[2], 40);
+}
+
+TEST(ClientRetryClockTest, DeadlineCutsTheScheduleShort) {
+  ClientOptions options;
+  options.backoff.initial_delay_ms = 40;
+  options.backoff.jitter = 0.0;
+  options.backoff.max_retries = 50;
+  options.request_deadline_ms = 100;
+  FakeClock clock;
+  EmmClient client(options, &clock);
+  EXPECT_FALSE(client.Connect("127.0.0.1", DeadPort()).ok());
+
+  auto stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(stats.status().message().find("deadline"), std::string::npos)
+      << stats.status().ToString();
+  // Far fewer than 50 sleeps fit into the 100 ms budget; every sleep is
+  // clamped so the total never overshoots it.
+  int64_t slept = 0;
+  for (int64_t s : clock.sleeps) slept += s;
+  EXPECT_LE(slept, 100);
+  EXPECT_LT(clock.sleeps.size(), 5u);
+}
+
+TEST(ClientRetryClockTest, NoRetryFailsOnFirstUnavailable) {
+  ClientOptions options;
+  options.retry_idempotent = false;
+  FakeClock clock;
+  EmmClient client(options, &clock);
+  EXPECT_FALSE(client.Connect("127.0.0.1", DeadPort()).ok());
+  auto stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(clock.sleeps.empty());
+  EXPECT_EQ(client.ReconnectCount(), 0u);
+}
+
+TEST(ClientRetryClockTest, NeverConnectedClientStillFailsFast) {
+  // Retry must not invent an endpoint: without a Connect there is nothing
+  // to redial, and the caller gets the legacy "not connected".
+  EmmClient client;
+  auto stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("not connected"),
+            std::string::npos);
+}
+
+TEST(ClientRetryTest, ReconnectsAfterServerRestartOnSamePort) {
+  // Real end-to-end retry: a server dies after the client connected; a
+  // new one takes over the same port; the client's next idempotent
+  // request transparently reconnects and succeeds.
+  ServerOptions options;
+  options.port = 0;
+  EmmServer first(options);
+  ASSERT_TRUE(first.Listen().ok());
+  const uint16_t port = first.port();
+  std::thread serve_first([&first] { EXPECT_TRUE(first.Serve().ok()); });
+
+  ClientOptions copts;
+  copts.backoff.initial_delay_ms = 1;
+  copts.backoff.max_retries = 8;
+  EmmClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.Stats().ok());
+
+  first.Shutdown();
+  serve_first.join();
+
+  ServerOptions second_options;
+  second_options.port = port;
+  EmmServer second(second_options);
+  ASSERT_TRUE(second.Listen().ok());
+  std::thread serve_second([&second] { EXPECT_TRUE(second.Serve().ok()); });
+
+  auto stats = client.Stats();
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(client.ReconnectCount(), 1u);
+
+  second.Shutdown();
+  serve_second.join();
+}
+
+}  // namespace
+}  // namespace rsse::server

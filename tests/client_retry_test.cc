@@ -1,0 +1,287 @@
+// Flaky-network soak and graceful drain, over real loopback sockets:
+// with connection resets injected at every protocol stage (setup sends,
+// search sends, response reads — including SRC-i's dependent second
+// round), RemoteBackend queries must still return exactly the local
+// backend's ids via transparent reconnect + retry. And a draining server
+// must finish in-flight streams, refuse fresh work with the dedicated
+// draining error, and exit its Serve loop cleanly.
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "rsse/factory.h"
+#include "rsse/log_src_i.h"
+#include "rsse/scheme.h"
+#include "server/client.h"
+#include "server/remote_backend.h"
+#include "server/server.h"
+
+namespace rsse {
+namespace {
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+server::ClientOptions FastRetry() {
+  server::ClientOptions options;
+  options.backoff.initial_delay_ms = 1;
+  options.backoff.max_delay_ms = 20;
+  options.backoff.max_retries = 6;
+  return options;
+}
+
+class LoopbackServer {
+ public:
+  explicit LoopbackServer(server::ServerOptions options = {})
+      : server_(options) {
+    Status s = server_.Listen();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    thread_ = std::thread([this] { serve_status_ = server_.Serve(); });
+  }
+
+  ~LoopbackServer() {
+    if (thread_.joinable()) {
+      server_.Shutdown();
+      thread_.join();
+    }
+  }
+
+  /// Waits for Serve() to return on its own (drain path) and hands back
+  /// its status.
+  Status JoinServe() {
+    thread_.join();
+    return serve_status_;
+  }
+
+  uint16_t port() const { return server_.port(); }
+  server::EmmServer& server() { return server_; }
+
+ private:
+  server::EmmServer server_;
+  std::thread thread_;
+  Status serve_status_ = Status::Ok();
+};
+
+TEST(FlakyNetworkTest, QueriesStayExactUnderInjectedResets) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "build with -DRSSE_FAILPOINTS=ON";
+  }
+  Rng rng(19);
+  Dataset data = GenerateUspsLike(/*n=*/80, /*domain_size=*/32, rng);
+  std::unique_ptr<RangeScheme> scheme =
+      MakeScheme(SchemeId::kLogarithmicBrc, /*rng_seed=*/11);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  Result<ServerSetup> setup = scheme->ExportServerSetup();
+  ASSERT_TRUE(setup.ok());
+
+  LoopbackServer loopback;
+  server::EmmClient client(FastRetry());
+
+  // Stage 1: reset the very first send after connect — InstallServerSetup
+  // must reconnect and still ship every store.
+  ASSERT_TRUE(client.Connect("127.0.0.1", loopback.port()).ok());
+  failpoint::Set("client_send", "reset*1");
+  Status installed = server::InstallServerSetup(client, *setup);
+  ASSERT_TRUE(installed.ok()) << installed.ToString();
+  EXPECT_GE(client.ReconnectCount(), 1u);
+
+  server::RemoteBackend remote(client);
+  const size_t kStages = 2;  // alternate send-side and recv-side resets
+  size_t stage = 0;
+  for (uint64_t lo = 0; lo < 32; lo += 4) {
+    const Range r{lo, std::min<uint64_t>(lo + 5, 31)};
+    // Each query runs with a fresh one-shot reset armed at a different
+    // protocol stage.
+    failpoint::Set(stage % kStages == 0 ? "client_send" : "client_recv",
+                   "reset*1");
+    ++stage;
+    Result<QueryResult> local = scheme->Query(r);
+    ASSERT_TRUE(local.ok());
+    Result<QueryResult> wire = scheme->QueryVia(remote, r);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    EXPECT_EQ(Sorted(wire->ids), Sorted(local->ids))
+        << "range [" << r.lo << "," << r.hi << "]";
+  }
+  failpoint::ClearAll();
+  EXPECT_GT(client.ReconnectCount(), 1u)
+      << "the injected resets must actually have interrupted requests";
+}
+
+TEST(FlakyNetworkTest, SrcISecondRoundSurvivesResets) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "build with -DRSSE_FAILPOINTS=ON";
+  }
+  // SRC-i's two-round protocol: a reset can land in round 1 (SearchBatch)
+  // or round 2 (SearchKeyword against I2); the RemoteBackend must re-drive
+  // whichever request failed and still answer exactly.
+  Rng rng(29);
+  Dataset data = GenerateUspsLike(/*n=*/100, /*domain_size=*/64, rng);
+  LogarithmicSrcIScheme scheme(/*rng_seed=*/5);
+  ASSERT_TRUE(scheme.Build(data).ok());
+  Result<ServerSetup> setup = scheme.ExportServerSetup();
+  ASSERT_TRUE(setup.ok());
+
+  LoopbackServer loopback;
+  server::EmmClient client(FastRetry());
+  ASSERT_TRUE(client.Connect("127.0.0.1", loopback.port()).ok());
+  ASSERT_TRUE(server::InstallServerSetup(client, *setup).ok());
+  server::RemoteBackend remote(client);
+
+  const Range r{4, 59};
+  Result<QueryResult> local = scheme.Query(r);
+  ASSERT_TRUE(local.ok());
+  for (int round = 0; round < 4; ++round) {
+    failpoint::Set(round % 2 == 0 ? "client_recv" : "client_send",
+                   "reset*1");
+    Result<QueryResult> wire = scheme.QueryVia(remote, r);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    EXPECT_EQ(wire->rounds, 2);
+    EXPECT_EQ(Sorted(wire->ids), Sorted(local->ids));
+  }
+  failpoint::ClearAll();
+}
+
+TEST(DrainTest, IdleServerExitsImmediatelyOnDrain) {
+  // No in-flight work: BeginDrain lets Serve return at once, even with an
+  // idle client still connected.
+  server::ServerOptions options;
+  options.port = 0;
+  options.drain_timeout_ms = 5000;
+  LoopbackServer loopback(options);
+
+  server::ClientOptions no_retry;
+  no_retry.retry_idempotent = false;
+  server::EmmClient client(no_retry);
+  ASSERT_TRUE(client.Connect("127.0.0.1", loopback.port()).ok());
+  ASSERT_TRUE(client.Stats().ok());
+
+  loopback.server().BeginDrain();
+  EXPECT_TRUE(loopback.server().draining());
+  Status serve = loopback.JoinServe();
+  EXPECT_TRUE(serve.ok()) << serve.ToString();
+}
+
+TEST(DrainTest, FreshRequestsAreRefusedWhileInFlightStreamFinishes) {
+  // Client A holds a genuinely long-running streamed search (wide GGM
+  // tokens expand millions of labels); while it runs, the drain latch
+  // flips and a second
+  // already-connected client's fresh request must bounce with the
+  // dedicated draining error. A's stream still completes, and Serve
+  // returns cleanly once both connections quiesce.
+  server::ServerOptions options;
+  options.port = 0;
+  options.drain_timeout_ms = 60000;
+  LoopbackServer loopback(options);
+
+  server::ClientOptions no_retry;
+  no_retry.retry_idempotent = false;
+  // The blocker waits out its own long expansion (single-core machines
+  // take a while); the stream emits nothing until SearchDone.
+  no_retry.recv_timeout_seconds = 120;
+
+  server::EmmClient blocker(no_retry);
+  ASSERT_TRUE(blocker.Connect("127.0.0.1", loopback.port()).ok());
+  // One entry makes the primary slot an encrypted dictionary so searches
+  // reach the expansion path.
+  std::vector<std::pair<Label, Bytes>> entries;
+  Label label;
+  label.fill(0x5a);
+  entries.emplace_back(label, Bytes(32, 0x01));
+  ASSERT_TRUE(blocker.Update(entries).ok());
+
+  server::EmmClient prober(no_retry);
+  ASSERT_TRUE(prober.Connect("127.0.0.1", loopback.port()).ok());
+  ASSERT_TRUE(prober.Stats().ok());
+
+  server::EmmClient::BatchQuery query;
+  query.query_id = 1;
+  for (uint8_t i = 0; i < 4; ++i) {
+    GgmDprf::Token token;
+    token.seed = Bytes(kLabelBytes, static_cast<uint8_t>(0x80 + i));
+    token.level = 19;  // 2^19 leaf derivations per token
+    query.tokens.push_back(token);
+  }
+  Result<server::EmmClient::BatchOutcome> outcome =
+      Status::Internal("unset");
+  std::thread search([&] { outcome = blocker.SearchBatch({query}); });
+
+  // Give the search time to enter execution, then drain mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  loopback.server().BeginDrain();
+
+  auto refused = prober.Stats();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("draining"), std::string::npos)
+      << refused.status().ToString();
+
+  search.join();
+  ASSERT_TRUE(outcome.ok())
+      << "the in-flight stream must finish, not be cut: "
+      << outcome.status().ToString();
+  EXPECT_EQ(outcome->done.query_count, 1u);
+
+  Status serve = loopback.JoinServe();
+  EXPECT_TRUE(serve.ok()) << serve.ToString();
+}
+
+TEST(DrainTest, InFlightStreamFinishesBeforeExit) {
+  // A large streamed search is racing the drain signal: whether the job
+  // started before or after the latch flipped, the client must see either
+  // the full exact result or the draining refusal — never a truncated
+  // stream — and Serve must return cleanly either way.
+  Rng rng(41);
+  Dataset data = GenerateUniform(/*n=*/400, /*domain_size=*/64, rng);
+  std::unique_ptr<RangeScheme> scheme =
+      MakeScheme(SchemeId::kLogarithmicBrc, /*rng_seed=*/13);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  Result<ServerSetup> setup = scheme->ExportServerSetup();
+  ASSERT_TRUE(setup.ok());
+
+  server::ServerOptions options;
+  options.port = 0;
+  options.drain_timeout_ms = 8000;
+  options.max_ids_per_result_frame = 1;  // many frames: a long stream
+  LoopbackServer loopback(options);
+
+  server::ClientOptions no_retry;
+  no_retry.retry_idempotent = false;
+  server::EmmClient client(no_retry);
+  ASSERT_TRUE(client.Connect("127.0.0.1", loopback.port()).ok());
+  ASSERT_TRUE(server::InstallServerSetup(client, *setup).ok());
+  server::RemoteBackend remote(client);
+
+  Result<QueryResult> local = scheme->Query(Range{0, 63});
+  ASSERT_TRUE(local.ok());
+  ASSERT_GT(local->ids.size(), 100u);
+
+  Result<QueryResult> wire = Status::Internal("unset");
+  std::thread query([&] { wire = scheme->QueryVia(remote, Range{0, 63}); });
+  // Let the request reach the server's poll loop before the latch flips;
+  // a drain that wins the race would quiesce-and-exit before ever reading
+  // the request, and the client would see a reset instead of an answer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  loopback.server().BeginDrain();
+  query.join();
+
+  if (wire.ok()) {
+    EXPECT_EQ(Sorted(wire->ids), Sorted(local->ids));
+  } else {
+    EXPECT_NE(wire.status().message().find("draining"), std::string::npos)
+        << wire.status().ToString();
+  }
+  Status serve = loopback.JoinServe();
+  EXPECT_TRUE(serve.ok()) << serve.ToString();
+}
+
+}  // namespace
+}  // namespace rsse

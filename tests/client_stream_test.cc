@@ -96,6 +96,14 @@ std::vector<GgmDprf::Token> OneToken() {
   return {token};
 }
 
+/// These tests pin the raw transport behavior (one connection, no second
+/// chances), so the retry layer is switched off.
+ClientOptions NoRetry() {
+  ClientOptions options;
+  options.retry_idempotent = false;
+  return options;
+}
+
 TEST(ClientStreamTest, TimeoutClosesDesyncedConnection) {
   // The peer answers with a partial frame and stalls: after SO_RCVTIMEO
   // fires, the connection holds half a response and is unusable — the
@@ -110,7 +118,7 @@ TEST(ClientStreamTest, TimeoutClosesDesyncedConnection) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1800));
   });
 
-  EmmClient client;
+  EmmClient client(NoRetry());
   ASSERT_TRUE(
       client.Connect("127.0.0.1", peer.port(), /*recv_timeout_seconds=*/1)
           .ok());
@@ -143,7 +151,7 @@ TEST(ClientStreamTest, ServerCloseMidStreamSurfacesError) {
     // Close without the terminating SearchDone.
   });
 
-  EmmClient client;
+  EmmClient client(NoRetry());
   ASSERT_TRUE(client.Connect("127.0.0.1", peer.port()).ok());
   EmmClient::BatchQuery query;
   query.query_id = 1;
@@ -185,7 +193,7 @@ TEST(ClientStreamTest, LongResultStreamKeepsRecvBufferBounded) {
     SendAll(fd, out);
   });
 
-  EmmClient client;
+  EmmClient client(NoRetry());
   ASSERT_TRUE(client.Connect("127.0.0.1", peer.port()).ok());
   EmmClient::BatchQuery query;
   query.query_id = 9;

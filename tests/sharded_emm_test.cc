@@ -130,6 +130,72 @@ TEST(ShardedEmmTest, DeserializeRejectsCorruptBlobs) {
   EXPECT_FALSE(ShardedEmm::Deserialize(Bytes{}).ok());
 }
 
+TEST(ShardedEmmTest, DeserializeByteFlipMatrixNeverCrashes) {
+  // The blob carries no checksum — acceptance is structural validation
+  // alone. The contract under a single flipped byte is therefore not
+  // "always rejected" (a flip inside an opaque ciphertext value is
+  // indistinguishable from a different ciphertext) but "never undefined":
+  // each flip either fails cleanly or yields a store whose entries stay
+  // within the original bounds and whose Search never faults. Structural
+  // fields (magic, directory, counts, lengths, routing) must reject.
+  sse::PlainMultimap postings = MakePostings(6, 2);
+  sse::PrfKeyDeriver deriver(FixedKey(0xa4));
+  ShardOptions options;
+  options.shards = 2;
+  auto store = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(store.ok());
+  const Bytes blob = store->Serialize();
+  const size_t entries = store->EntryCount();
+
+  // Everything before the first section's entries is structure: magic,
+  // shard count, directory, first entry count. A flip there must reject.
+  const size_t structural_prefix = 12 + 8 * store->shard_count() + 8;
+  size_t accepted = 0;
+  for (size_t pos = 0; pos < blob.size(); ++pos) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      Bytes mutated = blob;
+      mutated[pos] ^= mask;
+      auto restored = ShardedEmm::Deserialize(mutated);
+      if (pos < structural_prefix) {
+        EXPECT_FALSE(restored.ok())
+            << "structural byte " << pos << " mask " << int(mask);
+      }
+      if (!restored.ok()) continue;
+      ++accepted;
+      EXPECT_LE(restored->EntryCount(), entries);
+      for (const auto& [keyword, payloads] : postings) {
+        restored->Search(deriver.Derive(keyword));  // must not fault
+      }
+    }
+  }
+  // Sanity: the matrix exercised both outcomes (values dominate the blob,
+  // so some flips land in ciphertext and are structurally acceptable).
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(ShardedEmmTest, DeserializeTruncationMatrixRejectsEveryPrefix) {
+  sse::PlainMultimap postings = MakePostings(5, 2);
+  sse::PrfKeyDeriver deriver(FixedKey(0xb7));
+  ShardOptions options;
+  options.shards = 2;
+  auto store = ShardedEmm::Build(postings, deriver, options);
+  ASSERT_TRUE(store.ok());
+  const Bytes blob = store->Serialize();
+  for (size_t len = 0; len < blob.size(); ++len) {
+    Bytes prefix(blob.begin(), blob.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ShardedEmm::Deserialize(prefix).ok()) << "prefix " << len;
+  }
+  // ... and the same matrix under re-shard-on-load, whose parse path
+  // stages entries before re-routing them.
+  for (size_t len = 0; len < blob.size(); len += 7) {
+    Bytes prefix(blob.begin(), blob.begin() + static_cast<long>(len));
+    EXPECT_FALSE(
+        ShardedEmm::Deserialize(prefix, /*threads=*/1, /*target_shards=*/4)
+            .ok())
+        << "resharded prefix " << len;
+  }
+}
+
 TEST(ShardedEmmTest, InsertRoutesPreEncryptedEntries) {
   sse::PlainMultimap postings = MakePostings(10, 2);
   sse::PrfKeyDeriver deriver(FixedKey(0x31));

@@ -99,6 +99,79 @@ TEST(WireFrameTest, RejectsUnknownType) {
             FrameParse::kMalformed);
 }
 
+TEST(WireFrameTest, ErrorDrainingFrameRoundTrip) {
+  // The draining refusal is a first-class frame: it carries a normal
+  // ErrorResponse payload under its own type so clients can tell a
+  // retryable drain apart from a hard protocol error.
+  ErrorResponse resp;
+  resp.message = "server draining; retry against the restarted server";
+  const Bytes payload = resp.Encode();
+  Bytes stream;
+  ASSERT_TRUE(EncodeFrame(FrameType::kErrorDraining,
+                          ConstByteSpan(payload.data(), payload.size()),
+                          stream));
+  size_t offset = 0;
+  Frame frame;
+  ASSERT_EQ(DecodeFrame(stream, offset, frame, nullptr), FrameParse::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kErrorDraining);
+  auto decoded = ErrorResponse::Decode(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message, resp.message);
+}
+
+TEST(WireFrameTest, ErrorDrainingIsTheLastKnownType) {
+  // kErrorDraining sits at the top of the accepted range; its successor
+  // must stay malformed until a protocol revision deliberately claims it.
+  Bytes stream;
+  ASSERT_TRUE(EncodeFrame(FrameType::kErrorDraining, {}, stream));
+  size_t offset = 0;
+  Frame frame;
+  ASSERT_EQ(DecodeFrame(stream, offset, frame, nullptr), FrameParse::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kErrorDraining);
+
+  stream.clear();
+  ASSERT_TRUE(EncodeFrame(FrameType::kErrorDraining, {}, stream));
+  stream[5] = static_cast<uint8_t>(FrameType::kErrorDraining) + 1;
+  offset = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(stream, offset, frame, &error),
+            FrameParse::kMalformed);
+  EXPECT_NE(error.find("unknown frame type"), std::string::npos);
+}
+
+TEST(WireFrameTest, ErrorDrainingFuzzEveryTruncationAndByteFlip) {
+  ErrorResponse resp;
+  resp.message = "draining";
+  const Bytes payload = resp.Encode();
+  Bytes stream;
+  ASSERT_TRUE(EncodeFrame(FrameType::kErrorDraining,
+                          ConstByteSpan(payload.data(), payload.size()),
+                          stream));
+  // Truncations: every strict prefix wants more bytes, never faults.
+  for (size_t cut = 0; cut < stream.size(); ++cut) {
+    Bytes prefix(stream.begin(), stream.begin() + static_cast<long>(cut));
+    size_t offset = 0;
+    Frame frame;
+    EXPECT_EQ(DecodeFrame(prefix, offset, frame, nullptr),
+              FrameParse::kNeedMore)
+        << "cut at " << cut;
+  }
+  // Byte flips: the frame either still decodes (payload flips — the typed
+  // ErrorResponse decoder gets its own say) or is malformed; no flip may
+  // crash, and a flip that survives DecodeFrame must decode or reject
+  // cleanly as an ErrorResponse too.
+  for (size_t pos = 0; pos < stream.size(); ++pos) {
+    Bytes mutated = stream;
+    mutated[pos] ^= 0x40;
+    size_t offset = 0;
+    Frame frame;
+    const FrameParse parse = DecodeFrame(mutated, offset, frame, nullptr);
+    if (parse == FrameParse::kFrame) {
+      ErrorResponse::Decode(frame.payload);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Typed payloads
 // ---------------------------------------------------------------------------
