@@ -251,39 +251,117 @@ Status StorePersistence::PersistSnapshot(uint32_t store_id, uint64_t epoch,
     unlink(tmp.c_str());
     return s;
   }
+  // The rename is the commit point: a recovery from here on loads the new
+  // snapshot, so no failure below may be reported as a nack — the caller
+  // would keep the old store and epoch in memory while a restart serves
+  // the new file, and acked updates tagged with the stale epoch would be
+  // skipped as superseded.
+  //
   // The rename is only durable once the directory entry is: without this
   // fsync a crash can resurrect the old snapshot after the WAL was
   // truncated for the new one.
-  RSSE_RETURN_IF_ERROR(FsyncRetry(dir_fd_, "fsync " + dir_));
+  Status dir_synced;
+  if (failpoint::Hit("persist_dir_fsync").kind ==
+      failpoint::ActionKind::kError) {
+    dir_synced = Status::Internal("injected fsync failure on data dir");
+  } else {
+    dir_synced = FsyncRetry(dir_fd_, "fsync " + dir_);
+  }
+  if (!dir_synced.ok()) {
+    // Which snapshot a crash would resurrect is now ambiguous, so no
+    // update may be acked under either epoch: poison the slot's WAL until
+    // a later snapshot commits cleanly.
+    std::fprintf(stderr,
+                 "rsse: data-dir fsync failed after snapshot rename "
+                 "(store %u): %s; wal appends disabled until the next "
+                 "snapshot\n",
+                 store_id, dir_synced.message().c_str());
+    poisoned_wals_.insert(store_id);
+    return Status::Ok();
+  }
 
   // The previous generation's WAL records are superseded; truncating here
-  // is an optimization, not a correctness need — their epoch no longer
+  // is an optimization for an unpoisoned slot — their epoch no longer
   // matches, so a crash landing between rename and truncate just leaves
-  // stale records for recovery to skip.
+  // stale records for recovery to skip. For a poisoned slot the truncate
+  // is what removes the possible torn tail and re-enables appends.
+  bool wal_clean = false;
   Result<int> wal_fd = WalFd(store_id);
   if (wal_fd.ok()) {
     int rc;
     do {
       rc = ftruncate(*wal_fd, 0);
     } while (rc != 0 && errno == EINTR);
-    if (rc == 0) RSSE_RETURN_IF_ERROR(FsyncRetry(*wal_fd, "fsync wal"));
+    wal_clean = rc == 0 && FsyncRetry(*wal_fd, "fsync wal").ok();
+  }
+  if (wal_clean) {
+    poisoned_wals_.erase(store_id);
+  } else if (poisoned_wals_.count(store_id) != 0) {
+    std::fprintf(stderr,
+                 "rsse: wal truncate failed for poisoned store %u; "
+                 "appends stay disabled\n",
+                 store_id);
   }
   return Status::Ok();
 }
 
 Status StorePersistence::AppendUpdate(uint32_t store_id, uint64_t epoch,
                                       ConstByteSpan payload) {
+  if (poisoned_wals_.count(store_id) != 0) {
+    return Status::Internal(
+        "wal may end in an unremoved torn record; appends are refused "
+        "until the next snapshot truncates it");
+  }
   Result<int> fd = WalFd(store_id);
   if (!fd.ok()) return fd.status();
+  struct stat st {};
+  if (fstat(*fd, &st) != 0) return Errno("fstat " + WalPath(store_id));
   Bytes record;
   EncodeWalRecord(epoch, payload, record);
-  RSSE_RETURN_IF_ERROR(
-      WriteFull(*fd, record.data(), record.size(), "persist_wal_append"));
-  if (failpoint::Hit("persist_wal_fsync").kind ==
-      failpoint::ActionKind::kError) {
-    return Status::Internal("injected fsync failure on wal");
+  Status appended =
+      WriteFull(*fd, record.data(), record.size(), "persist_wal_append");
+  if (appended.ok()) {
+    if (failpoint::Hit("persist_wal_fsync").kind ==
+        failpoint::ActionKind::kError) {
+      appended = Status::Internal("injected fsync failure on wal");
+    } else {
+      appended = FsyncRetry(*fd, "fsync " + WalPath(store_id));
+    }
   }
-  return FsyncRetry(*fd, "fsync " + WalPath(store_id));
+  if (appended.ok()) return Status::Ok();
+  // The batch is about to be nacked, but its record is torn (short write)
+  // or of unknown durability (failed fsync). Left in place it would sit
+  // in front of every later acked append, and recovery — which stops at
+  // the first bad record — would silently drop them all. Roll the log
+  // back to its pre-append length; if that cannot be made durable, poison
+  // the slot so no later append can be acked behind the garbage.
+  bool rolled_back = failpoint::Hit("persist_wal_rollback").kind !=
+                     failpoint::ActionKind::kError;
+  if (rolled_back) {
+    int rc;
+    do {
+      rc = ftruncate(*fd, st.st_size);
+    } while (rc != 0 && errno == EINTR);
+    rolled_back = rc == 0 && FsyncRetry(*fd, "fsync " + WalPath(store_id)).ok();
+  }
+  if (!rolled_back) poisoned_wals_.insert(store_id);
+  return appended;
+}
+
+void StorePersistence::QuarantineSlot(uint32_t store_id) {
+  const std::string snap = SnapshotPath(store_id);
+  rename(snap.c_str(), (snap + ".corrupt").c_str());
+  // Drop any cached append fd first so the truncate below cannot race a
+  // stale descriptor, then cut the whole log: it applied on top of the
+  // quarantined base, so nothing in it is replayable.
+  auto it = wal_fds_.find(store_id);
+  if (it != wal_fds_.end()) {
+    if (it->second >= 0) close(it->second);
+    wal_fds_.erase(it);
+  }
+  const int fd =
+      OpenRetry(WalPath(store_id).c_str(), O_WRONLY | O_TRUNC | O_CLOEXEC);
+  if (fd >= 0) close(fd);
 }
 
 Status StorePersistence::Sync() {
@@ -361,42 +439,36 @@ Result<StorePersistence::RecoveryReport> StorePersistence::Recover() {
         // for forensics, ignored by future recoveries) and restart the
         // slot empty rather than refusing to serve every other slot.
         ++report.corrupt_snapshots;
-        rename(snap_path.c_str(), (snap_path + ".corrupt").c_str());
+        QuarantineSlot(id);
         drop_wal = true;
       }
     }
 
     const std::string wal_path = WalPath(id);
-    if (access(wal_path.c_str(), F_OK) == 0) {
-      if (drop_wal) {
+    if (!drop_wal && access(wal_path.c_str(), F_OK) == 0) {
+      Result<Bytes> file = ReadWholeFile(wal_path);
+      if (!file.ok()) return file.status();
+      std::vector<WalRecord> records;
+      const size_t good_end = DecodeWalRecords(*file, records);
+      if (good_end < file->size()) {
+        report.wal_bytes_truncated += file->size() - good_end;
         const int fd =
-            OpenRetry(wal_path.c_str(), O_WRONLY | O_TRUNC | O_CLOEXEC);
-        if (fd >= 0) close(fd);
-      } else {
-        Result<Bytes> file = ReadWholeFile(wal_path);
-        if (!file.ok()) return file.status();
-        std::vector<WalRecord> records;
-        const size_t good_end = DecodeWalRecords(*file, records);
-        if (good_end < file->size()) {
-          report.wal_bytes_truncated += file->size() - good_end;
-          const int fd =
-              OpenRetry(wal_path.c_str(), O_WRONLY | O_CLOEXEC);
-          if (fd < 0) return Errno("open " + wal_path);
-          int rc;
-          do {
-            rc = ftruncate(fd, static_cast<off_t>(good_end));
-          } while (rc != 0 && errno == EINTR);
-          Status synced = rc == 0 ? FsyncRetry(fd, "fsync " + wal_path)
-                                  : Errno("ftruncate " + wal_path);
-          close(fd);
-          RSSE_RETURN_IF_ERROR(synced);
-        }
-        for (WalRecord& record : records) {
-          if (record.epoch == store.epoch) {
-            store.updates.push_back(std::move(record.payload));
-          } else {
-            ++report.stale_wal_records;
-          }
+            OpenRetry(wal_path.c_str(), O_WRONLY | O_CLOEXEC);
+        if (fd < 0) return Errno("open " + wal_path);
+        int rc;
+        do {
+          rc = ftruncate(fd, static_cast<off_t>(good_end));
+        } while (rc != 0 && errno == EINTR);
+        Status synced = rc == 0 ? FsyncRetry(fd, "fsync " + wal_path)
+                                : Errno("ftruncate " + wal_path);
+        close(fd);
+        RSSE_RETURN_IF_ERROR(synced);
+      }
+      for (WalRecord& record : records) {
+        if (record.epoch == store.epoch) {
+          store.updates.push_back(std::move(record.payload));
+        } else {
+          ++report.stale_wal_records;
         }
       }
     }

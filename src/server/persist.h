@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ namespace rsse::server {
 /// never replay an old generation's updates onto a new index. WAL records
 /// are CRC32C-checksummed and the log self-truncates at the first torn or
 /// corrupt record — the durable prefix survives, the torn tail is cut.
+///
+/// A failed append rolls its torn record back off the log immediately
+/// (nacked batches leave no garbage behind which later acked appends
+/// would land — recovery stops at the first bad record, so such appends
+/// would be silently dropped). When the rollback itself cannot be made
+/// durable the slot's WAL is *poisoned*: every further append is refused
+/// until the next successful snapshot truncates the log.
 ///
 /// Thread-compatibility: the server calls every mutating method under its
 /// exclusive store lock, so this class does no locking of its own.
@@ -78,13 +86,30 @@ class StorePersistence {
   /// dir fsync) under the given epoch, which must exceed every epoch the
   /// slot has used before (the server passes recovered-or-last + 1). On
   /// success the slot's now-stale WAL is truncated.
+  ///
+  /// The atomic rename is the commit point: once it succeeds this returns
+  /// Ok — a recovery from here on loads the new snapshot, so reporting a
+  /// later step's failure would make the caller keep the old store and
+  /// epoch while a restart serves the new one. A post-rename directory
+  /// fsync failure (new-entry durability ambiguous) instead poisons the
+  /// slot's WAL, so no acked update can be tagged with an epoch a crash
+  /// might roll back; the next clean snapshot re-enables appends.
   Status PersistSnapshot(uint32_t store_id, uint64_t epoch, uint8_t kind,
                          ConstByteSpan index_blob, ConstByteSpan gate_blob);
 
   /// Durably appends one Update payload to slot `store_id`'s WAL (fsync'd
-  /// before returning, so the server may ack the batch).
+  /// before returning, so the server may ack the batch). On failure the
+  /// partial record is rolled back (see the class comment); a poisoned
+  /// slot refuses the append outright.
   Status AppendUpdate(uint32_t store_id, uint64_t epoch,
                       ConstByteSpan payload);
+
+  /// Sets a slot's unusable durable state aside: the snapshot is renamed
+  /// to .snap.corrupt (kept for forensics, ignored by future recoveries)
+  /// and the WAL — which applied on top of the lost base — is truncated.
+  /// Best-effort; used by recovery for snapshots that fail their checksum
+  /// or refuse to deserialize.
+  void QuarantineSlot(uint32_t store_id);
 
   /// Fsyncs every open WAL (drain-time belt and braces; appends are
   /// already fsync'd individually).
@@ -119,6 +144,10 @@ class StorePersistence {
   std::string dir_;
   int dir_fd_ = -1;
   std::map<uint32_t, int> wal_fds_;
+  /// Slots whose WAL may end in a torn record that could not be rolled
+  /// back durably (or whose snapshot's directory entry never fsync'd):
+  /// appends are refused until a snapshot truncates the log cleanly.
+  std::set<uint32_t> poisoned_wals_;
 };
 
 }  // namespace rsse::server

@@ -128,8 +128,11 @@ Status EmmServer::RecoverStores() {
       Status installed = InstallRecoveredStore(rec);
       if (!installed.ok()) {
         // The checksum held but the blob would not deserialize (a bug in
-        // whatever wrote it): drop the slot like a corrupt snapshot and
-        // keep serving the rest rather than refusing to start.
+        // whatever wrote it): quarantine the slot like a checksum failure
+        // — left in place, the bad file would re-fail and re-count on
+        // every boot — and keep serving the rest rather than refusing to
+        // start.
+        (*persistence)->QuarantineSlot(rec.store_id);
         ++recovery_stats_.corrupt_snapshots_dropped;
       }
     }

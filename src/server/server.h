@@ -86,7 +86,8 @@ struct ServerOptions {
   std::string data_dir;
   /// Graceful-drain budget: after BeginDrain(), in-flight streaming
   /// cursors get this long to finish before Serve() exits anyway
-  /// (connections cut mid-stream). <= 0 exits as soon as output flushes.
+  /// (connections cut mid-stream). <= 0 exits immediately, cutting even
+  /// connections with unflushed output.
   int drain_timeout_ms = 10000;
 };
 

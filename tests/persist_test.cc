@@ -310,7 +310,7 @@ TEST(PersistTest, InjectedTornSnapshotWriteLeavesOldSnapshotIntact) {
       << "a failed snapshot write must leave the previous epoch durable";
 }
 
-TEST(PersistTest, InjectedTornWalAppendRecoversDurablePrefix) {
+TEST(PersistTest, InjectedTornWalAppendRollsBackBeforeLaterAppends) {
   if (!failpoint::kCompiledIn) {
     GTEST_SKIP() << "build with -DRSSE_FAILPOINTS=ON";
   }
@@ -321,15 +321,112 @@ TEST(PersistTest, InjectedTornWalAppendRecoversDurablePrefix) {
   failpoint::Set("persist_wal_append", "torn*1");
   EXPECT_FALSE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 2))).ok());
   failpoint::ClearAll();
+  // The torn record must be rolled back at append time: recovery stops at
+  // the first bad record, so an acked append landing after leftover
+  // garbage would be silently dropped.
+  ASSERT_TRUE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 3))).ok());
 
   auto reopened = StorePersistence::Open(dir.path());
   ASSERT_TRUE(reopened.ok());
   auto report = (*reopened)->Recover();
   ASSERT_TRUE(report.ok());
   ASSERT_EQ(report->stores.size(), 1u);
-  ASSERT_EQ(report->stores[0].updates.size(), 1u);
+  ASSERT_EQ(report->stores[0].updates.size(), 2u);
   EXPECT_EQ(report->stores[0].updates[0], Blob(80, 1));
-  EXPECT_GT(report->wal_bytes_truncated, 0u);
+  EXPECT_EQ(report->stores[0].updates[1], Blob(80, 3))
+      << "the acked append after the failed one must survive recovery";
+  EXPECT_EQ(report->wal_bytes_truncated, 0u)
+      << "the torn record must already be gone from disk";
+}
+
+TEST(PersistTest, InjectedWalFsyncFailureRollsBackTheRecord) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "build with -DRSSE_FAILPOINTS=ON";
+  }
+  // Unlike a torn write, a failed fsync leaves a fully-written record in
+  // the file; replaying it would apply a nacked batch.
+  TempDir dir;
+  auto p = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 1))).ok());
+  failpoint::Set("persist_wal_fsync", "error*1");
+  EXPECT_FALSE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 2))).ok());
+  failpoint::ClearAll();
+  ASSERT_TRUE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 3))).ok());
+
+  auto reopened = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  auto report = (*reopened)->Recover();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->stores.size(), 1u);
+  ASSERT_EQ(report->stores[0].updates.size(), 2u);
+  EXPECT_EQ(report->stores[0].updates[0], Blob(80, 1));
+  EXPECT_EQ(report->stores[0].updates[1], Blob(80, 3))
+      << "the nacked batch's record must not replay";
+}
+
+TEST(PersistTest, UnrollbackableTornAppendPoisonsTheSlot) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "build with -DRSSE_FAILPOINTS=ON";
+  }
+  TempDir dir;
+  auto p = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 1))).ok());
+  failpoint::Set("persist_wal_append", "torn*1");
+  failpoint::Set("persist_wal_rollback", "error*1");
+  EXPECT_FALSE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 2))).ok());
+  failpoint::ClearAll();
+  // The torn record could not be removed, so the slot must refuse further
+  // appends — acking one would park it behind the garbage.
+  EXPECT_FALSE((*p)->AppendUpdate(0, 0, ConstByteSpan(Blob(80, 3))).ok());
+  // A clean snapshot truncates the log and re-enables appends.
+  ASSERT_TRUE(
+      (*p)->PersistSnapshot(0, 1, 0, ConstByteSpan(Blob(64, 4)), {}).ok());
+  ASSERT_TRUE((*p)->AppendUpdate(0, 1, ConstByteSpan(Blob(80, 5))).ok());
+
+  auto reopened = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  auto report = (*reopened)->Recover();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->stores.size(), 1u);
+  EXPECT_EQ(report->stores[0].index_blob, Blob(64, 4));
+  ASSERT_EQ(report->stores[0].updates.size(), 1u);
+  EXPECT_EQ(report->stores[0].updates[0], Blob(80, 5));
+}
+
+TEST(PersistTest, DirFsyncFailureAfterRenameStillCommitsTheSnapshot) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "build with -DRSSE_FAILPOINTS=ON";
+  }
+  // The rename is the commit point: a recovery loads the new snapshot, so
+  // nacking the Setup would leave the caller acking updates under an
+  // epoch recovery skips as stale.
+  TempDir dir;
+  auto p = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(
+      (*p)->PersistSnapshot(0, 1, 0, ConstByteSpan(Blob(64, 1)), {}).ok());
+  failpoint::Set("persist_dir_fsync", "error*1");
+  EXPECT_TRUE(
+      (*p)->PersistSnapshot(0, 2, 0, ConstByteSpan(Blob(64, 2)), {}).ok());
+  failpoint::ClearAll();
+  // Which snapshot a crash would resurrect is ambiguous until the next
+  // clean snapshot, so no update may be acked under either epoch.
+  EXPECT_FALSE((*p)->AppendUpdate(0, 2, ConstByteSpan(Blob(40, 3))).ok());
+  ASSERT_TRUE(
+      (*p)->PersistSnapshot(0, 3, 0, ConstByteSpan(Blob(64, 4)), {}).ok());
+  ASSERT_TRUE((*p)->AppendUpdate(0, 3, ConstByteSpan(Blob(40, 5))).ok());
+
+  auto reopened = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  auto report = (*reopened)->Recover();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->stores.size(), 1u);
+  EXPECT_EQ(report->stores[0].epoch, 3u);
+  EXPECT_EQ(report->stores[0].index_blob, Blob(64, 4));
+  ASSERT_EQ(report->stores[0].updates.size(), 1u);
+  EXPECT_EQ(report->stores[0].updates[0], Blob(40, 5));
 }
 
 TEST(ServerRecoveryTest, UpdateBuiltStoreSurvivesRestart) {
@@ -375,6 +472,43 @@ TEST(ServerRecoveryTest, UpdateBuiltStoreSurvivesRestart) {
   EXPECT_EQ(stats->entries, 2u);
   restarted.Shutdown();
   serve.join();
+}
+
+TEST(ServerRecoveryTest, UndeserializableSnapshotIsQuarantined) {
+  // A snapshot whose checksum holds but whose blob refuses to deserialize
+  // must be set aside exactly like a checksum failure: left in place it
+  // would re-fail and re-count on every boot.
+  TempDir dir;
+  {
+    auto p = StorePersistence::Open(dir.path());
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE((*p)->PersistSnapshot(
+                        0, 1, static_cast<uint8_t>(rsse::StoreKind::kEmm),
+                        ConstByteSpan(Blob(100, 7)), {})
+                    .ok());
+    ASSERT_TRUE((*p)->AppendUpdate(0, 1, ConstByteSpan(Blob(30, 8))).ok());
+  }
+  ServerOptions options;
+  options.data_dir = dir.path();
+  {
+    EmmServer server(options);
+    ASSERT_TRUE(server.Listen().ok());
+    EXPECT_EQ(server.recovery_stats().stores_recovered, 0u);
+    EXPECT_EQ(server.recovery_stats().corrupt_snapshots_dropped, 1u);
+  }
+  const std::string snap = dir.path() + "/store-0.snap";
+  EXPECT_EQ(access(snap.c_str(), F_OK), -1);
+  EXPECT_NE(access((snap + ".corrupt").c_str(), F_OK), -1)
+      << "the bad file is set aside for forensics, not deleted";
+  auto wal = ReadFile(dir.path() + "/store-0.wal");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->empty())
+      << "the WAL applied on top of the lost base and must not replay";
+
+  // The second boot starts clean instead of re-counting the same file.
+  EmmServer second(options);
+  ASSERT_TRUE(second.Listen().ok());
+  EXPECT_EQ(second.recovery_stats().corrupt_snapshots_dropped, 0u);
 }
 
 }  // namespace
