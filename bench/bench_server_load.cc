@@ -18,6 +18,10 @@
 // successor's cold Listen() (snapshot load + WAL replay) is timed. The
 // row is also a gate — dropped stores or WAL records fail the run.
 //
+// plus a cold_start pair: time-to-first-query for a successor booting off
+// a v1 snapshot (heap deserialize) vs a v2 snapshot (mmap). Gate: both
+// substrates must return identical id sets.
+//
 // The driver exits non-zero when the server's peak per-connection outbound
 // queue exceeds --max-outbound-bytes, so the ctest smoke run doubles as a
 // backpressure regression gate.
@@ -458,6 +462,103 @@ int Run(int argc, char** argv) {
                    "records %zu/%llu)\n",
                    rstats.stores_recovered, rstats.wal_records_applied,
                    static_cast<unsigned long long>(wal_batches));
+      return 1;
+    }
+  }
+
+  // Cold-start time-to-first-query: persist the index once per substrate
+  // (v1 snapshot for the heap path, v2 for mmap), then time a successor
+  // from construction through Listen() to its first answered query. The
+  // mmap row is the headline number for the v2 format: Listen() maps the
+  // snapshot instead of deserializing it, so TTFQ is dominated by the
+  // query itself. The pair doubles as a correctness gate — both substrates
+  // must return identical id sets for the same delegated range.
+  {
+    const uint64_t cold_hi = std::min<uint64_t>(domain, 4096) - 1;
+    const std::vector<GgmDprf::Token> cold_tokens =
+        scheme.Delegate(Range{0, cold_hi});
+    std::vector<uint64_t> ids_by_mode[2];
+    double ttfq_ms[2] = {-1.0, -1.0};
+    bool cold_ok = true;
+    for (int mode = 0; mode < 2; ++mode) {  // 0 = heap, 1 = mmap
+      char dir_template[] = "/tmp/rsse_bench_cold_XXXXXX";
+      if (mkdtemp(dir_template) == nullptr) {
+        std::fprintf(stderr, "mkdtemp failed\n");
+        return 1;
+      }
+      const std::string data_dir = dir_template;
+      ServerOptions durable = options;
+      durable.data_dir = data_dir;
+      durable.mmap_stores = mode;
+      {
+        EmmServer writer(durable);
+        if (!writer.Listen().ok()) {
+          std::fprintf(stderr, "cold-start writer listen failed\n");
+          return 1;
+        }
+        std::thread writer_thread([&writer] { (void)writer.Serve(); });
+        EmmClient setup;
+        const bool ok = setup.Connect("127.0.0.1", writer.port()).ok() &&
+                        setup.Setup(scheme.SerializeIndex()).ok();
+        writer.Shutdown();
+        writer_thread.join();
+        if (!ok) {
+          std::fprintf(stderr, "cold-start setup failed\n");
+          return 1;
+        }
+      }
+      const Clock::time_point cold_begin = Clock::now();
+      EmmServer cold(durable);
+      bool ok = cold.Listen().ok();
+      std::thread cold_thread;
+      if (ok) cold_thread = std::thread([&cold] { (void)cold.Serve(); });
+      if (ok) {
+        EmmClient probe;
+        ok = probe.Connect("127.0.0.1", cold.port()).ok();
+        if (ok) {
+          EmmClient::BatchQuery query;
+          query.query_id = 0;
+          query.tokens = cold_tokens;
+          auto outcome = probe.SearchBatch({query});
+          ok = outcome.ok();
+          if (ok) {
+            ttfq_ms[mode] = std::chrono::duration<double, std::milli>(
+                                Clock::now() - cold_begin)
+                                .count();
+            ids_by_mode[mode] = outcome->ids[0];
+            std::sort(ids_by_mode[mode].begin(), ids_by_mode[mode].end());
+          }
+        }
+      }
+      cold.Shutdown();
+      if (cold_thread.joinable()) cold_thread.join();
+      if (DIR* d = opendir(data_dir.c_str())) {
+        while (dirent* entry = readdir(d)) {
+          const std::string name = entry->d_name;
+          if (name != "." && name != "..") {
+            unlink((data_dir + "/" + name).c_str());
+          }
+        }
+        closedir(d);
+      }
+      rmdir(data_dir.c_str());
+      cold_ok = cold_ok && ok;
+    }
+    const bool identical = cold_ok && ids_by_mode[0] == ids_by_mode[1];
+    for (int mode = 0; mode < 2; ++mode) {
+      char ids_buf[24];
+      char ms_buf[24];
+      std::snprintf(ids_buf, sizeof(ids_buf), "%zu",
+                    ids_by_mode[mode].size());
+      std::snprintf(ms_buf, sizeof(ms_buf), "%.3f", ttfq_ms[mode]);
+      PrintRow({mode == 0 ? "cold_start_heap" : "cold_start_mmap", "1",
+                ids_buf, "-", ms_buf, "-", identical ? "0" : "1", "-"});
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: cold-start substrates disagree (heap %zu ids, "
+                   "mmap %zu ids)\n",
+                   ids_by_mode[0].size(), ids_by_mode[1].size());
       return 1;
     }
   }

@@ -2,6 +2,7 @@
 #define RSSE_COMMON_BYTES_H_
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -74,6 +75,43 @@ void AppendUint32(Bytes& dst, uint32_t v);
 /// Reads a big-endian uint64 from `data` at `offset`. The caller must
 /// guarantee `offset + 8 <= data.size()`.
 uint64_t ReadUint64(const Bytes& data, size_t offset);
+
+// Little-endian fixed-width accessors for the mmap-native v2 store format,
+// whose on-disk records are read in place (no deserialization pass). memcpy
+// keeps unaligned access defined; the byte swap compiles away on
+// little-endian hosts.
+
+inline uint64_t LoadU64Le(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+
+inline uint32_t LoadU32Le(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+}
+
+inline void StoreU64Le(uint8_t* p, uint64_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap64(v);
+  }
+  std::memcpy(p, &v, sizeof(v));
+}
+
+inline void StoreU32Le(uint8_t* p, uint32_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  std::memcpy(p, &v, sizeof(v));
+}
 
 /// Reads a big-endian uint32 from `data` at `offset`. The caller must
 /// guarantee `offset + 4 <= data.size()`.

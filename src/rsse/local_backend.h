@@ -71,6 +71,17 @@ Result<ServerSetup> SingleEmmServerSetup(bool built,
                                          const shard::ShardedEmm& emm,
                                          const BloomLabelGate* gate = nullptr);
 
+/// Loads a servable encrypted-dictionary blob, accepting either
+/// serialization generation: the v1 framed blob (re-shardable on load via
+/// `target_shards`) or a v2 mmap-native store image (heap-loaded with the
+/// per-section checksum pass; v2 images keep their stored shard layout).
+/// The shared load path of the server's Setup handlers, recovery, and
+/// local tools — so every path that accepts an index accepts both
+/// generations identically.
+Result<shard::ShardedEmm> LoadServableIndex(
+    const Bytes& blob, int threads = 0,
+    int target_shards = shard::ShardedEmm::kKeepStoredShards);
+
 }  // namespace rsse
 
 #endif  // RSSE_RSSE_LOCAL_BACKEND_H_

@@ -195,5 +195,13 @@ int main(int argc, char** argv) {
     std::printf("verify: %s\n", all_match ? "all queries match local search"
                                           : "MISMATCHES FOUND");
   }
+  auto stats = client.Stats();
+  if (stats.ok()) {
+    std::printf("server: %" PRIu64 " entries, %" PRIu64
+                " mapped byte(s), %" PRIu64
+                " heap byte(s), snapshot v%u\n",
+                stats->entries, stats->mapped_bytes, stats->heap_bytes,
+                stats->snapshot_format);
+  }
   return all_match ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "common/mapped_file.h"
 
 namespace rsse::server {
 
@@ -26,6 +27,28 @@ constexpr uint64_t kSnapshotMagic = 0x52535345534e5031ull;
 /// index_len + gate_len before them, CRC32C after.
 constexpr size_t kSnapshotHeaderBytes = 8 + 1 + 8 + 8 + 8;
 constexpr size_t kSnapshotTrailerBytes = 4;
+
+/// "RSSESNP2", big-endian: the mmap-native v2 container. One header page
+/// (big-endian integers, like the rest of this file's formats):
+///
+///   [0]  u64 magic   [8]  u8 kind    [9]  u64 epoch
+///   [17] u64 index_offset (== 4096)  [25] u64 index_len
+///   [33] u64 gate_offset             [41] u64 gate_len
+///   [49] u32 gate crc32c (0 when no gate)
+///   [53] u32 header crc32c over [0, 53), rest of the page zero
+///
+/// then the index image at its page-aligned offset, zero-padded to the
+/// next page, then the gate blob; file size == gate_offset + gate_len.
+/// The header page and gate are all recovery reads (O(1) in the index
+/// size); the index is validated by its own header + section checksums
+/// when mapped or loaded.
+constexpr uint64_t kSnapshotMagicV2 = 0x52535345534e5032ull;
+constexpr size_t kSnapshotPageBytes = 4096;
+constexpr size_t kSnapshotV2FieldBytes = 8 + 1 + 8 + 8 + 8 + 8 + 8 + 4;
+
+size_t AlignSnapshotPage(size_t n) {
+  return (n + kSnapshotPageBytes - 1) & ~(kSnapshotPageBytes - 1);
+}
 /// WAL record framing: [u32 len][u32 crc] then len bytes (epoch+payload).
 constexpr size_t kWalRecordHeaderBytes = 8;
 constexpr uint32_t kMaxWalRecordBytes = uint32_t{1} << 30;
@@ -208,18 +231,38 @@ size_t StorePersistence::DecodeWalRecords(const Bytes& buf,
 Status StorePersistence::PersistSnapshot(uint32_t store_id, uint64_t epoch,
                                          uint8_t kind,
                                          ConstByteSpan index_blob,
-                                         ConstByteSpan gate_blob) {
+                                         ConstByteSpan gate_blob,
+                                         SnapshotFormat format) {
   Bytes file;
-  file.reserve(kSnapshotHeaderBytes + index_blob.size() + gate_blob.size() +
-               kSnapshotTrailerBytes);
-  AppendUint64(file, kSnapshotMagic);
-  AppendByte(file, kind);
-  AppendUint64(file, epoch);
-  AppendUint64(file, index_blob.size());
-  AppendUint64(file, gate_blob.size());
-  file.insert(file.end(), index_blob.begin(), index_blob.end());
-  file.insert(file.end(), gate_blob.begin(), gate_blob.end());
-  AppendUint32(file, Crc32c(file.data(), file.size()));
+  if (format == SnapshotFormat::kV2) {
+    const size_t gate_offset =
+        kSnapshotPageBytes + AlignSnapshotPage(index_blob.size());
+    file.reserve(gate_offset + gate_blob.size());
+    AppendUint64(file, kSnapshotMagicV2);
+    AppendByte(file, kind);
+    AppendUint64(file, epoch);
+    AppendUint64(file, kSnapshotPageBytes);  // index_offset
+    AppendUint64(file, index_blob.size());
+    AppendUint64(file, gate_offset);
+    AppendUint64(file, gate_blob.size());
+    AppendUint32(file, gate_blob.empty() ? 0 : Crc32c(gate_blob));
+    AppendUint32(file, Crc32c(file.data(), file.size()));
+    file.resize(kSnapshotPageBytes, 0);
+    file.insert(file.end(), index_blob.begin(), index_blob.end());
+    file.resize(gate_offset, 0);
+    file.insert(file.end(), gate_blob.begin(), gate_blob.end());
+  } else {
+    file.reserve(kSnapshotHeaderBytes + index_blob.size() + gate_blob.size() +
+                 kSnapshotTrailerBytes);
+    AppendUint64(file, kSnapshotMagic);
+    AppendByte(file, kind);
+    AppendUint64(file, epoch);
+    AppendUint64(file, index_blob.size());
+    AppendUint64(file, gate_blob.size());
+    file.insert(file.end(), index_blob.begin(), index_blob.end());
+    file.insert(file.end(), gate_blob.begin(), gate_blob.end());
+    AppendUint32(file, Crc32c(file.data(), file.size()));
+  }
 
   const std::string path = SnapshotPath(store_id);
   const std::string tmp = path + ".tmp";
@@ -403,34 +446,88 @@ Result<StorePersistence::RecoveryReport> StorePersistence::Recover() {
     const std::string snap_path = SnapshotPath(id);
     bool drop_wal = false;
     if (access(snap_path.c_str(), F_OK) == 0) {
-      Result<Bytes> file = ReadWholeFile(snap_path);
-      if (!file.ok()) return file.status();
-      const Bytes& buf = *file;
-      bool valid =
-          buf.size() >= kSnapshotHeaderBytes + kSnapshotTrailerBytes &&
-          ReadUint64(buf, 0) == kSnapshotMagic;
-      if (valid) {
-        const uint32_t stored_crc = ReadUint32(buf, buf.size() - 4);
-        valid = Crc32c(buf.data(), buf.size() - 4) == stored_crc;
+      bool valid = false;
+      // The first 8 bytes pick the container generation. v2 recovery is
+      // O(1) in the index size: only the header page and the gate blob
+      // are read; the index stays on disk for the server to map.
+      struct stat st {};
+      const uint64_t file_size =
+          stat(snap_path.c_str(), &st) == 0
+              ? static_cast<uint64_t>(st.st_size)
+              : 0;
+      uint64_t magic = 0;
+      Bytes head;
+      if (file_size >= kSnapshotPageBytes) {
+        Result<Bytes> h = ReadFileRange(snap_path, 0, kSnapshotPageBytes);
+        if (!h.ok()) return h.status();
+        head = std::move(*h);
+        magic = ReadUint64(head, 0);
+      } else if (file_size >= 8) {
+        Result<Bytes> h = ReadFileRange(snap_path, 0, 8);
+        if (!h.ok()) return h.status();
+        magic = ReadUint64(*h, 0);
       }
-      if (valid) {
-        const uint64_t index_len = ReadUint64(buf, 17);
-        const uint64_t gate_len = ReadUint64(buf, 25);
-        const uint64_t blob_bytes =
-            buf.size() - kSnapshotHeaderBytes - kSnapshotTrailerBytes;
-        valid = index_len <= blob_bytes && gate_len <= blob_bytes &&
-                index_len + gate_len == blob_bytes;
+      if (magic == kSnapshotMagicV2 && head.size() == kSnapshotPageBytes) {
+        const uint32_t stored_crc = ReadUint32(head, kSnapshotV2FieldBytes);
+        valid = Crc32c(head.data(), kSnapshotV2FieldBytes) == stored_crc;
         if (valid) {
-          store.has_snapshot = true;
-          store.kind = buf[8];
-          store.epoch = ReadUint64(buf, 9);
-          const auto index_begin =
-              buf.begin() + static_cast<long>(kSnapshotHeaderBytes);
-          store.index_blob.assign(index_begin,
-                                  index_begin + static_cast<long>(index_len));
-          store.gate_blob.assign(
-              index_begin + static_cast<long>(index_len),
-              index_begin + static_cast<long>(index_len + gate_len));
+          const uint64_t index_offset = ReadUint64(head, 17);
+          const uint64_t index_len = ReadUint64(head, 25);
+          const uint64_t gate_offset = ReadUint64(head, 33);
+          const uint64_t gate_len = ReadUint64(head, 41);
+          valid = index_offset == kSnapshotPageBytes &&
+                  index_len <= file_size - kSnapshotPageBytes &&
+                  gate_offset ==
+                      kSnapshotPageBytes + AlignSnapshotPage(index_len) &&
+                  gate_offset <= file_size &&
+                  gate_len == file_size - gate_offset;
+          if (valid && gate_len > 0) {
+            Result<Bytes> gate =
+                ReadFileRange(snap_path, gate_offset, gate_len);
+            if (!gate.ok()) return gate.status();
+            valid = Crc32c(gate->data(), gate->size()) ==
+                    ReadUint32(head, 49);
+            if (valid) store.gate_blob = std::move(*gate);
+          }
+          if (valid) {
+            store.has_snapshot = true;
+            store.kind = head[8];
+            store.epoch = ReadUint64(head, 9);
+            store.format = static_cast<uint8_t>(SnapshotFormat::kV2);
+            store.snapshot_path = snap_path;
+            store.index_offset = index_offset;
+            store.index_len = index_len;
+          }
+        }
+      } else if (magic == kSnapshotMagic) {
+        Result<Bytes> file = ReadWholeFile(snap_path);
+        if (!file.ok()) return file.status();
+        const Bytes& buf = *file;
+        valid = buf.size() >= kSnapshotHeaderBytes + kSnapshotTrailerBytes;
+        if (valid) {
+          const uint32_t stored_crc = ReadUint32(buf, buf.size() - 4);
+          valid = Crc32c(buf.data(), buf.size() - 4) == stored_crc;
+        }
+        if (valid) {
+          const uint64_t index_len = ReadUint64(buf, 17);
+          const uint64_t gate_len = ReadUint64(buf, 25);
+          const uint64_t blob_bytes =
+              buf.size() - kSnapshotHeaderBytes - kSnapshotTrailerBytes;
+          valid = index_len <= blob_bytes && gate_len <= blob_bytes &&
+                  index_len + gate_len == blob_bytes;
+          if (valid) {
+            store.has_snapshot = true;
+            store.kind = buf[8];
+            store.epoch = ReadUint64(buf, 9);
+            store.format = static_cast<uint8_t>(SnapshotFormat::kV1);
+            const auto index_begin =
+                buf.begin() + static_cast<long>(kSnapshotHeaderBytes);
+            store.index_blob.assign(
+                index_begin, index_begin + static_cast<long>(index_len));
+            store.gate_blob.assign(
+                index_begin + static_cast<long>(index_len),
+                index_begin + static_cast<long>(index_len + gate_len));
+          }
         }
       }
       if (!valid) {

@@ -13,6 +13,15 @@
 
 namespace rsse::server {
 
+/// On-disk snapshot generation. v1 frames the slot's blobs with one
+/// whole-file CRC32C — compact, but recovery must read and checksum the
+/// entire file. v2 is the mmap-native container: one 4 KiB header page
+/// (checksummed on its own) followed by the page-aligned ShardedEmm v2
+/// store image and the gate blob, so recovery validates the header and
+/// gate in O(1) reads and *maps* the index instead of loading it — the
+/// index carries its own per-section CRC32Cs.
+enum class SnapshotFormat : uint8_t { kV1 = 1, kV2 = 2 };
+
 /// Crash-safe on-disk state for the server's store table (`--data-dir`).
 /// Layout, one pair of files per hosted slot:
 ///
@@ -58,7 +67,16 @@ class StorePersistence {
     uint8_t kind = 0;
     /// Snapshot epoch (0 when the slot is WAL-only).
     uint64_t epoch = 0;
+    /// Generation of the on-disk snapshot (raw SnapshotFormat; 1 when the
+    /// slot is WAL-only).
+    uint8_t format = 1;
+    /// v1: the whole serialized index. v2: empty — the index stays on
+    /// disk; map (or read) [index_offset, index_offset + index_len) of
+    /// `snapshot_path` instead.
     Bytes index_blob;
+    std::string snapshot_path;
+    uint64_t index_offset = 0;
+    uint64_t index_len = 0;
     Bytes gate_blob;
     /// WAL payloads of this epoch, in append order (raw UpdateRequest
     /// encodings, exactly as the wire delivered them).
@@ -94,8 +112,13 @@ class StorePersistence {
   /// fsync failure (new-entry durability ambiguous) instead poisons the
   /// slot's WAL, so no acked update can be tagged with an epoch a crash
   /// might roll back; the next clean snapshot re-enables appends.
+  ///
+  /// `format` picks the container generation: kV1 wraps the blobs with a
+  /// whole-file checksum; kV2 expects `index_blob` to be a ShardedEmm v2
+  /// store image and writes the mmap-native container around it.
   Status PersistSnapshot(uint32_t store_id, uint64_t epoch, uint8_t kind,
-                         ConstByteSpan index_blob, ConstByteSpan gate_blob);
+                         ConstByteSpan index_blob, ConstByteSpan gate_blob,
+                         SnapshotFormat format = SnapshotFormat::kV1);
 
   /// Durably appends one Update payload to slot `store_id`'s WAL (fsync'd
   /// before returning, so the server may ack the batch). On failure the

@@ -12,6 +12,8 @@
 #include <array>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <mutex>
@@ -19,6 +21,7 @@
 #include <utility>
 
 #include "common/env.h"
+#include "common/mapped_file.h"
 #include "common/stats.h"
 #include "dprf/ggm_dprf.h"
 #include "sse/keyword_keys.h"
@@ -63,9 +66,20 @@ NodeKey KeyOf(const WireToken& t) {
   return key;
 }
 
+/// ServerOptions::mmap_stores tri-state: an explicit setting wins, -1
+/// falls back to the RSSE_MMAP environment toggle.
+bool ResolveMmapOption(int requested) {
+  if (requested >= 0) return requested != 0;
+  const char* env = std::getenv("RSSE_MMAP");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0;
+}
+
 }  // namespace
 
 EmmServer::EmmServer(const ServerOptions& options) : options_(options) {
+  mmap_on_ = ResolveMmapOption(options.mmap_stores);
   // The primary slot exists from the start so the Update path can
   // populate a store before any Setup arrives.
   HostedStore& primary = stores_[rsse::kPrimaryStore];
@@ -94,11 +108,24 @@ Status EmmServer::Host(const Bytes& index_blob) {
   // in-memory table keeps its previous (still-recoverable) contents.
   if (persist_ != nullptr) {
     const uint64_t epoch = store_epochs_[rsse::kPrimaryStore] + 1;
-    RSSE_RETURN_IF_ERROR(persist_->PersistSnapshot(
-        rsse::kPrimaryStore, epoch,
-        static_cast<uint8_t>(rsse::StoreKind::kEmm),
-        ConstByteSpan(index_blob.data(), index_blob.size()), {}));
+    const uint8_t kind = static_cast<uint8_t>(rsse::StoreKind::kEmm);
+    if (mmap_on_) {
+      // The snapshot file IS the runtime layout: serialize the store as
+      // deserialized (after any load_shards re-sharding), so the next
+      // boot maps the exact in-memory structure back.
+      const Bytes image = store->SerializeV2(kind, epoch);
+      RSSE_RETURN_IF_ERROR(persist_->PersistSnapshot(
+          rsse::kPrimaryStore, epoch, kind,
+          ConstByteSpan(image.data(), image.size()), {},
+          SnapshotFormat::kV2));
+    } else {
+      RSSE_RETURN_IF_ERROR(persist_->PersistSnapshot(
+          rsse::kPrimaryStore, epoch, kind,
+          ConstByteSpan(index_blob.data(), index_blob.size()), {}));
+    }
     store_epochs_[rsse::kPrimaryStore] = epoch;
+    store_formats_[rsse::kPrimaryStore] = mmap_on_ ? 2 : 1;
+    dirty_stores_.erase(rsse::kPrimaryStore);
   }
   HostedStore& primary = stores_[rsse::kPrimaryStore];
   primary.kind = rsse::StoreKind::kEmm;
@@ -134,6 +161,43 @@ Status EmmServer::RecoverStores() {
         // start.
         (*persistence)->QuarantineSlot(rec.store_id);
         ++recovery_stats_.corrupt_snapshots_dropped;
+        continue;
+      }
+      if (!mmap_on_ ||
+          rec.kind != static_cast<uint8_t>(rsse::StoreKind::kEmm)) {
+        continue;
+      }
+      if (rec.format != 2) {
+        // First mmap boot over a v1 (or WAL-only) slot: the store was
+        // fully heap-loaded anyway, so fold it — replayed WAL records
+        // included — into a v2 snapshot the *next* boot can map. Failure
+        // is non-fatal: the v1 snapshot + WAL still cover the data.
+        HostedStore& hosted = stores_[rec.store_id];
+        const uint64_t epoch = store_epochs_[rec.store_id] + 1;
+        const Bytes image = hosted.emm.SerializeV2(rec.kind, epoch);
+        // A gate invalidated by replayed updates must not be resurrected.
+        ConstByteSpan gate_blob;
+        if (hosted.gate != nullptr) {
+          gate_blob =
+              ConstByteSpan(rec.gate_blob.data(), rec.gate_blob.size());
+        }
+        const Status migrated = (*persistence)->PersistSnapshot(
+            rec.store_id, epoch, rec.kind,
+            ConstByteSpan(image.data(), image.size()), gate_blob,
+            SnapshotFormat::kV2);
+        if (migrated.ok()) {
+          store_epochs_[rec.store_id] = epoch;
+          store_formats_[rec.store_id] = 2;
+        } else {
+          std::fprintf(stderr,
+                       "rsse: store %u not migrated to v2: %s\n",
+                       rec.store_id, migrated.message().c_str());
+        }
+      } else if (!rec.updates.empty()) {
+        // Mapped base plus replayed deltas: the touched shards live on
+        // heap until the next clean drain folds them back into a fresh
+        // v2 snapshot. No eager fold here — boot stays O(1).
+        dirty_stores_.insert(rec.store_id);
       }
     }
   }
@@ -152,10 +216,40 @@ Status EmmServer::InstallRecoveredStore(
     if (rec.has_snapshot) {
       const int threads =
           ResolveThreadCount(options_.search_threads, "RSSE_SEARCH_THREADS");
-      Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
-          rec.index_blob, threads, options_.load_shards);
-      if (!store.ok()) return store.status();
-      incoming.emm = std::move(store).value();
+      if (rec.format == 2) {
+        // v2 snapshots hold the runtime layout in place. Serving mmap:
+        // map it — O(1) regardless of index size; the per-section CRCs
+        // are deferred (every probe is bounds-checked instead). Serving
+        // heap: load through the same image with the checksum pass.
+        Result<std::shared_ptr<const MappedFile>> file =
+            MappedFile::Open(rec.snapshot_path);
+        if (!file.ok()) return file.status();
+        if (rec.index_offset + rec.index_len > (*file)->size() ||
+            rec.index_offset + rec.index_len < rec.index_offset) {
+          return Status::InvalidArgument(
+              "v2 snapshot index range exceeds the file");
+        }
+        if (mmap_on_) {
+          shard::V2OpenOptions vopts;
+          vopts.prefault = options_.prefault;
+          Result<shard::ShardedEmm> store = shard::ShardedEmm::OpenMappedImage(
+              std::move(*file), rec.index_offset, rec.index_len, vopts);
+          if (!store.ok()) return store.status();
+          incoming.emm = std::move(store).value();
+        } else {
+          Result<shard::ShardedEmm> store = shard::ShardedEmm::LoadV2(
+              (*file)->bytes().subspan(rec.index_offset, rec.index_len),
+              threads, /*verify_checksums=*/true);
+          if (!store.ok()) return store.status();
+          incoming.emm = std::move(store).value();
+          // The mapping drops here; the store owns heap copies.
+        }
+      } else {
+        Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
+            rec.index_blob, threads, options_.load_shards);
+        if (!store.ok()) return store.status();
+        incoming.emm = std::move(store).value();
+      }
       if (!rec.gate_blob.empty()) {
         Result<rsse::BloomLabelGate> gate =
             rsse::BloomLabelGate::Deserialize(rec.gate_blob);
@@ -195,6 +289,7 @@ Status EmmServer::InstallRecoveredStore(
   }
   stores_[rec.store_id] = std::move(incoming);
   store_epochs_[rec.store_id] = rec.epoch;
+  store_formats_[rec.store_id] = rec.has_snapshot ? rec.format : 0;
   hosted_ = true;
   ++recovery_stats_.stores_recovered;
   return Status::Ok();
@@ -352,12 +447,68 @@ Status EmmServer::Serve() {
     listen_fd_ = -1;
   }
   if (persist_ != nullptr) {
+    // A *clean* drain folds heap deltas of mapped stores back into fresh
+    // v2 snapshots, so the successor boots with an O(1) map again. A hard
+    // Shutdown() (crash semantics — what the fault tests simulate) skips
+    // the fold: the WAL alone must carry the deltas.
+    if (mmap_on_ && drain_started &&
+        !stop_.load(std::memory_order_relaxed)) {
+      FoldDirtyStores();
+    }
     // Belt and braces: appends fsync individually, but a drain should
     // leave nothing for the kernel to owe.
     const Status synced = persist_->Sync();
     if (!synced.ok()) return synced;
   }
   return Status::Ok();
+}
+
+void EmmServer::FoldDirtyStores() {
+  std::unique_lock lock(store_mutex_);
+  for (uint32_t store_id : dirty_stores_) {
+    auto it = stores_.find(store_id);
+    if (it == stores_.end() || it->second.kind != rsse::StoreKind::kEmm) {
+      continue;
+    }
+    const uint64_t epoch = store_epochs_[store_id] + 1;
+    const uint8_t kind = static_cast<uint8_t>(rsse::StoreKind::kEmm);
+    const Bytes image = it->second.emm.SerializeV2(kind, epoch);
+    // Updates invalidated any setup-time gate (see RunUpdate), so the
+    // folded snapshot carries none.
+    const Status persisted = persist_->PersistSnapshot(
+        store_id, epoch, kind, ConstByteSpan(image.data(), image.size()),
+        {}, SnapshotFormat::kV2);
+    if (persisted.ok()) {
+      store_epochs_[store_id] = epoch;
+      store_formats_[store_id] = 2;
+    } else {
+      // Non-fatal: the WAL still covers the deltas; the next boot replays
+      // them onto the mapped base again.
+      std::fprintf(stderr, "rsse: store %u not folded at drain: %s\n",
+                   store_id, persisted.message().c_str());
+    }
+  }
+  dirty_stores_.clear();
+}
+
+std::vector<EmmServer::StoreMemoryInfo> EmmServer::StoreMemory() const {
+  std::vector<StoreMemoryInfo> out;
+  std::shared_lock lock(store_mutex_);
+  out.reserve(stores_.size());
+  for (const auto& [store_id, hosted] : stores_) {
+    StoreMemoryInfo info;
+    info.store_id = store_id;
+    if (hosted.kind == rsse::StoreKind::kEmm) {
+      info.mapped_bytes = hosted.emm.MappedBytes();
+      info.heap_bytes = hosted.emm.HeapBytes();
+    } else if (hosted.tree != nullptr) {
+      info.heap_bytes = hosted.tree->SizeBytes();
+    }
+    const auto fmt = store_formats_.find(store_id);
+    info.snapshot_format = fmt == store_formats_.end() ? 0 : fmt->second;
+    out.push_back(info);
+  }
+  return out;
 }
 
 void EmmServer::AcceptPending() {
@@ -845,15 +996,32 @@ void EmmServer::RunSetupStore(Connection& conn, const Bytes& payload) {
     // a crash, so the snapshot reaches disk before the table swap.
     if (persist_ != nullptr) {
       const uint64_t epoch = store_epochs_[req->store_id] + 1;
-      const Status persisted = persist_->PersistSnapshot(
-          req->store_id, epoch, req->kind,
-          ConstByteSpan(req->index_blob.data(), req->index_blob.size()),
-          ConstByteSpan(req->gate_blob.data(), req->gate_blob.size()));
+      const bool as_v2 =
+          mmap_on_ && req->kind == static_cast<uint8_t>(rsse::StoreKind::kEmm);
+      Status persisted;
+      if (as_v2) {
+        // Snapshot the runtime layout, not the wire blob: the next boot
+        // maps exactly what this process would serve. Filter trees keep
+        // the v1 container (they have no mmap-native image).
+        const Bytes image = incoming.emm.SerializeV2(req->kind, epoch);
+        persisted = persist_->PersistSnapshot(
+            req->store_id, epoch, req->kind,
+            ConstByteSpan(image.data(), image.size()),
+            ConstByteSpan(req->gate_blob.data(), req->gate_blob.size()),
+            SnapshotFormat::kV2);
+      } else {
+        persisted = persist_->PersistSnapshot(
+            req->store_id, epoch, req->kind,
+            ConstByteSpan(req->index_blob.data(), req->index_blob.size()),
+            ConstByteSpan(req->gate_blob.data(), req->gate_blob.size()));
+      }
       if (!persisted.ok()) {
         EmitError(conn, "store not persisted: " + persisted.message());
         return;
       }
       store_epochs_[req->store_id] = epoch;
+      store_formats_[req->store_id] = as_v2 ? 2 : 1;
+      dirty_stores_.erase(req->store_id);
     }
     stores_[req->store_id] = std::move(incoming);
     hosted_ = true;
@@ -899,6 +1067,11 @@ void EmmServer::RunUpdate(Connection& conn, const Bytes& payload) {
     for (const auto& [label, value] : req->entries) {
       primary.emm.Insert(label, ConstByteSpan(value.data(), value.size()));
     }
+    // Inserts copy touched shards off the mapping; remember to fold the
+    // deltas into a fresh v2 snapshot at the next clean drain.
+    if (mmap_on_ && persist_ != nullptr) {
+      dirty_stores_.insert(rsse::kPrimaryStore);
+    }
     hosted_ = true;
     resp.entries = primary.emm.EntryCount();
   }
@@ -917,10 +1090,16 @@ void EmmServer::RunStats(Connection& conn) {
         resp.entries = primary.emm.EntryCount();
         resp.size_bytes = primary.emm.SizeBytes();
         resp.shards = static_cast<uint32_t>(primary.emm.shard_count());
+        resp.mapped_bytes = primary.emm.MappedBytes();
+        resp.heap_bytes = primary.emm.HeapBytes();
       } else if (primary.tree != nullptr) {
         resp.entries = primary.tree->LeafCount();
         resp.size_bytes = primary.tree->SizeBytes();
+        resp.heap_bytes = primary.tree->SizeBytes();
       }
+      const auto fmt = store_formats_.find(rsse::kPrimaryStore);
+      resp.snapshot_format =
+          fmt == store_formats_.end() ? 0 : fmt->second;
     }
   }
   resp.batches_served = stats_.batches_served.load(std::memory_order_relaxed);

@@ -89,6 +89,21 @@ struct ServerOptions {
   /// (connections cut mid-stream). <= 0 exits immediately, cutting even
   /// connections with unflushed output.
   int drain_timeout_ms = 10000;
+  /// Serve encrypted-dictionary stores straight from mapped v2 snapshot
+  /// files (`--mmap`): snapshots are written in the mmap-native container
+  /// and recovery maps them — O(1) in the index size — instead of
+  /// deserializing; WAL replay copies only the touched shards to heap and
+  /// a clean drain folds the deltas back into a mappable snapshot. 1 = on,
+  /// 0 = off; -1 (the default) resolves the RSSE_MMAP environment
+  /// variable ("1"/"on"/"true" enables; absent = off). v1 snapshots still
+  /// recover via the heap path and are rewritten as v2 on the first
+  /// mmap-enabled boot. Mapped stores keep their snapshot's shard layout
+  /// (`load_shards` applies only to heap loads).
+  int mmap_stores = -1;
+  /// With mmap serving on: synchronously fault every mapped store into
+  /// the page cache during recovery (`--prefault`), trading boot time for
+  /// no first-probe page-fault latency.
+  bool prefault = false;
 };
 
 /// Cumulative serving statistics (reported through StatsResponse). Fields
@@ -187,6 +202,24 @@ class EmmServer {
 
   const ServerStats& stats() const { return stats_; }
   size_t EntryCount() const;
+
+  /// Per-store memory provenance (the observability surface of mmap
+  /// serving: the serverd banner and the Stats frame report these).
+  struct StoreMemoryInfo {
+    uint32_t store_id = 0;
+    /// Bytes still served from a mapped snapshot / from owned heap
+    /// storage. A freshly mapped store is all mapped; WAL replay and
+    /// updates migrate touched shards to heap.
+    uint64_t mapped_bytes = 0;
+    uint64_t heap_bytes = 0;
+    /// Raw persist SnapshotFormat of the store's durable snapshot
+    /// (0 = not persisted).
+    uint8_t snapshot_format = 0;
+  };
+  std::vector<StoreMemoryInfo> StoreMemory() const;
+
+  /// True when this server resolves mmap serving on (option/environment).
+  bool mmap_enabled() const { return mmap_on_; }
 
  private:
   /// Scheduling state of one connection's job queue. At most one job of a
@@ -339,9 +372,15 @@ class EmmServer {
   /// jobs, all output flushed) — the drain loop's exit condition.
   bool AllConnectionsQuiesced();
 
-  /// Rebuilds one recovered slot (deserialize + WAL replay) into the
-  /// store table.
+  /// Rebuilds one recovered slot (deserialize or map + WAL replay) into
+  /// the store table.
   Status InstallRecoveredStore(const StorePersistence::RecoveredStore& rec);
+
+  /// Re-snapshots every dirty (updated-since-snapshot) EMM store as a v2
+  /// image — the clean-drain fold that turns WAL deltas back into a
+  /// mappable file. Mmap mode only; failures are logged, not fatal (the
+  /// WAL still covers the deltas).
+  void FoldDirtyStores();
 
   int ResolveWorkerCount() const;
 
@@ -361,8 +400,16 @@ class EmmServer {
   std::unique_ptr<StorePersistence> persist_;
   bool recovered_ = false;
   RecoveryStats recovery_stats_;
+  /// Resolved mmap-serving mode (options_.mmap_stores / RSSE_MMAP).
+  bool mmap_on_ = false;
   /// Per-slot snapshot epoch (see persist.h); guarded by `store_mutex_`.
   std::map<uint32_t, uint64_t> store_epochs_;
+  /// Per-slot durable snapshot generation (raw persist SnapshotFormat);
+  /// guarded by `store_mutex_`.
+  std::map<uint32_t, uint8_t> store_formats_;
+  /// EMM slots updated since their last snapshot (WAL deltas pending a
+  /// fold); tracked in mmap mode, guarded by `store_mutex_`.
+  std::set<uint32_t> dirty_stores_;
   /// Store table, keyed by store slot. Guarded by `store_mutex_`:
   /// searches shared, Setup/Update exclusive.
   mutable std::shared_mutex store_mutex_;

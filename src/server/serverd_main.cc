@@ -35,6 +35,12 @@
 //                      SIGTERM/SIGINT stops accepting and lets in-flight
 //                      streams finish up to this long before exiting
 //                      (default 10000; a second signal aborts immediately)
+//   --mmap=on|off      serve encrypted-dictionary stores straight off
+//                      mmap'd v2 snapshots (O(1) recovery; default: the
+//                      RSSE_MMAP environment toggle, else off)
+//   --prefault=0|1     with --mmap=on, touch every mapped page during
+//                      recovery so first queries never page-fault
+//                      (default 0)
 
 #include <chrono>
 #include <csignal>
@@ -85,7 +91,11 @@ int main(int argc, char** argv) {
           "  --data-dir=<path>  (durable store snapshots + update WAL, "
           "replayed on boot)\n"
           "  --drain-timeout-ms=<ms>  (graceful-drain budget after "
-          "SIGTERM/SIGINT, default 10000)\n");
+          "SIGTERM/SIGINT, default 10000)\n"
+          "  --mmap=on|off  (serve stores off mmap'd v2 snapshots; "
+          "default: RSSE_MMAP env, else off)\n"
+          "  --prefault=0|1  (with --mmap=on, fault every mapped page in "
+          "at boot)\n");
       return 0;
     }
   }
@@ -139,6 +149,23 @@ int main(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "drain-timeout-ms")) {
     options.drain_timeout_ms = std::atoi(v);
   }
+  if (const char* v = FlagValue(argc, argv, "mmap")) {
+    // Like --load-shards, this flag changes the serving substrate; a
+    // typo must not silently fall back to the environment default.
+    if (std::strcmp(v, "on") == 0) {
+      options.mmap_stores = 1;
+    } else if (std::strcmp(v, "off") == 0) {
+      options.mmap_stores = 0;
+    } else {
+      std::fprintf(stderr,
+                   "rsse_serverd: --mmap must be 'on' or 'off' (got '%s')\n",
+                   v);
+      return 2;
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "prefault")) {
+    options.prefault = std::atoi(v) != 0;
+  }
 
   rsse::server::EmmServer server(options);
   const auto recover_start = std::chrono::steady_clock::now();
@@ -159,6 +186,15 @@ int main(int argc, char** argv) {
         rec.stores_recovered, rec.wal_records_applied,
         static_cast<long long>(elapsed_ms), rec.corrupt_snapshots_dropped,
         rec.wal_bytes_truncated);
+    for (const auto& mem : server.StoreMemory()) {
+      std::printf(
+          "rsse_serverd: store %u: %llu mapped byte(s), %llu heap byte(s), "
+          "snapshot v%u (%s)\n",
+          mem.store_id, static_cast<unsigned long long>(mem.mapped_bytes),
+          static_cast<unsigned long long>(mem.heap_bytes),
+          mem.snapshot_format,
+          server.mmap_enabled() ? "mmap serving" : "heap serving");
+    }
   }
   g_server = &server;
   std::signal(SIGINT, HandleSignal);

@@ -447,6 +447,9 @@ Bytes StatsResponse::Encode() const {
   AppendUint64(out, queries_served);
   AppendUint64(out, tokens_received);
   AppendUint64(out, nodes_deduped);
+  AppendUint64(out, mapped_bytes);
+  AppendUint64(out, heap_bytes);
+  out.push_back(snapshot_format);
   return out;
 }
 
@@ -460,6 +463,9 @@ Result<StatsResponse> StatsResponse::Decode(const Bytes& payload) {
   resp.queries_served = r.U64();
   resp.tokens_received = r.U64();
   resp.nodes_deduped = r.U64();
+  resp.mapped_bytes = r.U64();
+  resp.heap_bytes = r.U64();
+  resp.snapshot_format = r.U8();
   if (!r.AtEnd()) return Malformed("stats response");
   return resp;
 }

@@ -240,6 +240,14 @@ struct StatsResponse {
   uint64_t queries_served = 0;
   uint64_t tokens_received = 0;
   uint64_t nodes_deduped = 0;
+  /// Primary-store memory provenance: bytes served straight off the
+  /// mapped snapshot vs bytes copied to heap (updated shards, or the
+  /// whole store when mmap serving is off).
+  uint64_t mapped_bytes = 0;
+  uint64_t heap_bytes = 0;
+  /// Snapshot container generation backing the primary store (raw
+  /// server::SnapshotFormat; 0 when nothing is persisted).
+  uint8_t snapshot_format = 0;
 
   Bytes Encode() const;
   static Result<StatsResponse> Decode(const Bytes& payload);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "common/env.h"
 #include "common/parallel.h"
 #include "crypto/aes.h"
@@ -439,6 +440,325 @@ Result<ShardedEmm> ShardedEmm::Deserialize(const Bytes& blob, int threads,
     }
   });
   return store;
+}
+
+// ---------------------------------------------------------------------------
+// v2 store image: the mmap-native layout. The file is its own runtime
+// representation — a mapped image serves Find/Search with zero
+// deserialization. Layout (all integers little-endian; "aligned" means a
+// 4096-byte boundary):
+//
+//   [0]   char[8]  "RSSESHM2"
+//   [8]   u32      version (2)
+//   [12]  u8       kind, then 3 zero bytes
+//   [16]  u64      epoch
+//   [24]  u32      shard_count          (1 .. kMaxShards)
+//   [28]  u32      zero
+//   [32]  u64      total entry count    (== sum of per-shard entries)
+//   [40]  u64      total value bytes    (== sum of per-shard arena bytes)
+//   [48]  section table, shard_count x 48 bytes:
+//           u64 slots_offset   u64 slots_bytes
+//           u64 arena_offset   u64 arena_bytes
+//           u64 entries        u32 slots_crc32c   u32 arena_crc32c
+//   [...] u32      header CRC32C over everything above it
+//   zero padding to the next aligned boundary, then the sections in shard
+//   order with canonical packing: each non-empty section starts at the
+//   next aligned boundary and is zero-padded up to the following one;
+//   empty sections (bytes == 0) record the cursor and consume nothing.
+//
+// Each shard's slot section is its FlatLabelMap table in probe layout
+// (packed kSlotRecordBytes records — see flat_label_map.h), its arena
+// section the compacted ciphertext bytes. Canonical packing means a
+// validator recomputes every offset from the byte counts alone, so
+// unaligned, overlapping or out-of-bounds sections are all rejected by one
+// equality check per field. The header + table are validated (and
+// checksummed) eagerly — O(shards), not O(bytes) — while section CRCs are
+// verified only when V2OpenOptions.verify_checksums asks for the full
+// pass.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr size_t kV2PageBytes = 4096;
+constexpr uint32_t kV2Version = 2;
+constexpr size_t kV2FixedHeaderBytes = 48;
+constexpr size_t kV2SectionEntryBytes = 48;
+const uint8_t kV2Magic[8] = {'R', 'S', 'S', 'E', 'S', 'H', 'M', '2'};
+
+size_t AlignPage(size_t n) {
+  return (n + kV2PageBytes - 1) & ~(kV2PageBytes - 1);
+}
+
+/// One shard's parsed section table entry, as byte ranges of the image.
+struct V2ShardRef {
+  size_t slots_at = 0;
+  size_t slots_bytes = 0;
+  size_t arena_at = 0;
+  size_t arena_bytes = 0;
+  uint64_t entries = 0;
+  uint32_t slots_crc = 0;
+  uint32_t arena_crc = 0;
+};
+
+size_t V2HeaderBytes(size_t shard_count) {
+  return AlignPage(kV2FixedHeaderBytes + kV2SectionEntryBytes * shard_count +
+                   4);
+}
+
+/// Validates a v2 header + section table (the O(shards) eager pass) and
+/// fills `refs`. Does not touch section bytes.
+Status ParseV2Header(ConstByteSpan image, std::vector<V2ShardRef>& refs) {
+  if (image.size() < kV2PageBytes ||
+      std::memcmp(image.data(), kV2Magic, sizeof(kV2Magic)) != 0) {
+    return Status::InvalidArgument("not a v2 store image");
+  }
+  if (image.size() % kV2PageBytes != 0) {
+    return Status::InvalidArgument("v2 image is not page-aligned");
+  }
+  if (LoadU32Le(image.data() + 8) != kV2Version) {
+    return Status::InvalidArgument("unsupported v2 image version");
+  }
+  const uint32_t shard_count = LoadU32Le(image.data() + 24);
+  if (shard_count == 0 || shard_count > kMaxShards) {
+    return Status::InvalidArgument("implausible shard count in v2 header");
+  }
+  const size_t table_end =
+      kV2FixedHeaderBytes + kV2SectionEntryBytes * size_t{shard_count};
+  const size_t header_bytes = V2HeaderBytes(shard_count);
+  if (header_bytes > image.size()) {
+    return Status::InvalidArgument("v2 section table exceeds the image");
+  }
+  const uint32_t stored_crc = LoadU32Le(image.data() + table_end);
+  if (Crc32c(image.data(), table_end) != stored_crc) {
+    return Status::InvalidArgument("v2 header checksum mismatch");
+  }
+  const uint64_t total_entries = LoadU64Le(image.data() + 32);
+  const uint64_t total_value_bytes = LoadU64Le(image.data() + 40);
+
+  refs.assign(shard_count, V2ShardRef{});
+  size_t cursor = header_bytes;
+  uint64_t entries_sum = 0;
+  uint64_t value_bytes_sum = 0;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    const uint8_t* e =
+        image.data() + kV2FixedHeaderBytes + kV2SectionEntryBytes * size_t{s};
+    V2ShardRef& ref = refs[s];
+    ref.slots_at = LoadU64Le(e);
+    ref.slots_bytes = LoadU64Le(e + 8);
+    ref.arena_at = LoadU64Le(e + 16);
+    ref.arena_bytes = LoadU64Le(e + 24);
+    ref.entries = LoadU64Le(e + 32);
+    ref.slots_crc = LoadU32Le(e + 40);
+    ref.arena_crc = LoadU32Le(e + 44);
+    // Canonical packing: every offset is determined by the byte counts, so
+    // these equality checks reject unaligned, overlapping, out-of-order
+    // and out-of-bounds sections alike.
+    if (ref.slots_at != cursor) {
+      return Status::InvalidArgument("v2 slot section at unexpected offset");
+    }
+    if (ref.slots_bytes > image.size() - cursor) {
+      return Status::InvalidArgument("v2 slot section out of bounds");
+    }
+    cursor += AlignPage(ref.slots_bytes);
+    if (cursor > image.size() || ref.arena_at != cursor) {
+      return Status::InvalidArgument("v2 arena section at unexpected offset");
+    }
+    if (ref.arena_bytes > image.size() - cursor) {
+      return Status::InvalidArgument("v2 arena section out of bounds");
+    }
+    cursor += AlignPage(ref.arena_bytes);
+    if (cursor > image.size()) {
+      return Status::InvalidArgument("v2 sections exceed the image");
+    }
+    entries_sum += ref.entries;
+    value_bytes_sum += ref.arena_bytes;
+  }
+  if (cursor != image.size()) {
+    return Status::InvalidArgument("trailing bytes after v2 sections");
+  }
+  if (entries_sum != total_entries || value_bytes_sum != total_value_bytes) {
+    return Status::InvalidArgument("v2 header totals disagree with sections");
+  }
+  return Status::Ok();
+}
+
+Status VerifyV2SectionChecksums(ConstByteSpan image,
+                                const std::vector<V2ShardRef>& refs,
+                                int threads) {
+  const int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(ResolveThreadCount(threads, "RSSE_BUILD_THREADS")),
+      refs.size()));
+  std::vector<Status> worker_status(static_cast<size_t>(workers));
+  RunWorkers(workers, [&](int w) {
+    for (size_t s = static_cast<size_t>(w); s < refs.size();
+         s += static_cast<size_t>(workers)) {
+      const V2ShardRef& ref = refs[s];
+      if (Crc32c(image.data() + ref.slots_at, ref.slots_bytes) !=
+              ref.slots_crc ||
+          Crc32c(image.data() + ref.arena_at, ref.arena_bytes) !=
+              ref.arena_crc) {
+        worker_status[static_cast<size_t>(w)] =
+            Status::InvalidArgument("v2 shard section checksum mismatch");
+        return;
+      }
+    }
+  });
+  for (const Status& s : worker_status) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Bytes ShardedEmm::SerializeV2(uint8_t kind, uint64_t epoch) const {
+  const size_t shard_count = shards_.size();
+  const size_t header_bytes = V2HeaderBytes(shard_count);
+  std::vector<V2ShardRef> refs(shard_count);
+  size_t cursor = header_bytes;
+  uint64_t total_entries = 0;
+  uint64_t total_value_bytes = 0;
+  for (size_t s = 0; s < shard_count; ++s) {
+    V2ShardRef& ref = refs[s];
+    ref.slots_at = cursor;
+    ref.slots_bytes = shards_[s].V2SlotsBytes();
+    cursor += AlignPage(ref.slots_bytes);
+    ref.arena_at = cursor;
+    ref.arena_bytes = shards_[s].V2ArenaBytes();
+    cursor += AlignPage(ref.arena_bytes);
+    ref.entries = shards_[s].size();
+    total_entries += ref.entries;
+    total_value_bytes += ref.arena_bytes;
+  }
+
+  Bytes out(cursor, 0);
+  const int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(ResolveThreadCount(0, "RSSE_BUILD_THREADS")),
+      std::max<size_t>(shard_count, 1)));
+  RunWorkers(workers, [&](int w) {
+    for (size_t s = static_cast<size_t>(w); s < shard_count;
+         s += static_cast<size_t>(workers)) {
+      V2ShardRef& ref = refs[s];
+      shards_[s].WriteV2Sections(
+          ByteSpan(out.data() + ref.slots_at, ref.slots_bytes),
+          ByteSpan(out.data() + ref.arena_at, ref.arena_bytes));
+      ref.slots_crc = Crc32c(out.data() + ref.slots_at, ref.slots_bytes);
+      ref.arena_crc = Crc32c(out.data() + ref.arena_at, ref.arena_bytes);
+    }
+  });
+
+  std::memcpy(out.data(), kV2Magic, sizeof(kV2Magic));
+  StoreU32Le(out.data() + 8, kV2Version);
+  out[12] = kind;
+  StoreU64Le(out.data() + 16, epoch);
+  StoreU32Le(out.data() + 24, static_cast<uint32_t>(shard_count));
+  StoreU64Le(out.data() + 32, total_entries);
+  StoreU64Le(out.data() + 40, total_value_bytes);
+  for (size_t s = 0; s < shard_count; ++s) {
+    uint8_t* e = out.data() + kV2FixedHeaderBytes + kV2SectionEntryBytes * s;
+    StoreU64Le(e, refs[s].slots_at);
+    StoreU64Le(e + 8, refs[s].slots_bytes);
+    StoreU64Le(e + 16, refs[s].arena_at);
+    StoreU64Le(e + 24, refs[s].arena_bytes);
+    StoreU64Le(e + 32, refs[s].entries);
+    StoreU32Le(e + 40, refs[s].slots_crc);
+    StoreU32Le(e + 44, refs[s].arena_crc);
+  }
+  const size_t table_end =
+      kV2FixedHeaderBytes + kV2SectionEntryBytes * shard_count;
+  StoreU32Le(out.data() + table_end, Crc32c(out.data(), table_end));
+  return out;
+}
+
+bool ShardedEmm::IsV2Image(ConstByteSpan image) {
+  return image.size() >= sizeof(kV2Magic) &&
+         std::memcmp(image.data(), kV2Magic, sizeof(kV2Magic)) == 0;
+}
+
+Result<ShardedEmm> ShardedEmm::OpenMappedImage(
+    std::shared_ptr<const MappedFile> file, size_t offset, size_t length,
+    const V2OpenOptions& options) {
+  if (file == nullptr || offset > file->size() ||
+      length > file->size() - offset) {
+    return Status::InvalidArgument("v2 image range exceeds the mapping");
+  }
+  const ConstByteSpan image = file->bytes().subspan(offset, length);
+  std::vector<V2ShardRef> refs;
+  RSSE_RETURN_IF_ERROR(ParseV2Header(image, refs));
+  if (options.verify_checksums) {
+    RSSE_RETURN_IF_ERROR(VerifyV2SectionChecksums(image, refs, 0));
+  }
+  ShardedEmm store(refs.size());
+  for (size_t s = 0; s < refs.size(); ++s) {
+    const V2ShardRef& ref = refs[s];
+    Result<sse::FlatLabelMap> shard = sse::FlatLabelMap::View(
+        image.subspan(ref.slots_at, ref.slots_bytes),
+        image.subspan(ref.arena_at, ref.arena_bytes), ref.entries,
+        ref.arena_bytes);
+    if (!shard.ok()) return shard.status();
+    store.shards_[s] = std::move(*shard);
+  }
+  // Probes jump label-hash-randomly across slot tables and arenas: tell
+  // the kernel not to read ahead, so the page cache holds only the probed
+  // working set. --prefault instead faults the whole image in now.
+  file->AdviseRandom(offset, length);
+  if (options.prefault) file->Prefault(offset, length);
+  store.mapping_ = std::move(file);
+  return store;
+}
+
+Result<ShardedEmm> ShardedEmm::OpenMapped(const std::string& path,
+                                          const V2OpenOptions& options) {
+  Result<std::shared_ptr<const MappedFile>> file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  const size_t size = (*file)->size();
+  return OpenMappedImage(std::move(*file), 0, size, options);
+}
+
+Result<ShardedEmm> ShardedEmm::LoadV2(ConstByteSpan image, int threads,
+                                      bool verify_checksums) {
+  std::vector<V2ShardRef> refs;
+  RSSE_RETURN_IF_ERROR(ParseV2Header(image, refs));
+  if (verify_checksums) {
+    RSSE_RETURN_IF_ERROR(VerifyV2SectionChecksums(image, refs, threads));
+  }
+  ShardedEmm store(refs.size());
+  std::vector<Status> shard_status(refs.size());
+  const int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(ResolveThreadCount(threads, "RSSE_BUILD_THREADS")),
+      refs.size()));
+  RunWorkers(workers, [&](int w) {
+    for (size_t s = static_cast<size_t>(w); s < refs.size();
+         s += static_cast<size_t>(workers)) {
+      const V2ShardRef& ref = refs[s];
+      Result<sse::FlatLabelMap> shard = sse::FlatLabelMap::View(
+          image.subspan(ref.slots_at, ref.slots_bytes),
+          image.subspan(ref.arena_at, ref.arena_bytes), ref.entries,
+          ref.arena_bytes);
+      if (!shard.ok()) {
+        shard_status[s] = shard.status();
+        continue;
+      }
+      shard->EnsureHeap();
+      store.shards_[s] = std::move(*shard);
+    }
+  });
+  for (const Status& s : shard_status) {
+    if (!s.ok()) return s;
+  }
+  return store;
+}
+
+uint64_t ShardedEmm::MappedBytes() const {
+  uint64_t bytes = 0;
+  for (const sse::FlatLabelMap& s : shards_) bytes += s.MappedBytes();
+  return bytes;
+}
+
+uint64_t ShardedEmm::HeapBytes() const {
+  uint64_t bytes = 0;
+  for (const sse::FlatLabelMap& s : shards_) bytes += s.HeapBytes();
+  return bytes;
 }
 
 }  // namespace rsse::shard

@@ -2,10 +2,13 @@
 #define RSSE_SHARD_SHARDED_EMM_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mapped_file.h"
 #include "common/status.h"
 #include "sse/emm_codec.h"
 #include "sse/encrypted_multimap.h"
@@ -23,6 +26,18 @@ struct ShardOptions {
   /// RSSE_BUILD_THREADS, defaulting to 1.
   int threads = 0;
   sse::PaddingPolicy padding;
+};
+
+/// Knobs for opening a v2 store image (`OpenMapped` / `OpenMappedImage`).
+struct V2OpenOptions {
+  /// Verify the per-section CRC32Cs of every shard before serving. This
+  /// reads the whole image — O(size), not O(1) — so the mmap serving path
+  /// leaves it off (per-probe bounds checks already rule out UB) and the
+  /// hostile-input tests and heap loads turn it on.
+  bool verify_checksums = false;
+  /// Touch every page of the image up front (synchronous page-cache
+  /// warmup; the serverd --prefault pass).
+  bool prefault = false;
 };
 
 /// The flat encrypted dictionary of Π_bas, hash-partitioned by label across
@@ -93,6 +108,55 @@ class ShardedEmm {
   static Result<ShardedEmm> Deserialize(const Bytes& blob, int threads = 0,
                                         int target_shards = kKeepStoredShards);
 
+  // -------------------------------------------------------------------------
+  // v2 store image: the page-aligned, mmap-native layout where the
+  // serialized file IS the runtime layout (fixed header, per-shard section
+  // table, then each shard's probe-ready slot table + ciphertext arena,
+  // every section 4 KiB-aligned and CRC32C-checksummed). See the format
+  // comment in sharded_emm.cc.
+  // -------------------------------------------------------------------------
+
+  /// Serializes all shards as a v2 image. `kind`/`epoch` are stored in the
+  /// header for self-description (the snapshot container carries the
+  /// authoritative copies). Leaked duplicate-overwrite bytes are compacted
+  /// away: the emitted arenas total exactly the live `SizeBytes()` value
+  /// bytes.
+  Bytes SerializeV2(uint8_t kind = 0, uint64_t epoch = 0) const;
+
+  /// True when `image` starts with the v2 magic (format sniffing for load
+  /// paths that accept either generation).
+  static bool IsV2Image(ConstByteSpan image);
+
+  /// Maps `path` and serves straight from the file: O(1) in the image size
+  /// (header + section table validated; shard bytes stay on disk until
+  /// probed). The store keeps the mapping alive and `madvise`s it for
+  /// random access. Mutation copies only the touched shards to heap.
+  static Result<ShardedEmm> OpenMapped(const std::string& path,
+                                       const V2OpenOptions& options = {});
+
+  /// As `OpenMapped`, over the byte range [offset, offset+length) of an
+  /// existing mapping (the snapshot container embeds the image at an
+  /// offset). The store shares ownership of `file`.
+  static Result<ShardedEmm> OpenMappedImage(
+      std::shared_ptr<const MappedFile> file, size_t offset, size_t length,
+      const V2OpenOptions& options = {});
+
+  /// Loads a v2 image fully onto the heap (the --mmap=off path for v2
+  /// snapshots): same validation as `OpenMapped` plus, by default, the
+  /// per-section CRC pass, then a parallel copy with `threads` workers
+  /// (0 → RSSE_BUILD_THREADS → 1).
+  static Result<ShardedEmm> LoadV2(ConstByteSpan image, int threads = 0,
+                                   bool verify_checksums = true);
+
+  /// Bytes still served from a borrowed mapping / from owned heap arrays,
+  /// summed over shards. A freshly mapped store is all mapped; WAL replay
+  /// and updates migrate touched shards to heap.
+  uint64_t MappedBytes() const;
+  uint64_t HeapBytes() const;
+
+  /// True while at least one shard serves from the mapping.
+  bool IsMapped() const { return MappedBytes() > 0; }
+
   /// Shard index of a label (public so tests can pin the routing).
   static size_t ShardOf(const Label& label, size_t shard_count);
 
@@ -107,6 +171,10 @@ class ShardedEmm {
   explicit ShardedEmm(size_t shard_count) : shards_(shard_count) {}
 
   std::vector<sse::FlatLabelMap> shards_;
+  /// Set by OpenMapped/OpenMappedImage: keeps the file mapped for as long
+  /// as any shard view borrows from it (held even after every shard has
+  /// migrated to heap — the mapping is cheap and the lifetime is simple).
+  std::shared_ptr<const MappedFile> mapping_;
 };
 
 }  // namespace rsse::shard

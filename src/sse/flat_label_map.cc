@@ -1,5 +1,6 @@
 #include "sse/flat_label_map.h"
 
+#include <cassert>
 #include <cstring>
 
 namespace rsse::sse {
@@ -16,7 +17,85 @@ size_t NextPowerOfTwo(size_t n) {
 
 }  // namespace
 
+Result<FlatLabelMap> FlatLabelMap::View(ConstByteSpan slots,
+                                        ConstByteSpan arena,
+                                        uint64_t entries,
+                                        uint64_t value_bytes) {
+  if (slots.empty()) {
+    // An empty shard has no sections at all; represent it as an ordinary
+    // empty heap map (nothing to borrow).
+    if (entries != 0 || value_bytes != 0 || !arena.empty()) {
+      return Status::InvalidArgument(
+          "flat map view: empty slot table with nonzero entries or arena");
+    }
+    return FlatLabelMap();
+  }
+  if (slots.size() % kSlotRecordBytes != 0) {
+    return Status::InvalidArgument(
+        "flat map view: slot table is not a whole number of records");
+  }
+  const size_t capacity = slots.size() / kSlotRecordBytes;
+  if ((capacity & (capacity - 1)) != 0 || capacity < kMinCapacity) {
+    return Status::InvalidArgument(
+        "flat map view: slot capacity is not a power of two");
+  }
+  // Max load factor 1/2, as enforced on insert: guarantees a free slot
+  // terminates every probe chain even before any record is inspected.
+  if (entries * 2 > capacity) {
+    return Status::InvalidArgument(
+        "flat map view: entry count exceeds the 1/2 load factor");
+  }
+  if (value_bytes != arena.size()) {
+    return Status::InvalidArgument(
+        "flat map view: arena length does not match the claimed bytes");
+  }
+  FlatLabelMap map;
+  map.is_view_ = true;
+  map.view_slots_ = slots;
+  map.view_arena_ = arena;
+  map.view_capacity_ = capacity;
+  map.size_ = entries;
+  map.value_bytes_ = value_bytes;
+  return map;
+}
+
+void FlatLabelMap::EnsureHeap() {
+  if (!is_view_) return;
+  const ConstByteSpan slots = view_slots_;
+  const ConstByteSpan arena = view_arena_;
+  const size_t capacity = view_capacity_;
+  is_view_ = false;
+  view_slots_ = {};
+  view_arena_ = {};
+  view_capacity_ = 0;
+  slots_.assign(capacity, Slot{});
+  arena_.clear();
+  arena_.reserve(value_bytes_);
+  size_ = 0;
+  value_bytes_ = 0;
+  leaked_bytes_ = 0;
+  // The borrowed table is already in probe layout for this capacity, so
+  // records keep their slot index; only arena offsets are rewritten
+  // (compaction drops any leaked bytes a hostile image might claim).
+  for (size_t i = 0; i < capacity; ++i) {
+    const uint8_t* rec = slots.data() + i * kSlotRecordBytes;
+    const uint32_t len = LoadU32Le(rec + kLabelBytes + 8);
+    if (len == 0) continue;
+    const uint64_t offset = LoadU64Le(rec + kLabelBytes);
+    if (offset > arena.size() || len > arena.size() - offset) continue;
+    Slot& s = slots_[i];
+    std::memcpy(s.label.data(), rec, kLabelBytes);
+    s.offset = arena_.size();
+    s.len = len;
+    arena_.insert(arena_.end(), arena.data() + offset,
+                  arena.data() + offset + len);
+    ++size_;
+    value_bytes_ += len;
+  }
+}
+
 void FlatLabelMap::Reserve(size_t n, size_t value_bytes) {
+  EnsureHeap();
   // Max load factor 1/2: probe chains on pseudorandom labels stay ~1.5
   // slots on average.
   const size_t needed = NextPowerOfTwo(n * 2);
@@ -48,12 +127,16 @@ void FlatLabelMap::Rehash(size_t capacity) {
 
 ByteSpan FlatLabelMap::InsertUninit(const Label& label, size_t len) {
   if (len == 0) return {};
+  EnsureHeap();
   if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
     Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
   }
   Slot& s = slots_[ProbeSlot(label)];
   if (s.len != 0) {
-    value_bytes_ -= s.len;  // duplicate label: the old bytes are dead
+    // Duplicate label: the old bytes are dead but stay in the arena (no
+    // tombstones). Track them so sizing code sees the real footprint.
+    value_bytes_ -= s.len;
+    leaked_bytes_ += s.len;
   } else {
     s.label = label;
     ++size_;
@@ -72,10 +155,76 @@ void FlatLabelMap::Insert(const Label& label, ConstByteSpan value) {
 }
 
 std::optional<ConstByteSpan> FlatLabelMap::Find(const Label& label) const {
+  if (is_view_) {
+    const size_t mask = view_capacity_ - 1;
+    size_t idx = LabelHash{}(label) & mask;
+    // A well-formed image keeps load factor <= 1/2 (checked in View), so
+    // a free slot always terminates the chain; the step bound only guards
+    // a corrupt, unverified table that claims to be full.
+    for (size_t step = 0; step < view_capacity_; ++step) {
+      const uint8_t* rec = view_slots_.data() + idx * kSlotRecordBytes;
+      const uint32_t len = LoadU32Le(rec + kLabelBytes + 8);
+      if (len == 0) return std::nullopt;
+      if (std::memcmp(rec, label.data(), kLabelBytes) == 0) {
+        const uint64_t offset = LoadU64Le(rec + kLabelBytes);
+        if (offset > view_arena_.size() ||
+            len > view_arena_.size() - offset) {
+          return std::nullopt;  // corrupt record: miss, never over-read
+        }
+        return ConstByteSpan(view_arena_.data() + offset, len);
+      }
+      idx = (idx + 1) & mask;
+    }
+    return std::nullopt;
+  }
   if (slots_.empty()) return std::nullopt;
   const Slot& s = slots_[ProbeSlot(label)];
   if (s.len == 0) return std::nullopt;
   return ConstByteSpan(arena_.data() + s.offset, s.len);
+}
+
+size_t FlatLabelMap::WriteV2Sections(ByteSpan slots_out,
+                                     ByteSpan arena_out) const {
+  assert(slots_out.size() == V2SlotsBytes());
+  assert(arena_out.size() == V2ArenaBytes());
+  std::memset(slots_out.data(), 0, slots_out.size());
+  size_t cursor = 0;
+  const size_t capacity = SlotCount();
+  // Emit records at their current probe index (the capacity is preserved,
+  // so hashes land identically when the image is mapped back) and append
+  // values in slot order: offsets are rewritten, which compacts leaked
+  // duplicate-overwrite bytes out of the arena.
+  for (size_t i = 0; i < capacity; ++i) {
+    Label label;
+    ConstByteSpan value;
+    if (is_view_) {
+      const uint8_t* rec = view_slots_.data() + i * kSlotRecordBytes;
+      const uint32_t len = LoadU32Le(rec + kLabelBytes + 8);
+      if (len == 0) continue;
+      const uint64_t offset = LoadU64Le(rec + kLabelBytes);
+      if (offset > view_arena_.size() ||
+          len > view_arena_.size() - offset) {
+        continue;
+      }
+      std::memcpy(label.data(), rec, kLabelBytes);
+      value = ConstByteSpan(view_arena_.data() + offset, len);
+    } else {
+      const Slot& s = slots_[i];
+      if (s.len == 0) continue;
+      label = s.label;
+      value = ConstByteSpan(arena_.data() + s.offset, s.len);
+    }
+    if (value.size() > arena_out.size() - cursor) break;  // can't happen
+    uint8_t* rec = slots_out.data() + i * kSlotRecordBytes;
+    std::memcpy(rec, label.data(), kLabelBytes);
+    StoreU64Le(rec + kLabelBytes, cursor);
+    StoreU32Le(rec + kLabelBytes + 8, static_cast<uint32_t>(value.size()));
+    std::memcpy(arena_out.data() + cursor, value.data(), value.size());
+    cursor += value.size();
+  }
+  // Sizing == written: the compacted arena is exactly ValueBytes() long.
+  assert(cursor == arena_out.size());
+  return cursor;
 }
 
 }  // namespace rsse::sse

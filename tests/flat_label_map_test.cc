@@ -105,6 +105,199 @@ TEST(FlatLabelMapTest, DuplicateLabelOverwrites) {
   EXPECT_EQ(Bytes(found->begin(), found->end()), ValueFor(9, 64));
 }
 
+TEST(FlatLabelMapTest, DuplicateOverwriteTracksLeakedBytes) {
+  FlatLabelMap map;
+  map.Insert(MakeLabel(7), ValueFor(1, 32));
+  map.Insert(MakeLabel(8), ValueFor(2, 48));
+  EXPECT_EQ(map.LeakedBytes(), 0u);
+  map.Insert(MakeLabel(7), ValueFor(9, 64));
+  // The 32 overwritten bytes are dead arena, not live value bytes.
+  EXPECT_EQ(map.LeakedBytes(), 32u);
+  EXPECT_EQ(map.ValueBytes(), 48u + 64u);
+  EXPECT_EQ(map.ArenaBytes(), 32u + 48u + 64u);
+  map.Insert(MakeLabel(7), ValueFor(3, 16));
+  EXPECT_EQ(map.LeakedBytes(), 32u + 64u);
+  EXPECT_EQ(map.ValueBytes(), 48u + 16u);
+}
+
+TEST(FlatLabelMapTest, V2SectionsCompactLeakedBytes) {
+  FlatLabelMap map;
+  map.Insert(MakeLabel(7), ValueFor(1, 32));
+  map.Insert(MakeLabel(8), ValueFor(2, 48));
+  map.Insert(MakeLabel(7), ValueFor(9, 64));  // leaks 32 arena bytes
+  Bytes slots(map.V2SlotsBytes());
+  Bytes arena(map.V2ArenaBytes());
+  // Sizing == written: the emitted arena is exactly ValueBytes() long.
+  const size_t written = map.WriteV2Sections(
+      ByteSpan(slots.data(), slots.size()),
+      ByteSpan(arena.data(), arena.size()));
+  EXPECT_EQ(written, map.ValueBytes());
+  EXPECT_EQ(written, 48u + 64u);
+  auto view = FlatLabelMap::View(ConstByteSpan(slots.data(), slots.size()),
+                                 ConstByteSpan(arena.data(), arena.size()),
+                                 map.size(), map.ValueBytes());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->LeakedBytes(), 0u);
+  auto found = view->Find(MakeLabel(7));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(Bytes(found->begin(), found->end()), ValueFor(9, 64));
+}
+
+// --------------------------------------------------------------------------
+// Borrowed view mode over packed v2 sections.
+// --------------------------------------------------------------------------
+
+struct PackedSections {
+  Bytes slots;
+  Bytes arena;
+  size_t entries = 0;
+  size_t value_bytes = 0;
+};
+
+PackedSections Pack(const FlatLabelMap& map) {
+  PackedSections p;
+  p.slots.resize(map.V2SlotsBytes());
+  p.arena.resize(map.V2ArenaBytes());
+  map.WriteV2Sections(ByteSpan(p.slots.data(), p.slots.size()),
+                      ByteSpan(p.arena.data(), p.arena.size()));
+  p.entries = map.size();
+  p.value_bytes = map.ValueBytes();
+  return p;
+}
+
+Result<FlatLabelMap> ViewOf(const PackedSections& p) {
+  return FlatLabelMap::View(
+      ConstByteSpan(p.slots.data(), p.slots.size()),
+      ConstByteSpan(p.arena.data(), p.arena.size()), p.entries,
+      p.value_bytes);
+}
+
+TEST(FlatLabelMapViewTest, RoundTripFindsEveryEntry) {
+  FlatLabelMap map;
+  const uint64_t kEntries = 5000;
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    map.Insert(MakeLabel(i * 0x9e3779b97f4a7c15ull, i),
+               ValueFor(i, 32 + (i % 3) * 16));
+  }
+  PackedSections p = Pack(map);
+  auto view = ViewOf(p);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->IsView());
+  EXPECT_EQ(view->size(), kEntries);
+  EXPECT_EQ(view->MappedBytes(), p.slots.size() + p.arena.size());
+  EXPECT_EQ(view->HeapBytes(), 0u);
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    auto found = view->Find(MakeLabel(i * 0x9e3779b97f4a7c15ull, i));
+    ASSERT_TRUE(found.has_value()) << "entry " << i;
+    EXPECT_EQ(Bytes(found->begin(), found->end()),
+              ValueFor(i, 32 + (i % 3) * 16));
+  }
+  EXPECT_FALSE(view->Find(MakeLabel(0xffffffffffffffffull)).has_value());
+}
+
+TEST(FlatLabelMapViewTest, ForEachMatchesHeapMap) {
+  FlatLabelMap map;
+  for (uint64_t i = 0; i < 500; ++i) {
+    map.Insert(MakeLabel(i + 1, i), ValueFor(i));
+  }
+  PackedSections p = Pack(map);
+  auto view = ViewOf(p);
+  ASSERT_TRUE(view.ok());
+  std::set<Bytes> heap_entries;
+  map.ForEach([&](const Label& label, ConstByteSpan value) {
+    Bytes rec(label.begin(), label.end());
+    rec.insert(rec.end(), value.begin(), value.end());
+    heap_entries.insert(std::move(rec));
+  });
+  std::set<Bytes> view_entries;
+  view->ForEach([&](const Label& label, ConstByteSpan value) {
+    Bytes rec(label.begin(), label.end());
+    rec.insert(rec.end(), value.begin(), value.end());
+    view_entries.insert(std::move(rec));
+  });
+  EXPECT_EQ(view_entries, heap_entries);
+}
+
+TEST(FlatLabelMapViewTest, MutationCopiesToHeap) {
+  FlatLabelMap map;
+  map.Insert(MakeLabel(1, 1), ValueFor(1));
+  map.Insert(MakeLabel(2, 2), ValueFor(2));
+  PackedSections p = Pack(map);
+  auto view = ViewOf(p);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(view->IsView());
+  view->Insert(MakeLabel(3, 3), ValueFor(3));
+  EXPECT_FALSE(view->IsView());
+  EXPECT_EQ(view->MappedBytes(), 0u);
+  EXPECT_GT(view->HeapBytes(), 0u);
+  EXPECT_EQ(view->size(), 3u);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    auto found = view->Find(MakeLabel(i, i));
+    ASSERT_TRUE(found.has_value()) << "entry " << i;
+    EXPECT_EQ(Bytes(found->begin(), found->end()), ValueFor(i));
+  }
+}
+
+TEST(FlatLabelMapViewTest, EmptySectionsViewIsEmptyMap) {
+  auto view = FlatLabelMap::View({}, {}, 0, 0);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 0u);
+  EXPECT_FALSE(view->Find(MakeLabel(1)).has_value());
+}
+
+TEST(FlatLabelMapViewTest, RejectsStructurallyInvalidSections) {
+  FlatLabelMap map;
+  map.Insert(MakeLabel(1, 1), ValueFor(1));
+  PackedSections p = Pack(map);
+  // Slot table not a multiple of the record size.
+  EXPECT_FALSE(FlatLabelMap::View(
+                   ConstByteSpan(p.slots.data(), p.slots.size() - 1),
+                   ConstByteSpan(p.arena.data(), p.arena.size()), p.entries,
+                   p.value_bytes)
+                   .ok());
+  // Capacity not a power of two (3 records).
+  Bytes odd(3 * FlatLabelMap::kSlotRecordBytes);
+  EXPECT_FALSE(FlatLabelMap::View(ConstByteSpan(odd.data(), odd.size()),
+                                  {}, 0, 0)
+                   .ok());
+  // Load factor above 1/2.
+  EXPECT_FALSE(FlatLabelMap::View(
+                   ConstByteSpan(p.slots.data(), p.slots.size()),
+                   ConstByteSpan(p.arena.data(), p.arena.size()),
+                   p.slots.size() / FlatLabelMap::kSlotRecordBytes,
+                   p.value_bytes)
+                   .ok());
+  // Arena length disagrees with the claimed value bytes.
+  EXPECT_FALSE(FlatLabelMap::View(
+                   ConstByteSpan(p.slots.data(), p.slots.size()),
+                   ConstByteSpan(p.arena.data(), p.arena.size() - 1),
+                   p.entries, p.value_bytes)
+                   .ok());
+  // Entries claimed against an empty slot table.
+  EXPECT_FALSE(FlatLabelMap::View({}, {}, 1, 0).ok());
+}
+
+TEST(FlatLabelMapViewTest, HostileRecordOffsetsMissWithoutOverread) {
+  FlatLabelMap map;
+  map.Insert(MakeLabel(1, 1), ValueFor(1));
+  map.Insert(MakeLabel(2, 2), ValueFor(2));
+  PackedSections p = Pack(map);
+  // Point every record's offset past the arena: probes must miss (and
+  // ForEach skip) rather than read out of bounds.
+  for (size_t i = 0; i + FlatLabelMap::kSlotRecordBytes <= p.slots.size();
+       i += FlatLabelMap::kSlotRecordBytes) {
+    uint8_t* rec = p.slots.data() + i;
+    const uint64_t bad_offset = p.arena.size() + 1;
+    std::memcpy(rec + 16, &bad_offset, sizeof(bad_offset));
+  }
+  auto view = ViewOf(p);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view->Find(MakeLabel(1, 1)).has_value());
+  size_t visits = 0;
+  view->ForEach([&](const Label&, ConstByteSpan) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+}
+
 TEST(FlatLabelMapTest, InsertUninitWritesInPlace) {
   FlatLabelMap map;
   Bytes v = ValueFor(3, 40);

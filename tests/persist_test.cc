@@ -18,6 +18,7 @@
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "common/mapped_file.h"
 #include "server/client.h"
 #include "server/persist.h"
 #include "server/server.h"
@@ -283,6 +284,147 @@ TEST(PersistTest, StrayTmpFilesAreRemoved) {
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->stores.empty());
   EXPECT_EQ(access((dir.path() + "/store-0.snap.tmp").c_str(), F_OK), -1);
+}
+
+// --------------------------------------------------------------------------
+// v2 snapshot container: the mmap-native generation.
+// --------------------------------------------------------------------------
+
+TEST(PersistV2Test, SnapshotRoundTripsWithoutLoadingTheIndex) {
+  TempDir dir;
+  const Bytes index = Blob(10000, 21);
+  const Bytes gate = Blob(300, 23);
+  {
+    auto p = StorePersistence::Open(dir.path());
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE((*p)->PersistSnapshot(0, 3, 1, ConstByteSpan(index),
+                                      ConstByteSpan(gate),
+                                      SnapshotFormat::kV2)
+                    .ok());
+  }
+  auto p = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(p.ok());
+  auto report = (*p)->Recover();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->stores.size(), 1u);
+  const auto& store = report->stores[0];
+  EXPECT_TRUE(store.has_snapshot);
+  EXPECT_EQ(store.kind, 1u);
+  EXPECT_EQ(store.epoch, 3u);
+  EXPECT_EQ(store.format, 2u);
+  // O(1) recovery contract: the index is NOT loaded — the caller maps
+  // (or reads) [index_offset, index_offset + index_len) itself.
+  EXPECT_TRUE(store.index_blob.empty());
+  EXPECT_EQ(store.snapshot_path, dir.path() + "/store-0.snap");
+  EXPECT_EQ(store.index_offset, 4096u);
+  EXPECT_EQ(store.index_len, index.size());
+  EXPECT_EQ(store.gate_blob, gate);
+  auto on_disk = ReadFileRange(store.snapshot_path, store.index_offset,
+                               store.index_len);
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_EQ(*on_disk, index);
+}
+
+TEST(PersistV2Test, EmptyGateAndIndexRoundTrip) {
+  TempDir dir;
+  auto p = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(
+      (*p)->PersistSnapshot(0, 1, 0, {}, {}, SnapshotFormat::kV2).ok());
+  auto report = (*p)->Recover();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->stores.size(), 1u);
+  EXPECT_EQ(report->stores[0].format, 2u);
+  EXPECT_EQ(report->stores[0].index_len, 0u);
+  EXPECT_TRUE(report->stores[0].gate_blob.empty());
+}
+
+TEST(PersistV2Test, HostileHeaderMatrixQuarantinesCleanly) {
+  // Each corruption of the v2 header page (or the container's framing)
+  // must quarantine the slot — never crash, never serve a torn base.
+  struct Case {
+    const char* name;
+    void (*corrupt)(Bytes&);
+  };
+  const Case cases[] = {
+      {"flipped magic", [](Bytes& f) { f[0] ^= 0xff; }},
+      {"header crc mismatch", [](Bytes& f) { f[9] ^= 0x01; }},  // epoch
+      {"crc field itself", [](Bytes& f) { f[53] ^= 0x01; }},
+      {"gate crc mismatch", [](Bytes& f) { f.back() ^= 0x01; }},
+      {"truncated to header page", [](Bytes& f) { f.resize(4096); }},
+      {"truncated mid-index", [](Bytes& f) { f.resize(f.size() - 4097); }},
+      {"trailing garbage", [](Bytes& f) { f.resize(f.size() + 512, 0); }},
+  };
+  for (const Case& c : cases) {
+    TempDir dir;
+    {
+      auto p = StorePersistence::Open(dir.path());
+      ASSERT_TRUE(p.ok());
+      ASSERT_TRUE((*p)->PersistSnapshot(0, 1, 0, ConstByteSpan(Blob(9000, 5)),
+                                        ConstByteSpan(Blob(100, 6)),
+                                        SnapshotFormat::kV2)
+                      .ok());
+    }
+    const std::string snap = dir.path() + "/store-0.snap";
+    auto bytes = ReadFile(snap);
+    ASSERT_TRUE(bytes.ok());
+    c.corrupt(*bytes);
+    WriteFile(snap, *bytes);
+    auto p = StorePersistence::Open(dir.path());
+    ASSERT_TRUE(p.ok());
+    auto report = (*p)->Recover();
+    ASSERT_TRUE(report.ok()) << c.name;
+    EXPECT_EQ(report->corrupt_snapshots, 1u) << c.name;
+    EXPECT_TRUE(report->stores.empty()) << c.name;
+    EXPECT_NE(access((snap + ".corrupt").c_str(), F_OK), -1) << c.name;
+  }
+}
+
+TEST(PersistV2Test, TruncatedBelowOnePageIsQuarantined) {
+  TempDir dir;
+  {
+    auto p = StorePersistence::Open(dir.path());
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE((*p)->PersistSnapshot(0, 1, 0, ConstByteSpan(Blob(500, 5)),
+                                      {}, SnapshotFormat::kV2)
+                    .ok());
+  }
+  const std::string snap = dir.path() + "/store-0.snap";
+  auto bytes = ReadFile(snap);
+  ASSERT_TRUE(bytes.ok());
+  bytes->resize(100);  // shorter than the header page, longer than a magic
+  WriteFile(snap, *bytes);
+  auto p = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(p.ok());
+  auto report = (*p)->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->corrupt_snapshots, 1u);
+  EXPECT_TRUE(report->stores.empty());
+}
+
+TEST(PersistV2Test, EpochFilteringWorksAcrossFormats) {
+  // A v2 snapshot supersedes a v1-era WAL exactly like a v1 snapshot
+  // would: epoch tags are format-independent.
+  TempDir dir;
+  auto p = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(
+      (*p)->PersistSnapshot(0, 1, 0, ConstByteSpan(Blob(64, 1)), {}).ok());
+  ASSERT_TRUE((*p)->AppendUpdate(0, 1, ConstByteSpan(Blob(50, 2))).ok());
+  ASSERT_TRUE((*p)->PersistSnapshot(0, 2, 0, ConstByteSpan(Blob(2000, 9)),
+                                    {}, SnapshotFormat::kV2)
+                  .ok());
+  ASSERT_TRUE((*p)->AppendUpdate(0, 1, ConstByteSpan(Blob(50, 3))).ok());
+  auto reopened = StorePersistence::Open(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  auto report = (*reopened)->Recover();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->stores.size(), 1u);
+  EXPECT_EQ(report->stores[0].epoch, 2u);
+  EXPECT_EQ(report->stores[0].format, 2u);
+  EXPECT_EQ(report->stores[0].index_len, 2000u);
+  EXPECT_TRUE(report->stores[0].updates.empty());
+  EXPECT_EQ(report->stale_wal_records, 1u);
 }
 
 TEST(PersistTest, InjectedTornSnapshotWriteLeavesOldSnapshotIntact) {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,14 +69,25 @@ class LoopbackServer {
     });
   }
 
+  /// Graceful drain (the SIGTERM path): folds mapped-store deltas. The
+  /// destructor without this is the crash path — nothing beyond the
+  /// per-request fsyncs survives.
+  void Drain() {
+    server_.BeginDrain();
+    if (thread_.joinable()) thread_.join();
+  }
+
   ~LoopbackServer() {
     server_.Shutdown();
-    thread_.join();
+    if (thread_.joinable()) thread_.join();
   }
 
   uint16_t port() const { return server_.port(); }
   const server::EmmServer::RecoveryStats& recovery_stats() const {
     return server_.recovery_stats();
+  }
+  std::vector<server::EmmServer::StoreMemoryInfo> store_memory() const {
+    return server_.StoreMemory();
   }
 
  private:
@@ -100,20 +112,29 @@ std::vector<SchemeId> AllServableSchemeIds() {
   return ids;
 }
 
-std::string SchemeIdName(const ::testing::TestParamInfo<SchemeId>& info) {
-  std::string name = SchemeName(info.param);
+/// Scheme crossed with the serving substrate: every conformance case runs
+/// once heap-loaded and once mapped off the v2 snapshot, and the answers
+/// must be identical.
+using RestartParam = std::tuple<SchemeId, bool>;
+
+std::string RestartParamName(
+    const ::testing::TestParamInfo<RestartParam>& info) {
+  std::string name = SchemeName(std::get<0>(info.param));
   for (char& c : name) {
     if (!isalnum(static_cast<unsigned char>(c))) c = '_';
   }
-  return name;
+  return name + (std::get<1>(info.param) ? "_mmap" : "_heap");
 }
 
-class RestartConformanceTest : public ::testing::TestWithParam<SchemeId> {};
+class RestartConformanceTest
+    : public ::testing::TestWithParam<RestartParam> {};
 
 TEST_P(RestartConformanceTest, RestartedServerAnswersLikeLocal) {
+  const SchemeId scheme_id = std::get<0>(GetParam());
+  const bool mmap = std::get<1>(GetParam());
   Rng rng(17);
   Dataset data = GenerateUspsLike(/*n=*/60, /*domain_size=*/32, rng);
-  std::unique_ptr<RangeScheme> scheme = Make(GetParam());
+  std::unique_ptr<RangeScheme> scheme = Make(scheme_id);
   ASSERT_NE(scheme, nullptr);
   ASSERT_TRUE(scheme->Build(data).ok());
   Result<ServerSetup> setup = scheme->ExportServerSetup();
@@ -123,6 +144,7 @@ TEST_P(RestartConformanceTest, RestartedServerAnswersLikeLocal) {
   server::ServerOptions options;
   options.port = 0;
   options.data_dir = dir.path();
+  options.mmap_stores = mmap ? 1 : 0;
 
   // Generation 1: install the stores, answer one query, die abruptly
   // (destructor path — nothing beyond the per-request fsyncs survives).
@@ -146,6 +168,18 @@ TEST_P(RestartConformanceTest, RestartedServerAnswersLikeLocal) {
   ASSERT_TRUE(client.Connect("127.0.0.1", restarted.port()).ok());
   server::RemoteBackend remote(client);
 
+  if (mmap) {
+    // The restarted server must actually serve off the mapping for at
+    // least one encrypted-dictionary store (filter trees stay heap).
+    uint64_t mapped_total = 0;
+    for (const auto& mem : restarted.store_memory()) {
+      mapped_total += mem.mapped_bytes;
+    }
+    if (scheme_id != SchemeId::kPb) {
+      EXPECT_GT(mapped_total, 0u) << "mmap mode served entirely from heap";
+    }
+  }
+
   for (uint64_t lo = 0; lo < 32; lo += 5) {
     for (uint64_t hi = lo; hi < 32; hi += 6) {
       const Range r{lo, hi};
@@ -154,15 +188,17 @@ TEST_P(RestartConformanceTest, RestartedServerAnswersLikeLocal) {
       Result<QueryResult> wire = scheme->QueryVia(remote, r);
       ASSERT_TRUE(wire.ok()) << wire.status().ToString();
       EXPECT_EQ(Sorted(wire->ids), Sorted(local->ids))
-          << SchemeName(GetParam()) << " range [" << lo << "," << hi << "]";
+          << SchemeName(scheme_id) << " range [" << lo << "," << hi << "]";
       EXPECT_EQ(wire->rounds, local->rounds);
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(EveryScheme, RestartConformanceTest,
-                         ::testing::ValuesIn(AllServableSchemeIds()),
-                         SchemeIdName);
+INSTANTIATE_TEST_SUITE_P(
+    EveryScheme, RestartConformanceTest,
+    ::testing::Combine(::testing::ValuesIn(AllServableSchemeIds()),
+                       ::testing::Bool()),
+    RestartParamName);
 
 TEST(RestartUpdateTest, AckedUpdatesSurviveUncleanRestart) {
   // Updates ride the WAL, not the snapshot: an acked batch must be
@@ -239,6 +275,131 @@ TEST(RestartUpdateTest, SnapshotPlusWalComposeAcrossRestart) {
   // The range protocol still answers exactly from the recovered base.
   server::RemoteBackend remote(client);
   const Range r{3, 29};
+  Result<QueryResult> local = scheme->Query(r);
+  ASSERT_TRUE(local.ok());
+  Result<QueryResult> wire = scheme->QueryVia(remote, r);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(Sorted(wire->ids), Sorted(local->ids));
+}
+
+TEST(RestartMmapTest, V1SnapshotMigratesToV2OnFirstMmapBoot) {
+  // A data dir written by a heap-serving generation must keep working
+  // when the operator flips --mmap=on: the first mmap boot heap-loads the
+  // v1 snapshot (replaying its WAL), re-persists it as v2, and the boot
+  // after that maps it.
+  Rng rng(29);
+  Dataset data = GenerateUniform(/*n=*/40, /*domain_size=*/32, rng);
+  std::unique_ptr<RangeScheme> scheme = Make(SchemeId::kLogarithmicBrc);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  Result<ServerSetup> setup = scheme->ExportServerSetup();
+  ASSERT_TRUE(setup.ok());
+
+  TempDir dir;
+  server::ServerOptions options;
+  options.port = 0;
+  options.data_dir = dir.path();
+
+  uint64_t entries_after_update = 0;
+  {
+    options.mmap_stores = 0;  // v1-era generation
+    LoopbackServer loopback(options);
+    server::EmmClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", loopback.port()).ok());
+    ASSERT_TRUE(server::InstallServerSetup(client, *setup).ok());
+    std::vector<std::pair<Label, Bytes>> entries;
+    Label label;
+    label.fill(0x66);
+    entries.emplace_back(label, Bytes(40, 0x05));
+    auto resp = client.Update(entries);
+    ASSERT_TRUE(resp.ok());
+    entries_after_update = resp->entries;
+  }
+
+  options.mmap_stores = 1;
+  {
+    // Migration boot: still answers from heap (the v1 load), but leaves a
+    // v2 snapshot behind — WAL records folded in, WAL truncated.
+    LoopbackServer migrator(options);
+    server::EmmClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", migrator.port()).ok());
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->entries, entries_after_update);
+    EXPECT_EQ(stats->snapshot_format, 2u);
+  }
+
+  LoopbackServer mapped(options);
+  EXPECT_EQ(mapped.recovery_stats().wal_records_applied, 0u)
+      << "migration must fold the WAL into the v2 snapshot";
+  uint64_t mapped_total = 0;
+  for (const auto& mem : mapped.store_memory()) {
+    mapped_total += mem.mapped_bytes;
+  }
+  EXPECT_GT(mapped_total, 0u);
+  server::EmmClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", mapped.port()).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, entries_after_update);
+  EXPECT_EQ(stats->snapshot_format, 2u);
+  EXPECT_GT(stats->mapped_bytes, 0u);
+  server::RemoteBackend remote(client);
+  const Range r{2, 27};
+  Result<QueryResult> local = scheme->Query(r);
+  ASSERT_TRUE(local.ok());
+  Result<QueryResult> wire = scheme->QueryVia(remote, r);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(Sorted(wire->ids), Sorted(local->ids));
+}
+
+TEST(RestartMmapTest, CleanDrainFoldsMappedDeltasIntoFreshSnapshot) {
+  // mmap serving with live updates: the touched shards ride the WAL until
+  // a *clean* drain folds them back into a v2 snapshot, so the successor
+  // boots O(1) again with zero WAL replay.
+  Rng rng(31);
+  Dataset data = GenerateUniform(/*n=*/40, /*domain_size=*/32, rng);
+  std::unique_ptr<RangeScheme> scheme = Make(SchemeId::kConstantBrc);
+  ASSERT_TRUE(scheme->Build(data).ok());
+  Result<ServerSetup> setup = scheme->ExportServerSetup();
+  ASSERT_TRUE(setup.ok());
+
+  TempDir dir;
+  server::ServerOptions options;
+  options.port = 0;
+  options.data_dir = dir.path();
+  options.mmap_stores = 1;
+
+  uint64_t entries_after_update = 0;
+  {
+    LoopbackServer loopback(options);
+    server::EmmClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", loopback.port()).ok());
+    ASSERT_TRUE(server::InstallServerSetup(client, *setup).ok());
+    std::vector<std::pair<Label, Bytes>> entries;
+    Label label;
+    label.fill(0x55);
+    entries.emplace_back(label, Bytes(40, 0x04));
+    auto resp = client.Update(entries);
+    ASSERT_TRUE(resp.ok());
+    entries_after_update = resp->entries;
+    client.Close();
+    loopback.Drain();  // the graceful path: fold happens here
+  }
+
+  LoopbackServer restarted(options);
+  EXPECT_EQ(restarted.recovery_stats().wal_records_applied, 0u)
+      << "the drain fold must truncate the WAL";
+  server::EmmClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", restarted.port()).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, entries_after_update);
+  EXPECT_EQ(stats->snapshot_format, 2u);
+  EXPECT_GT(stats->mapped_bytes, 0u);
+  EXPECT_EQ(stats->heap_bytes, 0u)
+      << "a folded store must serve fully off the mapping";
+  server::RemoteBackend remote(client);
+  const Range r{0, 31};
   Result<QueryResult> local = scheme->Query(r);
   ASSERT_TRUE(local.ok());
   Result<QueryResult> wire = scheme->QueryVia(remote, r);
