@@ -1,0 +1,74 @@
+/// Standalone corpus-replay driver for builds without libFuzzer (GCC, or
+/// clang without -fsanitize=fuzzer). Each argument is a corpus file or a
+/// directory of corpus files; every file is fed once through
+/// LLVMFuzzerTestOneInput. libFuzzer-style flags (`-runs=0`, `-seed=...`)
+/// are skipped, so the ctest smoke command line works against either
+/// binary. This driver only *replays* — it never mutates — which is
+/// exactly what the CI smoke job and the local regression run need; real
+/// coverage-guided exploration happens under clang.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Collects regular files directly inside `dir` (corpora are flat).
+bool ListDir(const std::string& dir, std::vector<std::string>& out) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return false;
+  while (const dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(dir + "/" + name);
+  }
+  closedir(d);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag; ignore.
+    std::vector<std::string> entries;
+    if (ListDir(arg, entries)) {
+      files.insert(files.end(), entries.begin(), entries.end());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  // Deterministic order regardless of readdir()'s whims, so a crash
+  // reproduces identically run to run.
+  std::sort(files.begin(), files.end());
+
+  size_t replayed = 0;
+  for (const std::string& path : files) {
+    std::vector<uint8_t> data;
+    if (!ReadFile(path, data)) {
+      std::fprintf(stderr, "fuzz_driver: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+    ++replayed;
+  }
+  std::printf("fuzz_driver: replayed %zu input(s)\n", replayed);
+  return 0;
+}

@@ -4,7 +4,8 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace rsse::failpoint {
 
@@ -18,9 +19,9 @@ struct State {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, State> points;
-  bool env_loaded = false;
+  Mutex mu;
+  std::map<std::string, State> points RSSE_GUARDED_BY(mu);
+  bool env_loaded RSSE_GUARDED_BY(mu) = false;
 };
 
 Registry& registry() {
@@ -66,8 +67,8 @@ bool ParseSpec(const std::string& spec, State& out) {
   return true;
 }
 
-/// Requires `registry().mu` held.
-bool SetListLocked(Registry& r, const std::string& list) {
+bool SetListLocked(Registry& r, const std::string& list)
+    RSSE_REQUIRES(r.mu) {
   bool ok = true;
   size_t at = 0;
   while (at < list.size()) {
@@ -93,8 +94,7 @@ bool SetListLocked(Registry& r, const std::string& list) {
   return ok;
 }
 
-/// Requires `registry().mu` held.
-void LoadEnvLocked(Registry& r) {
+void LoadEnvLocked(Registry& r) RSSE_REQUIRES(r.mu) {
   if (r.env_loaded) return;
   r.env_loaded = true;
   if (const char* env = std::getenv("RSSE_FAILPOINTS")) {
@@ -106,7 +106,7 @@ void LoadEnvLocked(Registry& r) {
 
 Action Hit(const char* name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   LoadEnvLocked(r);
   auto it = r.points.find(name);
   if (it == r.points.end()) return {};
@@ -119,7 +119,7 @@ Action Hit(const char* name) {
 
 bool Set(const std::string& name, const std::string& spec) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   LoadEnvLocked(r);
   State state;
   if (!ParseSpec(spec, state)) return false;
@@ -131,27 +131,35 @@ bool Set(const std::string& name, const std::string& spec) {
 
 bool SetList(const std::string& list) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   LoadEnvLocked(r);
   return SetListLocked(r, list);
 }
 
 void Clear(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
-  if (it != r.points.end()) it->second = State{.hits = it->second.hits};
+  if (it != r.points.end()) {
+    State cleared;
+    cleared.hits = it->second.hits;
+    it->second = cleared;
+  }
 }
 
 void ClearAll() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  for (auto& [name, state] : r.points) state = State{.hits = state.hits};
+  MutexLock lock(r.mu);
+  for (auto& [name, state] : r.points) {
+    State cleared;
+    cleared.hits = state.hits;
+    state = cleared;
+  }
 }
 
 uint64_t HitCount(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.hits;
 }

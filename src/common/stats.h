@@ -11,6 +11,9 @@ namespace rsse {
 /// Lock-free running maximum: many threads Observe(), any thread reads
 /// value(). The CAS loop only retries while the observed value is still
 /// the largest seen, so contention is bounded by genuine new maxima.
+/// (Being a single atomic, this carries no capability annotations — the
+/// thread-safety analysis sees lock-free code as unguarded by design;
+/// TSan covers it instead.)
 class AtomicMaxGauge {
  public:
   void Observe(uint64_t v) {
@@ -30,6 +33,10 @@ class AtomicMaxGauge {
 
 /// Streaming accumulator for benchmark/experiment statistics: count, mean,
 /// min, max, and exact percentiles (values are retained).
+///
+/// NOT thread-safe, not even for concurrent const reads: Percentile()
+/// sorts the retained values lazily through the `mutable` members. One
+/// accumulator per thread (as the benches do), or an external lock.
 class StatsAccumulator {
  public:
   void Add(double v);

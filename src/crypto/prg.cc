@@ -55,6 +55,10 @@ constexpr uint8_t kTweak0 = 0x00;
 constexpr uint8_t kTweak1 = 0xff;
 
 /// Owns the per-thread fixed-key context so it is released on thread exit.
+/// thread_local IS the synchronization here: each thread initializes and
+/// uses only its own context, so no lock (and no capability annotation)
+/// applies — sharing one EVP_CIPHER_CTX across threads would be a race
+/// inside OpenSSL regardless of locking discipline at this layer.
 struct AesCtxHolder {
   EVP_CIPHER_CTX* ctx = nullptr;
 

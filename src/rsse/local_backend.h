@@ -20,6 +20,15 @@ class BloomLabelGate;
 /// counter-probe search per keyword token through the store's
 /// pre-decryption gate, or descend the PB filter tree for opaque
 /// trapdoors.
+///
+/// Thread-compatibility: registration (`Clear`/`Add*Store`/
+/// `SetSearchThreads`) and `Resolve` must be externally serialized — this
+/// class holds no lock of its own. The only internal concurrency is
+/// Resolve's fork/join over `RunWorkers`, which needs none: worker `t`
+/// writes only the strided slots `per_token[t], per_token[t + threads],
+/// ...` and its own `per_worker[t]` scratch (disjoint by construction,
+/// published by RunWorkers' join), and reads the registered stores purely
+/// through their const search paths.
 class LocalBackend : public SearchBackend {
  public:
   LocalBackend() = default;

@@ -147,6 +147,9 @@ bool HasSuffix(const char* name, const char* suffix) {
 }  // namespace
 
 StorePersistence::~StorePersistence() {
+  // No thread may still be calling in, but the lock keeps the analysis
+  // honest (and is free).
+  MutexLock lock(mu_);
   for (auto& [id, fd] : wal_fds_) {
     if (fd >= 0) close(fd);
   }
@@ -294,6 +297,9 @@ Status StorePersistence::PersistSnapshot(uint32_t store_id, uint64_t epoch,
     unlink(tmp.c_str());
     return s;
   }
+  // Everything from the commit point on touches the poison set and the
+  // fd cache; the slow pre-commit IO above ran unlocked.
+  MutexLock lock(mu_);
   // The rename is the commit point: a recovery from here on loads the new
   // snapshot, so no failure below may be reported as a nack — the caller
   // would keep the old store and epoch in memory while a restart serves
@@ -350,6 +356,7 @@ Status StorePersistence::PersistSnapshot(uint32_t store_id, uint64_t epoch,
 
 Status StorePersistence::AppendUpdate(uint32_t store_id, uint64_t epoch,
                                       ConstByteSpan payload) {
+  MutexLock lock(mu_);
   if (poisoned_wals_.count(store_id) != 0) {
     return Status::Internal(
         "wal may end in an unremoved torn record; appends are refused "
@@ -392,6 +399,11 @@ Status StorePersistence::AppendUpdate(uint32_t store_id, uint64_t epoch,
 }
 
 void StorePersistence::QuarantineSlot(uint32_t store_id) {
+  MutexLock lock(mu_);
+  QuarantineSlotLocked(store_id);
+}
+
+void StorePersistence::QuarantineSlotLocked(uint32_t store_id) {
   const std::string snap = SnapshotPath(store_id);
   rename(snap.c_str(), (snap + ".corrupt").c_str());
   // Drop any cached append fd first so the truncate below cannot race a
@@ -408,6 +420,7 @@ void StorePersistence::QuarantineSlot(uint32_t store_id) {
 }
 
 Status StorePersistence::Sync() {
+  MutexLock lock(mu_);
   for (auto& [id, fd] : wal_fds_) {
     if (fd >= 0) RSSE_RETURN_IF_ERROR(FsyncRetry(fd, "fsync wal"));
   }

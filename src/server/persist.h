@@ -10,6 +10,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace rsse::server {
 
@@ -45,8 +46,12 @@ enum class SnapshotFormat : uint8_t { kV1 = 1, kV2 = 2 };
 /// durable the slot's WAL is *poisoned*: every further append is refused
 /// until the next successful snapshot truncates the log.
 ///
-/// Thread-compatibility: the server calls every mutating method under its
-/// exclusive store lock, so this class does no locking of its own.
+/// Thread-safety: the mutable fd cache and poison set are guarded by an
+/// internal mutex, so any one method is safe to call from any thread. The
+/// server still serializes *semantically* dependent calls (snapshot vs.
+/// append ordering for one slot) under its exclusive store lock — the
+/// internal lock is uncontended there and exists so the invariants hold
+/// by construction, not by caller convention.
 class StorePersistence {
  public:
   ~StorePersistence();
@@ -162,15 +167,21 @@ class StorePersistence {
   std::string SnapshotPath(uint32_t store_id) const;
   std::string WalPath(uint32_t store_id) const;
   /// Append fd for a slot's WAL, opened (and cached) on first use.
-  Result<int> WalFd(uint32_t store_id);
+  Result<int> WalFd(uint32_t store_id) RSSE_REQUIRES(mu_);
+  /// QuarantineSlot's body, for callers already holding `mu_`.
+  void QuarantineSlotLocked(uint32_t store_id) RSSE_REQUIRES(mu_);
 
+  /// Immutable after Open().
   std::string dir_;
   int dir_fd_ = -1;
-  std::map<uint32_t, int> wal_fds_;
+
+  /// Guards the per-slot mutable state below.
+  Mutex mu_;
+  std::map<uint32_t, int> wal_fds_ RSSE_GUARDED_BY(mu_);
   /// Slots whose WAL may end in a torn record that could not be rolled
   /// back durably (or whose snapshot's directory entry never fsync'd):
   /// appends are refused until a snapshot truncates the log cleanly.
-  std::set<uint32_t> poisoned_wals_;
+  std::set<uint32_t> poisoned_wals_ RSSE_GUARDED_BY(mu_);
 };
 
 }  // namespace rsse::server

@@ -16,7 +16,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -103,7 +102,7 @@ Status EmmServer::Host(const Bytes& index_blob) {
   Result<shard::ShardedEmm> store = shard::ShardedEmm::Deserialize(
       index_blob, threads, options_.load_shards);
   if (!store.ok()) return store.status();
-  std::unique_lock lock(store_mutex_);
+  WriterMutexLock lock(store_mutex_);
   // Persist before apply: if the snapshot cannot be made durable the
   // in-memory table keeps its previous (still-recoverable) contents.
   if (persist_ != nullptr) {
@@ -137,7 +136,7 @@ Status EmmServer::Host(const Bytes& index_blob) {
 }
 
 size_t EmmServer::EntryCount() const {
-  std::shared_lock lock(store_mutex_);
+  ReaderMutexLock lock(store_mutex_);
   auto it = stores_.find(rsse::kPrimaryStore);
   return it == stores_.end() ? 0 : it->second.emm.EntryCount();
 }
@@ -150,7 +149,7 @@ Status EmmServer::RecoverStores() {
   Result<StorePersistence::RecoveryReport> report = (*persistence)->Recover();
   if (!report.ok()) return report.status();
   {
-    std::unique_lock lock(store_mutex_);
+    WriterMutexLock lock(store_mutex_);
     for (const StorePersistence::RecoveredStore& rec : report->stores) {
       Status installed = InstallRecoveredStore(rec);
       if (!installed.ok()) {
@@ -464,7 +463,7 @@ Status EmmServer::Serve() {
 }
 
 void EmmServer::FoldDirtyStores() {
-  std::unique_lock lock(store_mutex_);
+  WriterMutexLock lock(store_mutex_);
   for (uint32_t store_id : dirty_stores_) {
     auto it = stores_.find(store_id);
     if (it == stores_.end() || it->second.kind != rsse::StoreKind::kEmm) {
@@ -493,7 +492,7 @@ void EmmServer::FoldDirtyStores() {
 
 std::vector<EmmServer::StoreMemoryInfo> EmmServer::StoreMemory() const {
   std::vector<StoreMemoryInfo> out;
-  std::shared_lock lock(store_mutex_);
+  ReaderMutexLock lock(store_mutex_);
   out.reserve(stores_.size());
   for (const auto& [store_id, hosted] : stores_) {
     StoreMemoryInfo info;
@@ -571,7 +570,7 @@ bool EmmServer::ReadPending(const std::shared_ptr<Connection>& cp) {
       if (draining_.load(std::memory_order_relaxed)) {
         bool idle;
         {
-          std::lock_guard<std::mutex> lock(conn.mu);
+          MutexLock lock(conn.mu);
           idle = conn.state == ExecState::kIdle && conn.jobs.empty();
         }
         if (idle) {
@@ -636,46 +635,48 @@ bool EmmServer::WritePending(Connection& conn) {
 }
 
 bool EmmServer::PumpConnection(const std::shared_ptr<Connection>& cp) {
-  Connection& conn = *cp;
-  std::lock_guard<std::mutex> lock(conn.mu);
-  if (conn.close_requested.load(std::memory_order_relaxed)) {
-    conn.closing = true;
+  // Accesses spell out `cp->` (no `*cp` reference alias): the analysis
+  // matches the held `cp->mu` against PushReadyLocked's requirement by
+  // expression, and an alias would hide the connection behind it.
+  MutexLock lock(cp->mu);
+  if (cp->close_requested.load(std::memory_order_relaxed)) {
+    cp->closing = true;
   }
-  if (!conn.staged.empty()) {
+  if (!cp->staged.empty()) {
     // Reclaim the sent prefix before appending: a connection that stays
     // partially unflushed while workers keep staging must not grow its
     // consumed prefix without bound.
-    if (conn.out_offset > 0 &&
-        (conn.out_offset == conn.out.size() ||
-         conn.out_offset >= kCompactThreshold)) {
-      conn.out.erase(conn.out.begin(),
-                     conn.out.begin() + static_cast<long>(conn.out_offset));
-      conn.out_offset = 0;
+    if (cp->out_offset > 0 &&
+        (cp->out_offset == cp->out.size() ||
+         cp->out_offset >= kCompactThreshold)) {
+      cp->out.erase(cp->out.begin(),
+                    cp->out.begin() + static_cast<long>(cp->out_offset));
+      cp->out_offset = 0;
     }
-    conn.out.insert(conn.out.end(), conn.staged.begin(), conn.staged.end());
-    conn.staged.clear();
-    conn.staged.shrink_to_fit();
+    cp->out.insert(cp->out.end(), cp->staged.begin(), cp->staged.end());
+    cp->staged.clear();
+    cp->staged.shrink_to_fit();
   }
   // Unpark with hysteresis: the stream parked at the high-water mark
   // resumes once the socket has drained to half of it, so a borderline
   // reader does not bounce the job on and off the worker pool per frame.
-  if (conn.state == ExecState::kParked &&
-      conn.outbound_bytes.load(std::memory_order_acquire) <=
+  if (cp->state == ExecState::kParked &&
+      cp->outbound_bytes.load(std::memory_order_acquire) <=
           options_.max_outbound_bytes / 2) {
-    conn.state = ExecState::kQueued;
+    cp->state = ExecState::kQueued;
     PushReadyLocked(cp);
   }
-  conn.input_paused = conn.jobs.size() >= kMaxQueuedJobs;
-  return conn.closing && conn.jobs.empty() &&
-         conn.state == ExecState::kIdle && conn.staged.empty() &&
-         conn.out_offset == conn.out.size();
+  cp->input_paused = cp->jobs.size() >= kMaxQueuedJobs;
+  return cp->closing && cp->jobs.empty() &&
+         cp->state == ExecState::kIdle && cp->staged.empty() &&
+         cp->out_offset == cp->out.size();
 }
 
 void EmmServer::DropConnection(size_t index) {
   std::shared_ptr<Connection> conn = conns_[index];
   conns_.erase(conns_.begin() + static_cast<long>(index));
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->closed.store(true, std::memory_order_relaxed);
     // A worker mid-job still holds a reference through the ready queue's
     // shared_ptr and cleans up at its next transition; anything merely
@@ -697,11 +698,10 @@ void EmmServer::CloseAll() {
 
 void EmmServer::EnqueueJob(const std::shared_ptr<Connection>& cp,
                            Job&& job) {
-  Connection& conn = *cp;
-  std::lock_guard<std::mutex> lock(conn.mu);
-  conn.jobs.push_back(std::move(job));
-  if (conn.state == ExecState::kIdle) {
-    conn.state = ExecState::kQueued;
+  MutexLock lock(cp->mu);
+  cp->jobs.push_back(std::move(job));
+  if (cp->state == ExecState::kIdle) {
+    cp->state = ExecState::kQueued;
     PushReadyLocked(cp);
   }
 }
@@ -719,7 +719,7 @@ int EmmServer::ResolveWorkerCount() const {
 void EmmServer::StartWorkers() {
   const int count = std::max(ResolveWorkerCount(), 1);
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     workers_stop_ = false;
   }
   workers_.reserve(static_cast<size_t>(count));
@@ -730,30 +730,30 @@ void EmmServer::StartWorkers() {
 
 void EmmServer::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     workers_stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
+  MutexLock lock(work_mu_);
   ready_.clear();
 }
 
 void EmmServer::PushReadyLocked(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     ready_.push_back(conn);
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void EmmServer::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Connection> conn;
     {
-      std::unique_lock<std::mutex> lock(work_mu_);
-      work_cv_.wait(lock,
-                    [this] { return workers_stop_ || !ready_.empty(); });
+      MutexLock lock(work_mu_);
+      while (!workers_stop_ && ready_.empty()) work_cv_.Wait(work_mu_);
       if (workers_stop_) return;
       conn = std::move(ready_.front());
       ready_.pop_front();
@@ -763,43 +763,52 @@ void EmmServer::WorkerLoop() {
 }
 
 void EmmServer::RunHeadJob(const std::shared_ptr<Connection>& cp) {
-  Connection& conn = *cp;
   Job* job = nullptr;
   {
-    std::lock_guard<std::mutex> lock(conn.mu);
-    if (conn.closed.load(std::memory_order_relaxed)) {
-      conn.jobs.clear();
-      conn.state = ExecState::kIdle;
+    MutexLock lock(cp->mu);
+    if (cp->closed.load(std::memory_order_relaxed)) {
+      cp->jobs.clear();
+      cp->state = ExecState::kIdle;
       return;
     }
     // A ready entry can go stale (the connection was dropped and its
     // queue cleared, or an unpark raced a completion); only a queued
     // head job runs.
-    if (conn.state != ExecState::kQueued || conn.jobs.empty()) return;
-    conn.state = ExecState::kRunning;
+    if (cp->state != ExecState::kQueued || cp->jobs.empty()) return;
+    cp->state = ExecState::kRunning;
     // deque::push_back never invalidates references to existing
     // elements, so the poll thread may append while this one executes.
-    job = &conn.jobs.front();
+    // The head job stays owned by this worker until the state leaves
+    // kRunning, so touching it unlocked below races nothing.
+    job = &cp->jobs.front();
   }
-  const JobResult result = ExecuteJob(conn, *job);
-  std::lock_guard<std::mutex> lock(conn.mu);
-  if (conn.closed.load(std::memory_order_relaxed)) {
-    conn.jobs.clear();
-    conn.state = ExecState::kIdle;
+  const JobResult result = ExecuteJob(*cp, *job);
+  MutexLock lock(cp->mu);
+  if (cp->closed.load(std::memory_order_relaxed)) {
+    cp->jobs.clear();
+    cp->state = ExecState::kIdle;
     return;
   }
   if (result == JobResult::kParked) {
     // Head job stays queued with its stream state; the poll thread
     // requeues the connection once the socket drains below the
     // low-water mark.
-    conn.state = ExecState::kParked;
+    cp->state = ExecState::kParked;
     return;
   }
-  conn.jobs.pop_front();
-  if (conn.jobs.empty()) {
-    conn.state = ExecState::kIdle;
+  cp->jobs.pop_front();
+  if (cp->jobs.empty()) {
+    cp->state = ExecState::kIdle;
+    // A closing connection is dropped only when a poll-thread sweep
+    // observes it fully quiesced, and this transition may be the last
+    // piece of that condition. By now the poll thread can be blocked
+    // with no event registered for this socket (closing suppresses
+    // POLLIN, a flushed buffer suppresses POLLOUT), so without an
+    // explicit wake the sweep never re-runs and the peer waits for a
+    // FIN that never comes.
+    WakePoll();
   } else {
-    conn.state = ExecState::kQueued;
+    cp->state = ExecState::kQueued;
     PushReadyLocked(cp);
   }
 }
@@ -851,7 +860,7 @@ EmmServer::JobResult EmmServer::ExecuteJob(Connection& conn, Job& job) {
 bool EmmServer::EmitEncoded(Connection& conn, const Bytes& frame) {
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(conn.mu);
+    MutexLock lock(conn.mu);
     if (conn.closed.load(std::memory_order_relaxed)) return false;
     wake = conn.staged.empty();
     conn.staged.insert(conn.staged.end(), frame.begin(), frame.end());
@@ -900,7 +909,7 @@ void EmmServer::EmitDrainingError(Connection& conn) {
 bool EmmServer::AllConnectionsQuiesced() {
   for (const std::shared_ptr<Connection>& c : conns_) {
     if (c->out_offset < c->out.size()) return false;
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(c->mu);
     if (c->state != ExecState::kIdle) return false;
     if (!c->jobs.empty() || !c->staged.empty()) return false;
   }
@@ -924,7 +933,7 @@ void EmmServer::RunSetup(Connection& conn, const Bytes& payload) {
   }
   SetupResponse resp;
   {
-    std::shared_lock lock(store_mutex_);
+    ReaderMutexLock lock(store_mutex_);
     const HostedStore& primary = stores_.at(rsse::kPrimaryStore);
     resp.shards = static_cast<uint32_t>(primary.emm.shard_count());
     resp.entries = primary.emm.EntryCount();
@@ -991,7 +1000,7 @@ void EmmServer::RunSetupStore(Connection& conn, const Bytes& payload) {
     return;
   }
   {
-    std::unique_lock lock(store_mutex_);
+    WriterMutexLock lock(store_mutex_);
     // Durability before visibility: a slot the server acked must survive
     // a crash, so the snapshot reaches disk before the table swap.
     if (persist_ != nullptr) {
@@ -1041,7 +1050,7 @@ void EmmServer::RunUpdate(Connection& conn, const Bytes& payload) {
     // Updates mutate the store table: exclusive lock, so a racing search
     // segment sees the dictionary entirely before or entirely after this
     // batch.
-    std::unique_lock lock(store_mutex_);
+    WriterMutexLock lock(store_mutex_);
     HostedStore& primary = stores_[rsse::kPrimaryStore];
     if (primary.kind != rsse::StoreKind::kEmm) {
       EmitError(conn, "primary store is not an encrypted dictionary");
@@ -1082,7 +1091,7 @@ void EmmServer::RunUpdate(Connection& conn, const Bytes& payload) {
 void EmmServer::RunStats(Connection& conn) {
   StatsResponse resp;
   {
-    std::shared_lock lock(store_mutex_);
+    ReaderMutexLock lock(store_mutex_);
     const auto it = stores_.find(rsse::kPrimaryStore);
     if (it != stores_.end()) {
       const HostedStore& primary = it->second;
@@ -1190,7 +1199,7 @@ EmmServer::JobResult EmmServer::StartSearchKeyword(Connection& conn,
   // is re-resolved under the lock each run segment.
   rsse::StoreKind kind;
   {
-    std::shared_lock lock(store_mutex_);
+    ReaderMutexLock lock(store_mutex_);
     if (!hosted_) {
       EmitError(conn, "no index hosted (send Setup first)");
       return JobResult::kDone;
@@ -1264,7 +1273,7 @@ EmmServer::JobResult EmmServer::ResumeStream(Connection& conn, Job& job) {
   // never blocks an Update or Setup. The flip side, re-resolved here, is
   // that a long-streamed batch may observe a store swap at work-unit
   // granularity.
-  std::shared_lock lock(store_mutex_);
+  ReaderMutexLock lock(store_mutex_);
   const HostedStore* store = nullptr;
   // The first segment validates even when the batch carries no work at
   // all (an empty batch against an unhosted server is still an error);

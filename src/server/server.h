@@ -2,13 +2,10 @@
 #define RSSE_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dprf/ggm_dprf.h"
 #include "pb/filter_tree.h"
 #include "rsse/bloom_gate.h"
@@ -297,10 +295,11 @@ class EmmServer {
     bool input_paused = false;  // job queue full: stop POLLIN until it drains
 
     // Shared with the worker pool; guarded by `mu`.
-    std::mutex mu;
-    Bytes staged;  // worker-emitted frames awaiting the poll thread
-    std::deque<Job> jobs;
-    ExecState state = ExecState::kIdle;
+    Mutex mu;
+    /// Worker-emitted frames awaiting the poll thread.
+    Bytes staged RSSE_GUARDED_BY(mu);
+    std::deque<Job> jobs RSSE_GUARDED_BY(mu);
+    ExecState state RSSE_GUARDED_BY(mu) = ExecState::kIdle;
     /// Unsent output in bytes (staged + out past out_offset). Written
     /// under `mu`; atomic so the emitting worker can check the high-water
     /// mark without the lock.
@@ -338,8 +337,12 @@ class EmmServer {
   void StartWorkers();
   void StopWorkers();
   void WorkerLoop();
-  /// Requires `conn->mu` held by the caller.
-  void PushReadyLocked(const std::shared_ptr<Connection>& conn);
+  /// Hands `conn` to the worker pool. Called with `conn->mu` held: the
+  /// connection's ExecState transition to kQueued and its appearance on
+  /// the ready queue must be one atomic step, or a racing worker could
+  /// observe a queued connection in the wrong state.
+  void PushReadyLocked(const std::shared_ptr<Connection>& conn)
+      RSSE_REQUIRES(conn->mu);
   void RunHeadJob(const std::shared_ptr<Connection>& conn);
 
   enum class JobResult { kDone, kParked };
@@ -373,8 +376,9 @@ class EmmServer {
   bool AllConnectionsQuiesced();
 
   /// Rebuilds one recovered slot (deserialize or map + WAL replay) into
-  /// the store table.
-  Status InstallRecoveredStore(const StorePersistence::RecoveredStore& rec);
+  /// the store table. Called under the exclusive store lock.
+  Status InstallRecoveredStore(const StorePersistence::RecoveredStore& rec)
+      RSSE_REQUIRES(store_mutex_);
 
   /// Re-snapshots every dirty (updated-since-snapshot) EMM store as a v2
   /// image — the clean-drain fold that turns WAL deltas back into a
@@ -396,33 +400,37 @@ class EmmServer {
   std::atomic<bool> draining_{false};
   /// Durable store table (nullptr when data_dir is empty). The pointer is
   /// written once during RecoverStores (before Serve) and only read
-  /// afterwards; mutating calls happen under the exclusive store lock.
+  /// afterwards; StorePersistence locks its own mutable state internally.
   std::unique_ptr<StorePersistence> persist_;
   bool recovered_ = false;
+  /// Written only during RecoverStores (single-threaded, before Serve).
   RecoveryStats recovery_stats_;
   /// Resolved mmap-serving mode (options_.mmap_stores / RSSE_MMAP).
   bool mmap_on_ = false;
-  /// Per-slot snapshot epoch (see persist.h); guarded by `store_mutex_`.
-  std::map<uint32_t, uint64_t> store_epochs_;
-  /// Per-slot durable snapshot generation (raw persist SnapshotFormat);
-  /// guarded by `store_mutex_`.
-  std::map<uint32_t, uint8_t> store_formats_;
+  /// Guards the store table and its persistence bookkeeping: searches
+  /// take it shared per run segment, Setup/Update/recovery exclusive.
+  mutable SharedMutex store_mutex_;
+  /// Per-slot snapshot epoch (see persist.h).
+  std::map<uint32_t, uint64_t> store_epochs_ RSSE_GUARDED_BY(store_mutex_);
+  /// Per-slot durable snapshot generation (raw persist SnapshotFormat).
+  std::map<uint32_t, uint8_t> store_formats_ RSSE_GUARDED_BY(store_mutex_);
   /// EMM slots updated since their last snapshot (WAL deltas pending a
-  /// fold); tracked in mmap mode, guarded by `store_mutex_`.
-  std::set<uint32_t> dirty_stores_;
-  /// Store table, keyed by store slot. Guarded by `store_mutex_`:
-  /// searches shared, Setup/Update exclusive.
-  mutable std::shared_mutex store_mutex_;
-  std::map<uint32_t, HostedStore> stores_;
-  bool hosted_ = false;
+  /// fold); tracked in mmap mode.
+  std::set<uint32_t> dirty_stores_ RSSE_GUARDED_BY(store_mutex_);
+  /// Store table, keyed by store slot.
+  std::map<uint32_t, HostedStore> stores_ RSSE_GUARDED_BY(store_mutex_);
+  bool hosted_ RSSE_GUARDED_BY(store_mutex_) = false;
   ServerStats stats_;
+  /// Poll-thread-owned connection list (workers reach connections only
+  /// through the shared_ptrs handed to them on the ready queue).
   std::vector<std::shared_ptr<Connection>> conns_;
 
   // Worker pool + ready queue (connections with a runnable head job).
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Connection>> ready_;
-  bool workers_stop_ = false;
+  Mutex work_mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Connection>> ready_ RSSE_GUARDED_BY(work_mu_);
+  bool workers_stop_ RSSE_GUARDED_BY(work_mu_) = false;
+  /// Started/joined by the Serve thread only.
   std::vector<std::thread> workers_;
 };
 

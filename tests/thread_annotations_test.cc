@@ -1,0 +1,170 @@
+// The annotated wrappers in common/thread_annotations.h must preserve the
+// std primitives' runtime semantics exactly — the annotations are
+// compile-time only, and under GCC they vanish entirely, so these tests
+// pin the *behavioral* contract on every compiler: shared locks really
+// admit concurrent readers, exclusive locks really exclude, CondVar really
+// wakes. A wrapper that silently degraded SharedMutex to exclusive would
+// pass every existing suite (stricter locking is invisible to correctness
+// tests) while destroying the server's concurrent-search scaling.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+
+namespace rsse {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Spins until `cond` or ~2s elapse; returns whether `cond` held.
+template <typename Cond>
+bool SpinUntil(Cond cond) {
+  for (int i = 0; i < 20000 && !cond(); ++i) std::this_thread::sleep_for(100us);
+  return cond();
+}
+
+TEST(SharedMutexTest, AdmitsConcurrentReaders) {
+  SharedMutex mu;
+  std::atomic<int> inside{0};
+  std::atomic<bool> both_seen{false};
+
+  auto reader = [&] {
+    ReaderMutexLock lock(mu);
+    inside.fetch_add(1);
+    // Hold the shared lock until the other reader is provably inside too.
+    // If shared acquisition were exclusive, the second reader could never
+    // enter while the first waits here, and both threads would time out
+    // with both_seen still false.
+    if (SpinUntil([&] { return inside.load() == 2; })) both_seen = true;
+  };
+  std::thread a(reader);
+  std::thread b(reader);
+  a.join();
+  b.join();
+  EXPECT_TRUE(both_seen.load());
+}
+
+TEST(SharedMutexTest, WriterExcludesReadersAndWriters) {
+  SharedMutex mu;
+  {
+    WriterMutexLock lock(mu);
+    // From another thread (self-try_lock on a held std mutex is UB).
+    EXPECT_FALSE(std::async(std::launch::async, [&] {
+                   if (!mu.TryLockShared()) return false;
+                   mu.UnlockShared();
+                   return true;
+                 }).get());
+    EXPECT_FALSE(std::async(std::launch::async, [&] {
+                   if (!mu.TryLock()) return false;
+                   mu.Unlock();
+                   return true;
+                 }).get());
+  }
+  // Released: both acquisition modes go through again.
+  EXPECT_TRUE(std::async(std::launch::async, [&] {
+                if (!mu.TryLockShared()) return false;
+                mu.UnlockShared();
+                return true;
+              }).get());
+}
+
+TEST(SharedMutexTest, ReaderExcludesWriterOnly) {
+  SharedMutex mu;
+  ReaderMutexLock lock(mu);
+  EXPECT_FALSE(std::async(std::launch::async, [&] {
+                 if (!mu.TryLock()) return false;
+                 mu.Unlock();
+                 return true;
+               }).get());
+  EXPECT_TRUE(std::async(std::launch::async, [&] {
+                if (!mu.TryLockShared()) return false;
+                mu.UnlockShared();
+                return true;
+              }).get());
+}
+
+TEST(MutexTest, MutexLockExcludesAndSerializes) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    EXPECT_FALSE(std::async(std::launch::async, [&] {
+                   if (!mu.TryLock()) return false;
+                   mu.Unlock();
+                   return true;
+                 }).get());
+  }
+  // Classic lost-update check: racing increments through MutexLock.
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(CondVarTest, WaitWakesOnNotifyAndHoldsLockAfter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = -1;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    // The lock is held again here; reading `ready` must see the notify
+    // thread's write made under the same lock.
+    observed = ready ? 1 : 0;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitFor(mu, 10ms));
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 3; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      woke.fetch_add(1);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+}  // namespace
+}  // namespace rsse
